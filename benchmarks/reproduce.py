@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper in one run and print the series.
+
+This is the human-facing companion to the pytest-benchmark files: it runs
+each harness function at the default (scaled) parameters and prints each
+figure's underlying table, mirroring section VII of the paper.
+
+Run:  python benchmarks/reproduce.py [--fast]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench import print_table
+from repro.bench.harness import (
+    fig7_write,
+    fig8_tracking_datasize,
+    fig9_tracking_resultsize,
+    fig10_tracking_window,
+    fig11_range_datasize,
+    fig12_range_resultsize,
+    fig13_join_datasize,
+    fig14_join_resultsize,
+    fig15_onoff_datasize,
+    fig16_onoff_resultsize,
+    fig20_chainsql_one_dim,
+    fig21_chainsql_two_dim,
+    fig22_cache,
+    figs17_19_authenticated,
+    print_series,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller sweeps (roughly 4x faster)")
+    args = parser.parse_args()
+    blocks = [50, 100] if args.fast else [50, 100, 150, 200, 250]
+    t0 = time.time()
+
+    print_table()  # Table I
+
+    data = fig7_write()
+    print("\n== Fig 7: write throughput / latency ==")
+    for engine, points in data.items():
+        for clients, tps, latency in points:
+            print(f"  {engine:<11} clients={clients:<4} tps={tps:8.0f} "
+                  f"latency={latency:7.1f} ms")
+
+    print_series("Fig 8: Q2 vs blockchain size",
+                 fig8_tracking_datasize(block_counts=blocks), "blocks")
+    print_series("Fig 9: Q2 vs result size",
+                 fig9_tracking_resultsize(), "result")
+    print_series("Fig 10: Q3 vs time window",
+                 fig10_tracking_window(), "window")
+    print_series("Fig 11: Q4 vs blockchain size",
+                 fig11_range_datasize(block_counts=blocks), "blocks")
+    print_series("Fig 12: Q4 vs result size",
+                 fig12_range_resultsize(), "result")
+    print_series("Fig 13: Q5 vs blockchain size",
+                 fig13_join_datasize(block_counts=blocks[:4]), "blocks")
+    print_series("Fig 14: Q5 vs result size",
+                 fig14_join_resultsize(), "result")
+    print_series("Fig 15: Q6 vs blockchain size",
+                 fig15_onoff_datasize(block_counts=blocks[:4]), "blocks")
+    print_series("Fig 16: Q6 vs result size",
+                 fig16_onoff_resultsize(), "result")
+    auth = figs17_19_authenticated(block_counts=blocks)
+    print_series("Fig 17: VO size (KB)", auth["fig17_vo_size_kb"],
+                 "blocks", "KB")
+    print_series("Fig 18: server time", auth["fig18_server_ms"],
+                 "blocks", "ms")
+    print_series("Fig 19: client time", auth["fig19_client_ms"],
+                 "blocks", "ms")
+    print_series("Fig 20: 1-D tracking vs ChainSQL",
+                 fig20_chainsql_one_dim(block_counts=blocks), "blocks")
+    print_series("Fig 21: 2-D tracking vs ChainSQL",
+                 fig21_chainsql_two_dim(), "operator txs")
+    print_series("Fig 22: cache policies", fig22_cache(), "query",
+                 "ms/request")
+
+    print(f"\nall figures regenerated in {time.time() - t0:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

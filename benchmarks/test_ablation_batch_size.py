@@ -1,0 +1,49 @@
+"""Ablation - consensus batch (block) size vs throughput and latency.
+
+The Fig 7 setup fixes blocks at 200 transactions; this ablation sweeps
+the knob: tiny batches pay the per-block overhead on every handful of
+transactions (throughput suffers), huge batches amortize it but hold
+early transactions hostage to the timeout (latency suffers at low load).
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.write_bench import run_closed_loop
+from repro.consensus import KafkaOrderer
+from repro.network import MessageBus
+
+BATCH_SIZES = [10, 50, 200, 1000]
+CLIENTS = 200
+
+
+def run_at(batch_txs: int):
+    bus = MessageBus(seed=13)
+    engine = KafkaOrderer(bus, batch_txs=batch_txs, timeout_ms=200.0)
+    for i in range(4):
+        engine.register_replica(f"sink-{i}", lambda batch: None)
+    return run_closed_loop(bus, engine, num_clients=CLIENTS,
+                           txs_per_client=20)
+
+
+@pytest.fixture(scope="module")
+def series():
+    tps_points = []
+    lat_points = []
+    for batch in BATCH_SIZES:
+        sample = run_at(batch)
+        tps_points.append((batch, sample.throughput_tps))
+        lat_points.append((batch, sample.mean_latency_ms))
+    data = {"throughput_tps": tps_points, "mean_latency_ms": lat_points}
+    save_series("ablation_batch", "Ablation: Kafka batch size", data,
+                x_label="batch_txs", y_label="tps / ms")
+    return data
+
+
+def test_batch_size_ablation(benchmark, series):
+    tps = dict(series["throughput_tps"])
+    # amortizing the per-block cost helps: 200-tx blocks beat 10-tx blocks
+    assert tps[200] > tps[10]
+    # all configurations commit the full workload
+    sample = benchmark(lambda: run_at(200))
+    assert sample.committed == CLIENTS * 20

@@ -1,0 +1,65 @@
+"""Ablation - cache capacity vs repeat-query cost (extends Fig 22).
+
+With the transaction cache, a repeated tracking query's I/O drops as the
+cache grows, until the whole result working set fits and the cost floors
+at zero misses.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.generator import build_tracking_dataset
+from repro.common.config import SebdbConfig
+
+CAPACITIES = [0, 4 * 1024, 16 * 1024, 64 * 1024, 512 * 1024]
+NUM_BLOCKS = 50
+TXS_PER_BLOCK = 40
+RESULT = 300
+
+
+def repeat_cost(capacity: int) -> tuple[float, float]:
+    """(modelled ms of a repeat run, cache hit ratio)."""
+    config = SebdbConfig.in_memory(
+        block_size_txs=100_000, cache_mode="transaction",
+        cache_bytes=capacity,
+    )
+    dataset = build_tracking_dataset(NUM_BLOCKS, TXS_PER_BLOCK, RESULT,
+                                     seed=5, config=config)
+    from repro.bench.generator import create_standard_indexes
+
+    create_standard_indexes(dataset)
+    node = dataset.node
+    node.query("TRACE OPERATOR = 'org1'", method="layered")  # warm
+    node.store.cost.reset()
+    before = node.store.cost.snapshot()
+    result = node.query("TRACE OPERATOR = 'org1'", method="layered")
+    delta = node.store.cost.snapshot().delta(before)
+    assert len(result) == RESULT
+    return delta.elapsed_ms, node.store.tx_cache.hit_ratio()
+
+
+@pytest.fixture(scope="module")
+def series():
+    ms_points = []
+    hit_points = []
+    for capacity in CAPACITIES:
+        ms, hits = repeat_cost(capacity)
+        ms_points.append((capacity // 1024, ms))
+        hit_points.append((capacity // 1024, hits * 100))
+    data = {"repeat_ms": ms_points, "hit_pct": hit_points}
+    save_series("ablation_cache", "Ablation: cache capacity (KB)", data,
+                x_label="cache_kb", y_label="ms / %")
+    return data
+
+
+def test_cache_size_ablation(benchmark, series):
+    ms = dict(series["repeat_ms"])
+    # no cache: every repeat pays full I/O; big cache: repeats are free
+    assert ms[0] > 0
+    assert ms[CAPACITIES[-1] // 1024] == 0.0
+    # cost is monotonically non-increasing in capacity
+    values = [ms[c // 1024] for c in CAPACITIES]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+    result = benchmark(lambda: repeat_cost(64 * 1024))
+    assert result[0] >= 0

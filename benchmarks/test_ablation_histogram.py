@@ -1,0 +1,76 @@
+"""Ablation - equal-depth histogram depth (layered index level 1).
+
+The paper: "the height of histogram is configurable for different
+precisions".  Deeper histograms make level-1 bucket bitmaps more
+selective, so fewer candidate blocks survive the AND step for a narrow
+range query; past a point the blocks genuinely contain matches and deeper
+buckets stop helping.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.generator import (
+    GAUSSIAN,
+    RESULT_HIGH,
+    RESULT_LOW,
+    build_range_dataset,
+)
+from repro.common.config import SebdbConfig
+
+DEPTHS = [1, 2, 8, 32, 128]
+NUM_BLOCKS = 60
+TXS_PER_BLOCK = 40
+RESULT = 120
+
+
+def candidate_blocks_at_depth(depth: int) -> tuple[int, float]:
+    config = SebdbConfig.in_memory(block_size_txs=100_000,
+                                   histogram_depth=depth)
+    # matches concentrate in a few blocks (Gaussian) so that level-1 CAN
+    # discriminate; the remaining blocks only hold out-of-range noise
+    dataset = build_range_dataset(
+        NUM_BLOCKS, TXS_PER_BLOCK, RESULT, distribution=GAUSSIAN,
+        variance=3.0, seed=7, config=config,
+    )
+    node = dataset.node
+    index = node.indexes.create_layered_index(
+        "amount", table="donate", schema=node.catalog.get("donate")
+    )
+    node.store.cost.reset()
+    candidates = index.candidate_blocks_range(RESULT_LOW, RESULT_HIGH)
+    before = node.store.cost.snapshot()
+    result = node.query(
+        "SELECT * FROM donate WHERE amount BETWEEN ? AND ?",
+        params=(RESULT_LOW, RESULT_HIGH), method="layered",
+    )
+    delta = node.store.cost.snapshot().delta(before)
+    assert len(result) == RESULT
+    return len(candidates), delta.elapsed_ms
+
+
+@pytest.fixture(scope="module")
+def series():
+    points_blocks = []
+    points_ms = []
+    for depth in DEPTHS:
+        blocks, ms = candidate_blocks_at_depth(depth)
+        points_blocks.append((depth, float(blocks)))
+        points_ms.append((depth, ms))
+    data = {"candidate_blocks": points_blocks, "modelled_ms": points_ms}
+    save_series("ablation_histogram",
+                "Ablation: histogram depth vs level-1 selectivity", data,
+                x_label="depth", y_label="blocks / ms")
+    return data
+
+
+def test_histogram_depth_ablation(benchmark, series):
+    blocks = dict(series["candidate_blocks"])
+    # depth 1 = one bucket = no filtering: every data block is a candidate
+    assert blocks[1] == NUM_BLOCKS
+    # deeper histograms filter strictly better (here: monotone, saturating)
+    assert blocks[128] <= blocks[8] <= blocks[1]
+    assert blocks[128] < NUM_BLOCKS
+
+    result = benchmark(lambda: candidate_blocks_at_depth(32))
+    assert result[0] <= NUM_BLOCKS

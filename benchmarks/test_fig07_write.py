@@ -1,0 +1,55 @@
+"""Fig 7 - write throughput and response time, KAFKA vs Tendermint.
+
+Paper shape: Kafka throughput exceeds Tendermint's and keeps rising until
+the single packager thread saturates (~400 clients); Tendermint throughput
+is capped early by serial CheckTx/DeliverTx and its response time grows
+with client count.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.harness import fig7_write
+from repro.bench.write_bench import kafka_factory, run_closed_loop
+from repro.network import MessageBus
+
+CLIENTS = [40, 120, 240, 400]
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig7_write(client_counts=CLIENTS, txs_per_client=20)
+    throughput = {
+        engine: [(clients, tps) for clients, tps, _lat in points]
+        for engine, points in data.items()
+    }
+    latency = {
+        engine: [(clients, lat) for clients, _tps, lat in points]
+        for engine, points in data.items()
+    }
+    save_series("fig07_throughput", "Fig 7a: write throughput (tps)",
+                throughput, x_label="clients", y_label="tps")
+    save_series("fig07_latency", "Fig 7b: response time (ms)",
+                latency, x_label="clients", y_label="ms")
+    return throughput, latency
+
+
+def test_fig07_shapes(benchmark, series):
+    throughput, latency = series
+    kafka_tps = dict(throughput["kafka"])
+    tm_tps = dict(throughput["tendermint"])
+    # Kafka beats Tendermint at scale
+    assert kafka_tps[400] > tm_tps[400]
+    # Kafka throughput rises with client count
+    assert kafka_tps[400] > kafka_tps[40]
+    # Tendermint response time grows under load (resource competition)
+    tm_lat = dict(latency["tendermint"])
+    assert tm_lat[400] > tm_lat[40]
+    # time one small kafka closed loop as the benchmark body
+    def one_round():
+        bus = MessageBus(seed=1)
+        engine = kafka_factory()(bus)
+        return run_closed_loop(bus, engine, num_clients=40, txs_per_client=5)
+
+    sample = benchmark(one_round)
+    assert sample.committed == 200

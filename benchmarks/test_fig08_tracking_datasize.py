@@ -1,0 +1,47 @@
+"""Fig 8 - Q2 tracking latency vs blockchain size (result size fixed).
+
+Paper shape: layered (LU/LG) far below bitmap and scan and insensitive to
+chain growth; BG beats SG/BU because Gaussian placement touches fewer
+blocks; scan grows linearly with the chain.
+"""
+
+import pytest
+
+from conftest import first_point, last_point, save_series
+from repro.bench.generator import build_tracking_dataset, create_standard_indexes
+from repro.bench.harness import fig8_tracking_datasize
+
+BLOCKS = [50, 100, 150]
+RESULT = 300
+TXS_PER_BLOCK = 60
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig8_tracking_datasize(
+        block_counts=BLOCKS, result_size=RESULT, txs_per_block=TXS_PER_BLOCK
+    )
+    save_series("fig08", "Fig 8: Q2 tracking vs blockchain size", data,
+                x_label="blocks")
+    return data
+
+
+def test_fig08_shapes(benchmark, series):
+    # layered wins at the largest chain
+    assert last_point(series, "LU") < last_point(series, "BU")
+    assert last_point(series, "LU") < last_point(series, "SU")
+    # Gaussian placement helps the bitmap path
+    assert last_point(series, "BG") < last_point(series, "BU")
+    # scan grows with chain size, layered stays flat
+    assert last_point(series, "SU") > 1.5 * first_point(series, "SU")
+    assert last_point(series, "LU") < 1.5 * first_point(series, "LU")
+
+    dataset = build_tracking_dataset(BLOCKS[-1], TXS_PER_BLOCK, RESULT)
+    create_standard_indexes(dataset)
+
+    def layered_q2():
+        dataset.store.clear_caches()
+        return dataset.node.query("TRACE OPERATOR = 'org1'", method="layered")
+
+    result = benchmark(layered_q2)
+    assert len(result) == RESULT

@@ -1,0 +1,51 @@
+"""Fig 9 - Q2 tracking latency vs result size (blockchain size fixed).
+
+Paper shape: the gap between the three methods narrows as the result set
+grows (layered pays one random I/O per result row); scan and bitmap are
+largely insensitive to the result size.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.generator import build_tracking_dataset, create_standard_indexes
+from repro.bench.harness import fig9_tracking_resultsize
+
+SIZES = [200, 800, 3200]
+NUM_BLOCKS = 100
+TXS_PER_BLOCK = 60
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig9_tracking_resultsize(
+        result_sizes=SIZES, num_blocks=NUM_BLOCKS,
+        txs_per_block=TXS_PER_BLOCK,
+    )
+    save_series("fig09", "Fig 9: Q2 tracking vs result size", data,
+                x_label="result_size")
+    return data
+
+
+def test_fig09_shapes(benchmark, series):
+    def at(label, x):
+        return dict(series[label])[x]
+
+    # layered grows with the result size
+    assert at("LU", SIZES[-1]) > at("LU", SIZES[0])
+    # scan is insensitive to the result size
+    assert at("SU", SIZES[-1]) < 1.5 * at("SU", SIZES[0])
+    # the scan/layered gap narrows as results grow
+    gap_small = at("SU", SIZES[0]) / at("LU", SIZES[0])
+    gap_large = at("SU", SIZES[-1]) / at("LU", SIZES[-1])
+    assert gap_large < gap_small
+
+    dataset = build_tracking_dataset(NUM_BLOCKS, TXS_PER_BLOCK, SIZES[0])
+    create_standard_indexes(dataset)
+
+    def layered_q2():
+        dataset.store.clear_caches()
+        return dataset.node.query("TRACE OPERATOR = 'org1'", method="layered")
+
+    result = benchmark(layered_q2)
+    assert len(result) == SIZES[0]

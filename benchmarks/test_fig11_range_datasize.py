@@ -1,0 +1,50 @@
+"""Fig 11 - Q4 range-query latency vs blockchain size.
+
+Paper shape: layered wins everywhere (histogram level-1 filter + per-tuple
+reads); BG beats SG; scan and bitmap grow with the chain, layered does not.
+"""
+
+import pytest
+
+from conftest import first_point, last_point, save_series
+from repro.bench.generator import (
+    RESULT_HIGH,
+    RESULT_LOW,
+    build_range_dataset,
+    create_standard_indexes,
+)
+from repro.bench.harness import fig11_range_datasize
+
+BLOCKS = [50, 100, 150]
+RESULT = 200
+TXS_PER_BLOCK = 60
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig11_range_datasize(
+        block_counts=BLOCKS, result_size=RESULT, txs_per_block=TXS_PER_BLOCK
+    )
+    save_series("fig11", "Fig 11: Q4 range query vs blockchain size", data,
+                x_label="blocks")
+    return data
+
+
+def test_fig11_shapes(benchmark, series):
+    assert last_point(series, "LU") < last_point(series, "BU")
+    assert last_point(series, "LU") < last_point(series, "SU")
+    assert last_point(series, "SU") > 1.5 * first_point(series, "SU")
+    assert last_point(series, "LU") < 1.5 * first_point(series, "LU")
+
+    dataset = build_range_dataset(BLOCKS[-1], TXS_PER_BLOCK, RESULT)
+    create_standard_indexes(dataset)
+
+    def layered_q4():
+        dataset.store.clear_caches()
+        return dataset.node.query(
+            "SELECT * FROM donate WHERE amount BETWEEN ? AND ?",
+            params=(RESULT_LOW, RESULT_HIGH), method="layered",
+        )
+
+    result = benchmark(layered_q4)
+    assert len(result) == RESULT

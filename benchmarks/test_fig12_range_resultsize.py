@@ -1,0 +1,56 @@
+"""Fig 12 - Q4 range-query latency vs result size.
+
+Paper shape: scan and bitmap are insensitive to the result size, the
+layered path grows with it, and the method gap narrows.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.generator import (
+    RESULT_HIGH,
+    RESULT_LOW,
+    build_range_dataset,
+    create_standard_indexes,
+)
+from repro.bench.harness import fig12_range_resultsize
+
+SIZES = [100, 400, 1600]
+NUM_BLOCKS = 100
+TXS_PER_BLOCK = 60
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig12_range_resultsize(
+        result_sizes=SIZES, num_blocks=NUM_BLOCKS,
+        txs_per_block=TXS_PER_BLOCK,
+    )
+    save_series("fig12", "Fig 12: Q4 range query vs result size", data,
+                x_label="result_size")
+    return data
+
+
+def test_fig12_shapes(benchmark, series):
+    def at(label, x):
+        return dict(series[label])[x]
+
+    assert at("LU", SIZES[-1]) > at("LU", SIZES[0])          # layered grows
+    assert at("SU", SIZES[-1]) < 1.5 * at("SU", SIZES[0])     # scan flat
+    assert at("BU", SIZES[-1]) < 1.6 * at("BU", SIZES[0])     # bitmap ~flat
+    gap_small = at("SU", SIZES[0]) / at("LU", SIZES[0])
+    gap_large = at("SU", SIZES[-1]) / at("LU", SIZES[-1])
+    assert gap_large < gap_small                              # gap narrows
+
+    dataset = build_range_dataset(NUM_BLOCKS, TXS_PER_BLOCK, SIZES[0])
+    create_standard_indexes(dataset)
+
+    def layered_q4():
+        dataset.store.clear_caches()
+        return dataset.node.query(
+            "SELECT * FROM donate WHERE amount BETWEEN ? AND ?",
+            params=(RESULT_LOW, RESULT_HIGH), method="layered",
+        )
+
+    result = benchmark(layered_q4)
+    assert len(result) == SIZES[0]

@@ -1,0 +1,48 @@
+"""Fig 13 - Q5 on-chain join latency vs blockchain size.
+
+Paper shape: the layered sort-merge join wins (only intersecting block
+pairs are compared, only joining tuples are read); BG beats SG; LU grows
+mildly with the chain as more block pairs must be intersected.
+"""
+
+import pytest
+
+from conftest import last_point, save_series
+from repro.bench.generator import build_join_dataset, create_standard_indexes
+from repro.bench.harness import fig13_join_datasize
+
+BLOCKS = [50, 100, 150]
+TABLE_ROWS = 600
+RESULT_PAIRS = 300
+TXS_PER_BLOCK = 60
+
+Q5 = ("SELECT * FROM transfer, distribute "
+      "ON transfer.organization = distribute.organization")
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig13_join_datasize(
+        block_counts=BLOCKS, table_rows=TABLE_ROWS,
+        result_pairs=RESULT_PAIRS, txs_per_block=TXS_PER_BLOCK,
+    )
+    save_series("fig13", "Fig 13: Q5 on-chain join vs blockchain size",
+                data, x_label="blocks")
+    return data
+
+
+def test_fig13_shapes(benchmark, series):
+    assert last_point(series, "LU") < last_point(series, "BU")
+    assert last_point(series, "LU") < last_point(series, "SU")
+    assert last_point(series, "BG") <= last_point(series, "BU")
+
+    dataset = build_join_dataset(BLOCKS[-1], TXS_PER_BLOCK, TABLE_ROWS,
+                                 RESULT_PAIRS)
+    create_standard_indexes(dataset)
+
+    def layered_q5():
+        dataset.store.clear_caches()
+        return dataset.node.query(Q5, method="layered")
+
+    result = benchmark(layered_q5)
+    assert len(result) == RESULT_PAIRS

@@ -1,0 +1,49 @@
+"""Fig 14 - Q5 on-chain join latency vs result size.
+
+Paper shape: layered latency grows with the join result (more blocks join,
+more tuples are read from disk); it still beats the hash-join baselines.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.generator import build_join_dataset, create_standard_indexes
+from repro.bench.harness import fig14_join_resultsize
+
+SIZES = [100, 400, 800]
+NUM_BLOCKS = 100
+TABLE_ROWS = 1500
+TXS_PER_BLOCK = 60
+
+Q5 = ("SELECT * FROM transfer, distribute "
+      "ON transfer.organization = distribute.organization")
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig14_join_resultsize(
+        result_sizes=SIZES, num_blocks=NUM_BLOCKS, table_rows=TABLE_ROWS,
+        txs_per_block=TXS_PER_BLOCK,
+    )
+    save_series("fig14", "Fig 14: Q5 on-chain join vs result size", data,
+                x_label="result_pairs")
+    return data
+
+
+def test_fig14_shapes(benchmark, series):
+    def at(label, x):
+        return dict(series[label])[x]
+
+    assert at("LU", SIZES[-1]) > at("LU", SIZES[0])   # layered grows
+    assert at("LU", SIZES[-1]) < at("SU", SIZES[-1])  # still wins
+
+    dataset = build_join_dataset(NUM_BLOCKS, TXS_PER_BLOCK, TABLE_ROWS,
+                                 SIZES[0])
+    create_standard_indexes(dataset)
+
+    def layered_q5():
+        dataset.store.clear_caches()
+        return dataset.node.query(Q5, method="layered")
+
+    result = benchmark(layered_q5)
+    assert len(result) == SIZES[0]

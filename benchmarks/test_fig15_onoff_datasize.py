@@ -1,0 +1,47 @@
+"""Fig 15 - Q6 on-off chain join latency vs blockchain size.
+
+Paper shape: the layered path (off-chain [min, max] pruning + per-block
+sort-merge against sorted off-chain rows) wins; BG beats SG.
+"""
+
+import pytest
+
+from conftest import last_point, save_series
+from repro.bench.generator import build_onoff_dataset, create_standard_indexes
+from repro.bench.harness import fig15_onoff_datasize
+
+BLOCKS = [50, 100, 150]
+ONCHAIN_ROWS = 600
+RESULT_PAIRS = 300
+TXS_PER_BLOCK = 60
+
+Q6 = ("SELECT * FROM onchain.distribute, offchain.doneeinfo "
+      "ON distribute.donee = doneeinfo.donee")
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig15_onoff_datasize(
+        block_counts=BLOCKS, onchain_rows=ONCHAIN_ROWS,
+        result_pairs=RESULT_PAIRS, txs_per_block=TXS_PER_BLOCK,
+    )
+    save_series("fig15", "Fig 15: Q6 on-off join vs blockchain size", data,
+                x_label="blocks")
+    return data
+
+
+def test_fig15_shapes(benchmark, series):
+    assert last_point(series, "LU") < last_point(series, "BU")
+    assert last_point(series, "LU") < last_point(series, "SU")
+    assert last_point(series, "BG") <= last_point(series, "BU")
+
+    dataset = build_onoff_dataset(BLOCKS[-1], TXS_PER_BLOCK, ONCHAIN_ROWS,
+                                  RESULT_PAIRS)
+    create_standard_indexes(dataset)
+
+    def layered_q6():
+        dataset.store.clear_caches()
+        return dataset.node.query(Q6, method="layered")
+
+    result = benchmark(layered_q6)
+    assert len(result) == RESULT_PAIRS

@@ -1,0 +1,50 @@
+"""Fig 16 - Q6 on-off chain join latency vs result size.
+
+Paper shape: layered latency grows with the result size (more blocks pass
+the [min, max] filter and more tuples are read) yet stays below the
+hash-join baselines.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.generator import build_onoff_dataset, create_standard_indexes
+from repro.bench.harness import fig16_onoff_resultsize
+
+SIZES = [100, 400, 800]
+NUM_BLOCKS = 100
+ONCHAIN_ROWS = 1500
+TXS_PER_BLOCK = 60
+
+Q6 = ("SELECT * FROM onchain.distribute, offchain.doneeinfo "
+      "ON distribute.donee = doneeinfo.donee")
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig16_onoff_resultsize(
+        result_sizes=SIZES, num_blocks=NUM_BLOCKS,
+        onchain_rows=ONCHAIN_ROWS, txs_per_block=TXS_PER_BLOCK,
+    )
+    save_series("fig16", "Fig 16: Q6 on-off join vs result size", data,
+                x_label="result_pairs")
+    return data
+
+
+def test_fig16_shapes(benchmark, series):
+    def at(label, x):
+        return dict(series[label])[x]
+
+    assert at("LU", SIZES[-1]) > at("LU", SIZES[0])
+    assert at("LU", SIZES[-1]) < at("SU", SIZES[-1])
+
+    dataset = build_onoff_dataset(NUM_BLOCKS, TXS_PER_BLOCK, ONCHAIN_ROWS,
+                                  SIZES[0])
+    create_standard_indexes(dataset)
+
+    def layered_q6():
+        dataset.store.clear_caches()
+        return dataset.node.query(Q6, method="layered")
+
+    result = benchmark(layered_q6)
+    assert len(result) == SIZES[0]

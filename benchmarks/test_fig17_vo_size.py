@@ -1,0 +1,38 @@
+"""Fig 17 - authenticated query VO size, ALI vs basic approach.
+
+Paper shape: the ALI's VO (result records + boundary records + sibling
+digests) is always far smaller than the basic approach's (the entire block
+window), and the basic VO grows linearly with the chain.
+"""
+
+import pytest
+
+from conftest import first_point, last_point, save_series
+from repro.bench.generator import build_tracking_dataset, create_standard_indexes
+from repro.bench.harness import figs17_19_authenticated
+from repro.node.auth import AuthQueryServer
+
+BLOCKS = [50, 100, 150]
+RESULT = 300
+
+
+@pytest.fixture(scope="module")
+def auth_series():
+    return figs17_19_authenticated(block_counts=BLOCKS, result_size=RESULT)
+
+
+def test_fig17_shapes(benchmark, auth_series):
+    vo_size = auth_series["fig17_vo_size_kb"]
+    save_series("fig17", "Fig 17: VO size (KB)", vo_size,
+                x_label="blocks", y_label="KB")
+    assert last_point(vo_size, "ALI-Q2") < last_point(vo_size, "basic")
+    assert last_point(vo_size, "ALI-Q4") < last_point(vo_size, "basic")
+    # basic ships the whole chain - it grows linearly
+    assert last_point(vo_size, "basic") > 2 * first_point(vo_size, "basic")
+
+    dataset = build_tracking_dataset(BLOCKS[0], 40, RESULT)
+    create_standard_indexes(dataset, authenticated=True)
+    server = AuthQueryServer(dataset.node)
+
+    vo = benchmark(lambda: server.trace_vo("org1"))
+    assert vo.size_bytes() > 0

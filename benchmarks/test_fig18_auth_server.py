@@ -1,0 +1,41 @@
+"""Fig 18 - authenticated query processing time at the server side.
+
+Paper shape: the ALI server reads only result tuples through the index
+(cheap); the basic server scans and ships every block, growing with the
+chain.
+"""
+
+import pytest
+
+from conftest import first_point, last_point, save_series
+from repro.baselines.basic_auth import BasicAuthServer
+from repro.bench.generator import build_range_dataset, create_standard_indexes
+from repro.bench.harness import figs17_19_authenticated
+
+BLOCKS = [50, 100, 150]
+RESULT = 300
+
+
+@pytest.fixture(scope="module")
+def auth_series():
+    return figs17_19_authenticated(block_counts=BLOCKS, result_size=RESULT)
+
+
+def test_fig18_shapes(benchmark, auth_series):
+    server_ms = auth_series["fig18_server_ms"]
+    save_series("fig18", "Fig 18: server-side time (ms)", server_ms,
+                x_label="blocks", y_label="ms")
+    assert last_point(server_ms, "ALI-Q2") < last_point(server_ms, "basic")
+    assert last_point(server_ms, "ALI-Q4") < last_point(server_ms, "basic")
+    assert last_point(server_ms, "basic") > 1.5 * first_point(server_ms, "basic")
+
+    dataset = build_range_dataset(BLOCKS[0], 40, RESULT)
+    create_standard_indexes(dataset, authenticated=True)
+    basic = BasicAuthServer(dataset.node)
+
+    def basic_query():
+        dataset.store.clear_caches()
+        return basic.query()
+
+    vo = benchmark(basic_query)
+    assert len(vo.block_bytes) == dataset.store.height

@@ -1,0 +1,38 @@
+"""Fig 20 - one-dimension tracking, SEBDB vs ChainSQL.
+
+Paper shape: both systems are insensitive to the blockchain size because
+both answer through an index (SEBDB's layered index on SenID, ChainSQL's
+RDBMS index on the sender).
+"""
+
+import pytest
+
+from conftest import first_point, last_point, save_series
+from repro.baselines.chainsql import ChainSQLBaseline
+from repro.bench.generator import build_tracking_dataset, create_standard_indexes
+from repro.bench.harness import fig20_chainsql_one_dim
+
+BLOCKS = [50, 100, 150]
+RESULT = 300
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig20_chainsql_one_dim(block_counts=BLOCKS, result_size=RESULT)
+    save_series("fig20", "Fig 20: 1-D tracking, SEBDB vs ChainSQL", data,
+                x_label="blocks")
+    return data
+
+
+def test_fig20_shapes(benchmark, series):
+    # both indexed: neither grows materially with the chain
+    assert last_point(series, "SEBDB") < 2.5 * first_point(series, "SEBDB")
+    assert last_point(series, "ChainSQL") < 2.5 * first_point(series, "ChainSQL")
+
+    dataset = build_tracking_dataset(BLOCKS[0], 40, RESULT)
+    create_standard_indexes(dataset)
+    baseline = ChainSQLBaseline()
+    baseline.replicate_chain(dataset.store)
+
+    metrics = benchmark(lambda: baseline.track_one_dimension("org1"))
+    assert metrics.rows_returned == RESULT

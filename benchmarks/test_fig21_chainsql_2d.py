@@ -1,0 +1,49 @@
+"""Fig 21 - two-dimension tracking, SEBDB vs ChainSQL.
+
+Paper shape: SEBDB's latency stays flat as the operator's transaction
+count grows (the two-index intersection finds exactly the answers);
+ChainSQL's grows linearly because GET_TRANSACTION ships every transaction
+of the operator to the client for local filtering.
+"""
+
+import pytest
+
+from conftest import first_point, last_point, save_series
+from repro.baselines.chainsql import ChainSQLBaseline
+from repro.bench.generator import build_tracking_dataset, create_standard_indexes
+from repro.bench.harness import fig21_chainsql_two_dim
+
+OPERATOR_TXS = [500, 1000, 2000, 4000]
+RESULT = 250
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig21_chainsql_two_dim(operator_tx_counts=OPERATOR_TXS,
+                                  result_size=RESULT)
+    save_series("fig21", "Fig 21: 2-D tracking, SEBDB vs ChainSQL", data,
+                x_label="operator_txs")
+    return data
+
+
+def test_fig21_shapes(benchmark, series):
+    # ChainSQL latency grows with the operator's transaction count
+    assert last_point(series, "ChainSQL") > 2 * first_point(series, "ChainSQL")
+    # SEBDB stays roughly flat
+    assert last_point(series, "SEBDB") < 2 * first_point(series, "SEBDB")
+    # and SEBDB wins at scale
+    assert last_point(series, "SEBDB") < last_point(series, "ChainSQL")
+
+    dataset = build_tracking_dataset(
+        100, 60, RESULT, operator_extra=OPERATOR_TXS[-1] - RESULT,
+        operation_extra=250,
+    )
+    create_standard_indexes(dataset)
+    baseline = ChainSQLBaseline()
+    baseline.replicate_chain(dataset.store)
+
+    metrics = benchmark(
+        lambda: baseline.track_two_dimensions("org1", "transfer")
+    )
+    assert metrics.rows_returned == RESULT
+    assert metrics.rows_transferred == OPERATOR_TXS[-1]

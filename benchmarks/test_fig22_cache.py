@@ -1,0 +1,48 @@
+"""Fig 22 - block cache vs transaction cache.
+
+Paper shape: the transaction cache wins Q2/Q4/Q5/Q6 (layered-index point
+reads re-hit cached tuples) while the block cache wins Q7 (whole-block
+fetches re-hit cached blocks).
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.harness import _build_mixed_dataset, fig22_cache
+from repro.common.config import SebdbConfig
+
+NUM_BLOCKS = 80
+TXS_PER_BLOCK = 40
+RESULT = 400
+
+
+@pytest.fixture(scope="module")
+def series():
+    data = fig22_cache(num_blocks=NUM_BLOCKS, txs_per_block=TXS_PER_BLOCK,
+                       result_size=RESULT, requests=10)
+    save_series("fig22", "Fig 22: block cache vs transaction cache", data,
+                x_label="query", y_label="ms/request")
+    return data
+
+
+def test_fig22_shapes(benchmark, series):
+    block = dict(series["block-cache"])
+    tx = dict(series["tx-cache"])
+    # point-read queries: the transaction cache wins
+    for qid in ("Q2", "Q4", "Q5", "Q6"):
+        assert tx[qid] < block[qid], qid
+    # whole-block query: the block cache wins
+    assert block["Q7"] < tx["Q7"]
+
+    config = SebdbConfig.in_memory(block_size_txs=100_000,
+                                   cache_mode="transaction",
+                                   cache_bytes=128 * 1024)
+    dataset = _build_mixed_dataset(NUM_BLOCKS, TXS_PER_BLOCK, RESULT, 0,
+                                   config)
+    dataset.node.query("TRACE OPERATOR = 'org1'", method="layered")  # warm
+
+    def cached_q2():
+        return dataset.node.query("TRACE OPERATOR = 'org1'", method="layered")
+
+    result = benchmark(cached_q2)
+    assert len(result) == RESULT // 4

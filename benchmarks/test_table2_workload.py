@@ -1,0 +1,69 @@
+"""Table II - the seven BChainBench queries, end to end.
+
+Runs every workload query (Q1's write path included) against one mixed
+dataset and benchmarks the full Q2..Q7 read mix - the sanity baseline for
+all per-figure benchmarks.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.generator import RESULT_HIGH, RESULT_LOW
+from repro.bench.harness import _build_mixed_dataset
+from repro.bench.workload import ALL_QUERIES
+from repro.bench.write_bench import kafka_factory, run_closed_loop
+from repro.common.config import SebdbConfig
+from repro.network import MessageBus
+
+NUM_BLOCKS = 60
+TXS_PER_BLOCK = 40
+RESULT = 200
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SebdbConfig.in_memory(block_size_txs=100_000)
+    return _build_mixed_dataset(NUM_BLOCKS, TXS_PER_BLOCK, RESULT, 0, config)
+
+
+READ_QUERIES = [
+    ("Q2", "TRACE OPERATOR = 'org1'", ()),
+    ("Q3", "TRACE [0, ?] OPERATOR = 'org1', OPERATION = 'transfer'",
+     (NUM_BLOCKS * 1000,)),
+    ("Q4", "SELECT * FROM donate WHERE amount BETWEEN ? AND ?",
+     (RESULT_LOW, RESULT_HIGH)),
+    ("Q5", "SELECT * FROM transfer, distribute "
+           "ON transfer.organization = distribute.organization", ()),
+    ("Q6", "SELECT * FROM onchain.distribute, offchain.doneeinfo "
+           "ON distribute.donee = doneeinfo.donee", ()),
+    ("Q7", "GET BLOCK ID = ?", (NUM_BLOCKS // 2,)),
+]
+
+
+def test_table2_workload(benchmark, dataset):
+    assert len(ALL_QUERIES) == 7
+
+    # Q1: the write path commits through consensus
+    bus = MessageBus(seed=2)
+    engine = kafka_factory(batch_txs=50, timeout_ms=50)(bus)
+    sample = run_closed_loop(bus, engine, num_clients=20, txs_per_client=5)
+    assert sample.committed == 100
+
+    # Q2-Q7 all return the planted result sizes
+    latencies = {}
+    expected = {"Q2": RESULT // 4, "Q3": RESULT // 4, "Q4": RESULT // 4,
+                "Q5": RESULT // 4, "Q6": RESULT // 4}
+    for qid, sql, params in READ_QUERIES:
+        result = dataset.node.query(sql, params=params)
+        if qid in expected:
+            assert len(result) == expected[qid], qid
+        latencies[qid] = [(qid, result.cost.elapsed_ms if result.cost else 0.0)]
+    save_series("table2", "Table II: workload mix (modelled ms)",
+                latencies, x_label="query", y_label="ms")
+
+    def read_mix():
+        dataset.store.clear_caches()
+        for _qid, sql, params in READ_QUERIES:
+            dataset.node.query(sql, params=params)
+
+    benchmark(read_mix)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Durability: an on-disk ledger that survives restarts.
+
+Blocks live in append-only 256 MB segment files (scaled down here); a
+restarted node re-parses its segments, re-verifies hash chaining and
+Merkle roots, rebuilds its catalog, indexes and tid counter, and keeps
+going - including after a simulated torn write at the tail.
+
+Run:  python examples/durable_ledger.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import FullNode, SebdbConfig
+from repro.model import verify_chain
+
+
+def main() -> None:
+    data_dir = Path(tempfile.mkdtemp(prefix="sebdb-ledger-"))
+    config = SebdbConfig.in_memory(data_dir=data_dir,
+                                   segment_file_size=16 * 1024)
+    print(f"ledger directory: {data_dir}")
+
+    # -- session 1: create the ledger ----------------------------------------
+    node = FullNode("accounting", config=config)
+    node.create_table("CREATE ledger (account string, delta decimal, "
+                      "memo string)")
+    for i in range(25):
+        node.insert(
+            "ledger",
+            (f"acct{i % 4}", float((-1) ** i * (i + 1)), f"entry {i}"),
+            sender="bookkeeper",
+        )
+    height = node.store.height
+    tip = node.store.tip_hash.hex()[:16]
+    print(f"session 1: height {height}, tip {tip}..., "
+          f"{node.store._segments.segment_count} segment file(s)")
+    del node
+
+    # -- session 2: restart and continue --------------------------------------
+    node = FullNode("accounting", config=SebdbConfig.in_memory(
+        data_dir=data_dir, segment_file_size=16 * 1024))
+    assert node.store.height == height
+    assert node.store.tip_hash.hex()[:16] == tip
+    assert verify_chain(node.store.iter_blocks())
+    print(f"session 2: recovered {node.store.height} blocks, "
+          f"chain verifies: True")
+
+    balance = node.query(
+        "SELECT account, SUM(delta) FROM ledger GROUP BY account"
+    )
+    print("recovered balances:")
+    for account, total in balance.rows:
+        print(f"  {account}: {total:+.1f}")
+
+    node.insert("ledger", ("acct0", 500.0, "post-restart deposit"),
+                sender="bookkeeper")
+    assert verify_chain(node.store.iter_blocks())
+    print(f"appended after restart: height {node.store.height}")
+    del node
+
+    # -- session 3: survive a torn write ----------------------------------------
+    segment = sorted(data_dir.glob("segment-*.dat"))[-1]
+    with open(segment, "ab") as fh:
+        fh.write(b"\xde\xad\xbe\xef")  # a partial block write at the tail
+    node = FullNode("accounting", config=SebdbConfig.in_memory(
+        data_dir=data_dir, segment_file_size=16 * 1024))
+    assert verify_chain(node.store.iter_blocks())
+    print(f"session 3: torn tail ignored, recovered height "
+          f"{node.store.height}, chain verifies: True")
+    entries = node.query("SELECT COUNT(*) FROM ledger")
+    print(f"ledger entries intact: {entries.rows[0][0]}")
+
+
+if __name__ == "__main__":
+    main()

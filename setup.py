@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Environments without the ``wheel`` package cannot take the PEP 660
+editable-install path; with this shim ``pip install -e .`` (and
+``python setup.py develop``) fall back to the classic setuptools route.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""SEBDB: Semantics Empowered BlockChain DataBase (ICDE 2019) reproduction.
+
+A consortium blockchain database that models on-chain transactions as
+relations, speaks a SQL-like language (CREATE / INSERT / SELECT / TRACE /
+JOIN / GET BLOCK), indexes blocks with block-level, table-level and layered
+indexes, joins on-chain data with an off-chain RDBMS, and serves *verifiable*
+query results to thin clients via authenticated layered indexes (ALI).
+
+Quickstart::
+
+    from repro import SebdbNetwork
+
+    net = SebdbNetwork.single_node()
+    net.execute("CREATE donate (donor string, project string, amount decimal)")
+    net.execute("INSERT INTO donate VALUES ('Jack', 'Education', 100.0)")
+    net.commit()                       # run consensus, seal a block
+    rows = net.execute("SELECT * FROM donate WHERE donor = 'Jack'")
+"""
+
+__version__ = "1.0.0"
+
+from .client.thin import ThinClient
+from .common.config import SebdbConfig
+from .common.errors import SebdbError, VerificationError
+from .model.schema import TableSchema
+from .node.fullnode import FullNode
+from .node.network import SebdbNetwork
+from .offchain.adapter import OffChainDatabase
+
+__all__ = [
+    "FullNode",
+    "OffChainDatabase",
+    "SebdbConfig",
+    "SebdbError",
+    "SebdbNetwork",
+    "TableSchema",
+    "ThinClient",
+    "VerificationError",
+    "__version__",
+]

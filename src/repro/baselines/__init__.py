@@ -1,0 +1,13 @@
+"""Comparison baselines: ChainSQL and the basic authenticated scan."""
+
+from .basic_auth import BasicAuthServer, BasicVO, predicate_for_range, verify_basic_vo
+from .chainsql import ChainSQLBaseline, ChainSQLMetrics
+
+__all__ = [
+    "BasicAuthServer",
+    "BasicVO",
+    "ChainSQLBaseline",
+    "ChainSQLMetrics",
+    "predicate_for_range",
+    "verify_basic_vo",
+]

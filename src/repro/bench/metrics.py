@@ -1,0 +1,80 @@
+"""Benchmark metrics (section VII-A).
+
+Write throughput is completed transactions per (simulated) second; query
+latency combines the wall clock of the Python run with the modelled disk
+time from the cost model, so both relative shape and absolute ordering
+survive the move from the authors' C++/RAID testbed to a Python simulator.
+Authenticated queries additionally report VO size and split client/server
+time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import time
+from typing import Callable, TypeVar
+
+from ..storage.costmodel import CostSnapshot
+
+T = TypeVar("T")
+
+
+@dataclasses.dataclass
+class QueryMeasurement:
+    """One query execution's combined metrics."""
+
+    wall_ms: float
+    modelled_io_ms: float
+    seeks: int
+    page_transfers: int
+    rows: int
+
+    @property
+    def total_ms(self) -> float:
+        """Wall time plus modelled disk time - the reported latency."""
+        return self.wall_ms + self.modelled_io_ms
+
+
+def measure(fn: Callable[[], T], cost_before: CostSnapshot,
+            cost_after_fn: Callable[[], CostSnapshot]) -> tuple[T, QueryMeasurement]:
+    """Run ``fn`` measuring wall time and the cost-model delta."""
+    t0 = time.perf_counter()
+    result = fn()
+    wall_ms = (time.perf_counter() - t0) * 1000.0
+    delta = cost_after_fn().delta(cost_before)
+    rows = len(result) if hasattr(result, "__len__") else 0
+    return result, QueryMeasurement(
+        wall_ms=wall_ms,
+        modelled_io_ms=delta.elapsed_ms,
+        seeks=delta.seeks,
+        page_transfers=delta.page_transfers,
+        rows=rows,
+    )
+
+
+@dataclasses.dataclass
+class ThroughputSample:
+    """Outcome of one closed-loop write run (Fig 7)."""
+
+    clients: int
+    committed: int
+    duration_ms: float
+    latencies_ms: list[float]
+
+    @property
+    def throughput_tps(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.committed / (self.duration_ms / 1000.0)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return statistics.fmean(self.latencies_ms) if self.latencies_ms else 0.0
+
+    @property
+    def p99_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]

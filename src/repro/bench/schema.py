@@ -1,0 +1,73 @@
+"""BChainBench schema (Figure 6 of the paper).
+
+Seven tables: three on-chain (*Donate*, *Transfer*, *Distribute*) and four
+off-chain (*DonorInfo*, *DoneeInfo*, *ChildrenInfo*, *Customer*), each
+off-chain table held privately by one participant (charity, school,
+welfare, nursing home respectively).
+"""
+
+from __future__ import annotations
+
+from ..model.schema import TableSchema
+from ..offchain.adapter import OffChainDatabase
+
+#: on-chain tables ------------------------------------------------------------
+
+DONATE = TableSchema.create(
+    "donate",
+    [("donor", "string"), ("project", "string"), ("amount", "decimal")],
+)
+
+TRANSFER = TableSchema.create(
+    "transfer",
+    [
+        ("project", "string"), ("donor", "string"),
+        ("organization", "string"), ("amount", "decimal"),
+    ],
+)
+
+DISTRIBUTE = TableSchema.create(
+    "distribute",
+    [
+        ("project", "string"), ("donor", "string"),
+        ("organization", "string"), ("donee", "string"),
+        ("amount", "decimal"),
+    ],
+)
+
+ONCHAIN_SCHEMAS = (DONATE, TRANSFER, DISTRIBUTE)
+
+#: off-chain tables: (table name, columns, owning participant) ----------------
+
+OFFCHAIN_TABLES = (
+    (
+        "donorinfo",
+        [("donor", "string"), ("name", "string"), ("phone", "string"),
+         ("address", "string")],
+        "charity",
+    ),
+    (
+        "doneeinfo",
+        [("donee", "string"), ("name", "string"), ("school", "string"),
+         ("family_income", "decimal")],
+        "school",
+    ),
+    (
+        "childreninfo",
+        [("donee", "string"), ("name", "string"), ("age", "int"),
+         ("guardian", "string")],
+        "welfare",
+    ),
+    (
+        "customer",
+        [("donee", "string"), ("name", "string"), ("age", "int"),
+         ("room", "string")],
+        "nursing_home",
+    ),
+)
+
+
+def create_offchain_tables(db: OffChainDatabase) -> None:
+    """Create all four private tables in one participant's RDBMS."""
+    for name, columns, _owner in OFFCHAIN_TABLES:
+        db.create_table(name, columns)

@@ -1,0 +1,122 @@
+"""Write benchmark - the Fig 7 closed-loop driver.
+
+"A client works as follows: it first sends a transaction to system, and
+then waits for a response from the system before it sends next
+transaction.  Each client sends 100 transactions."  We reproduce that
+loop on the simulated clock for any consensus engine, measuring committed
+transactions per simulated second and the per-transaction response time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..consensus.base import ConsensusEngine
+from ..consensus.kafka import KafkaOrderer
+from ..consensus.tendermint import TendermintEngine
+from ..model.transaction import Transaction
+from ..network.bus import MessageBus
+from .metrics import ThroughputSample
+
+
+def _make_tx(client: int, seq: int, now_ms: float) -> Transaction:
+    return Transaction.create(
+        "donate",
+        (f"donor{client}", "education", float(seq)),
+        ts=int(now_ms) + 1,
+        sender=f"client{client}",
+    )
+
+
+def run_closed_loop(
+    bus: MessageBus,
+    engine: ConsensusEngine,
+    num_clients: int,
+    txs_per_client: int = 100,
+) -> ThroughputSample:
+    """Drive ``num_clients`` synchronous clients to completion."""
+    latencies: list[float] = []
+    outstanding = {"count": num_clients * txs_per_client}
+    t_start = bus.clock.now_ms()
+
+    def client_send(client: int, remaining: int) -> None:
+        if remaining <= 0:
+            return
+        sent_at = bus.clock.now_ms()
+        tx = _make_tx(client, remaining, sent_at)
+
+        def on_reply(commit_ms: float) -> None:
+            latencies.append(bus.clock.now_ms() - sent_at)
+            outstanding["count"] -= 1
+            client_send(client, remaining - 1)
+
+        engine.submit(tx, on_reply)
+
+    for client in range(num_clients):
+        client_send(client, txs_per_client)
+    bus.run_until_idle(max_events=20_000_000)
+    # flush any final partial batch so every client finishes
+    guard = 0
+    while outstanding["count"] > 0 and guard < 64:
+        engine.flush()
+        bus.run_until_idle(max_events=20_000_000)
+        guard += 1
+    duration = bus.clock.now_ms() - t_start
+    committed = num_clients * txs_per_client - outstanding["count"]
+    return ThroughputSample(
+        clients=num_clients,
+        committed=committed,
+        duration_ms=duration,
+        latencies_ms=latencies,
+    )
+
+
+EngineFactory = Callable[[MessageBus], ConsensusEngine]
+
+
+def kafka_factory(
+    batch_txs: int = 200, timeout_ms: float = 200.0
+) -> EngineFactory:
+    """Fig 7's Kafka setup: 1 broker, block = 200 txs / 200 ms."""
+
+    def build(bus: MessageBus) -> ConsensusEngine:
+        engine = KafkaOrderer(bus, batch_txs=batch_txs, timeout_ms=timeout_ms)
+        _attach_sink(engine)
+        return engine
+
+    return build
+
+
+def tendermint_factory(
+    n: int = 4, batch_txs: int = 10_000, timeout_ms: float = 200.0
+) -> EngineFactory:
+    """Fig 7's Tendermint setup: default settings, block size 10 000."""
+
+    def build(bus: MessageBus) -> ConsensusEngine:
+        engine = TendermintEngine(bus, n=n, batch_txs=batch_txs,
+                                  timeout_ms=timeout_ms)
+        _attach_sink(engine)
+        return engine
+
+    return build
+
+
+def _attach_sink(engine: ConsensusEngine) -> None:
+    """Register lightweight replicas that just count delivered batches."""
+    for i in range(4):
+        engine.register_replica(f"sink-{i}", lambda batch: None)
+
+
+def sweep_clients(
+    factory: EngineFactory,
+    client_counts: list[int],
+    txs_per_client: int = 100,
+    seed: int = 0,
+) -> list[ThroughputSample]:
+    """One fresh engine + bus per client count (as the paper does)."""
+    samples = []
+    for clients in client_counts:
+        bus = MessageBus(seed=seed)
+        engine = factory(bus)
+        samples.append(run_closed_loop(bus, engine, clients, txs_per_client))
+    return samples

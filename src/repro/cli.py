@@ -1,0 +1,172 @@
+"""Command-line interface: a SQL shell over a (durable) SEBDB node.
+
+Usage::
+
+    python -m repro --data-dir ./ledger            # interactive shell
+    python -m repro --data-dir ./ledger -c "SELECT * FROM donate"
+    python -m repro -c "CREATE t (a int)" -c "INSERT INTO t VALUES (1)"
+
+The shell accepts the full SQL-like language (CREATE / INSERT / SELECT
+with aggregates, GROUP BY, ORDER BY / TRACE / GET BLOCK) plus meta
+commands: ``\\tables``, ``\\indexes``, ``\\explain <select>``,
+``\\chain``, ``\\quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from .common.config import SebdbConfig
+from .common.errors import SebdbError
+from .node.fullnode import FullNode
+from .query.result import QueryResult
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Sequence[Any]],
+                 max_width: int = 32) -> str:
+    """Render rows as an aligned ASCII table."""
+
+    def clip(value: Any) -> str:
+        text = repr(value) if isinstance(value, (bytes, tuple)) else str(value)
+        return text if len(text) <= max_width else text[: max_width - 1] + "…"
+
+    rendered = [[clip(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) if rendered
+        else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def render_result(result: Optional[QueryResult]) -> str:
+    if result is None:
+        return "OK"
+    if result.block is not None:
+        header = result.block.header
+        prefix = (
+            f"block height={header.height} ts={header.timestamp} "
+            f"hash={result.block.block_hash().hex()[:16]}... "
+            f"txs={len(result.block.transactions)}\n"
+        )
+    else:
+        prefix = ""
+    table = format_table(result.columns, result.rows)
+    footer = f"\n({len(result.rows)} row(s), path={result.access_path})"
+    return prefix + table + footer
+
+
+class Shell:
+    """Dispatches SQL statements and meta commands against one node."""
+
+    def __init__(self, node: FullNode) -> None:
+        self.node = node
+
+    def run_line(self, line: str) -> str:
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("\\"):
+            return self._meta(line)
+        result = self.node.execute(line)
+        return render_result(result)
+
+    def _meta(self, line: str) -> str:
+        parts = line.split(None, 1)
+        command = parts[0]
+        argument = parts[1] if len(parts) > 1 else ""
+        if command in ("\\q", "\\quit", "\\exit"):
+            raise EOFError
+        if command == "\\tables":
+            names = self.node.catalog.table_names
+            return "\n".join(names) if names else "(no tables)"
+        if command == "\\indexes":
+            lines = []
+            for (table, column), index in sorted(
+                self.node.indexes.layered_indexes.items(),
+                key=lambda kv: (kv[0][0] or "", kv[0][1]),
+            ):
+                scope = table or "<all tables>"
+                kind = "continuous" if index.continuous else "discrete"
+                lines.append(f"{scope}.{column} ({kind})")
+            return "\n".join(lines) if lines else "(no layered indexes)"
+        if command == "\\stats":
+            from .node.stats import collect_stats
+
+            return collect_stats(self.node).summary()
+        if command == "\\chain":
+            store = self.node.store
+            tip = store.tip_hash.hex()[:16] if store.tip_hash else "-"
+            return (
+                f"height: {store.height}\n"
+                f"tip:    {tip}...\n"
+                f"cost:   {store.cost.snapshot()}"
+            )
+        if command == "\\explain":
+            plan = self.node.engine.explain(argument)
+            return "\n".join(f"{k}: {v}" for k, v in plan.items())
+        if command == "\\help":
+            return (
+                "statements: CREATE / INSERT / SELECT / TRACE / GET BLOCK\n"
+                "meta: \\tables \\indexes \\chain \\stats "
+                "\\explain <select> \\quit"
+            )
+        return f"unknown meta command {command!r} (try \\help)"
+
+
+def build_node(data_dir: Optional[str]) -> FullNode:
+    config = SebdbConfig.in_memory(
+        data_dir=Path(data_dir) if data_dir else None
+    )
+    return FullNode("cli", config=config)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SEBDB SQL shell"
+    )
+    parser.add_argument("--data-dir", default=None,
+                        help="durable ledger directory (default: in-memory)")
+    parser.add_argument("-c", "--command", action="append", default=[],
+                        help="execute a statement and exit (repeatable)")
+    args = parser.parse_args(argv)
+    node = build_node(args.data_dir)
+    shell = Shell(node)
+    if args.command:
+        for statement in args.command:
+            try:
+                output = shell.run_line(statement)
+            except SebdbError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            if output:
+                print(output)
+        return 0
+    print("SEBDB shell - \\help for help, \\quit to exit")
+    while True:
+        try:
+            line = input("sebdb> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = shell.run_line(line)
+        except EOFError:
+            return 0
+        except SebdbError as exc:
+            output = f"error: {exc}"
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Clients: thin (header-only, verifying) client and sampling maths."""
+
+from .sampling import (
+    digest_error_probability,
+    minimum_m_for_risk,
+    prob_right_digest_wins,
+    prob_wrong_digest_wins,
+)
+from .thin import AuthenticatedAnswer, ThinClient
+
+__all__ = [
+    "AuthenticatedAnswer",
+    "ThinClient",
+    "digest_error_probability",
+    "minimum_m_for_risk",
+    "prob_right_digest_wins",
+    "prob_wrong_digest_wins",
+]

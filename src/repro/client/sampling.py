@@ -1,0 +1,71 @@
+"""Auxiliary-node sampling maths (equations 4-6 of the paper).
+
+The auxiliary node a thin client consults can itself be Byzantine.  The
+client therefore samples n auxiliary nodes and accepts a digest once m
+identical copies arrive.  With ``p`` the fraction of Byzantine nodes,
+eq. (4) gives the probability the *wrong* digest wins the race to m
+copies, eq. (5) the probability the right one does, and eq. (6) the
+residual risk θ.  Clients tune (n, m) for a target credibility.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.errors import VerificationError
+
+
+def prob_wrong_digest_wins(p: float, m: int) -> float:
+    """Eq. (4): p_w = p * sum_{i=0}^{m-1} C(m-1+i, i) p^{m-1} (1-p)^i."""
+    _check_p(p)
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    total = sum(
+        math.comb(m - 1 + i, i) * p ** (m - 1) * (1 - p) ** i for i in range(m)
+    )
+    return p * total
+
+
+def prob_right_digest_wins(p: float, m: int) -> float:
+    """Eq. (5): p_r, the mirror image of eq. (4)."""
+    _check_p(p)
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    q = 1 - p
+    total = sum(
+        math.comb(m - 1 + i, i) * q ** (m - 1) * p ** i for i in range(m)
+    )
+    return q * total
+
+
+def digest_error_probability(p: float, m: int, n: int, max_byzantine: int) -> float:
+    """Eq. (6): θ, the probability an accepted digest is wrong.
+
+    θ = p_w / (p_w + p_r) when m + i <= n and m <= max, and 0 when m
+    exceeds the number of Byzantine nodes that could exist (the wrong
+    digest can then never reach m copies).
+    """
+    if m > max_byzantine:
+        return 0.0
+    if m > n:
+        raise VerificationError(f"cannot wait for {m} digests from {n} nodes")
+    pw = prob_wrong_digest_wins(p, m)
+    pr = prob_right_digest_wins(p, m)
+    if pw + pr == 0:
+        return 0.0
+    return pw / (pw + pr)
+
+
+def minimum_m_for_risk(p: float, n: int, max_byzantine: int, target: float) -> int:
+    """Smallest m <= n with θ below ``target`` (how a client tunes m)."""
+    for m in range(1, n + 1):
+        if digest_error_probability(p, m, n, max_byzantine) <= target:
+            return m
+    raise VerificationError(
+        f"no m <= {n} achieves risk {target} at Byzantine ratio {p}"
+    )
+
+
+def _check_p(p: float) -> None:
+    if not 0 <= p <= 1:
+        raise ValueError(f"Byzantine ratio must be in [0, 1], got {p}")

@@ -1,0 +1,49 @@
+"""Hashing helpers.
+
+SEBDB uses SHA-256 everywhere (block hashes, Merkle trees, MB-tree digests,
+thin-client digests).  These helpers centralize domain separation so that a
+leaf hash can never be confused with an interior-node hash - a standard
+defence against second-preimage attacks on Merkle trees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+DIGEST_SIZE = 32
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def sha256(data: bytes) -> bytes:
+    """Plain SHA-256 of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_leaf(data: bytes) -> bytes:
+    """Domain-separated hash of a Merkle-tree leaf."""
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def hash_children(left: bytes, right: bytes) -> bytes:
+    """Domain-separated hash of two Merkle-tree children."""
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+def hash_concat(parts: Iterable[bytes]) -> bytes:
+    """Hash the concatenation of ``parts``.
+
+    Used by auxiliary full nodes to digest the MB-tree roots a query
+    visits (section VI of the paper).
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def hex_digest(data: bytes) -> str:
+    """Hex rendering used in logs and examples."""
+    return data.hex()

@@ -1,0 +1,18 @@
+"""Pluggable consensus engines: Kafka-style ordering, PBFT, Tendermint."""
+
+from .base import BatchBuffer, CommitCallback, ConsensusEngine, ConsensusStats
+from .kafka import KafkaOrderer
+from .pbft import BYZ_EQUIVOCATE, BYZ_SILENT, PBFTCluster
+from .tendermint import TendermintEngine
+
+__all__ = [
+    "BYZ_EQUIVOCATE",
+    "BYZ_SILENT",
+    "BatchBuffer",
+    "CommitCallback",
+    "ConsensusEngine",
+    "ConsensusStats",
+    "KafkaOrderer",
+    "PBFTCluster",
+    "TendermintEngine",
+]

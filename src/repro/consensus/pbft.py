@@ -1,0 +1,425 @@
+"""Practical Byzantine Fault Tolerance (Castro & Liskov, OSDI'99).
+
+A faithful in-simulation PBFT: ``n = 3f + 1`` replicas exchange
+PRE-PREPARE / PREPARE / COMMIT over the message bus, execute batches in
+sequence order, and survive up to ``f`` Byzantine replicas (silent or
+equivocating).  A request timer drives view changes when the primary
+fails: backups broadcast VIEW-CHANGE, and on ``2f + 1`` votes the next
+primary installs the new view and re-proposes pending requests.
+
+This is the BFT plug-in of SEBDB's consensus layer (Example 4 of the
+paper runs four full nodes under PBFT) and the adversary model behind the
+thin client's auxiliary-node sampling (eq. 6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from ..common.errors import ConsensusError
+from ..common.hashing import sha256
+from ..model.transaction import Transaction
+from ..network.bus import MessageBus
+from .base import BatchBuffer, ConsensusEngine, ReplyCallback
+
+PRE_PREPARE = "pbft-pre-prepare"
+PREPARE = "pbft-prepare"
+COMMIT = "pbft-commit"
+REQUEST = "pbft-request"
+VIEW_CHANGE = "pbft-view-change"
+NEW_VIEW = "pbft-new-view"
+
+#: Byzantine behaviours a replica can be configured with.
+BYZ_SILENT = "silent"
+BYZ_EQUIVOCATE = "equivocate"
+
+
+def _batch_digest(batch: list[Transaction]) -> bytes:
+    payload = b"".join(tx.to_bytes() for tx in batch)
+    return sha256(payload)
+
+
+@dataclasses.dataclass
+class _SeqState:
+    """Per-sequence-number protocol state at one replica."""
+
+    batch: Optional[list[Transaction]] = None
+    digest: Optional[bytes] = None
+    view: int = 0
+    prepares: set[str] = dataclasses.field(default_factory=set)
+    commits: set[str] = dataclasses.field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+
+
+class _Replica:
+    """One PBFT replica's protocol state machine."""
+
+    def __init__(self, cluster: "PBFTCluster", index: int) -> None:
+        self.cluster = cluster
+        self.index = index
+        self.node_id = f"pbft-{index}"
+        self.view = 0
+        self.next_seq = 0          # primary only: next sequence to assign
+        self.last_executed = -1
+        self.states: dict[int, _SeqState] = {}
+        self.byzantine: Optional[str] = None
+        self.view_change_votes: dict[int, set[str]] = {}
+        self.pending_requests: list[tuple[Transaction, float]] = []
+        cluster.bus.register(self.node_id, self.handle)
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.cluster.n
+
+    @property
+    def f(self) -> int:
+        return self.cluster.f
+
+    def primary_of(self, view: int) -> int:
+        return view % self.n
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary_of(self.view) == self.index
+
+    def state(self, seq: int) -> _SeqState:
+        return self.states.setdefault(seq, _SeqState())
+
+    def _broadcast(self, message: dict[str, Any]) -> None:
+        if self.byzantine == BYZ_SILENT:
+            return
+        self.cluster.stats.messages += self.n - 1
+        for peer in range(self.n):
+            if peer != self.index:
+                self.cluster.bus.send(self.node_id, f"pbft-{peer}", message)
+
+    def _maybe_corrupt(self, digest: bytes) -> bytes:
+        if self.byzantine == BYZ_EQUIVOCATE:
+            return sha256(b"equivocation" + digest)
+        return digest
+
+    # -- primary: propose -------------------------------------------------------
+
+    def propose(self, batch: list[Transaction]) -> None:
+        if self.byzantine == BYZ_SILENT:
+            return
+        seq = self.next_seq
+        self.next_seq += 1
+        digest = _batch_digest(batch)
+        state = self.state(seq)
+        state.batch = batch
+        state.digest = digest
+        state.view = self.view
+        message = {
+            "kind": PRE_PREPARE,
+            "view": self.view,
+            "seq": seq,
+            "digest": self._maybe_corrupt(digest),
+            "batch": batch,
+        }
+        self._broadcast(message)
+        # the pre-prepare doubles as the primary's own prepare vote
+        state.prepares.add(self.node_id)
+        self.on_prepare_quorum_check(seq)
+
+    # -- message handling ----------------------------------------------------------
+
+    def handle(self, src: str, message: dict[str, Any]) -> None:
+        kind = message.get("kind")
+        if self.byzantine == BYZ_SILENT:
+            return
+        if kind == REQUEST:
+            self.on_request(message)
+        elif kind == PRE_PREPARE:
+            self.on_pre_prepare(src, message)
+        elif kind == PREPARE:
+            self.on_prepare(src, message)
+        elif kind == COMMIT:
+            self.on_commit_msg(src, message)
+        elif kind == VIEW_CHANGE:
+            self.on_view_change(src, message)
+        elif kind == NEW_VIEW:
+            self.on_new_view(src, message)
+
+    def on_request(self, message: dict[str, Any]) -> None:
+        """Every replica tracks requests so backups can detect a dead primary."""
+        tx: Transaction = message["tx"]
+        now = self.cluster.bus.clock.now_ms()
+        self.pending_requests.append((tx, now))
+        if self.is_primary:
+            self.cluster.primary_buffer_append(self, tx)
+        else:
+            deadline_epoch = len(self.pending_requests)
+            self.cluster.bus.schedule(
+                self.cluster.request_timeout_ms,
+                lambda: self._check_progress(deadline_epoch),
+            )
+
+    def _check_progress(self, epoch: int) -> None:
+        """Backup timer: if requests are stuck, vote for a view change."""
+        still_pending = [
+            (tx, t0)
+            for tx, t0 in self.pending_requests
+            if not self.cluster.was_executed(tx)
+        ]
+        self.pending_requests = still_pending
+        if still_pending and len(still_pending) >= 1 and epoch > 0:
+            self.start_view_change(self.view + 1)
+
+    def on_pre_prepare(self, src: str, message: dict[str, Any]) -> None:
+        view, seq = message["view"], message["seq"]
+        if view != self.view:
+            return
+        if src != f"pbft-{self.primary_of(view)}":
+            return  # only the view's primary may pre-prepare
+        batch: list[Transaction] = message["batch"]
+        digest = _batch_digest(batch)
+        if digest != message["digest"]:
+            # primary equivocated; refuse and push towards a view change
+            self.start_view_change(self.view + 1)
+            return
+        state = self.state(seq)
+        if state.digest is not None and state.digest != digest:
+            return
+        state.batch = batch
+        state.digest = digest
+        state.view = view
+        self._broadcast(
+            {
+                "kind": PREPARE,
+                "view": view,
+                "seq": seq,
+                "digest": self._maybe_corrupt(digest),
+            }
+        )
+        # a replica counts its own prepare vote
+        state.prepares.add(self.node_id)
+        # the sending primary's pre-prepare counts as its prepare
+        state.prepares.add(src)
+        self.on_prepare_quorum_check(seq)
+
+    def on_prepare(self, src: str, message: dict[str, Any]) -> None:
+        state = self.state(message["seq"])
+        if message["view"] != self.view:
+            return
+        if state.digest is not None and message["digest"] != state.digest:
+            return  # mismatching digest (possibly Byzantine) - ignore
+        state.prepares.add(src)
+        self.on_prepare_quorum_check(message["seq"])
+
+    def on_prepare_quorum_check(self, seq: int) -> None:
+        """prepared(seq) := pre-prepare + 2f+1 prepare votes (incl. own)."""
+        state = self.state(seq)
+        if state.prepared or state.batch is None:
+            return
+        if len(state.prepares) >= 2 * self.f + 1 or self.n == 1:
+            state.prepared = True
+            self._broadcast(
+                {
+                    "kind": COMMIT,
+                    "view": state.view,
+                    "seq": seq,
+                    "digest": self._maybe_corrupt(state.digest or b""),
+                }
+            )
+            state.commits.add(self.node_id)
+            self.on_commit_quorum_check(seq)
+
+    def on_commit_msg(self, src: str, message: dict[str, Any]) -> None:
+        state = self.state(message["seq"])
+        if state.digest is not None and message["digest"] != state.digest:
+            return
+        state.commits.add(src)
+        self.on_commit_quorum_check(message["seq"])
+
+    def on_commit_quorum_check(self, seq: int) -> None:
+        """committed(seq) := prepared + 2f + 1 commits (incl. own)."""
+        state = self.state(seq)
+        if state.committed or not state.prepared:
+            return
+        if len(state.commits) >= 2 * self.f + 1 or self.n == 1:
+            state.committed = True
+            self.try_execute()
+
+    def try_execute(self) -> None:
+        """Execute committed sequences strictly in order."""
+        while True:
+            state = self.states.get(self.last_executed + 1)
+            if state is None or not state.committed or state.batch is None:
+                return
+            self.last_executed += 1
+            state.executed = True
+            self.cluster.on_replica_executed(self, self.last_executed, state.batch)
+
+    # -- view change -------------------------------------------------------------------
+
+    def start_view_change(self, new_view: int) -> None:
+        if new_view <= self.view:
+            return
+        votes = self.view_change_votes.setdefault(new_view, set())
+        if self.node_id in votes:
+            return
+        votes.add(self.node_id)
+        self._broadcast({"kind": VIEW_CHANGE, "view": new_view})
+        self._maybe_install(new_view)
+
+    def on_view_change(self, src: str, message: dict[str, Any]) -> None:
+        new_view = message["view"]
+        if new_view <= self.view:
+            return
+        votes = self.view_change_votes.setdefault(new_view, set())
+        votes.add(src)
+        # echo our own vote once a quorum is forming (f+1 rule)
+        if len(votes) >= self.f + 1 and self.node_id not in votes:
+            votes.add(self.node_id)
+            self._broadcast({"kind": VIEW_CHANGE, "view": new_view})
+        self._maybe_install(new_view)
+
+    def _maybe_install(self, new_view: int) -> None:
+        votes = self.view_change_votes.get(new_view, set())
+        if len(votes) >= 2 * self.f + 1 and new_view > self.view:
+            self.view = new_view
+            if self.is_primary:
+                self.next_seq = max(self.next_seq, self.last_executed + 1,
+                                    self.cluster.max_seq_seen() + 1)
+                self._broadcast({"kind": NEW_VIEW, "view": new_view})
+                self.cluster.reassign_pending(self)
+
+    def on_new_view(self, src: str, message: dict[str, Any]) -> None:
+        new_view = message["view"]
+        if new_view > self.view and src == f"pbft-{self.primary_of(new_view)}":
+            self.view = new_view
+
+
+class PBFTCluster(ConsensusEngine):
+    """A PBFT replica group exposed through the plug-in interface."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        n: int = 4,
+        batch_txs: int = 100,
+        timeout_ms: float = 100.0,
+        request_timeout_ms: float = 2_000.0,
+        submit_latency_ms: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if n < 1:
+            raise ConsensusError("PBFT needs at least one replica")
+        self.bus = bus
+        self.n = n
+        self.f = (n - 1) // 3
+        self.request_timeout_ms = request_timeout_ms
+        self._submit_latency = submit_latency_ms
+        self._buffer = BatchBuffer(batch_txs)
+        self._timeout = timeout_ms
+        self.replicas = [_Replica(self, i) for i in range(n)]
+        self._executed_digests: set[bytes] = set()
+        self._exec_counts: dict[int, int] = {}
+        self._delivered: set[int] = set()
+        self._replies: dict[bytes, ReplyCallback] = {}
+        self._pending_replies: dict[int, list[ReplyCallback]] = {}
+
+    # -- fault injection -----------------------------------------------------
+
+    def make_byzantine(self, index: int, mode: str = BYZ_SILENT) -> None:
+        """Turn replica ``index`` Byzantine (``silent`` or ``equivocate``)."""
+        if mode not in (BYZ_SILENT, BYZ_EQUIVOCATE):
+            raise ConsensusError(f"unknown Byzantine mode {mode!r}")
+        self.replicas[index].byzantine = mode
+
+    def crash(self, index: int) -> None:
+        """Crash-stop a replica (drops all its traffic)."""
+        self.bus.fail(f"pbft-{index}")
+        self.replicas[index].byzantine = BYZ_SILENT
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(
+        self, tx: Transaction, on_reply: Optional[ReplyCallback] = None
+    ) -> None:
+        self.stats.submitted += 1
+        if on_reply is not None:
+            self._replies[tx.hash()] = on_reply
+
+        def arrive() -> None:
+            # the client broadcasts its request so backups can monitor progress
+            for replica in self.replicas:
+                self.bus.send("client", replica.node_id, {"kind": REQUEST, "tx": tx})
+
+        self.bus.schedule(self._submit_latency, arrive)
+
+    def flush(self) -> None:
+        batch = self._buffer.take_all()
+        if batch:
+            self._propose([tx for tx, _ in batch])
+
+    # -- primary-side batching ------------------------------------------------------
+
+    def primary_buffer_append(self, replica: _Replica, tx: Transaction) -> None:
+        self._buffer.append(tx, None)
+        full = self._buffer.take_full()
+        if full is not None:
+            self._propose([t for t, _ in full], replica)
+        elif len(self._buffer) == 1:
+            epoch = self._buffer.epoch
+            self.bus.schedule(self._timeout, lambda: self._on_timeout(epoch))
+
+    def _on_timeout(self, epoch: int) -> None:
+        if self._buffer.epoch == epoch and len(self._buffer):
+            self._propose([t for t, _ in self._buffer.take_all()])
+
+    def _propose(self, batch: list[Transaction], replica: Optional[_Replica] = None) -> None:
+        if not batch:
+            return
+        primary = replica
+        if primary is None or not primary.is_primary:
+            view = max(r.view for r in self.replicas)
+            primary = self.replicas[view % self.n]
+        primary.propose(batch)
+
+    def reassign_pending(self, new_primary: _Replica) -> None:
+        """After a view change, the new primary re-proposes stuck requests."""
+        stuck = [
+            tx for tx, _ in new_primary.pending_requests
+            if not self.was_executed(tx)
+        ]
+        if stuck:
+            new_primary.pending_requests = []
+            self._propose(stuck, new_primary)
+
+    # -- execution plumbing --------------------------------------------------------------
+
+    def max_seq_seen(self) -> int:
+        seqs = [max(r.states) for r in self.replicas if r.states]
+        return max(seqs) if seqs else -1
+
+    def was_executed(self, tx: Transaction) -> bool:
+        return tx.hash() in self._executed_digests
+
+    def on_replica_executed(
+        self, replica: _Replica, seq: int, batch: list[Transaction]
+    ) -> None:
+        """Called by each replica as it executes; drives delivery and replies."""
+        count = self._exec_counts.get(seq, 0) + 1
+        self._exec_counts[seq] = count
+        # deliver to the SEBDB nodes once the batch is final (f+1 executions
+        # guarantee at least one correct replica executed it)
+        if count >= self.f + 1 and seq not in self._delivered:
+            self._delivered.add(seq)
+            for tx in batch:
+                self._executed_digests.add(tx.hash())
+            self._deliver(batch)
+            now = self.bus.clock.now_ms()
+            for tx in batch:
+                reply = self._replies.pop(tx.hash(), None)
+                if reply is not None:
+                    self.bus.schedule(
+                        self._submit_latency,
+                        (lambda cb, t: lambda: cb(t))(reply, now),
+                    )

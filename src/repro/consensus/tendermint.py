@@ -1,0 +1,182 @@
+"""Tendermint-style BFT engine.
+
+Models the pipeline that shapes Fig 7's Tendermint curves: every submitted
+transaction passes a *serial* CheckTx at the entry node before joining the
+mempool, proposals are cut by a large block size (10 000) or a proposal
+timeout, a proposer broadcasts the block, validators exchange PREVOTE and
+PRECOMMIT rounds, and on a 2/3+ precommit quorum every node runs a serial
+DeliverTx per transaction.  The serial check/deliver stages are the
+bottleneck the paper calls out ("each transaction sent to Tendermint is
+first checked by and then delivered to SEBDB in a serial manner, which is
+a slow process"), so throughput saturates early and response time grows
+with client count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..common.errors import ConsensusError
+from ..model.transaction import Transaction
+from ..network.bus import MessageBus
+from .base import BatchBuffer, ConsensusEngine, ReplyCallback
+
+PROPOSE = "tm-propose"
+PREVOTE = "tm-prevote"
+PRECOMMIT = "tm-precommit"
+
+
+class TendermintEngine(ConsensusEngine):
+    """Round-based propose/prevote/precommit consensus with serial tx lanes."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        n: int = 4,
+        batch_txs: int = 10_000,
+        timeout_ms: float = 200.0,
+        submit_latency_ms: float = 1.0,
+        check_tx_cost_ms: float = 0.35,
+        deliver_tx_cost_ms: float = 0.35,
+    ) -> None:
+        super().__init__()
+        if n < 1:
+            raise ConsensusError("Tendermint needs at least one validator")
+        self.bus = bus
+        self.n = n
+        self._quorum = (2 * n) // 3 + 1
+        self._buffer = BatchBuffer(batch_txs)
+        self._timeout = timeout_ms
+        self._submit_latency = submit_latency_ms
+        self._check_cost = check_tx_cost_ms
+        self._deliver_cost = deliver_tx_cost_ms
+        #: serial CheckTx lane of the entry validator
+        self._check_busy_until = 0.0
+        #: serial DeliverTx lane of the (simulated co-located) SEBDB node
+        self._deliver_busy_until = 0.0
+        self._height = 0
+        self._round_votes: dict[tuple[int, str], set[str]] = {}
+        self._proposals: dict[int, list[Transaction]] = {}
+        self._committed_heights: set[int] = set()
+        self._replies: dict[int, list[Optional[ReplyCallback]]] = {}
+        self._in_flight = False
+        for i in range(n):
+            bus.register(f"tm-{i}", self._make_handler(i))
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(
+        self, tx: Transaction, on_reply: Optional[ReplyCallback] = None
+    ) -> None:
+        """Serial CheckTx, then mempool."""
+        self.stats.submitted += 1
+        now = self.bus.clock.now_ms()
+        start = max(now + self._submit_latency, self._check_busy_until)
+        self._check_busy_until = start + self._check_cost
+        self.bus.schedule(
+            self._check_busy_until - now,
+            lambda: self._mempool_add(tx, on_reply),
+        )
+
+    def flush(self) -> None:
+        batch = self._buffer.take_all()
+        if batch:
+            self._start_round(batch)
+
+    # -- mempool / proposals ---------------------------------------------------------
+
+    def _mempool_add(self, tx: Transaction, on_reply: Optional[ReplyCallback]) -> None:
+        was_empty = len(self._buffer) == 0
+        self._buffer.append(tx, on_reply)
+        full = self._buffer.take_full()
+        if full is not None:
+            self._start_round(full)
+        elif was_empty:
+            epoch = self._buffer.epoch
+            self.bus.schedule(self._timeout, lambda: self._on_timeout(epoch))
+
+    def _on_timeout(self, epoch: int) -> None:
+        if self._buffer.epoch == epoch and len(self._buffer):
+            self._start_round(self._buffer.take_all())
+
+    def _start_round(
+        self, batch: list[tuple[Transaction, Optional[ReplyCallback]]]
+    ) -> None:
+        """Proposer broadcasts the block for the next height."""
+        if self._in_flight:
+            # one height at a time; requeue behind the current round
+            self.bus.schedule(1.0, lambda: self._start_round(batch))
+            return
+        self._in_flight = True
+        height = self._height
+        txs = [tx for tx, _ in batch]
+        self._proposals[height] = txs
+        self._replies[height] = [cb for _, cb in batch]
+        proposer = f"tm-{height % self.n}"
+        self.stats.messages += self.n
+        for i in range(self.n):
+            self.bus.send(
+                proposer, f"tm-{i}",
+                {"kind": PROPOSE, "height": height, "txs": txs},
+            )
+
+    # -- vote rounds -----------------------------------------------------------------
+
+    def _make_handler(self, index: int):
+        node_id = f"tm-{index}"
+
+        def handle(src: str, message: dict[str, Any]) -> None:
+            kind = message["kind"]
+            height = message["height"]
+            if kind == PROPOSE:
+                self.stats.messages += self.n
+                for i in range(self.n):
+                    self.bus.send(
+                        node_id, f"tm-{i}",
+                        {"kind": PREVOTE, "height": height, "voter": node_id},
+                    )
+            elif kind == PREVOTE:
+                votes = self._round_votes.setdefault((height, f"pv-{index}"), set())
+                votes.add(message["voter"])
+                if len(votes) == self._quorum:
+                    self.stats.messages += self.n
+                    for i in range(self.n):
+                        self.bus.send(
+                            node_id, f"tm-{i}",
+                            {"kind": PRECOMMIT, "height": height, "voter": node_id},
+                        )
+            elif kind == PRECOMMIT:
+                votes = self._round_votes.setdefault((height, f"pc-{index}"), set())
+                votes.add(message["voter"])
+                if len(votes) == self._quorum and index == 0:
+                    self._commit(height)
+
+        return handle
+
+    # -- commit ------------------------------------------------------------------------
+
+    def _commit(self, height: int) -> None:
+        if height in self._committed_heights:
+            return
+        self._committed_heights.add(height)
+        txs = self._proposals.pop(height)
+        replies = self._replies.pop(height)
+        # serial DeliverTx into SEBDB
+        now = self.bus.clock.now_ms()
+        start = max(now, self._deliver_busy_until)
+        self._deliver_busy_until = start + self._deliver_cost * len(txs)
+        done_in = self._deliver_busy_until - now
+
+        def finish() -> None:
+            self._deliver(txs)
+            commit_time = self.bus.clock.now_ms()
+            for reply in replies:
+                if reply is not None:
+                    self.bus.schedule(
+                        self._submit_latency,
+                        (lambda cb: lambda: cb(commit_time))(reply),
+                    )
+            self._height += 1
+            self._in_flight = False
+
+        self.bus.schedule(done_in, finish)

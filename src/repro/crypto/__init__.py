@@ -1,0 +1,20 @@
+"""Pure-Python Schnorr signatures over secp256k1 and key management."""
+
+from .group import GENERATOR, IDENTITY, Point, is_on_curve, point_add, scalar_mul
+from .keys import ADDRESS_LENGTH, KeyPair, address_of
+from .schnorr import SIGNATURE_SIZE, sign, verify
+
+__all__ = [
+    "ADDRESS_LENGTH",
+    "GENERATOR",
+    "IDENTITY",
+    "KeyPair",
+    "Point",
+    "SIGNATURE_SIZE",
+    "address_of",
+    "is_on_curve",
+    "point_add",
+    "scalar_mul",
+    "sign",
+    "verify",
+]

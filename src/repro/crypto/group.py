@@ -1,0 +1,124 @@
+"""Elliptic-curve group arithmetic over secp256k1.
+
+A minimal, dependency-free implementation of the secp256k1 short
+Weierstrass curve (y^2 = x^3 + 7 over F_p) sufficient for Schnorr
+signatures: point addition, doubling, scalar multiplication (double-and-add
+over Jacobian-free affine coordinates with modular inverses via
+:func:`pow`), and compressed-point (de)serialization.
+
+This is *real* public-key cryptography, not a mock - signatures produced by
+one node genuinely verify (or fail to) on another.  It is not constant-time
+and must not be used outside this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from ..common.errors import SignatureError
+
+#: secp256k1 parameters (SEC 2).
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+class Point(NamedTuple):
+    """Affine curve point; ``None`` coordinates encode the identity."""
+
+    x: Optional[int]
+    y: Optional[int]
+
+    @property
+    def is_identity(self) -> bool:
+        return self.x is None
+
+
+IDENTITY = Point(None, None)
+GENERATOR = Point(GX, GY)
+
+
+def is_on_curve(point: Point) -> bool:
+    """True iff ``point`` satisfies the curve equation (or is identity)."""
+    if point.is_identity:
+        return True
+    x, y = point.x, point.y
+    assert x is not None and y is not None
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Group addition on the curve."""
+    if p1.is_identity:
+        return p2
+    if p2.is_identity:
+        return p1
+    x1, y1 = p1.x, p1.y
+    x2, y2 = p2.x, p2.y
+    assert None not in (x1, y1, x2, y2)
+    if x1 == x2 and (y1 + y2) % P == 0:
+        return IDENTITY
+    if p1 == p2:
+        slope = (3 * x1 * x1 + A) * pow(2 * y1, P - 2, P) % P
+    else:
+        slope = (y2 - y1) * pow(x2 - x1, P - 2, P) % P
+    x3 = (slope * slope - x1 - x2) % P
+    y3 = (slope * (x1 - x3) - y1) % P
+    return Point(x3, y3)
+
+
+def point_neg(point: Point) -> Point:
+    if point.is_identity:
+        return point
+    assert point.x is not None and point.y is not None
+    return Point(point.x, (-point.y) % P)
+
+
+def scalar_mul(k: int, point: Point = GENERATOR) -> Point:
+    """Double-and-add scalar multiplication ``k * point``."""
+    k %= N
+    result = IDENTITY
+    addend = point
+    while k:
+        if k & 1:
+            result = point_add(result, addend)
+        addend = point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+def serialize_point(point: Point) -> bytes:
+    """Compressed SEC1 encoding (33 bytes; 0x00*33 for identity)."""
+    if point.is_identity:
+        return b"\x00" * 33
+    assert point.x is not None and point.y is not None
+    prefix = b"\x03" if point.y & 1 else b"\x02"
+    return prefix + point.x.to_bytes(32, "big")
+
+
+def deserialize_point(data: bytes) -> Point:
+    """Inverse of :func:`serialize_point`; validates curve membership."""
+    if len(data) != 33:
+        raise SignatureError(f"bad point encoding length {len(data)}")
+    if data == b"\x00" * 33:
+        return IDENTITY
+    prefix, xbytes = data[0], data[1:]
+    if prefix not in (2, 3):
+        raise SignatureError(f"bad point prefix {prefix:#x}")
+    x = int.from_bytes(xbytes, "big")
+    if x >= P:
+        raise SignatureError("point x coordinate out of range")
+    # y^2 = x^3 + 7; sqrt via p % 4 == 3 shortcut
+    y_sq = (pow(x, 3, P) + A * x + B) % P
+    y = pow(y_sq, (P + 1) // 4, P)
+    if (y * y) % P != y_sq:
+        raise SignatureError("x coordinate not on curve")
+    if bool(y & 1) != (prefix == 3):
+        y = P - y
+    point = Point(x, y)
+    if not is_on_curve(point):  # pragma: no cover - defensive
+        raise SignatureError("decoded point not on curve")
+    return point

@@ -1,0 +1,268 @@
+"""The layered index (section IV-B, Figure 4).
+
+Level 1 describes, per block, where an attribute's values can be:
+
+* **discrete** attribute - one bitmap per distinct value; bit i set when
+  block i contains that value (used for ``SenID``, ``Tname``, string
+  application columns);
+* **continuous** attribute - one entry per block holding a bitmap over the
+  buckets of an equal-depth histogram (a bucket's bit is set when the
+  block contains a value inside that bucket's range).
+
+Level 2 is one B+-tree per block on the attribute, bulk-loaded when the
+block is chained, mapping values to transaction positions inside the
+block.  The Authenticated Layered Index (ALI) swaps the level-2 trees for
+Merkle B-trees via the ``tree_factory`` hook.
+
+Benefits reproduced from the paper: batch appends never rebalance an old
+structure, empty queries are filtered at level 1, and the block-level index
+composes with level 1 for time-window queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Protocol, Sequence
+
+from ..common.errors import IndexError_
+from ..model.block import Block
+from .bitmap import Bitmap
+from .bptree import BPlusTree
+from .histogram import EqualDepthHistogram
+
+
+class SecondLevelTree(Protocol):
+    """What level 2 must offer (both BPlusTree and MBTree satisfy it)."""
+
+    def search(self, key: Any) -> list[Any]: ...
+
+    def range(self, low: Any = None, high: Any = None,
+              include_low: bool = True, include_high: bool = True) -> Iterable[tuple[Any, Any]]: ...
+
+
+#: Builds a level-2 tree from (key, position) pairs; receives the block so
+#: authenticated factories can hash the actual records into leaf digests.
+TreeFactory = Callable[[Sequence[tuple[Any, Any]], Block], SecondLevelTree]
+Extractor = Callable[..., Any]  # Transaction -> key value (or None to skip)
+
+
+def _default_tree_factory(order: int) -> TreeFactory:
+    def build(pairs: Sequence[tuple[Any, Any]], block: Block) -> SecondLevelTree:
+        return BPlusTree.bulk_load(pairs, order=order)
+
+    return build
+
+
+class LayeredIndex:
+    """Two-level index on one attribute of one table (or of all tables).
+
+    Parameters
+    ----------
+    column:
+        Attribute name this index covers (for diagnostics).
+    extractor:
+        Maps a transaction to its index key, or ``None`` to skip the
+        transaction (wrong table, NULL value).
+    continuous:
+        Selects histogram level-1 entries (True) or per-value bitmaps.
+    histogram:
+        Required when ``continuous``; built by sampling history at index
+        creation time (:meth:`IndexManager.create_layered_index` does it).
+    order:
+        Fan-out for level-2 B+-trees.
+    tree_factory:
+        Override to build authenticated (MB-tree) second levels.
+    """
+
+    def __init__(
+        self,
+        column: str,
+        extractor: Extractor,
+        continuous: bool,
+        histogram: Optional[EqualDepthHistogram] = None,
+        order: int = 32,
+        tree_factory: Optional[TreeFactory] = None,
+    ) -> None:
+        if continuous and histogram is None:
+            raise IndexError_(
+                f"layered index on continuous column {column!r} needs a histogram"
+            )
+        self.column = column
+        self.continuous = continuous
+        self.histogram = histogram
+        self._extract = extractor
+        self._tree_factory = tree_factory or _default_tree_factory(order)
+        # level 1, discrete: value -> block bitmap
+        self._value_bitmaps: dict[Any, Bitmap] = {}
+        # level 1, continuous: block id -> bucket bitmap (int)
+        self._bucket_bits: dict[int, int] = {}
+        # level 2: block id -> tree (only blocks with indexed values)
+        self._trees: dict[int, SecondLevelTree] = {}
+        # per-block distinct values (discrete join intersect test)
+        self._block_values: dict[int, set[Any]] = {}
+        self._num_blocks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "continuous" if self.continuous else "discrete"
+        return f"<LayeredIndex {self.column} ({kind}) blocks={self._num_blocks}>"
+
+    # -- maintenance -----------------------------------------------------------
+
+    def add_block(self, block: Block) -> None:
+        """Append-time update: level-1 entry + bulk-loaded level-2 tree."""
+        bid = block.height
+        if bid < self._num_blocks:
+            raise IndexError_(
+                f"layered index on {self.column!r} already covers block {bid}"
+            )
+        pairs: list[tuple[Any, int]] = []
+        for position, tx in enumerate(block.transactions):
+            key = self._extract(tx)
+            if key is None:
+                continue
+            pairs.append((key, position))
+        self._num_blocks = bid + 1
+        if not pairs:
+            return
+        if self.continuous:
+            assert self.histogram is not None
+            bits = 0
+            for key, _ in pairs:
+                bits |= 1 << self.histogram.bucket_of(key)
+            self._bucket_bits[bid] = bits
+        else:
+            values = {key for key, _ in pairs}
+            for value in values:
+                self._value_bitmaps.setdefault(value, Bitmap()).set(bid)
+            self._block_values[bid] = values
+        self._trees[bid] = self._tree_factory(pairs, block)
+
+    # -- level-1 filtering -------------------------------------------------------
+
+    def first_level_bitmap(self) -> Bitmap:
+        """Blocks containing *any* indexed value (B' of Algorithms 2-3)."""
+        if self.continuous:
+            return Bitmap.from_indices(self._bucket_bits)
+        return Bitmap.from_indices(self._trees)
+
+    def candidate_blocks_eq(self, value: Any) -> Bitmap:
+        """Blocks that can contain ``value``."""
+        if self.continuous:
+            return self.candidate_blocks_range(value, value)
+        bitmap = self._value_bitmaps.get(value)
+        return bitmap.copy() if bitmap is not None else Bitmap()
+
+    def candidate_blocks_range(self, low: Any, high: Any) -> Bitmap:
+        """Blocks whose level-1 entry intersects ``[low, high]``.
+
+        For continuous attributes this is the paper's "bitwise AND on the
+        subset of each entry and a range defined by the query predicate".
+        """
+        if self.continuous:
+            assert self.histogram is not None
+            mask = 0
+            for bucket in self.histogram.buckets_overlapping(low, high):
+                mask |= 1 << bucket
+            result = Bitmap()
+            for bid, bits in self._bucket_bits.items():
+                if bits & mask:
+                    result.set(bid)
+            return result
+        result = Bitmap()
+        for value, bitmap in self._value_bitmaps.items():
+            if (low is None or value >= low) and (high is None or value <= high):
+                result = result | bitmap
+        return result
+
+    # -- level-2 access ------------------------------------------------------------
+
+    def has_tree(self, bid: int) -> bool:
+        return bid in self._trees
+
+    def tree(self, bid: int) -> SecondLevelTree:
+        if bid not in self._trees:
+            raise IndexError_(
+                f"layered index on {self.column!r} has no entries for block {bid}"
+            )
+        return self._trees[bid]
+
+    def search_block(self, bid: int, value: Any) -> list[int]:
+        """Positions (within block ``bid``) of tuples with this value."""
+        if bid not in self._trees:
+            return []
+        return list(self._trees[bid].search(value))
+
+    def range_block(
+        self, bid: int, low: Any = None, high: Any = None
+    ) -> list[tuple[Any, int]]:
+        """(value, position) pairs with value in [low, high], sorted."""
+        if bid not in self._trees:
+            return []
+        return list(self._trees[bid].range(low, high))
+
+    # -- join support ------------------------------------------------------------------
+
+    def block_value_bounds(self, bid: int) -> Optional[tuple[Any, Any]]:
+        """(min-possible, max-possible) attribute bounds of block ``bid``.
+
+        Continuous: union of the bucket ranges present (``None`` ends are
+        unbounded).  Discrete: exact min/max of the distinct values.
+        Returns ``None`` when the block has no indexed values.
+        """
+        if self.continuous:
+            bits = self._bucket_bits.get(bid)
+            if not bits:
+                return None
+            assert self.histogram is not None
+            buckets = [i for i in range(self.histogram.num_buckets) if bits >> i & 1]
+            low = self.histogram.bucket_range(buckets[0])[0]
+            high = self.histogram.bucket_range(buckets[-1])[1]
+            return (low, high)
+        values = self._block_values.get(bid)
+        if not values:
+            return None
+        return (min(values), max(values))
+
+    def block_bucket_ranges(self, bid: int) -> list[tuple[Any, Any]]:
+        """Ranges (l, u) of the buckets present in block ``bid``.
+
+        This is the e_{r_i} of Algorithm 2's ``intersect`` test.  Discrete
+        indexes degenerate to one point range per distinct value.
+        """
+        if self.continuous:
+            bits = self._bucket_bits.get(bid)
+            if not bits:
+                return []
+            assert self.histogram is not None
+            return [
+                self.histogram.bucket_range(i)
+                for i in range(self.histogram.num_buckets)
+                if bits >> i & 1
+            ]
+        return [(v, v) for v in sorted(self._block_values.get(bid, ()))]
+
+    def block_values(self, bid: int) -> set[Any]:
+        """Distinct values in block ``bid`` (discrete indexes only)."""
+        if self.continuous:
+            raise IndexError_("block_values is only defined for discrete indexes")
+        return set(self._block_values.get(bid, ()))
+
+
+def ranges_intersect(
+    left: Sequence[tuple[Any, Any]], right: Sequence[tuple[Any, Any]]
+) -> bool:
+    """Algorithm 2's ``intersect(b_r, b_s)``.
+
+    True iff some bucket k of the left block and m of the right block
+    overlap: NOT (k.u < m.l OR k.l > m.u), with ``None`` as +/- infinity.
+    """
+
+    def overlaps(a: tuple[Any, Any], b: tuple[Any, Any]) -> bool:
+        a_lo, a_hi = a
+        b_lo, b_hi = b
+        if a_hi is not None and b_lo is not None and a_hi < b_lo:
+            return False
+        if a_lo is not None and b_hi is not None and a_lo > b_hi:
+            return False
+        return True
+
+    return any(overlaps(k, m) for k in left for m in right)

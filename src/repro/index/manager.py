@@ -1,0 +1,186 @@
+"""Index manager: creation, backfill and maintenance of all three indexes.
+
+Owns the block-level B+-tree, the table-level bitmap index and every
+layered index of a node.  It subscribes to the block store so each
+appended block updates all structures in one pass, and it can create a new
+layered index over an existing chain (sampling history for the histogram,
+then backfilling level-1 entries and level-2 trees block by block).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..common.errors import CatalogError, IndexError_
+from ..model.block import Block
+from ..model.schema import TableSchema
+from ..model.transaction import Transaction
+from ..storage.blockstore import BlockStore
+from ..storage.segment import BlockLocation
+from .block_index import BlockIndex
+from .histogram import EqualDepthHistogram
+from .layered import LayeredIndex, TreeFactory
+from .table_index import TableBitmapIndex
+
+#: System columns a layered index may target without a table schema.
+_SYSTEM_CONTINUOUS = {"tid": True, "ts": True, "senid": False, "tname": False}
+
+#: Maximum historical values sampled to build a histogram.
+_HISTOGRAM_SAMPLE_CAP = 10_000
+
+
+def system_extractor(column: str, table: Optional[str]) -> Callable[[Transaction], Any]:
+    """Extractor for a system-level column, optionally table-scoped."""
+    lowered = column.lower()
+    if lowered not in _SYSTEM_CONTINUOUS:
+        raise IndexError_(f"{column!r} is not a system column")
+    table_l = table.lower() if table else None
+
+    def extract(tx: Transaction) -> Any:
+        if table_l is not None and tx.tname != table_l:
+            return None
+        return getattr(tx, lowered)
+
+    return extract
+
+
+def app_extractor(schema: TableSchema, column: str) -> Callable[[Transaction], Any]:
+    """Extractor for an application-level column of one table."""
+    position = None
+    for i, col in enumerate(schema.app_columns):
+        if col.name == column.lower():
+            position = i
+            break
+    if position is None:
+        raise IndexError_(f"table {schema.name!r} has no app column {column!r}")
+
+    def extract(tx: Transaction) -> Any:
+        if tx.tname != schema.name:
+            return None
+        if position >= len(tx.values):
+            return None
+        return tx.values[position]
+
+    return extract
+
+
+class IndexManager:
+    """All indexes of one full node, updated on every block append."""
+
+    def __init__(self, store: BlockStore, order: int = 32,
+                 histogram_depth: int = 100) -> None:
+        self._store = store
+        self._order = order
+        self._histogram_depth = histogram_depth
+        self.block_index = BlockIndex(order=order)
+        self.table_index = TableBitmapIndex(track_senders=True)
+        #: (table or None, column) -> LayeredIndex
+        self._layered: dict[tuple[Optional[str], str], LayeredIndex] = {}
+        store.add_listener(self._on_block)
+        # backfill anything already on chain
+        for height in range(store.height):
+            block = store.read_block(height)
+            self.block_index.add_block(block, store.location(height))
+            self.table_index.add_block(block)
+            for index in self._layered.values():
+                index.add_block(block)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _on_block(self, block: Block, location: BlockLocation) -> None:
+        self.block_index.add_block(block, location)
+        self.table_index.add_block(block)
+        for index in self._layered.values():
+            index.add_block(block)
+
+    # -- layered index creation ----------------------------------------------------
+
+    def create_layered_index(
+        self,
+        column: str,
+        table: Optional[str] = None,
+        schema: Optional[TableSchema] = None,
+        continuous: Optional[bool] = None,
+        authenticated: bool = False,
+        tree_factory: Optional[TreeFactory] = None,
+    ) -> LayeredIndex:
+        """Create (and backfill) a layered index on ``column``.
+
+        System columns (``senid``, ``tname``, ``ts``, ``tid``) may be
+        indexed globally (``table=None``) - the paper's tracking indexes
+        span *all* tables.  Application columns need the table's
+        ``schema``.  ``authenticated=True`` builds the ALI variant whose
+        second level is a Merkle B-tree (thin-client support).
+        """
+        key = (table.lower() if table else None, column.lower())
+        if key in self._layered:
+            raise IndexError_(f"layered index on {key} already exists")
+        lowered = column.lower()
+        if lowered in _SYSTEM_CONTINUOUS:
+            extractor = system_extractor(lowered, table)
+            if continuous is None:
+                continuous = _SYSTEM_CONTINUOUS[lowered]
+        else:
+            if schema is None:
+                raise CatalogError(
+                    f"indexing app column {column!r} requires the table schema"
+                )
+            extractor = app_extractor(schema, lowered)
+            if continuous is None:
+                continuous = schema.column_type(lowered).is_continuous
+        histogram = None
+        if continuous:
+            histogram = self._sample_histogram(extractor)
+        if tree_factory is None and authenticated:
+            # local import: mht depends on index/common, never on manager
+            from ..common.hashing import hash_leaf
+            from ..mht.mbtree import MBTree
+
+            def tree_factory(pairs: Any, block: Block) -> Any:  # type: ignore[misc]
+                def digest(key: Any, position: int) -> bytes:
+                    return hash_leaf(block.transactions[position].to_bytes())
+
+                return MBTree.bulk_load(pairs, order=self._order, digest_fn=digest)
+
+        index = LayeredIndex(
+            column=lowered,
+            extractor=extractor,
+            continuous=continuous,
+            histogram=histogram,
+            order=self._order,
+            tree_factory=tree_factory,
+        )
+        for height in range(self._store.height):
+            index.add_block(self._store.read_block(height))
+        self._layered[key] = index
+        return index
+
+    def _sample_histogram(self, extractor: Callable[[Transaction], Any]) -> EqualDepthHistogram:
+        """Sample historical transactions for the equal-depth histogram."""
+        sample: list[Any] = []
+        for height in range(self._store.height):
+            block = self._store.read_block(height)
+            for tx in block.transactions:
+                value = extractor(tx)
+                if value is not None:
+                    sample.append(value)
+            if len(sample) >= _HISTOGRAM_SAMPLE_CAP:
+                break
+        return EqualDepthHistogram.from_sample(sample, self._histogram_depth)
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def layered(self, column: str, table: Optional[str] = None) -> Optional[LayeredIndex]:
+        """The layered index on (table, column); table-scoped first, then global."""
+        key = (table.lower() if table else None, column.lower())
+        index = self._layered.get(key)
+        if index is None and table is not None:
+            index = self._layered.get((None, column.lower()))
+        return index
+
+    def has_layered(self, column: str, table: Optional[str] = None) -> bool:
+        return self.layered(column, table) is not None
+
+    @property
+    def layered_indexes(self) -> dict[tuple[Optional[str], str], LayeredIndex]:
+        return dict(self._layered)

@@ -1,0 +1,30 @@
+"""Authenticated data structures: Merkle trees, MB-trees, query VOs."""
+
+from .mbtree import EMPTY_MB_ROOT, MBRangeProof, MBTree, reconstruct_root
+from .merkle import (
+    EMPTY_ROOT,
+    MerkleTree,
+    ProofStep,
+    merkle_root,
+    merkle_root_from_leaves,
+    verify_proof,
+)
+from .vo import BlockVO, QueryVO, VerifiedResult, digest_of_roots, verify_query_vo
+
+__all__ = [
+    "BlockVO",
+    "EMPTY_MB_ROOT",
+    "EMPTY_ROOT",
+    "MBRangeProof",
+    "MBTree",
+    "MerkleTree",
+    "ProofStep",
+    "QueryVO",
+    "VerifiedResult",
+    "digest_of_roots",
+    "merkle_root",
+    "merkle_root_from_leaves",
+    "reconstruct_root",
+    "verify_proof",
+    "verify_query_vo",
+]

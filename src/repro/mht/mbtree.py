@@ -1,0 +1,256 @@
+"""Merkle B-tree (MB-tree).
+
+The ALI (Authenticated Layered Index) replaces the level-2 B+-trees of the
+layered index with MB-trees [Li et al., SIGMOD'06]: a search tree over one
+block's tuples sorted by the indexed attribute, where each leaf carries the
+hash of its record and each internal node the hash of the concatenation of
+its children's digests.  A range query then admits a *verification object*
+(VO) from which a thin client reconstructs the root digest and checks both
+soundness (nothing forged) and completeness (nothing withheld) using the
+boundary records just outside the range.
+
+The implementation keeps the sorted entries in packed n-ary levels
+(fan-out = ``order``), which is exactly the digest structure of a
+bulk-loaded, always-full MB-tree - blocks are immutable so no
+insert/rebalance path is needed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from ..common.errors import IndexError_, VerificationError
+from ..common.hashing import hash_concat, hash_leaf
+
+#: Root digest of an MB-tree with no entries.
+EMPTY_MB_ROOT = hash_leaf(b"mbtree-empty")
+
+DigestFn = Callable[[Any, Any], bytes]
+
+
+def _default_digest(key: Any, payload: Any) -> bytes:
+    return hash_leaf(repr((key, payload)).encode("utf-8"))
+
+
+class MBTree:
+    """Static Merkle B-tree over sorted (key, payload) entries."""
+
+    def __init__(
+        self,
+        entries: Sequence[tuple[Any, Any]],
+        digests: Sequence[bytes],
+        order: int = 32,
+    ) -> None:
+        if order < 2:
+            raise IndexError_("MB-tree order must be at least 2")
+        if len(entries) != len(digests):
+            raise IndexError_("entries/digests length mismatch")
+        keys = [key for key, _ in entries]
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise IndexError_("MB-tree entries must be sorted by key")
+        self._order = order
+        self._keys = keys
+        self._payloads = [payload for _, payload in entries]
+        self._levels: list[list[bytes]] = [list(digests)]
+        while len(self._levels[-1]) > 1:
+            prev = self._levels[-1]
+            nxt = [
+                hash_concat(prev[i : i + order])
+                for i in range(0, len(prev), order)
+            ]
+            self._levels.append(nxt)
+
+    @classmethod
+    def bulk_load(
+        cls,
+        pairs: Sequence[tuple[Any, Any]],
+        order: int = 32,
+        digest_fn: Optional[DigestFn] = None,
+    ) -> "MBTree":
+        """Build from unsorted (key, payload) pairs."""
+        digest = digest_fn or _default_digest
+        entries = sorted(pairs, key=lambda kv: (kv[0], repr(kv[1])))
+        digests = [digest(key, payload) for key, payload in entries]
+        return cls(entries, digests, order=order)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def root(self) -> bytes:
+        if not self._keys:
+            return EMPTY_MB_ROOT
+        return self._levels[-1][0]
+
+    # -- SecondLevelTree protocol (drop-in for the layered index) -----------
+
+    def search(self, key: Any) -> list[Any]:
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return self._payloads[lo:hi]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, Any]]:
+        lo, hi = self._range_indices(low, high, include_low, include_high)
+        for i in range(lo, hi + 1):
+            yield self._keys[i], self._payloads[i]
+
+    def _range_indices(
+        self, low: Any, high: Any, include_low: bool = True, include_high: bool = True
+    ) -> tuple[int, int]:
+        """Inclusive index range of matching entries (lo > hi when empty)."""
+        if low is None:
+            lo = 0
+        elif include_low:
+            lo = bisect.bisect_left(self._keys, low)
+        else:
+            lo = bisect.bisect_right(self._keys, low)
+        if high is None:
+            hi = len(self._keys) - 1
+        elif include_high:
+            hi = bisect.bisect_right(self._keys, high) - 1
+        else:
+            hi = bisect.bisect_left(self._keys, high) - 1
+        return lo, hi
+
+    # -- verification objects --------------------------------------------------
+
+    def range_proof(self, low: Any = None, high: Any = None) -> "MBRangeProof":
+        """VO for the inclusive range ``[low, high]``.
+
+        Covers the matching entries plus one boundary entry on each side
+        (when one exists); carries the sibling digests needed to
+        recompute the root from the covered leaf span.
+        """
+        n = len(self._keys)
+        if n == 0:
+            return MBRangeProof(
+                total=0, start=0, covered=0, order=self._order,
+                has_left_boundary=False, has_right_boundary=False, fills=(),
+            )
+        lo, hi = self._range_indices(low, high)
+        if lo > hi:  # empty result: sandwich the gap between two boundaries
+            start = max(lo - 1, 0)
+            end = min(lo, n - 1)
+        else:
+            start = lo - 1 if lo > 0 else lo
+            end = hi + 1 if hi < n - 1 else hi
+        fills: list[tuple[tuple[bytes, ...], tuple[bytes, ...]]] = []
+        span_lo, span_hi = start, end
+        for level in self._levels[:-1]:
+            parent_lo = span_lo // self._order
+            parent_hi = span_hi // self._order
+            left_fill = tuple(level[parent_lo * self._order : span_lo])
+            group_end = min((parent_hi + 1) * self._order, len(level))
+            right_fill = tuple(level[span_hi + 1 : group_end])
+            fills.append((left_fill, right_fill))
+            span_lo, span_hi = parent_lo, parent_hi
+        return MBRangeProof(
+            total=n,
+            start=start,
+            covered=end - start + 1,
+            order=self._order,
+            has_left_boundary=lo > 0,
+            has_right_boundary=(hi if lo <= hi else lo - 1) < n - 1,
+            fills=tuple(fills),
+        )
+
+    def covered_payloads(self, proof: "MBRangeProof") -> list[tuple[Any, Any]]:
+        """(key, payload) of every leaf the proof covers, in order.
+
+        The serving full node returns the corresponding records (boundary
+        records included, as in the paper's Example 4 where T_k and T_p
+        travel with the VO).
+        """
+        return [
+            (self._keys[i], self._payloads[i])
+            for i in range(proof.start, proof.start + proof.covered)
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class MBRangeProof:
+    """Verification object of one MB-tree range query.
+
+    Attributes
+    ----------
+    total:
+        Number of entries in the tree (public; needed to replay grouping).
+    start / covered:
+        Index of the first covered leaf and how many are covered.
+    order:
+        Tree fan-out.
+    has_left_boundary / has_right_boundary:
+        Whether the first / last covered record is a boundary record
+        (outside the query range, proving completeness on that side).
+    fills:
+        Per level, the (left, right) sibling digests flanking the covered
+        span within their parent groups.
+    """
+
+    total: int
+    start: int
+    covered: int
+    order: int
+    has_left_boundary: bool
+    has_right_boundary: bool
+    fills: tuple[tuple[tuple[bytes, ...], tuple[bytes, ...]], ...]
+
+    def size_bytes(self) -> int:
+        """VO size metric of Figs 17: digests carried by this proof."""
+        return sum(
+            len(d) for left, right in self.fills for d in (*left, *right)
+        ) + 16  # small fixed overhead for the counters/flags
+
+
+def reconstruct_root(proof: MBRangeProof, leaf_digests: Sequence[bytes]) -> bytes:
+    """Recompute the MB-tree root from covered leaf digests + the proof.
+
+    Raises :class:`VerificationError` when the shape of the proof is
+    inconsistent with the claimed counters - a malformed VO can never
+    produce a root by accident.
+    """
+    if proof.total == 0:
+        if leaf_digests:
+            raise VerificationError("proof claims an empty tree but leaves supplied")
+        return EMPTY_MB_ROOT
+    if len(leaf_digests) != proof.covered:
+        raise VerificationError(
+            f"proof covers {proof.covered} leaves, got {len(leaf_digests)}"
+        )
+    level = list(leaf_digests)
+    span_lo = proof.start
+    count = proof.total
+    for left_fill, right_fill in proof.fills:
+        parent_lo = span_lo // proof.order
+        span_hi = span_lo + len(level) - 1
+        parent_hi = span_hi // proof.order
+        if len(left_fill) != span_lo - parent_lo * proof.order:
+            raise VerificationError("left fill length mismatch")
+        group_end = min((parent_hi + 1) * proof.order, count)
+        if len(right_fill) != group_end - span_hi - 1:
+            raise VerificationError("right fill length mismatch")
+        full = list(left_fill) + level + list(right_fill)
+        parents = []
+        for i in range(0, len(full), proof.order):
+            parents.append(hash_concat(full[i : i + proof.order]))
+        level = parents
+        span_lo = parent_lo
+        count = -(-count // proof.order)
+    if count != len(level) or len(level) != 1:
+        # a single-level tree has no fills; handle count==len path
+        if len(level) == 1 and count == 1:
+            return level[0]
+        raise VerificationError("proof did not reduce to a single root")
+    return level[0]

@@ -1,0 +1,179 @@
+"""Query-level verification objects (section VI).
+
+An authenticated query runs in two phases.  Phase one: a full node
+executes the query over the ALI and returns a :class:`QueryVO` - the block
+height ``h`` it executed at, plus one :class:`BlockVO` (records + MB-tree
+range proof) per visited block.  Phase two: auxiliary full nodes are sent
+(query, h) and each returns the *digest* - the hash of the concatenation
+of the MB-tree roots the query must visit at height h.  The thin client
+reconstructs every MB-root from the VO, hashes them, and compares with the
+(majority of the) auxiliary digests.
+
+Soundness: forged or tampered records change a leaf digest and therefore
+the reconstructed root.  Completeness: boundary records prove no matching
+record was withheld on either side of the range, and the auxiliary digest
+pins the *set of blocks* the query must visit so whole blocks cannot be
+withheld either.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional, Sequence
+
+from ..common.errors import VerificationError
+from ..common.hashing import hash_concat, hash_leaf
+from ..model.transaction import Transaction
+from .mbtree import MBRangeProof, reconstruct_root
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockVO:
+    """Proof material for one visited block."""
+
+    height: int
+    #: serialized covered records (boundaries included), in MB-tree order
+    records: tuple[bytes, ...]
+    proof: MBRangeProof
+
+    def size_bytes(self) -> int:
+        """Contribution to the VO-size metric (Fig 17)."""
+        return sum(len(r) for r in self.records) + self.proof.size_bytes()
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryVO:
+    """Everything phase one returns to the thin client."""
+
+    chain_height: int
+    column: str
+    low: Any
+    high: Any
+    blocks: tuple[BlockVO, ...]
+
+    def size_bytes(self) -> int:
+        return sum(b.size_bytes() for b in self.blocks) + 16
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifiedResult:
+    """Outcome of a successful verification."""
+
+    transactions: tuple[Transaction, ...]
+    digest: bytes
+    blocks_verified: int
+
+
+KeyFn = Callable[[Transaction], Any]
+
+
+def verify_query_vo(
+    vo: QueryVO,
+    key_of: KeyFn,
+    expected_digest: Optional[bytes] = None,
+    extra_filter: Optional[Callable[[Transaction], bool]] = None,
+) -> VerifiedResult:
+    """Thin-client verification of a :class:`QueryVO`.
+
+    Reconstructs each visited block's MB-root from the returned records
+    and range proof, checks boundary/sort/range conditions, hashes the
+    roots into the digest, and (when given) compares against the
+    auxiliary-node digest.  Raises :class:`VerificationError` on any
+    violation; returns the verified matching transactions otherwise.
+
+    ``extra_filter`` implements client-side post-filtering for
+    multi-dimension tracking: the proven-complete result on one dimension
+    is narrowed locally, preserving completeness.
+    """
+    roots: list[bytes] = []
+    matched: list[Transaction] = []
+    seen_heights: set[int] = set()
+    for block_vo in vo.blocks:
+        if block_vo.height in seen_heights:
+            raise VerificationError(f"duplicate block {block_vo.height} in VO")
+        if block_vo.height >= vo.chain_height:
+            raise VerificationError(
+                f"VO references block {block_vo.height} beyond snapshot "
+                f"height {vo.chain_height}"
+            )
+        seen_heights.add(block_vo.height)
+        roots.append(_verify_block_vo(block_vo, vo.low, vo.high, key_of, matched))
+    digest = hash_concat(roots)
+    if expected_digest is not None and digest != expected_digest:
+        raise VerificationError(
+            "digest mismatch: the serving node's result set does not match "
+            "the auxiliary nodes' view of the chain"
+        )
+    if extra_filter is not None:
+        matched = [tx for tx in matched if extra_filter(tx)]
+    return VerifiedResult(
+        transactions=tuple(matched), digest=digest, blocks_verified=len(roots)
+    )
+
+
+def _verify_block_vo(
+    block_vo: BlockVO,
+    low: Any,
+    high: Any,
+    key_of: KeyFn,
+    matched_out: list[Transaction],
+) -> bytes:
+    """Verify one block's proof; append its matches; return the MB-root."""
+    proof = block_vo.proof
+    if len(block_vo.records) != proof.covered:
+        raise VerificationError(
+            f"block {block_vo.height}: {len(block_vo.records)} records for "
+            f"a proof covering {proof.covered}"
+        )
+    txs = [Transaction.from_bytes(raw) for raw in block_vo.records]
+    keys = [key_of(tx) for tx in txs]
+    if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+        raise VerificationError(
+            f"block {block_vo.height}: records not sorted by index key"
+        )
+    start, end = 0, len(txs)
+    if proof.has_left_boundary:
+        if not txs:
+            raise VerificationError("left boundary claimed but no records")
+        if low is not None and not keys[0] < low:
+            raise VerificationError(
+                f"block {block_vo.height}: left boundary key {keys[0]!r} "
+                f"not below range start {low!r}"
+            )
+        start = 1
+    elif proof.start != 0:
+        raise VerificationError(
+            f"block {block_vo.height}: no left boundary but proof does not "
+            f"start at the first entry"
+        )
+    if proof.has_right_boundary:
+        if not txs:
+            raise VerificationError("right boundary claimed but no records")
+        if high is not None and not keys[-1] > high:
+            raise VerificationError(
+                f"block {block_vo.height}: right boundary key {keys[-1]!r} "
+                f"not above range end {high!r}"
+            )
+        end -= 1
+    elif proof.start + proof.covered != proof.total:
+        raise VerificationError(
+            f"block {block_vo.height}: no right boundary but proof does not "
+            f"reach the last entry"
+        )
+    for tx, key in zip(txs[start:end], keys[start:end]):
+        if low is not None and key < low:
+            raise VerificationError(
+                f"block {block_vo.height}: result key {key!r} below range"
+            )
+        if high is not None and key > high:
+            raise VerificationError(
+                f"block {block_vo.height}: result key {key!r} above range"
+            )
+        matched_out.append(tx)
+    leaf_digests = [hash_leaf(raw) for raw in block_vo.records]
+    return reconstruct_root(proof, leaf_digests)
+
+
+def digest_of_roots(roots: Sequence[bytes]) -> bytes:
+    """The auxiliary-node digest: hash of the concatenated MB-roots."""
+    return hash_concat(roots)

@@ -1,0 +1,34 @@
+"""Relational-on-chain data model: types, schemas, transactions, blocks."""
+
+from .block import GENESIS_PREV_HASH, Block, BlockHeader, iter_table
+from .catalog import Catalog
+from .genesis import make_genesis, verify_chain
+from .schema import SYSTEM_COLUMN_NAMES, SYSTEM_COLUMNS, Column, TableSchema
+from .transaction import (
+    SCHEMA_TNAME,
+    UNASSIGNED_TID,
+    Transaction,
+    schema_from_sync_transaction,
+    schema_sync_transaction,
+)
+from .types import ColumnType
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "GENESIS_PREV_HASH",
+    "SCHEMA_TNAME",
+    "SYSTEM_COLUMNS",
+    "SYSTEM_COLUMN_NAMES",
+    "TableSchema",
+    "Transaction",
+    "UNASSIGNED_TID",
+    "iter_table",
+    "make_genesis",
+    "schema_from_sync_transaction",
+    "schema_sync_transaction",
+    "verify_chain",
+]

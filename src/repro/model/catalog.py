@@ -1,0 +1,64 @@
+"""The on-chain catalog.
+
+Table schemas are themselves replicated through the chain: a CREATE turns
+into a special ``__schema__`` transaction, and every node that applies the
+block registers the schema here.  The catalog therefore converges on all
+nodes exactly like ordinary data does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..common.errors import CatalogError
+from .block import Block
+from .schema import TableSchema
+from .transaction import SCHEMA_TNAME, schema_from_sync_transaction
+
+
+class Catalog:
+    """Registry of on-chain table schemas for one node."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def register(self, schema: TableSchema, replace: bool = False) -> None:
+        if not replace and schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._tables[schema.name] = schema
+
+    def get(self, name: str) -> TableSchema:
+        lowered = name.lower()
+        if lowered == SCHEMA_TNAME:
+            raise CatalogError("the schema table is internal")
+        if lowered not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        return self._tables[lowered]
+
+    def find(self, name: str) -> Optional[TableSchema]:
+        return self._tables.get(name.lower())
+
+    def apply_block(self, block: Block) -> list[TableSchema]:
+        """Pick up schema-sync transactions from a freshly applied block."""
+        registered = []
+        for tx in block.transactions:
+            if tx.tname == SCHEMA_TNAME:
+                schema = schema_from_sync_transaction(tx)
+                if schema.name not in self._tables:
+                    self._tables[schema.name] = schema
+                    registered.append(schema)
+        return registered
+
+    def apply_blocks(self, blocks: Iterable[Block]) -> None:
+        for block in blocks:
+            self.apply_block(block)

@@ -1,0 +1,197 @@
+"""On-chain transactions.
+
+A transaction is a tuple of a declared table: five system-level attributes
+(``tid``, ``ts``, ``sig``, ``senid``, ``tname``) followed by the
+application-level values.  The signature covers everything except ``tid``
+and ``sig`` itself, because the global transaction id is only assigned when
+the ordering service sequences the transaction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Sequence
+
+from ..common.codec import Reader, Writer
+from ..common.errors import SignatureError
+from ..common.hashing import sha256
+from ..crypto.keys import KeyPair, address_of
+from ..crypto.schnorr import verify as schnorr_verify
+from .schema import TableSchema
+
+#: ``tid`` value of a transaction that has not been sequenced yet.
+UNASSIGNED_TID = -1
+
+#: ``tname`` of the special schema-synchronization transactions
+#: (section IV-A: "The system sends a special transaction to synchronize
+#: schema among nodes").
+SCHEMA_TNAME = "__schema__"
+
+
+@dataclasses.dataclass
+class Transaction:
+    """One on-chain tuple.
+
+    Attributes
+    ----------
+    tid:
+        Global sequence number, assigned by consensus; ``UNASSIGNED_TID``
+        before ordering.
+    ts:
+        Client-side send timestamp in milliseconds.
+    senid:
+        Sender address (hash of the public key).
+    tname:
+        Transaction type, i.e. the table this tuple belongs to.
+    values:
+        Application-level attribute values, in schema order.
+    pubkey / sig:
+        Sender's compressed public key and Schnorr signature over the
+        signing payload.  Both empty when the deployment runs unsigned
+        (``sign=False`` in the client), which the benchmark harness uses
+        to keep generated datasets fast.
+    """
+
+    ts: int
+    senid: str
+    tname: str
+    values: tuple[Any, ...]
+    tid: int = UNASSIGNED_TID
+    pubkey: bytes = b""
+    sig: bytes = b""
+
+    @classmethod
+    def create(
+        cls,
+        tname: str,
+        values: Sequence[Any],
+        ts: int,
+        keypair: Optional[KeyPair] = None,
+        sender: Optional[str] = None,
+    ) -> "Transaction":
+        """Build (and optionally sign) a fresh, unsequenced transaction."""
+        senid = keypair.address if keypair is not None else (sender or "anonymous")
+        tx = cls(ts=ts, senid=senid, tname=tname.lower(), values=tuple(values))
+        if keypair is not None:
+            tx.pubkey = keypair.public_key
+            tx.sig = keypair.sign(tx.signing_payload())
+        return tx
+
+    def signing_payload(self) -> bytes:
+        """Canonical bytes covered by the signature (no tid, no sig)."""
+        writer = Writer()
+        writer.write_varint(self.ts)
+        writer.write_str(self.senid)
+        writer.write_str(self.tname)
+        writer.write_varint(len(self.values))
+        for value in self.values:
+            writer.write_value(value)
+        return writer.getvalue()
+
+    def verify_signature(self) -> bool:
+        """Check the Schnorr signature and that senid matches the key."""
+        if not self.sig or not self.pubkey:
+            return False
+        if address_of(self.pubkey) != self.senid:
+            return False
+        return schnorr_verify(self.pubkey, self.signing_payload(), self.sig)
+
+    def require_valid_signature(self) -> None:
+        if not self.verify_signature():
+            raise SignatureError(
+                f"invalid signature on transaction tname={self.tname!r} "
+                f"senid={self.senid!r}"
+            )
+
+    @property
+    def is_sequenced(self) -> bool:
+        return self.tid != UNASSIGNED_TID
+
+    def with_tid(self, tid: int) -> "Transaction":
+        """Copy of this transaction with the global id assigned."""
+        return dataclasses.replace(self, tid=tid)
+
+    # -- row view ---------------------------------------------------------
+
+    def row(self) -> tuple[Any, ...]:
+        """Full tuple: system columns then application columns."""
+        return (self.tid, self.ts, self.sig, self.senid, self.tname) + self.values
+
+    def as_dict(self, schema: Optional[TableSchema] = None) -> dict[str, Any]:
+        """Mapping column name -> value; app columns need the schema."""
+        out: dict[str, Any] = {
+            "tid": self.tid,
+            "ts": self.ts,
+            "sig": self.sig,
+            "senid": self.senid,
+            "tname": self.tname,
+        }
+        if schema is not None:
+            for col, value in zip(schema.app_columns, self.values):
+                out[col.name] = value
+        else:
+            for i, value in enumerate(self.values):
+                out[f"v{i}"] = value
+        return out
+
+    def get(self, column: str, schema: TableSchema) -> Any:
+        """Value of ``column`` according to ``schema``."""
+        return self.row()[schema.column_index(column)]
+
+    # -- wire format ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        writer = Writer()
+        writer.write_signed(self.tid)
+        writer.write_varint(self.ts)
+        writer.write_bytes(self.sig)
+        writer.write_bytes(self.pubkey)
+        writer.write_str(self.senid)
+        writer.write_str(self.tname)
+        writer.write_varint(len(self.values))
+        for value in self.values:
+            writer.write_value(value)
+        return writer.getvalue()
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "Transaction":
+        tid = reader.read_signed()
+        ts = reader.read_varint()
+        sig = reader.read_bytes()
+        pubkey = reader.read_bytes()
+        senid = reader.read_str()
+        tname = reader.read_str()
+        count = reader.read_varint()
+        values = tuple(reader.read_value() for _ in range(count))
+        return cls(
+            tid=tid, ts=ts, sig=sig, pubkey=pubkey, senid=senid,
+            tname=tname, values=values,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Transaction":
+        return cls.read_from(Reader(data))
+
+    def hash(self) -> bytes:
+        """Hash over the full serialized transaction (Merkle leaf input)."""
+        return sha256(self.to_bytes())
+
+    def size_bytes(self) -> int:
+        """Serialized size; drives block packaging by byte budget."""
+        return len(self.to_bytes())
+
+
+def schema_sync_transaction(schema: TableSchema, ts: int,
+                            keypair: Optional[KeyPair] = None) -> Transaction:
+    """The special transaction that replicates a CREATE to all nodes."""
+    return Transaction.create(
+        SCHEMA_TNAME, (schema.to_bytes(),), ts=ts, keypair=keypair,
+        sender="system",
+    )
+
+
+def schema_from_sync_transaction(tx: Transaction) -> TableSchema:
+    """Inverse of :func:`schema_sync_transaction`."""
+    if tx.tname != SCHEMA_TNAME or len(tx.values) != 1:
+        raise SignatureError("not a schema synchronization transaction")
+    return TableSchema.from_bytes(tx.values[0])

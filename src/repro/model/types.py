@@ -1,0 +1,86 @@
+"""Column types of the relational layer.
+
+The paper allows "string, various flavors of numbers, etc."; we support
+the four types every BChainBench table needs plus booleans and raw bytes.
+Each type knows how to validate and coerce Python values, and whether it is
+*continuous* (indexed through an equal-depth histogram) or *discrete*
+(indexed through per-value bitmaps) in the layered index.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..common.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Declared type of a table column."""
+
+    STRING = "string"
+    INT = "int"
+    DECIMAL = "decimal"
+    TIMESTAMP = "timestamp"
+    BOOL = "bool"
+    BYTES = "bytes"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ColumnType":
+        """Parse a type name as written in a CREATE statement."""
+        normalized = name.strip().lower()
+        aliases = {
+            "string": cls.STRING,
+            "varchar": cls.STRING,
+            "text": cls.STRING,
+            "int": cls.INT,
+            "integer": cls.INT,
+            "bigint": cls.INT,
+            "decimal": cls.DECIMAL,
+            "float": cls.DECIMAL,
+            "double": cls.DECIMAL,
+            "numeric": cls.DECIMAL,
+            "timestamp": cls.TIMESTAMP,
+            "bool": cls.BOOL,
+            "boolean": cls.BOOL,
+            "bytes": cls.BYTES,
+            "blob": cls.BYTES,
+        }
+        if normalized not in aliases:
+            raise SchemaError(f"unknown column type {name!r}")
+        return aliases[normalized]
+
+    @property
+    def is_continuous(self) -> bool:
+        """Continuous types get histogram-based layered-index level 1."""
+        return self in (ColumnType.INT, ColumnType.DECIMAL, ColumnType.TIMESTAMP)
+
+    def validate(self, value: Any, column: str = "?") -> Any:
+        """Validate/coerce ``value`` for this type; raises SchemaError."""
+        if value is None:
+            return None
+        if self is ColumnType.STRING:
+            if not isinstance(value, str):
+                raise SchemaError(f"column {column}: expected str, got {type(value).__name__}")
+            return value
+        if self is ColumnType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"column {column}: expected int, got {type(value).__name__}")
+            return value
+        if self is ColumnType.DECIMAL:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"column {column}: expected number, got {type(value).__name__}")
+            return float(value)
+        if self is ColumnType.TIMESTAMP:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"column {column}: expected int timestamp, got {type(value).__name__}")
+            return value
+        if self is ColumnType.BOOL:
+            if not isinstance(value, bool):
+                raise SchemaError(f"column {column}: expected bool, got {type(value).__name__}")
+            return value
+        if self is ColumnType.BYTES:
+            if not isinstance(value, (bytes, bytearray)):
+                raise SchemaError(f"column {column}: expected bytes, got {type(value).__name__}")
+            return bytes(value)
+        raise SchemaError(f"unhandled type {self}")  # pragma: no cover

@@ -1,0 +1,7 @@
+"""Simulated network: message bus, gossip, failure detection."""
+
+from .bus import MessageBus
+from .gossip import GossipNode
+from .membership import FailureDetector
+
+__all__ = ["FailureDetector", "GossipNode", "MessageBus"]

@@ -1,0 +1,134 @@
+"""Gossip dissemination (section III-B, network layer).
+
+SEBDB uses gossip for block propagation and data recovery.  Each node that
+learns a new rumor pushes it to ``fanout`` random peers per round; rounds
+repeat until no node has fresh rumors.  An anti-entropy pass lets a node
+that was partitioned pull everything it missed, which is how a recovering
+full node catches up with the chain.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from .bus import MessageBus
+
+#: message kinds
+GOSSIP_PUSH = "gossip-push"
+GOSSIP_PULL = "gossip-pull"
+GOSSIP_PULL_REPLY = "gossip-pull-reply"
+
+
+class GossipNode:
+    """One gossip participant; owns a rumor store keyed by rumor id."""
+
+    def __init__(
+        self,
+        node_id: str,
+        bus: MessageBus,
+        fanout: int = 2,
+        round_ms: float = 5.0,
+        seed: int = 0,
+        on_rumor: Optional[Callable[[str, Any], None]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self._bus = bus
+        self._fanout = fanout
+        self._round_ms = round_ms
+        self._rng = random.Random(seed ^ hash(node_id) & 0xFFFF)
+        self._rumors: dict[str, Any] = {}
+        #: rumor id -> remaining push rounds (rumor mongering budget)
+        self._budget: dict[str, int] = {}
+        self._on_rumor = on_rumor
+        self._round_pending = False
+        bus.register(node_id, self._handle)
+
+    # -- public -------------------------------------------------------------
+
+    @property
+    def rumors(self) -> dict[str, Any]:
+        return dict(self._rumors)
+
+    def knows(self, rumor_id: str) -> bool:
+        return rumor_id in self._rumors
+
+    def publish(self, rumor_id: str, payload: Any) -> None:
+        """Inject a new rumor at this node and start pushing it."""
+        self._learn(rumor_id, payload)
+
+    def anti_entropy(self, peer: str) -> None:
+        """Pull everything ``peer`` knows that we do not (recovery)."""
+        self._bus.send(
+            self.node_id, peer,
+            {"kind": GOSSIP_PULL, "have": sorted(self._rumors)},
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _peers(self) -> list[str]:
+        return [n for n in self._bus.node_ids if n != self.node_id]
+
+    def _learn(self, rumor_id: str, payload: Any) -> None:
+        if rumor_id in self._rumors:
+            return
+        self._rumors[rumor_id] = payload
+        # push for O(log n) + slack rounds - enough for full coverage whp
+        n = max(len(self._bus.node_ids), 2)
+        self._budget[rumor_id] = max(2, n.bit_length() + 1)
+        if self._on_rumor is not None:
+            self._on_rumor(rumor_id, payload)
+        self._schedule_round(0.0)
+
+    def _schedule_round(self, delay_ms: float) -> None:
+        if self._round_pending:
+            return
+        self._round_pending = True
+        self._bus.schedule(delay_ms, self._round)
+
+    def _round(self) -> None:
+        """Push every still-hot rumor to ``fanout`` random peers."""
+        self._round_pending = False
+        hot = sorted(rid for rid, budget in self._budget.items() if budget > 0)
+        if not hot:
+            return
+        peers = self._peers()
+        for rumor_id in hot:
+            # spend the budget even with no peers, or a lone node spins
+            self._budget[rumor_id] -= 1
+            if not peers:
+                continue
+            targets = self._rng.sample(peers, min(self._fanout, len(peers)))
+            for target in targets:
+                self._bus.send(
+                    self.node_id, target,
+                    {
+                        "kind": GOSSIP_PUSH,
+                        "rumor_id": rumor_id,
+                        "payload": self._rumors[rumor_id],
+                    },
+                )
+        if any(budget > 0 for budget in self._budget.values()):
+            self._schedule_round(self._round_ms)
+
+    def _handle(self, src: str, message: Any) -> None:
+        kind = message.get("kind")
+        if kind == GOSSIP_PUSH:
+            rumor_id = message["rumor_id"]
+            if rumor_id not in self._rumors:
+                self._learn(rumor_id, message["payload"])
+        elif kind == GOSSIP_PULL:
+            have = set(message["have"])
+            missing = {
+                rid: payload
+                for rid, payload in self._rumors.items()
+                if rid not in have
+            }
+            if missing:
+                self._bus.send(
+                    self.node_id, src,
+                    {"kind": GOSSIP_PULL_REPLY, "rumors": missing},
+                )
+        elif kind == GOSSIP_PULL_REPLY:
+            for rumor_id, payload in sorted(message["rumors"].items()):
+                self._learn(rumor_id, payload)

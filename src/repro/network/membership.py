@@ -1,0 +1,74 @@
+"""Failure detection and membership.
+
+A minimal phi-style heartbeat failure detector on top of the bus: every
+member broadcasts heartbeats each interval; a member missing more than
+``suspect_after`` intervals is marked suspected, which the gossip layer
+and consensus view changes consume.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .bus import MessageBus
+
+HEARTBEAT = "membership-heartbeat"
+
+
+class FailureDetector:
+    """Heartbeat-based failure detector for one node."""
+
+    def __init__(
+        self,
+        node_id: str,
+        bus: MessageBus,
+        interval_ms: float = 50.0,
+        suspect_after: int = 3,
+    ) -> None:
+        self.node_id = node_id
+        self._bus = bus
+        self._interval = interval_ms
+        self._suspect_after = suspect_after
+        self._last_seen: dict[str, float] = {}
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def observe(self, src: str, message: Any) -> bool:
+        """Feed a received message; returns True when it was a heartbeat."""
+        if isinstance(message, dict) and message.get("kind") == HEARTBEAT:
+            self._last_seen[src] = self._bus.clock.now_ms()
+            return True
+        # any traffic proves liveness
+        self._last_seen[src] = self._bus.clock.now_ms()
+        return False
+
+    def suspected(self) -> set[str]:
+        """Members not heard from for ``suspect_after`` intervals."""
+        now = self._bus.clock.now_ms()
+        horizon = self._interval * self._suspect_after
+        out = set()
+        for node_id in self._bus.node_ids:
+            if node_id == self.node_id:
+                continue
+            last = self._last_seen.get(node_id)
+            if last is None or now - last > horizon:
+                out.add(node_id)
+        return out
+
+    def alive(self) -> set[str]:
+        return {
+            n for n in self._bus.node_ids
+            if n != self.node_id and n not in self.suspected()
+        }
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._bus.broadcast(self.node_id, {"kind": HEARTBEAT})
+        self._bus.schedule(self._interval, self._tick)

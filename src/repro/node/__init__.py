@@ -1,0 +1,27 @@
+"""SEBDB nodes: full node, access control, contracts, auth server, facade."""
+
+from .access import READ, WRITE, AccessController, Channel
+from .auth import AuthQueryServer, InclusionProof
+from .contract import ContractRuntime, ForEach, SmartContract
+from .fullnode import FullNode
+from .network import SebdbNetwork
+from .observer import BlockGossip, make_observer
+from .stats import NodeStats, collect_stats
+
+__all__ = [
+    "AccessController",
+    "AuthQueryServer",
+    "BlockGossip",
+    "Channel",
+    "ContractRuntime",
+    "ForEach",
+    "FullNode",
+    "InclusionProof",
+    "NodeStats",
+    "READ",
+    "SebdbNetwork",
+    "SmartContract",
+    "WRITE",
+    "collect_stats",
+    "make_observer",
+]

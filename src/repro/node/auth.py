@@ -1,0 +1,178 @@
+"""Server side of authenticated queries (section VI).
+
+A full node answering a thin client builds a :class:`QueryVO` from its
+Authenticated Layered Index (ALI - the layered index whose second level is
+an MB-tree).  An *auxiliary* full node, given the same query and the
+snapshot height ``h``, independently determines which blocks the query
+must visit and returns the digest of their MB-roots; the thin client
+compares that digest against the roots it reconstructs from the VO.
+
+Both sides derive the visited-block set with the same deterministic
+procedure, so any block the serving node hides or invents changes the
+digest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from ..common.errors import QueryError
+from ..index.bitmap import Bitmap
+from ..index.layered import LayeredIndex
+from ..mht.mbtree import MBTree
+from ..mht.vo import BlockVO, QueryVO, digest_of_roots
+from ..sqlparser.nodes import TimeWindow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fullnode import FullNode
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class InclusionProof:
+    """SPV membership proof: a transaction plus its Merkle path."""
+
+    height: int
+    position: int
+    tx_bytes: bytes
+    steps: tuple  # of merkle.ProofStep
+
+    def verify(self, header: "object") -> bool:
+        """Check the proof against the block header a thin client holds."""
+        from ..mht.merkle import verify_proof
+
+        return verify_proof(self.tx_bytes, self.steps, header.trans_root)
+
+
+class AuthQueryServer:
+    """Builds VOs and auxiliary digests over one node's ALIs."""
+
+    def __init__(self, node: "FullNode") -> None:
+        self._node = node
+
+    # -- shared candidate-set derivation -----------------------------------
+
+    def _ali(self, column: str, table: Optional[str]) -> LayeredIndex:
+        index = self._node.indexes.layered(column, table)
+        if index is None:
+            raise QueryError(
+                f"no index on {column!r}"
+                + (f" of table {table!r}" if table else "")
+            )
+        probe_bid = next(iter(index.first_level_bitmap()), None)
+        if probe_bid is not None and not isinstance(index.tree(probe_bid), MBTree):
+            raise QueryError(
+                f"index on {column!r} is not authenticated - create it with "
+                f"authenticated=True"
+            )
+        return index
+
+    def _candidate_blocks(
+        self,
+        index: LayeredIndex,
+        low: Any,
+        high: Any,
+        height: int,
+        window: Optional[TimeWindow],
+        table: Optional[str] = None,
+    ) -> list[int]:
+        candidate = index.candidate_blocks_range(low, high)
+        if table is not None:
+            candidate = candidate & self._node.indexes.table_index.blocks_for_table(table)
+        if window is not None and not window.is_open:
+            candidate = candidate & self._node.indexes.block_index.window_bitmap(
+                window.start, window.end
+            )
+        candidate = candidate & Bitmap.range(0, height)
+        return sorted(candidate)
+
+    # -- phase one: the serving node --------------------------------------------
+
+    def range_vo(
+        self,
+        column: str,
+        low: Any,
+        high: Any,
+        table: Optional[str] = None,
+        window: Optional[TimeWindow] = None,
+        height: Optional[int] = None,
+    ) -> QueryVO:
+        """VO for a range (or point, low == high) query on an ALI column."""
+        index = self._ali(column, table)
+        h = self._node.store.height if height is None else height
+        blocks: list[BlockVO] = []
+        for bid in self._candidate_blocks(index, low, high, h, window, table):
+            tree = index.tree(bid)
+            assert isinstance(tree, MBTree)
+            proof = tree.range_proof(low, high)
+            covered = tree.covered_payloads(proof)
+            records = tuple(
+                self._node.store.read_transaction(bid, position).to_bytes()
+                for _key, position in covered
+            )
+            blocks.append(BlockVO(height=bid, records=records, proof=proof))
+        return QueryVO(
+            chain_height=h, column=column, low=low, high=high,
+            blocks=tuple(blocks),
+        )
+
+    def trace_vo(
+        self,
+        operator: str,
+        window: Optional[TimeWindow] = None,
+        height: Optional[int] = None,
+    ) -> QueryVO:
+        """VO for a tracking query on the SenID ALI (point query)."""
+        return self.range_vo("senid", operator, operator, window=window,
+                             height=height)
+
+    # -- SPV-style inclusion proofs -----------------------------------------------
+
+    def inclusion_proof(self, tid: int) -> "InclusionProof":
+        """Membership proof for one transaction, located by global tid.
+
+        This is the "simple authenticated query" classic blockchains
+        offer (is this transaction in a block?); a thin client checks it
+        against the block header it already stores.
+        """
+        entry = self._node.indexes.block_index.by_tid(tid)
+        if entry is None:
+            raise QueryError(f"no block contains transaction {tid}")
+        block = self._node.store.read_block(entry.bid)
+        position = None
+        for i, tx in enumerate(block.transactions):
+            if tx.tid == tid:
+                position = i
+                break
+        if position is None:
+            raise QueryError(f"transaction {tid} not found in block {entry.bid}")
+        from ..mht.merkle import MerkleTree
+
+        tree = MerkleTree([tx.to_bytes() for tx in block.transactions])
+        return InclusionProof(
+            height=entry.bid,
+            position=position,
+            tx_bytes=block.transactions[position].to_bytes(),
+            steps=tuple(tree.proof(position)),
+        )
+
+    # -- phase two: the auxiliary node ------------------------------------------------
+
+    def auxiliary_digest(
+        self,
+        column: str,
+        low: Any,
+        high: Any,
+        height: int,
+        table: Optional[str] = None,
+        window: Optional[TimeWindow] = None,
+    ) -> bytes:
+        """Digest over the MB-roots the query must visit at snapshot ``height``."""
+        index = self._ali(column, table)
+        roots = []
+        for bid in self._candidate_blocks(index, low, high, height, window, table):
+            tree = index.tree(bid)
+            assert isinstance(tree, MBTree)
+            roots.append(tree.root)
+        return digest_of_roots(roots)

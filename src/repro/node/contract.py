@@ -1,0 +1,161 @@
+"""Smart contracts with embedded SQL-like statements.
+
+Section III-B: "The system supports smart contract embedded SQL-like
+language to define a DApp, where SQL-like is responsible for accessing
+data."  A contract is a named, parameterized sequence of steps; each step
+is either a plain SQL-like statement (with ``:name`` parameters) or a
+FOREACH step that runs a read and instantiates a template statement per
+result row (the loop primitive a donation-distribution DApp needs).
+
+Contracts are deployed on-chain: deployment replicates the contract body
+through a dedicated table so every node can execute invocations
+identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Optional, Sequence, TYPE_CHECKING
+
+from ..common.errors import ContractError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fullnode import FullNode
+
+#: on-chain table recording deployed contracts
+CONTRACT_TABLE = "__contracts__"
+
+_PARAM_RE = re.compile(r":([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ForEach:
+    """Run ``query`` and execute ``template`` once per result row.
+
+    Template parameters may reference the contract's parameters and the
+    row's columns (by output column name).
+    """
+
+    query: str
+    template: str
+
+
+Step = Any  # str | ForEach
+
+
+@dataclasses.dataclass(frozen=True)
+class SmartContract:
+    """A named, parameterized batch of SQL-like steps."""
+
+    name: str
+    params: tuple[str, ...]
+    steps: tuple[Step, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name.replace("_", "").isalnum():
+            raise ContractError(f"invalid contract name {self.name!r}")
+        for param in self.params:
+            if not param.replace("_", "").isalnum():
+                raise ContractError(f"invalid parameter name {param!r}")
+
+
+def _render_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise ContractError(f"cannot render {type(value).__name__} into SQL")
+
+
+def _substitute(sql: str, env: dict[str, Any]) -> str:
+    def repl(match: "re.Match[str]") -> str:
+        name = match.group(1)
+        if name not in env:
+            raise ContractError(f"unbound contract parameter :{name}")
+        return _render_literal(env[name])
+
+    return _PARAM_RE.sub(repl, sql)
+
+
+class ContractRuntime:
+    """Deploys and executes smart contracts on one full node."""
+
+    def __init__(self, node: "FullNode") -> None:
+        self._node = node
+        self._contracts: dict[str, SmartContract] = {}
+
+    def deploy(self, contract: SmartContract) -> None:
+        """Register a contract (and record the deployment on-chain)."""
+        if contract.name in self._contracts:
+            raise ContractError(f"contract {contract.name!r} already deployed")
+        self._contracts[contract.name] = contract
+        if CONTRACT_TABLE not in self._node.catalog:
+            from ..model.schema import TableSchema
+
+            self._node.create_table(
+                TableSchema.create(
+                    CONTRACT_TABLE, [("cname", "string"), ("body", "string")]
+                )
+            )
+
+    def record_deployment(self, contract: SmartContract) -> None:
+        """Write the deployment transaction (after the table committed)."""
+        body = repr((contract.params, contract.steps))
+        self._node.insert(CONTRACT_TABLE, (contract.name, body))
+
+    def get(self, name: str) -> SmartContract:
+        if name not in self._contracts:
+            raise ContractError(f"unknown contract {name!r}")
+        return self._contracts[name]
+
+    def invoke(
+        self,
+        name: str,
+        args: Sequence[Any],
+        sender: Optional[str] = None,
+    ) -> int:
+        """Run a contract; returns the number of statements executed."""
+        contract = self.get(name)
+        if len(args) != len(contract.params):
+            raise ContractError(
+                f"contract {name!r} takes {len(contract.params)} arguments, "
+                f"got {len(args)}"
+            )
+        env = dict(zip(contract.params, args))
+        executed = 0
+        for step in contract.steps:
+            executed += self._run_step(step, env, sender)
+        return executed
+
+    def _run_step(
+        self, step: Step, env: dict[str, Any], sender: Optional[str]
+    ) -> int:
+        if isinstance(step, ForEach):
+            result = self._node.query(_substitute(step.query, env))
+            executed = 0
+            for row_dict in result.dicts():
+                row_env = dict(env)
+                for key, value in row_dict.items():
+                    row_env[_column_key(key)] = value
+                self._node.execute(
+                    _substitute(step.template, row_env), sender=sender
+                )
+                executed += 1
+            return executed
+        if isinstance(step, str):
+            self._node.execute(_substitute(step, env), sender=sender)
+            return 1
+        raise ContractError(f"unsupported step type {type(step).__name__}")
+
+
+def _column_key(column: str) -> str:
+    """Qualified result columns (``table.col``) bind as ``col``."""
+    return column.rsplit(".", 1)[-1]

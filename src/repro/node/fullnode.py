@@ -1,0 +1,290 @@
+"""The SEBDB full node.
+
+A full node owns: the block store and its caches, the index manager (block
+/ table / layered indexes), the on-chain catalog, an optional off-chain
+RDBMS, the query engine, and a connection to the pluggable consensus
+engine.  Writes (CREATE / INSERT) are turned into transactions and
+submitted for ordering; every committed batch is deterministically turned
+into a block - identical ordering therefore yields identical chains on
+every node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from ..common.clock import Clock
+from ..common.config import SebdbConfig
+from ..common.errors import CatalogError, QueryError, StorageError
+from ..consensus.base import ConsensusEngine, ReplyCallback
+from ..crypto.keys import KeyPair
+from ..index.manager import IndexManager
+from ..model.block import Block
+from ..model.catalog import Catalog
+from ..model.genesis import make_genesis
+from ..model.schema import TableSchema
+from ..model.transaction import Transaction, schema_sync_transaction
+from ..offchain.adapter import OffChainDatabase
+from ..query.engine import MethodArg, QueryEngine
+from ..query.result import QueryResult
+from ..sqlparser import nodes
+from ..sqlparser.parser import bind, parse
+from ..storage.blockstore import BlockStore
+from .access import AccessController
+
+
+class FullNode:
+    """One heavy SEBDB participant (stores everything, runs consensus)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        config: Optional[SebdbConfig] = None,
+        consensus: Optional[ConsensusEngine] = None,
+        clock: Optional[Clock] = None,
+        keypair: Optional[KeyPair] = None,
+        offchain: Optional[OffChainDatabase] = None,
+        verify_signatures: bool = False,
+        genesis: Optional[Block] = None,
+        access: Optional[AccessController] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config or SebdbConfig.in_memory()
+        self.clock = clock or Clock()
+        self.keypair = keypair or KeyPair.from_seed(node_id)
+        self.verify_signatures = verify_signatures
+        self.store = BlockStore(self.config)
+        self.catalog = Catalog()
+        self.indexes = IndexManager(
+            self.store,
+            order=self.config.bptree_order,
+            histogram_depth=self.config.histogram_depth,
+        )
+        self.offchain = offchain
+        self.access = access
+        self.engine = QueryEngine(self.store, self.indexes, self.catalog, offchain)
+        self._consensus = consensus
+        self._next_tid = 0
+        self._rejected: list[Transaction] = []
+        if self.store.height > 0:
+            # the store recovered an existing chain from its segment files:
+            # rebuild the catalog and the tid counter instead of re-creating
+            # a genesis block
+            for block in self.store.iter_blocks():
+                self.catalog.apply_block(block)
+                if block.transactions:
+                    self._next_tid = max(self._next_tid,
+                                         block.last_tid + 1)
+            self.store.cost.reset()
+        else:
+            if genesis is None:
+                genesis = make_genesis(timestamp=int(self.clock.now_ms()))
+            self.store.append_block(genesis)
+            self.catalog.apply_block(genesis)
+            self._next_tid = len(genesis.transactions)
+        if consensus is not None:
+            consensus.register_replica(node_id, self.apply_batch)
+
+    # -- write path -----------------------------------------------------------
+
+    def submit_transaction(
+        self, tx: Transaction, on_reply: Optional[ReplyCallback] = None
+    ) -> None:
+        """Send a transaction into consensus (or apply directly standalone)."""
+        if self.access is not None:
+            self.access.check_write(tx.senid, tx.tname)
+        if self._consensus is not None:
+            self._consensus.submit(tx, on_reply)
+        else:
+            self.apply_batch([tx])
+            if on_reply is not None:
+                on_reply(self.clock.now_ms())
+
+    def create_table(
+        self,
+        schema_or_sql: Union[TableSchema, str],
+        keypair: Optional[KeyPair] = None,
+    ) -> TableSchema:
+        """CREATE: replicate a schema through a special transaction."""
+        if isinstance(schema_or_sql, str):
+            stmt = parse(schema_or_sql)
+            if not isinstance(stmt, nodes.CreateTable):
+                raise QueryError("create_table expects a CREATE statement")
+            schema = TableSchema.create(stmt.table, stmt.columns)
+        else:
+            schema = schema_or_sql
+        if schema.name in self.catalog:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        tx = schema_sync_transaction(
+            schema, ts=int(self.clock.now_ms()), keypair=keypair or self.keypair
+        )
+        self.submit_transaction(tx)
+        return schema
+
+    def insert(
+        self,
+        table: str,
+        values: Sequence[Any],
+        keypair: Optional[KeyPair] = None,
+        sender: Optional[str] = None,
+        ts: Optional[int] = None,
+        on_reply: Optional[ReplyCallback] = None,
+    ) -> Transaction:
+        """INSERT: validate against the schema, sign, submit."""
+        schema = self.catalog.get(table)
+        validated = schema.validate_app_values(tuple(values))
+        tx = Transaction.create(
+            schema.name,
+            validated,
+            ts=ts if ts is not None else int(self.clock.now_ms()),
+            keypair=keypair,
+            sender=sender if keypair is None else None,
+        )
+        self.submit_transaction(tx, on_reply)
+        return tx
+
+    # -- consensus callback ------------------------------------------------------
+
+    def apply_batch(self, batch: Sequence[Transaction]) -> Optional[Block]:
+        """Deterministically turn a committed batch into the next block."""
+        accepted: list[Transaction] = []
+        for tx in batch:
+            if self.verify_signatures and not tx.verify_signature():
+                self._rejected.append(tx)
+                continue
+            accepted.append(tx.with_tid(self._next_tid))
+            self._next_tid += 1
+        if not accepted:
+            return None
+        timestamp = max(
+            int(self.clock.now_ms()), max(tx.ts for tx in accepted)
+        )
+        # the block must be byte-identical on every replica, so it carries
+        # no per-node identity: authenticity comes from consensus itself
+        block = Block.package(
+            prev_hash=self.store.tip_hash or b"\x00" * 32,
+            height=self.store.height,
+            timestamp=timestamp,
+            transactions=accepted,
+            packager="consensus",
+        )
+        self.store.append_block(block)
+        self.catalog.apply_block(block)
+        return block
+
+    @property
+    def rejected_transactions(self) -> list[Transaction]:
+        """Transactions dropped for invalid signatures."""
+        return list(self._rejected)
+
+    # -- catch-up (data recovery over gossip/anti-entropy) ---------------------
+
+    def accept_block(self, block: Block) -> None:
+        """Adopt a block produced elsewhere (catch-up path).
+
+        Verifies height, hash chaining and the transaction Merkle root
+        before appending; used by :meth:`sync_from` and by gossip-driven
+        block propagation.
+        """
+        if block.header.height != self.store.height:
+            raise StorageError(
+                f"cannot accept block {block.header.height} at height "
+                f"{self.store.height}"
+            )
+        if (self.store.tip_hash is not None
+                and block.header.prev_hash != self.store.tip_hash):
+            raise StorageError(
+                f"block {block.header.height} does not chain to our tip"
+            )
+        if not block.verify_trans_root():
+            raise StorageError(
+                f"block {block.header.height} has a corrupt transaction root"
+            )
+        if self.verify_signatures:
+            for tx in block.transactions:
+                if tx.sig and not tx.verify_signature():
+                    raise StorageError(
+                        f"block {block.header.height} carries a transaction "
+                        f"with an invalid signature"
+                    )
+        self.store.append_block(block)
+        self.catalog.apply_block(block)
+        if block.transactions:
+            self._next_tid = max(self._next_tid, block.last_tid + 1)
+
+    def sync_from(self, peer: "FullNode") -> int:
+        """Pull and verify every block we are missing from ``peer``.
+
+        Returns the number of blocks adopted.  A peer serving a forked or
+        tampered chain is rejected at the first bad block (the local chain
+        stays intact).
+        """
+        adopted = 0
+        while self.store.height < peer.store.height:
+            block = peer.store.read_block(self.store.height)
+            self.accept_block(block)
+            adopted += 1
+        return adopted
+
+    # -- read path ------------------------------------------------------------------
+
+    def query(
+        self,
+        sql: Union[str, nodes.Statement],
+        params: tuple[Any, ...] = (),
+        method: MethodArg = None,
+        channel_member: Optional[str] = None,
+    ) -> QueryResult:
+        """Execute a read statement against local state."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        if params:
+            statement = bind(statement, tuple(params))
+        if self.access is not None and channel_member is not None:
+            for table in _tables_of(statement):
+                self.access.check_read(channel_member, table)
+        return self.engine.execute(statement, method=method)
+
+    def execute(
+        self,
+        sql: str,
+        params: tuple[Any, ...] = (),
+        method: MethodArg = None,
+        keypair: Optional[KeyPair] = None,
+        sender: Optional[str] = None,
+    ) -> Optional[QueryResult]:
+        """One-stop SQL entry point: routes writes to consensus, reads to
+        the engine.  Returns ``None`` for writes (they commit async)."""
+        statement = parse(sql)
+        if params:
+            statement = bind(statement, tuple(params))
+        if isinstance(statement, nodes.CreateTable):
+            self.create_table(sql, keypair=keypair)
+            return None
+        if isinstance(statement, nodes.Insert):
+            self.insert(
+                statement.table, statement.values, keypair=keypair, sender=sender
+            )
+            return None
+        return self.query(statement, method=method)
+
+    # -- index administration ------------------------------------------------------------
+
+    def create_index(
+        self,
+        column: str,
+        table: Optional[str] = None,
+        authenticated: bool = False,
+    ):
+        """Create a layered index (ALI when ``authenticated``)."""
+        schema = self.catalog.get(table) if table else None
+        return self.indexes.create_layered_index(
+            column, table=table, schema=schema, authenticated=authenticated
+        )
+
+
+def _tables_of(statement: nodes.Statement) -> list[str]:
+    if isinstance(statement, nodes.Select):
+        return [t.name for t in statement.tables]
+    if isinstance(statement, nodes.Trace):
+        return [statement.operation] if statement.operation else []
+    return []

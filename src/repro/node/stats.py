@@ -1,0 +1,119 @@
+"""Node statistics - operational introspection for one full node.
+
+Aggregates what an operator of a SEBDB deployment monitors: chain shape,
+per-table tuple counts, index inventory, cache effectiveness, and the
+cumulative I/O the cost model has recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fullnode import FullNode
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexStats:
+    table: str          # "<all>" for global system-column indexes
+    column: str
+    kind: str           # "discrete" | "continuous"
+    blocks_covered: int
+    authenticated: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeStats:
+    """A point-in-time snapshot of one node's state."""
+
+    node_id: str
+    chain_height: int
+    total_transactions: int
+    tables: dict[str, int]              # table -> tuple count
+    indexes: tuple[IndexStats, ...]
+    cache_mode: str
+    cache_hit_ratio: float
+    cache_used_bytes: int
+    bytes_on_chain: int
+    io_seeks: int
+    io_page_transfers: int
+
+    def summary(self) -> str:
+        """Human-readable rendering (used by the CLI's \\stats)."""
+        lines = [
+            f"node:         {self.node_id}",
+            f"chain height: {self.chain_height}",
+            f"transactions: {self.total_transactions}",
+            f"on-chain:     {self.bytes_on_chain} bytes",
+            f"cache:        {self.cache_mode} "
+            f"(hit ratio {self.cache_hit_ratio:.1%}, "
+            f"{self.cache_used_bytes} bytes used)",
+            f"io:           {self.io_seeks} seeks, "
+            f"{self.io_page_transfers} page transfers",
+            "tables:",
+        ]
+        for table, count in sorted(self.tables.items()):
+            lines.append(f"  {table}: {count} tuple(s)")
+        lines.append("indexes:")
+        if not self.indexes:
+            lines.append("  (none)")
+        for index in self.indexes:
+            auth = ", authenticated" if index.authenticated else ""
+            lines.append(
+                f"  {index.table}.{index.column} "
+                f"({index.kind}{auth}, {index.blocks_covered} block(s))"
+            )
+        return "\n".join(lines)
+
+
+def collect_stats(node: "FullNode") -> NodeStats:
+    """Snapshot a full node's operational state."""
+    from ..mht.mbtree import MBTree
+
+    store = node.store
+    table_index = node.indexes.table_index
+    tables = {
+        name: table_index.tuple_count(name)
+        for name in node.catalog.table_names
+    }
+    index_rows = []
+    for (table, column), index in sorted(
+        node.indexes.layered_indexes.items(),
+        key=lambda kv: (kv[0][0] or "", kv[0][1]),
+    ):
+        covered = index.first_level_bitmap()
+        probe = next(iter(covered), None)
+        authenticated = probe is not None and isinstance(
+            index.tree(probe), MBTree
+        )
+        index_rows.append(
+            IndexStats(
+                table=table or "<all>",
+                column=column,
+                kind="continuous" if index.continuous else "discrete",
+                blocks_covered=len(covered),
+                authenticated=authenticated,
+            )
+        )
+    if node.config.cache_mode == "block":
+        cache = store.block_cache
+    else:
+        cache = store.tx_cache
+    total_txs = sum(
+        store.transactions_in_block(h) for h in range(store.height)
+    )
+    bytes_on_chain = sum(store.block_size(h) for h in range(store.height))
+    return NodeStats(
+        node_id=node.node_id,
+        chain_height=store.height,
+        total_transactions=total_txs,
+        tables=tables,
+        indexes=tuple(index_rows),
+        cache_mode=node.config.cache_mode,
+        cache_hit_ratio=cache.hit_ratio(),
+        cache_used_bytes=cache.used_bytes,
+        bytes_on_chain=bytes_on_chain,
+        io_seeks=store.cost.seeks,
+        io_page_transfers=store.cost.page_transfers,
+    )

@@ -1,0 +1,5 @@
+"""Off-chain (private, per-participant) relational storage."""
+
+from .adapter import OffChainDatabase
+
+__all__ = ["OffChainDatabase"]

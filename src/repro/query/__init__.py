@@ -1,0 +1,24 @@
+"""Query processing: planner, physical operators, engine."""
+
+from .engine import QueryEngine
+from .join_onchain import join_onchain
+from .join_onoff import join_onoff
+from .operators import extract_constraints, predicate_matches
+from .plan import AccessPath, PathChoice, choose_access_path
+from .range_scan import select_transactions
+from .result import QueryResult
+from .tracking import trace_transactions
+
+__all__ = [
+    "AccessPath",
+    "PathChoice",
+    "QueryEngine",
+    "QueryResult",
+    "choose_access_path",
+    "extract_constraints",
+    "join_onchain",
+    "join_onoff",
+    "predicate_matches",
+    "select_transactions",
+    "trace_transactions",
+]

@@ -1,0 +1,125 @@
+"""Row-level operators: predicate evaluation, projection, constraints.
+
+These are the relational primitives section V re-implements over the
+blockchain storage pattern - the physical access paths live in
+:mod:`tracking`, :mod:`range_scan`, :mod:`join_onchain`, :mod:`join_onoff`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Sequence
+
+from ..common.errors import QueryError
+from ..model.schema import TableSchema
+from ..model.transaction import Transaction
+from ..sqlparser.nodes import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    CompareOp,
+    Or,
+    Predicate,
+    conjuncts,
+)
+
+
+def tx_value(tx: Transaction, column: str, schema: TableSchema) -> Any:
+    """Value of ``column`` for ``tx`` under ``schema``."""
+    return tx.get(column, schema)
+
+
+def predicate_matches(tx: Transaction, predicate: Optional[Predicate],
+                      schema: TableSchema) -> bool:
+    """Evaluate a predicate tree against one transaction."""
+    if predicate is None:
+        return True
+    if isinstance(predicate, Comparison):
+        left = tx_value(tx, predicate.column.column, schema)
+        return predicate.op.evaluate(left, predicate.value)
+    if isinstance(predicate, Between):
+        left = tx_value(tx, predicate.column.column, schema)
+        if left is None:
+            return False
+        return predicate.low <= left <= predicate.high
+    if isinstance(predicate, And):
+        return all(predicate_matches(tx, p, schema) for p in predicate.parts)
+    if isinstance(predicate, Or):
+        return any(predicate_matches(tx, p, schema) for p in predicate.parts)
+    raise QueryError(f"unsupported predicate node {type(predicate).__name__}")
+
+
+@dataclasses.dataclass
+class RangeConstraint:
+    """The tightest [low, high] range a conjunction implies on one column.
+
+    ``low``/``high`` are inclusive bounds; ``None`` means open.  Strict
+    comparisons are kept as residual predicates - the index range is a
+    superset, residual filtering keeps semantics exact.
+    """
+
+    column: str
+    low: Any = None
+    high: Any = None
+
+    @property
+    def is_equality(self) -> bool:
+        return self.low is not None and self.low == self.high
+
+    def tighten_low(self, value: Any) -> None:
+        if self.low is None or value > self.low:
+            self.low = value
+
+    def tighten_high(self, value: Any) -> None:
+        if self.high is None or value < self.high:
+            self.high = value
+
+
+def extract_constraints(predicate: Optional[Predicate]) -> dict[str, RangeConstraint]:
+    """Per-column range constraints implied by the conjunctive part.
+
+    OR-trees contribute nothing (the caller falls back to scan+filter).
+    """
+    constraints: dict[str, RangeConstraint] = {}
+    for atom in conjuncts(predicate):
+        if isinstance(atom, Or):
+            continue
+        if isinstance(atom, Between):
+            constraint = constraints.setdefault(
+                atom.column.column, RangeConstraint(atom.column.column)
+            )
+            constraint.tighten_low(atom.low)
+            constraint.tighten_high(atom.high)
+        elif isinstance(atom, Comparison):
+            constraint = constraints.setdefault(
+                atom.column.column, RangeConstraint(atom.column.column)
+            )
+            if atom.op is CompareOp.EQ:
+                constraint.tighten_low(atom.value)
+                constraint.tighten_high(atom.value)
+            elif atom.op in (CompareOp.LT, CompareOp.LE):
+                constraint.tighten_high(atom.value)
+            elif atom.op in (CompareOp.GT, CompareOp.GE):
+                constraint.tighten_low(atom.value)
+            # NE gives no usable range
+    return constraints
+
+
+def project(
+    tx: Transaction,
+    schema: TableSchema,
+    projection: Sequence[ColumnRef],
+) -> tuple[Any, ...]:
+    """Row for ``tx``: all columns when projection is empty, else listed."""
+    if not projection:
+        return tx.row()
+    return tuple(tx_value(tx, ref.column, schema) for ref in projection)
+
+
+def projected_columns(
+    schema: TableSchema, projection: Sequence[ColumnRef]
+) -> tuple[str, ...]:
+    if not projection:
+        return schema.column_names
+    return tuple(ref.column for ref in projection)

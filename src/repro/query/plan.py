@@ -1,0 +1,118 @@
+"""Access-path selection.
+
+Implements the cost comparison of section IV-B: a scan pays eq. (1), the
+table-level bitmap pays eq. (2) over the k blocks holding the table, and
+the layered index pays eq. (3) - one random I/O per matching tuple.  The
+planner estimates p (matching tuples) from the layered index's histogram
+(continuous) or distinct-value bitmaps (discrete) and picks the cheapest
+path; benchmarks override the choice explicitly to reproduce the paper's
+per-method curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from ..index.layered import LayeredIndex
+from ..index.manager import IndexManager
+from ..storage.blockstore import BlockStore
+from .operators import RangeConstraint
+
+
+class AccessPath(enum.Enum):
+    """The three physical select strategies compared throughout Figs 8-16."""
+
+    SCAN = "scan"
+    BITMAP = "bitmap"
+    LAYERED = "layered"
+
+
+@dataclasses.dataclass
+class PathChoice:
+    """Planner output: chosen path plus the estimates that drove it."""
+
+    path: AccessPath
+    index: Optional[LayeredIndex] = None
+    constraint: Optional[RangeConstraint] = None
+    est_cost_ms: float = 0.0
+    est_rows: int = 0
+
+
+def estimate_matching_tuples(
+    index: LayeredIndex, constraint: RangeConstraint, table_tuples: int
+) -> int:
+    """Estimate p, the tuples satisfying the constraint."""
+    if table_tuples == 0:
+        return 0
+    if index.continuous and index.histogram is not None:
+        buckets = index.histogram.num_buckets
+        covered = len(
+            index.histogram.buckets_overlapping(constraint.low, constraint.high)
+        )
+        return max(1, table_tuples * covered // max(buckets, 1))
+    # discrete: assume uniform spread over distinct values
+    candidates = index.candidate_blocks_eq(constraint.low)
+    total_blocks = max(len(index.first_level_bitmap()), 1)
+    return max(1, table_tuples * len(candidates) // total_blocks)
+
+
+def choose_access_path(
+    store: BlockStore,
+    indexes: IndexManager,
+    table: str,
+    constraints: dict[str, RangeConstraint],
+    forced: Optional[AccessPath] = None,
+) -> PathChoice:
+    """Pick scan / bitmap / layered for a single-table select."""
+    n = store.height
+    avg_block = _avg_block_size(store)
+    cost = store.cost
+    scan_ms = cost.estimate_scan(n, avg_block)
+    if forced is AccessPath.SCAN:
+        return PathChoice(AccessPath.SCAN, est_cost_ms=scan_ms)
+    k = len(indexes.table_index.blocks_for_table(table))
+    bitmap_ms = cost.estimate_bitmap(k, avg_block)
+    if forced is AccessPath.BITMAP:
+        return PathChoice(AccessPath.BITMAP, est_cost_ms=bitmap_ms)
+    # find a usable layered index among the constrained columns
+    best: Optional[PathChoice] = None
+    table_tuples = indexes.table_index.tuple_count(table)
+    for column, constraint in constraints.items():
+        index = indexes.layered(column, table)
+        if index is None:
+            continue
+        if constraint.low is None and constraint.high is None:
+            continue
+        est_rows = estimate_matching_tuples(index, constraint, table_tuples)
+        layered_ms = cost.estimate_layered(est_rows)
+        choice = PathChoice(
+            AccessPath.LAYERED,
+            index=index,
+            constraint=constraint,
+            est_cost_ms=layered_ms,
+            est_rows=est_rows,
+        )
+        if best is None or choice.est_cost_ms < best.est_cost_ms:
+            best = choice
+    if forced is AccessPath.LAYERED:
+        if best is None:
+            raise ValueError(
+                f"no layered index usable for table {table!r} with the given "
+                f"predicate - create one before forcing the layered path"
+            )
+        return best
+    if best is not None and best.est_cost_ms <= min(scan_ms, bitmap_ms):
+        return best
+    if bitmap_ms <= scan_ms and k < n:
+        return PathChoice(AccessPath.BITMAP, est_cost_ms=bitmap_ms)
+    return PathChoice(AccessPath.SCAN, est_cost_ms=scan_ms)
+
+
+def _avg_block_size(store: BlockStore) -> int:
+    if store.height == 0:
+        return 0
+    sample = min(store.height, 16)
+    total = sum(store.block_size(h) for h in range(store.height - sample, store.height))
+    return total // sample

@@ -1,0 +1,137 @@
+"""Single-table SELECT over the chain - the three access paths of Fig 11/12.
+
+* ``scan``    - read every block in the window, filter (eq. 1);
+* ``bitmap``  - read only blocks holding the table (eq. 2);
+* ``layered`` - level-1 filter to candidate blocks, level-2 trees to exact
+  positions, then one random I/O per matching tuple (eq. 3).
+
+All paths apply the full predicate as a residual filter, so they return
+identical rows; only the I/O profile differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..index.bitmap import Bitmap
+from ..index.manager import IndexManager
+from ..model.schema import TableSchema
+from ..model.transaction import Transaction
+from ..sqlparser.nodes import Predicate, TimeWindow
+from ..storage.blockstore import BlockStore
+from .operators import extract_constraints, predicate_matches
+from .plan import AccessPath, PathChoice, choose_access_path
+
+
+def select_transactions(
+    store: BlockStore,
+    indexes: IndexManager,
+    schema: TableSchema,
+    predicate: Optional[Predicate] = None,
+    window: Optional[TimeWindow] = None,
+    method: Optional[AccessPath] = None,
+    limit: Optional[int] = None,
+) -> tuple[list[Transaction], PathChoice]:
+    """Matching transactions of one table, plus the plan actually used."""
+    constraints = extract_constraints(predicate)
+    choice = choose_access_path(
+        store, indexes, schema.name, constraints, forced=method
+    )
+    window_bits = _window_bits(indexes, window)
+    if choice.path is AccessPath.LAYERED:
+        assert choice.index is not None and choice.constraint is not None
+        results = _layered_select(
+            store, indexes, schema, predicate, choice, window_bits, window, limit
+        )
+    elif choice.path is AccessPath.BITMAP:
+        candidate = indexes.table_index.blocks_for_table(schema.name)
+        if window_bits is not None:
+            candidate = candidate & window_bits
+        results = _filter_blocks(
+            store, candidate, schema, predicate, window, limit
+        )
+    else:
+        candidate = (
+            window_bits
+            if window_bits is not None
+            else indexes.block_index.all_blocks_bitmap()
+        )
+        results = _filter_blocks(
+            store, candidate, schema, predicate, window, limit
+        )
+    return results, choice
+
+
+def _window_bits(
+    indexes: IndexManager, window: Optional[TimeWindow]
+) -> Optional[Bitmap]:
+    if window is None or window.is_open:
+        return None
+    return indexes.block_index.window_bitmap(window.start, window.end)
+
+
+def _in_window(tx: Transaction, window: Optional[TimeWindow]) -> bool:
+    if window is None:
+        return True
+    if window.start is not None and tx.ts < window.start:
+        return False
+    if window.end is not None and tx.ts > window.end:
+        return False
+    return True
+
+
+def _filter_blocks(
+    store: BlockStore,
+    candidate: Bitmap,
+    schema: TableSchema,
+    predicate: Optional[Predicate],
+    window: Optional[TimeWindow],
+    limit: Optional[int],
+) -> list[Transaction]:
+    """Read whole candidate blocks sequentially and filter tuples."""
+    results: list[Transaction] = []
+    for bid in candidate:
+        block = store.read_block(bid)
+        for tx in block.transactions:
+            if tx.tname != schema.name:
+                continue
+            if not _in_window(tx, window):
+                continue
+            if predicate_matches(tx, predicate, schema):
+                results.append(tx)
+                if limit is not None and len(results) >= limit:
+                    return results
+    return results
+
+
+def _layered_select(
+    store: BlockStore,
+    indexes: IndexManager,
+    schema: TableSchema,
+    predicate: Optional[Predicate],
+    choice: PathChoice,
+    window_bits: Optional[Bitmap],
+    window: Optional[TimeWindow],
+    limit: Optional[int],
+) -> list[Transaction]:
+    """Level-1 AND level-2 lookup, then per-tuple random reads."""
+    index = choice.index
+    constraint = choice.constraint
+    assert index is not None and constraint is not None
+    candidate = index.candidate_blocks_range(constraint.low, constraint.high)
+    candidate = candidate & indexes.table_index.blocks_for_table(schema.name)
+    if window_bits is not None:
+        candidate = candidate & window_bits
+    results: list[Transaction] = []
+    for bid in candidate:
+        for _key, position in index.range_block(bid, constraint.low, constraint.high):
+            tx = store.read_transaction(bid, position)
+            if tx.tname != schema.name:
+                continue
+            if not _in_window(tx, window):
+                continue
+            if predicate_matches(tx, predicate, schema):
+                results.append(tx)
+                if limit is not None and len(results) >= limit:
+                    return results
+    return results

@@ -1,0 +1,42 @@
+"""Query results.
+
+Every read returns a :class:`QueryResult`: named columns, materialized
+rows, the transactions behind them (when on-chain), the I/O cost the query
+incurred, and - for GET BLOCK - the block itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Optional
+
+from ..model.block import Block
+from ..model.transaction import Transaction
+from ..storage.costmodel import CostSnapshot
+
+
+@dataclasses.dataclass
+class QueryResult:
+    """Materialized result of one statement."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]]
+    transactions: list[Transaction] = dataclasses.field(default_factory=list)
+    block: Optional[Block] = None
+    cost: Optional[CostSnapshot] = None
+    access_path: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def dicts(self) -> list[dict[str, Any]]:
+        """Rows as column->value mappings."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        """One column's values across all rows."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]

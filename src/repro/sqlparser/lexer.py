@@ -1,0 +1,122 @@
+"""Tokenizer for the SEBDB SQL-like language.
+
+The language covers the paper's statements: CREATE, INSERT, SELECT (with
+joins, WHERE and time windows), TRACE, and GET BLOCK, plus ``?``
+placeholders for parameterized execution (the benchmark queries Q1, Q4 and
+Q7 are written with placeholders in Table II).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..common.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PLACEHOLDER = "placeholder"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "create", "insert", "into", "values", "select", "from", "where",
+    "and", "or", "not", "between", "on", "trace", "operator", "operation",
+    "get", "block", "id", "tid", "ts", "window", "in", "as", "join",
+    "true", "false", "null", "limit",
+    "count", "sum", "avg", "min", "max", "group", "order", "by",
+    "asc", "desc", "distinct",
+}
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_PUNCT = "(),[].*"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, ttype: TokenType, value: str | None = None) -> bool:
+        if self.type is not ttype:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PLACEHOLDER, "?", i))
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            j = i + 1
+            buf = []
+            while j < n and text[j] != ch:
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", i)
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # a dot not followed by a digit is punctuation (qualifier)
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            ttype = TokenType.KEYWORD if word.lower() in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(ttype, word.lower() if ttype is TokenType.KEYWORD else word, i))
+            i = j
+            continue
+        matched_op = next((op for op in _OPERATORS if text.startswith(op, i)), None)
+        if matched_op:
+            tokens.append(Token(TokenType.OPERATOR, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch == ";":
+            i += 1  # statement terminator is optional noise
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,13 @@
+"""Block storage: segment files, block store, caches, I/O cost model."""
+
+from .blockstore import BlockStore
+from .costmodel import CostModel, CostSnapshot
+from .segment import BlockLocation, SegmentStore
+
+__all__ = [
+    "BlockLocation",
+    "BlockStore",
+    "CostModel",
+    "CostSnapshot",
+    "SegmentStore",
+]

@@ -1,0 +1,271 @@
+"""The chain block store.
+
+Owns the append-only segment files, the per-block physical locations, the
+byte offsets of every transaction inside its block (so the layered index
+can read a *single* tuple with one random I/O, eq. 3 of the paper), the
+headers kept for thin clients, and the read cache.
+
+Caching (Fig 22): ``cache_mode="block"`` keeps whole recently-read blocks;
+``cache_mode="transaction"`` keeps individual recently-read tuples.  Cost
+accounting only charges the cost model on cache misses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..common.codec import Writer
+from ..common.config import SebdbConfig
+from ..common.errors import StorageError
+from ..common.lru import LRUCache
+from ..model.block import Block, BlockHeader
+from ..model.transaction import Transaction
+from .costmodel import CostModel
+from .segment import BlockLocation, SegmentStore
+
+
+class BlockStore:
+    """Append-only, cache-fronted, cost-accounted block storage."""
+
+    def __init__(
+        self,
+        config: Optional[SebdbConfig] = None,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        self.config = config or SebdbConfig.in_memory()
+        self.cost = cost or CostModel()
+        self._segments = SegmentStore(
+            self.config.data_dir, self.config.segment_file_size
+        )
+        self._locations: list[BlockLocation] = []
+        #: per block: list of (offset_in_block, length) for each transaction
+        self._tx_offsets: list[list[tuple[int, int]]] = []
+        self._headers: list[BlockHeader] = []
+        self._tip_hash: Optional[bytes] = None
+        self._block_cache: LRUCache[int, Block] = LRUCache(
+            self.config.cache_bytes if self.config.cache_mode == "block" else 0,
+            size_of=lambda b: b.size_bytes(),
+        )
+        self._tx_cache: LRUCache[tuple[int, int], Transaction] = LRUCache(
+            self.config.cache_bytes if self.config.cache_mode == "transaction" else 0,
+            size_of=lambda t: t.size_bytes(),
+        )
+        self._listeners: list[Callable[[Block, BlockLocation], None]] = []
+        if self.config.data_dir is not None:
+            self._recover_from_segments()
+
+    def _recover_from_segments(self) -> None:
+        """Rebuild chain state by re-parsing existing on-disk segments.
+
+        Blocks are self-delimiting (length-prefixed header, transaction
+        count, length-prefixed transactions), so a sequential parse of
+        each segment file recovers every block's location and the per-
+        transaction offsets.  Chaining and Merkle roots are re-verified;
+        a torn tail (partial final write) stops recovery cleanly at the
+        last complete block.
+        """
+        from ..common.codec import Reader
+        from ..common.errors import CodecError
+        from .segment import BlockLocation as _Loc
+
+        for segment in range(self._segments.segment_count):
+            path = self._segments._segment_path(segment)  # noqa: SLF001
+            if not path.exists():
+                continue
+            data = path.read_bytes()
+            offset = 0
+            while offset < len(data):
+                reader = Reader(data, offset)
+                try:
+                    header_bytes = reader.read_bytes()
+                    header = BlockHeader.from_bytes(header_bytes)
+                    count = reader.read_varint()
+                    tx_offsets: list[tuple[int, int]] = []
+                    txs = []
+                    for _ in range(count):
+                        length = reader.read_varint()
+                        start = reader.position
+                        txs.append(
+                            Transaction.from_bytes(
+                                data[start : start + length]
+                            )
+                        )
+                        reader.read_raw(length)
+                        tx_offsets.append((start - offset, length))
+                except CodecError:
+                    return  # torn tail: stop at the last complete block
+                block = Block(header=header, transactions=tuple(txs))
+                if block.header.height != self.height:
+                    return
+                if (self._tip_hash is not None
+                        and block.header.prev_hash != self._tip_hash):
+                    return
+                if not block.verify_trans_root():
+                    return
+                length_total = reader.position - offset
+                self._locations.append(
+                    _Loc(segment=segment, offset=offset, length=length_total)
+                )
+                self._tx_offsets.append(tx_offsets)
+                self._headers.append(block.header)
+                self._tip_hash = block.block_hash()
+                offset = reader.position
+
+    # -- chain state -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    @property
+    def height(self) -> int:
+        """Number of blocks stored (next block's height)."""
+        return len(self._locations)
+
+    @property
+    def tip_hash(self) -> Optional[bytes]:
+        return self._tip_hash
+
+    @property
+    def headers(self) -> list[BlockHeader]:
+        """All block headers (what a thin client synchronizes)."""
+        return list(self._headers)
+
+    def header(self, height: int) -> BlockHeader:
+        self._check_height(height)
+        return self._headers[height]
+
+    def add_listener(self, listener: Callable[[Block, BlockLocation], None]) -> None:
+        """Register a callback fired after every successful append."""
+        self._listeners.append(listener)
+
+    def _check_height(self, height: int) -> None:
+        if not 0 <= height < len(self._locations):
+            raise StorageError(
+                f"block {height} does not exist (chain height {self.height})"
+            )
+
+    # -- writes ------------------------------------------------------------
+
+    def append_block(self, block: Block) -> BlockLocation:
+        """Append a sealed block; verifies chaining against the tip."""
+        if block.header.height != self.height:
+            raise StorageError(
+                f"expected block height {self.height}, got {block.header.height}"
+            )
+        if self._tip_hash is not None and block.header.prev_hash != self._tip_hash:
+            raise StorageError(
+                f"block {block.header.height} does not chain to the tip"
+            )
+        data, offsets = _serialize_with_offsets(block)
+        location = self._segments.append(data)
+        # appending is one seek at most (sequential after the first write)
+        self.cost.record_write(len(data), seeks=0)
+        self._locations.append(location)
+        self._tx_offsets.append(offsets)
+        self._headers.append(block.header)
+        self._tip_hash = block.block_hash()
+        for listener in self._listeners:
+            listener(block, location)
+        return location
+
+    # -- reads ---------------------------------------------------------------
+
+    def read_block(self, height: int) -> Block:
+        """Read a whole block: one seek + size/pagesize transfers on miss."""
+        self._check_height(height)
+        cached = self._block_cache.get(height)
+        if cached is not None:
+            return cached
+        location = self._locations[height]
+        self.cost.record_read(location.length, seeks=1)
+        block = Block.from_bytes(self._segments.read(location))
+        if self.config.cache_mode == "block":
+            self._block_cache.put(height, block)
+        return block
+
+    def transactions_in_block(self, height: int) -> int:
+        self._check_height(height)
+        return len(self._tx_offsets[height])
+
+    def read_transaction(self, height: int, tx_index: int) -> Transaction:
+        """Read a single tuple: one random I/O (seek + 1-page transfer).
+
+        This is the access path the layered index uses; under the block
+        cache policy it falls back to reading the whole block.
+        """
+        self._check_height(height)
+        offsets = self._tx_offsets[height]
+        if not 0 <= tx_index < len(offsets):
+            raise StorageError(
+                f"block {height} has no transaction index {tx_index}"
+            )
+        if self.config.cache_mode == "block":
+            # the block cache policy serves point reads out of whole blocks
+            return self.read_block(height).transactions[tx_index]
+        cached = self._tx_cache.get((height, tx_index))
+        if cached is not None:
+            return cached
+        offset, length = offsets[tx_index]
+        self.cost.record_read(length, seeks=1)
+        raw = self._segments.read_range(self._locations[height], offset, length)
+        tx = Transaction.from_bytes(raw)
+        if self.config.cache_mode == "transaction":
+            self._tx_cache.put((height, tx_index), tx)
+        return tx
+
+    def iter_blocks(self, start: int = 0, end: Optional[int] = None) -> Iterator[Block]:
+        """Sequential scan of blocks ``start .. end-1``."""
+        stop = self.height if end is None else min(end, self.height)
+        for height in range(start, stop):
+            yield self.read_block(height)
+
+    def block_size(self, height: int) -> int:
+        self._check_height(height)
+        return self._locations[height].length
+
+    def location(self, height: int) -> BlockLocation:
+        """Physical location of a stored block."""
+        self._check_height(height)
+        return self._locations[height]
+
+    # -- cache introspection (Fig 22 metrics) --------------------------------
+
+    @property
+    def block_cache(self) -> LRUCache[int, Block]:
+        return self._block_cache
+
+    @property
+    def tx_cache(self) -> LRUCache[tuple[int, int], Transaction]:
+        return self._tx_cache
+
+    def clear_caches(self) -> None:
+        self._block_cache.clear()
+        self._tx_cache.clear()
+
+
+def _serialize_with_offsets(block: Block) -> tuple[bytes, list[tuple[int, int]]]:
+    """Serialize a block, recording each transaction's (offset, length).
+
+    Mirrors :meth:`Block.to_bytes` byte-for-byte; the offsets address the
+    raw transaction bytes (after their varint length prefix) so a point
+    read deserializes directly with :meth:`Transaction.from_bytes`.
+    """
+    header_bytes = block.header.to_bytes()
+    writer = Writer()
+    writer.write_bytes(header_bytes)
+    writer.write_varint(len(block.transactions))
+    prefix = writer.getvalue()
+    parts = [prefix]
+    position = len(prefix)
+    offsets: list[tuple[int, int]] = []
+    for tx in block.transactions:
+        tx_bytes = tx.to_bytes()
+        lp = Writer()
+        lp.write_varint(len(tx_bytes))
+        length_prefix = lp.getvalue()
+        parts.append(length_prefix)
+        position += len(length_prefix)
+        offsets.append((position, len(tx_bytes)))
+        parts.append(tx_bytes)
+        position += len(tx_bytes)
+    return b"".join(parts), offsets

@@ -1,0 +1,122 @@
+"""Append-only segment files.
+
+Blocks are appended to numbered segment files (``segment-000001.dat`` ...);
+once a block is written it is immutable.  When the active segment would
+exceed the configured size (paper default 256 MB) a new one is started.
+A ``data_dir`` of ``None`` keeps segments in memory, which tests and
+benchmarks use for speed - the access pattern and the cost accounting are
+identical either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Optional
+
+from ..common.errors import StorageError
+
+_SEGMENT_NAME = "segment-{:06d}.dat"
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockLocation:
+    """Physical address of a block: segment number, byte offset, length."""
+
+    segment: int
+    offset: int
+    length: int
+
+
+class SegmentStore:
+    """A sequence of append-only segments, on disk or in memory."""
+
+    def __init__(self, data_dir: Optional[Path], segment_size: int) -> None:
+        if segment_size <= 0:
+            raise StorageError("segment_size must be positive")
+        self._dir = Path(data_dir) if data_dir is not None else None
+        self._segment_size = segment_size
+        self._memory: list[bytearray] = []
+        self._active = 0
+        self._active_offset = 0
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._recover()
+        else:
+            self._memory.append(bytearray())
+
+    def _segment_path(self, segment: int) -> Path:
+        assert self._dir is not None
+        return self._dir / _SEGMENT_NAME.format(segment)
+
+    def _recover(self) -> None:
+        """Resume appending after the last existing on-disk segment."""
+        assert self._dir is not None
+        existing = sorted(self._dir.glob("segment-*.dat"))
+        if not existing:
+            self._segment_path(0).touch()
+            return
+        last = existing[-1]
+        self._active = int(last.stem.split("-")[1])
+        self._active_offset = last.stat().st_size
+
+    @property
+    def segment_count(self) -> int:
+        return self._active + 1
+
+    def append(self, data: bytes) -> BlockLocation:
+        """Append ``data`` to the active segment, rolling over when full."""
+        if not data:
+            raise StorageError("refusing to append empty record")
+        if self._active_offset and self._active_offset + len(data) > self._segment_size:
+            self._active += 1
+            self._active_offset = 0
+            if self._dir is None:
+                self._memory.append(bytearray())
+            else:
+                self._segment_path(self._active).touch()
+        location = BlockLocation(
+            segment=self._active, offset=self._active_offset, length=len(data)
+        )
+        if self._dir is None:
+            self._memory[self._active].extend(data)
+        else:
+            with open(self._segment_path(self._active), "ab") as fh:
+                fh.write(data)
+        self._active_offset += len(data)
+        return location
+
+    def read(self, location: BlockLocation) -> bytes:
+        """Read back the exact bytes at ``location``."""
+        if self._dir is None:
+            if location.segment >= len(self._memory):
+                raise StorageError(f"no such segment {location.segment}")
+            buf = self._memory[location.segment]
+            if location.offset + location.length > len(buf):
+                raise StorageError(
+                    f"read past end of segment {location.segment}: "
+                    f"{location.offset}+{location.length} > {len(buf)}"
+                )
+            return bytes(buf[location.offset : location.offset + location.length])
+        path = self._segment_path(location.segment)
+        if not path.exists():
+            raise StorageError(f"missing segment file {path}")
+        with open(path, "rb") as fh:
+            fh.seek(location.offset)
+            data = fh.read(location.length)
+        if len(data) != location.length:
+            raise StorageError(
+                f"short read from {path}: wanted {location.length}, got {len(data)}"
+            )
+        return data
+
+    def read_range(self, location: BlockLocation, offset: int, length: int) -> bytes:
+        """Read a sub-range of a stored record (one transaction of a block)."""
+        if offset < 0 or offset + length > location.length:
+            raise StorageError("sub-range outside stored record")
+        inner = BlockLocation(
+            segment=location.segment,
+            offset=location.offset + offset,
+            length=length,
+        )
+        return self.read(inner)

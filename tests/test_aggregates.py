@@ -1,0 +1,210 @@
+"""Tests for aggregates, GROUP BY and ORDER BY (the language extension)."""
+
+import pytest
+
+from repro.common.errors import ParseError, QueryError
+from repro.query.aggregates import compute_aggregate
+from repro.sqlparser import parse
+from repro.sqlparser.nodes import Aggregate, ColumnRef
+
+
+class TestParsing:
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM donate")
+        assert stmt.projection == (Aggregate("count", None),)
+
+    def test_sum_column(self):
+        stmt = parse("SELECT SUM(amount) FROM donate")
+        assert stmt.projection == (Aggregate("sum", ColumnRef("amount")),)
+
+    def test_group_by(self):
+        stmt = parse("SELECT donor, SUM(amount) FROM donate GROUP BY donor")
+        assert stmt.group_by == ColumnRef("donor")
+        assert stmt.projection[0] == ColumnRef("donor")
+
+    def test_order_by(self):
+        stmt = parse("SELECT * FROM donate ORDER BY amount DESC")
+        assert stmt.order_by.column == ColumnRef("amount")
+        assert stmt.order_by.descending
+
+    def test_order_by_asc_default(self):
+        stmt = parse("SELECT * FROM donate ORDER BY amount")
+        assert not stmt.order_by.descending
+        stmt = parse("SELECT * FROM donate ORDER BY amount ASC")
+        assert not stmt.order_by.descending
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT SUM(*) FROM donate")
+
+    def test_min_still_usable_as_column_name(self):
+        # 'min' not followed by '(' parses as an ordinary column
+        stmt = parse("SELECT min FROM t")
+        assert stmt.projection == (ColumnRef("min"),)
+
+    def test_all_aggregate_funcs(self):
+        stmt = parse(
+            "SELECT COUNT(a), SUM(a), AVG(a), MIN(a), MAX(a) FROM t"
+        )
+        funcs = [p.func for p in stmt.projection]
+        assert funcs == ["count", "sum", "avg", "min", "max"]
+
+    def test_clause_ordering(self):
+        stmt = parse(
+            "SELECT donor, COUNT(*) FROM donate WHERE amount > 5 "
+            "GROUP BY donor ORDER BY donor DESC WINDOW [0, 99] LIMIT 3"
+        )
+        assert stmt.where is not None
+        assert stmt.group_by is not None
+        assert stmt.order_by is not None
+        assert stmt.window is not None
+        assert stmt.limit == 3
+
+
+class TestComputeAggregate:
+    def test_count(self):
+        assert compute_aggregate("count", [1, 2, 3]) == 3
+
+    def test_sum_avg(self):
+        assert compute_aggregate("sum", [1.0, 2.0, 3.0]) == 6.0
+        assert compute_aggregate("avg", [1.0, 2.0, 3.0]) == 2.0
+
+    def test_min_max(self):
+        assert compute_aggregate("min", [5, 1, 9]) == 1
+        assert compute_aggregate("max", [5, 1, 9]) == 9
+
+    def test_empty_values(self):
+        assert compute_aggregate("count", []) == 0
+        assert compute_aggregate("sum", []) is None
+        assert compute_aggregate("avg", []) is None
+
+
+class TestEngineAggregates:
+    def donate_amounts(self, chain):
+        return [tx.values[2] for tx in chain.all_txs if tx.tname == "donate"]
+
+    def test_count_star(self, chain):
+        result = chain.engine.execute("SELECT COUNT(*) FROM donate")
+        assert result.columns == ("count(*)",)
+        assert result.rows == [(len(self.donate_amounts(chain)),)]
+
+    def test_sum(self, chain):
+        result = chain.engine.execute("SELECT SUM(amount) FROM donate")
+        assert result.rows[0][0] == pytest.approx(
+            sum(self.donate_amounts(chain))
+        )
+
+    def test_avg_min_max(self, chain):
+        result = chain.engine.execute(
+            "SELECT AVG(amount), MIN(amount), MAX(amount) FROM donate"
+        )
+        amounts = self.donate_amounts(chain)
+        avg, low, high = result.rows[0]
+        assert avg == pytest.approx(sum(amounts) / len(amounts))
+        assert low == min(amounts) and high == max(amounts)
+
+    def test_count_with_where(self, chain):
+        result = chain.engine.execute(
+            "SELECT COUNT(*) FROM donate WHERE amount > 500"
+        )
+        expected = sum(1 for a in self.donate_amounts(chain) if a > 500)
+        assert result.rows == [(expected,)]
+
+    def test_group_by(self, chain):
+        result = chain.engine.execute(
+            "SELECT donor, COUNT(*), SUM(amount) FROM donate GROUP BY donor"
+        )
+        truth: dict = {}
+        for tx in chain.all_txs:
+            if tx.tname == "donate":
+                entry = truth.setdefault(tx.values[0], [0, 0.0])
+                entry[0] += 1
+                entry[1] += tx.values[2]
+        assert len(result) == len(truth)
+        for donor, count, total in result.rows:
+            assert truth[donor][0] == count
+            assert truth[donor][1] == pytest.approx(total)
+
+    def test_group_by_ordered_keys(self, chain):
+        result = chain.engine.execute(
+            "SELECT donor, COUNT(*) FROM donate GROUP BY donor"
+        )
+        donors = [row[0] for row in result.rows]
+        assert donors == sorted(donors)
+
+    def test_group_by_senid(self, chain):
+        result = chain.engine.execute(
+            "SELECT senid, COUNT(*) FROM donate GROUP BY senid"
+        )
+        total = sum(row[1] for row in result.rows)
+        assert total == len(self.donate_amounts(chain))
+
+    def test_plain_column_without_group_rejected(self, chain):
+        with pytest.raises(QueryError):
+            chain.engine.execute("SELECT donor, COUNT(*) FROM donate")
+
+    def test_wrong_group_column_rejected(self, chain):
+        with pytest.raises(QueryError):
+            chain.engine.execute(
+                "SELECT project, COUNT(*) FROM donate GROUP BY donor"
+            )
+
+    def test_aggregate_methods_agree(self, chain):
+        values = [
+            chain.engine.execute("SELECT SUM(amount) FROM donate",
+                                 method=m).rows[0][0]
+            for m in ("scan", "bitmap")
+        ]
+        assert values[0] == pytest.approx(values[1])
+
+
+class TestEngineOrderBy:
+    def test_order_ascending(self, chain):
+        result = chain.engine.execute(
+            "SELECT amount FROM donate ORDER BY amount"
+        )
+        amounts = [row[0] for row in result.rows]
+        assert amounts == sorted(amounts)
+
+    def test_order_descending_with_limit(self, chain):
+        result = chain.engine.execute(
+            "SELECT amount FROM donate ORDER BY amount DESC LIMIT 3"
+        )
+        top3 = sorted(
+            (tx.values[2] for tx in chain.all_txs if tx.tname == "donate"),
+            reverse=True,
+        )[:3]
+        assert [row[0] for row in result.rows] == top3
+
+    def test_order_on_star(self, chain):
+        result = chain.engine.execute("SELECT * FROM donate ORDER BY ts DESC")
+        ts_col = result.columns.index("ts")
+        ts = [row[ts_col] for row in result.rows]
+        assert ts == sorted(ts, reverse=True)
+
+    def test_order_on_grouped(self, chain):
+        result = chain.engine.execute(
+            "SELECT donor, SUM(amount) FROM donate GROUP BY donor "
+            "ORDER BY donor DESC"
+        )
+        donors = [row[0] for row in result.rows]
+        assert donors == sorted(donors, reverse=True)
+
+    def test_order_join_output(self, chain):
+        result = chain.engine.execute(
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization "
+            "ORDER BY amount LIMIT 5"
+        )
+        assert len(result) == 5
+
+    def test_order_unknown_column_rejected(self, chain):
+        with pytest.raises(QueryError):
+            chain.engine.execute("SELECT donor FROM donate ORDER BY ghost")
+
+    def test_order_offchain(self, chain):
+        result = chain.engine.execute(
+            "SELECT * FROM offchain.doneeinfo ORDER BY income DESC LIMIT 2"
+        )
+        incomes = [row[2] for row in result.rows]
+        assert incomes == sorted(incomes, reverse=True)

@@ -1,0 +1,153 @@
+"""Advanced authenticated-query tests: windows, two-index trace, and
+actively lying auxiliary nodes."""
+
+import pytest
+
+from repro import SebdbNetwork, ThinClient
+from repro.common.errors import VerificationError
+from repro.sqlparser.nodes import TimeWindow
+
+
+@pytest.fixture(scope="module")
+def net():
+    network = SebdbNetwork(num_nodes=4, consensus="kafka", batch_txs=15,
+                           timeout_ms=30)
+    network.execute("CREATE donate (donor string, amount decimal)")
+    network.execute("CREATE transfer (org string, amount decimal)")
+    for i in range(60):
+        if i % 3 == 0:
+            network.execute(
+                f"INSERT INTO transfer VALUES ('orgX', {float(i)})",
+                sender="org1",
+            )
+        elif i % 3 == 1:
+            network.execute(
+                f"INSERT INTO donate VALUES ('d{i}', {float(i)})",
+                sender="org1",
+            )
+        else:
+            network.execute(
+                f"INSERT INTO donate VALUES ('d{i}', {float(i)})",
+                sender="org2",
+            )
+    network.commit()
+    for node in network.nodes:
+        node.create_index("senid", authenticated=True)
+        node.create_index("tname", authenticated=True)
+        node.create_index("amount", table="donate", authenticated=True)
+    return network
+
+
+class TestWindowedAuthQueries:
+    def test_windowed_trace_matches_plain(self, net):
+        client = ThinClient(net.nodes, seed=1)
+        client.sync_headers()
+        all_ts = sorted(
+            tx.ts for tx in net.execute("TRACE OPERATOR = 'org1'").transactions
+        )
+        mid = all_ts[len(all_ts) // 2]
+        window = TimeWindow(start=mid, end=None)
+        answer = client.authenticated_range(
+            "senid", "org1", "org1", window=window,
+            key_of=lambda tx: tx.senid,
+        )
+        plain = net.execute(f"TRACE [{mid}, ] OPERATOR = 'org1'")
+        assert sorted(t.tid for t in answer.transactions) == sorted(
+            t.tid for t in plain.transactions
+        )
+
+    def test_windowed_range(self, net):
+        client = ThinClient(net.nodes, seed=2)
+        client.sync_headers()
+        schema = net.node(0).catalog.get("donate")
+        window = TimeWindow(start=0, end=10**12)
+        answer = client.authenticated_range(
+            "amount", 10.0, 30.0, table="donate", schema=schema,
+            window=window,
+        )
+        plain = net.execute(
+            "SELECT * FROM donate WHERE amount BETWEEN 10 AND 30"
+        )
+        assert len(answer.transactions) == len(plain)
+
+
+class TestTwoIndexTrace:
+    def test_matches_plain_two_dim(self, net):
+        client = ThinClient(net.nodes, seed=3)
+        client.sync_headers()
+        answer = client.authenticated_trace_two_index("org1", "transfer")
+        plain = net.execute(
+            "TRACE OPERATOR = 'org1', OPERATION = 'transfer'"
+        )
+        assert sorted(t.tid for t in answer.transactions) == sorted(
+            t.tid for t in plain.transactions
+        )
+        assert all(t.senid == "org1" and t.tname == "transfer"
+                   for t in answer.transactions)
+
+    def test_two_index_vo_has_both_dimensions(self, net):
+        client = ThinClient(net.nodes, seed=4)
+        client.sync_headers()
+        one = client.authenticated_trace("org1", operation="transfer")
+        two = client.authenticated_trace_two_index("org1", "transfer")
+        assert sorted(t.tid for t in one.transactions) == sorted(
+            t.tid for t in two.transactions
+        )
+        # the two-index VO carries two proofs
+        assert two.digests_sampled >= one.digests_sampled
+
+
+class TestLyingAuxiliaries:
+    def test_minority_liars_outvoted(self, net):
+        """One lying auxiliary digest out of three is outvoted at m=2."""
+        from repro.node.auth import AuthQueryServer
+
+        class LyingServer(AuthQueryServer):
+            def auxiliary_digest(self, *args, **kwargs):
+                return b"\x66" * 32
+
+        client = ThinClient(net.nodes, seed=5)
+        client.sync_headers()
+        # corrupt one node's server wrapper inside the client
+        victim = net.nodes[1]
+        client._servers[id(victim)] = LyingServer(victim)
+        answer = client.authenticated_trace("org1", n_aux=3, m=2)
+        truth = net.execute("TRACE OPERATOR = 'org1'")
+        assert len(answer.transactions) == len(truth)
+
+    def test_majority_liars_detected(self, net):
+        """If no honest quorum of m digests forms, the client refuses."""
+        from repro.node.auth import AuthQueryServer
+
+        class LyingServer(AuthQueryServer):
+            def __init__(self, node, noise):
+                super().__init__(node)
+                self._noise = noise
+
+            def auxiliary_digest(self, *args, **kwargs):
+                return bytes([self._noise]) * 32
+
+        client = ThinClient(net.nodes, seed=6)
+        client.sync_headers()
+        # every auxiliary lies *differently*: no digest reaches m=2
+        for i, node in enumerate(net.nodes):
+            client._servers[id(node)] = LyingServer(node, noise=i + 1)
+        with pytest.raises(VerificationError):
+            client.authenticated_trace("org1", n_aux=3, m=2)
+
+    def test_colluding_liars_fail_vo_check(self, net):
+        """Even m identical forged digests cannot validate a truthful VO -
+        the client's reconstructed digest will not match the forgery."""
+        from repro.node.auth import AuthQueryServer
+
+        class CollusionServer(AuthQueryServer):
+            def auxiliary_digest(self, *args, **kwargs):
+                return b"\x99" * 32
+
+        client = ThinClient(net.nodes, seed=7)
+        client.sync_headers()
+        for node in net.nodes:
+            client._servers[id(node)] = CollusionServer(node)
+        # range_vo still honest (phase 1 unpatched) -> digest mismatch
+        with pytest.raises(VerificationError):
+            client.authenticated_trace("org1", n_aux=3, m=2)

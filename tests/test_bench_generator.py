@@ -1,0 +1,217 @@
+"""Tests for the BChainBench schema, data generator and workload."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import random
+
+from repro.bench import (
+    ALL_QUERIES,
+    GAUSSIAN,
+    ONCHAIN_SCHEMAS,
+    Q2,
+    Q4,
+    RESULT_HIGH,
+    RESULT_LOW,
+    UNIFORM,
+    build_join_dataset,
+    build_onoff_dataset,
+    build_range_dataset,
+    build_tracking_dataset,
+    create_offchain_tables,
+    create_standard_indexes,
+    run_query,
+    sebdb_row,
+    spread_counts,
+)
+from repro.offchain import OffChainDatabase
+
+
+class TestSchema:
+    def test_three_onchain_tables(self):
+        assert [s.name for s in ONCHAIN_SCHEMAS] == [
+            "donate", "transfer", "distribute",
+        ]
+
+    def test_offchain_tables_created(self):
+        db = OffChainDatabase()
+        create_offchain_tables(db)
+        for name in ("donorinfo", "doneeinfo", "childreninfo", "customer"):
+            assert db.has_table(name)
+
+    def test_table_one_row(self):
+        row = sebdb_row()
+        assert row.systems == "SEBDB"
+        assert row.decentralization
+        assert row.on_off_chain_integration
+        assert row.sql_interface == "yes"
+
+
+class TestSpreadCounts:
+    def test_uniform_even(self):
+        counts = spread_counts(100, 10, UNIFORM, random.Random(0))
+        assert counts == [10] * 10
+
+    def test_uniform_remainder(self):
+        counts = spread_counts(7, 3, UNIFORM, random.Random(0))
+        assert sum(counts) == 7 and max(counts) - min(counts) <= 1
+
+    def test_gaussian_concentrates(self):
+        counts = spread_counts(1000, 100, GAUSSIAN, random.Random(0),
+                               variance=5.0)
+        assert sum(counts) == 1000
+        middle = sum(counts[40:60])
+        assert middle > 900  # nearly all mass near the mean
+
+    def test_gaussian_clamped_to_range(self):
+        counts = spread_counts(100, 4, GAUSSIAN, random.Random(0),
+                               variance=50.0)
+        assert sum(counts) == 100
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            spread_counts(1, 1, "zipf", random.Random(0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 500), st.integers(1, 40))
+    def test_total_preserved(self, total, blocks):
+        for dist in (UNIFORM, GAUSSIAN):
+            counts = spread_counts(total, blocks, dist, random.Random(1))
+            assert sum(counts) == total
+            assert len(counts) == blocks
+
+
+class TestTrackingDataset:
+    def test_result_size_exact(self):
+        dataset = build_tracking_dataset(8, 20, 40, seed=1)
+        create_standard_indexes(dataset)
+        result = dataset.node.query("TRACE OPERATOR = 'org1'")
+        assert len(result) == 40
+
+    def test_two_dim_knobs(self):
+        dataset = build_tracking_dataset(
+            8, 30, 25, operator_extra=30, operation_extra=20, seed=1
+        )
+        create_standard_indexes(dataset)
+        by_operator = dataset.node.query("TRACE OPERATOR = 'org1'")
+        assert len(by_operator) == 25 + 30
+        both = dataset.node.query(
+            "TRACE OPERATOR = 'org1', OPERATION = 'transfer'"
+        )
+        assert len(both) == 25
+        by_operation = dataset.node.query("TRACE OPERATION = 'transfer'")
+        assert len(by_operation) == 25 + 20
+
+    def test_gaussian_touches_fewer_blocks(self):
+        uniform = build_tracking_dataset(30, 20, 60, UNIFORM, seed=2)
+        gaussian = build_tracking_dataset(30, 20, 60, GAUSSIAN,
+                                          variance=3.0, seed=2)
+        create_standard_indexes(uniform)
+        create_standard_indexes(gaussian)
+        blocks_u = uniform.indexes.layered("senid").candidate_blocks_eq("org1")
+        blocks_g = gaussian.indexes.layered("senid").candidate_blocks_eq("org1")
+        assert len(blocks_g) < len(blocks_u)
+
+    def test_block_count_and_fill(self):
+        dataset = build_tracking_dataset(6, 25, 10, seed=1)
+        assert dataset.store.height == 7  # genesis + 6
+        for height in range(1, 7):
+            assert dataset.store.transactions_in_block(height) >= 25
+
+
+class TestRangeDataset:
+    def test_result_size_exact(self):
+        dataset = build_range_dataset(8, 20, 35, seed=1)
+        create_standard_indexes(dataset)
+        result = dataset.node.query(
+            "SELECT * FROM donate WHERE amount BETWEEN ? AND ?",
+            params=(RESULT_LOW, RESULT_HIGH),
+        )
+        assert len(result) == 35
+
+    def test_noise_outside_range(self):
+        dataset = build_range_dataset(4, 15, 10, seed=1)
+        create_standard_indexes(dataset)
+        outside = dataset.node.query(
+            "SELECT * FROM donate WHERE amount > ?", params=(RESULT_HIGH,),
+            method="scan",
+        )
+        inside = dataset.node.query(
+            "SELECT * FROM donate WHERE amount BETWEEN ? AND ?",
+            params=(RESULT_LOW, RESULT_HIGH), method="scan",
+        )
+        assert len(inside) == 10
+        assert len(outside) == 4 * 15 - 10
+
+
+class TestJoinDatasets:
+    def test_onchain_join_result_exact(self):
+        dataset = build_join_dataset(10, 24, table_rows=60, result_pairs=25,
+                                     seed=1)
+        create_standard_indexes(dataset)
+        result = dataset.node.query(
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization"
+        )
+        assert len(result) == 25
+
+    def test_result_cannot_exceed_rows(self):
+        with pytest.raises(ValueError):
+            build_join_dataset(4, 10, table_rows=5, result_pairs=9)
+
+    def test_onoff_join_result_exact(self):
+        dataset = build_onoff_dataset(10, 24, onchain_rows=60,
+                                      result_pairs=20, seed=1)
+        create_standard_indexes(dataset)
+        result = dataset.node.query(
+            "SELECT * FROM onchain.distribute, offchain.doneeinfo "
+            "ON distribute.donee = doneeinfo.donee"
+        )
+        assert len(result) == 20
+
+    def test_onoff_offchain_rows(self):
+        dataset = build_onoff_dataset(4, 15, onchain_rows=20,
+                                      result_pairs=8, seed=1)
+        assert dataset.offchain.count("doneeinfo") == 8
+
+
+class TestWorkload:
+    def test_all_seven_queries_defined(self):
+        assert [q.qid for q in ALL_QUERIES] == [
+            "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7",
+        ]
+
+    def test_run_query_q2(self):
+        dataset = build_tracking_dataset(5, 15, 12, seed=1)
+        create_standard_indexes(dataset)
+        result = run_query(dataset.node, Q2)
+        assert len(result) == 12
+
+    def test_run_query_q4_with_params(self):
+        dataset = build_range_dataset(5, 15, 9, seed=1)
+        create_standard_indexes(dataset)
+        result = run_query(dataset.node, Q4, params=(RESULT_LOW, RESULT_HIGH))
+        assert len(result) == 9
+
+    def test_q1_rejected_as_read(self):
+        dataset = build_range_dataset(2, 5, 2, seed=1)
+        from repro.bench import Q1
+
+        with pytest.raises(ValueError):
+            run_query(dataset.node, Q1)
+
+    def test_methods_agree_on_generated_data(self):
+        dataset = build_range_dataset(6, 20, 18, GAUSSIAN, variance=2.0,
+                                      seed=5)
+        create_standard_indexes(dataset)
+        results = {
+            m: sorted(
+                tx.tid for tx in dataset.node.query(
+                    "SELECT * FROM donate WHERE amount BETWEEN ? AND ?",
+                    params=(RESULT_LOW, RESULT_HIGH), method=m,
+                ).transactions
+            )
+            for m in ("scan", "bitmap", "layered")
+        }
+        assert results["scan"] == results["bitmap"] == results["layered"]

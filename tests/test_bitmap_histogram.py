@@ -1,0 +1,147 @@
+"""Tests for bitmaps and equal-depth histograms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import IndexError_
+from repro.index import Bitmap, EqualDepthHistogram
+
+
+class TestBitmap:
+    def test_empty(self):
+        bitmap = Bitmap()
+        assert not bitmap
+        assert len(bitmap) == 0
+        assert list(bitmap) == []
+        assert bitmap.max_bit() == -1
+
+    def test_set_test_clear(self):
+        bitmap = Bitmap()
+        bitmap.set(3)
+        assert bitmap.test(3) and 3 in bitmap
+        assert not bitmap.test(2)
+        bitmap.clear(3)
+        assert not bitmap.test(3)
+
+    def test_from_indices(self):
+        bitmap = Bitmap.from_indices([5, 1, 9])
+        assert list(bitmap) == [1, 5, 9]
+        assert len(bitmap) == 3
+
+    def test_range_constructor(self):
+        assert list(Bitmap.range(2, 6)) == [2, 3, 4, 5]
+        assert list(Bitmap.range(4, 4)) == []
+        assert list(Bitmap.range(5, 2)) == []
+
+    def test_and_or_xor_sub(self):
+        a = Bitmap.from_indices([1, 2, 3])
+        b = Bitmap.from_indices([2, 3, 4])
+        assert list(a & b) == [2, 3]
+        assert list(a | b) == [1, 2, 3, 4]
+        assert list(a ^ b) == [1, 4]
+        assert list(a - b) == [1]
+
+    def test_equality_and_hash(self):
+        assert Bitmap.from_indices([1, 2]) == Bitmap.from_indices([2, 1])
+        assert hash(Bitmap.from_indices([7])) == hash(Bitmap.from_indices([7]))
+
+    def test_copy_independent(self):
+        a = Bitmap.from_indices([1])
+        b = a.copy()
+        b.set(2)
+        assert 2 not in a
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap().set(-1)
+        with pytest.raises(ValueError):
+            Bitmap.from_indices([-3])
+
+    def test_negative_test_false(self):
+        assert not Bitmap.from_indices([0]).test(-1)
+
+    def test_large_indices(self):
+        bitmap = Bitmap.from_indices([10_000])
+        assert bitmap.max_bit() == 10_000
+        assert list(bitmap) == [10_000]
+
+    @given(st.sets(st.integers(0, 500)), st.sets(st.integers(0, 500)))
+    def test_set_algebra_property(self, xs, ys):
+        a, b = Bitmap.from_indices(xs), Bitmap.from_indices(ys)
+        assert set(a & b) == xs & ys
+        assert set(a | b) == xs | ys
+        assert set(a - b) == xs - ys
+        assert len(a) == len(xs)
+
+
+class TestHistogram:
+    def test_single_bucket_when_empty(self):
+        hist = EqualDepthHistogram.from_sample([], depth=10)
+        assert hist.num_buckets == 1
+        assert hist.bucket_of(42) == 0
+
+    def test_depth_one(self):
+        hist = EqualDepthHistogram.from_sample([1, 2, 3], depth=1)
+        assert hist.num_buckets == 1
+
+    def test_equal_depth_on_uniform_sample(self):
+        sample = list(range(1000))
+        hist = EqualDepthHistogram.from_sample(sample, depth=10)
+        assert hist.num_buckets == 10
+        counts = [0] * hist.num_buckets
+        for value in sample:
+            counts[hist.bucket_of(value)] += 1
+        assert max(counts) - min(counts) <= len(sample) // 10 + 1
+
+    def test_bucket_of_boundaries(self):
+        hist = EqualDepthHistogram([10, 20])
+        assert hist.bucket_of(5) == 0
+        assert hist.bucket_of(10) == 0   # bounds belong to the lower bucket
+        assert hist.bucket_of(11) == 1
+        assert hist.bucket_of(20) == 1
+        assert hist.bucket_of(999) == 2
+
+    def test_buckets_overlapping(self):
+        hist = EqualDepthHistogram([10, 20, 30])
+        assert list(hist.buckets_overlapping(12, 25)) == [1, 2]
+        assert list(hist.buckets_overlapping(None, 5)) == [0]
+        assert list(hist.buckets_overlapping(35, None)) == [3]
+        assert list(hist.buckets_overlapping(None, None)) == [0, 1, 2, 3]
+
+    def test_bucket_range(self):
+        hist = EqualDepthHistogram([10, 20])
+        assert hist.bucket_range(0) == (None, 10)
+        assert hist.bucket_range(1) == (10, 20)
+        assert hist.bucket_range(2) == (20, None)
+        with pytest.raises(IndexError_):
+            hist.bucket_range(3)
+
+    def test_skewed_sample_collapses_duplicates(self):
+        hist = EqualDepthHistogram.from_sample([5] * 100 + [9], depth=10)
+        assert hist.num_buckets <= 3  # duplicate bounds collapsed
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(IndexError_):
+            EqualDepthHistogram([5, 3])
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(IndexError_):
+            EqualDepthHistogram.from_sample([1], depth=0)
+
+    def test_none_values_skipped(self):
+        hist = EqualDepthHistogram.from_sample([1, None, 2, None, 3], depth=2)
+        assert hist.num_buckets >= 1
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=300),
+           st.integers(1, 20))
+    def test_every_value_lands_in_a_bucket(self, sample, depth):
+        hist = EqualDepthHistogram.from_sample(sample, depth)
+        for value in sample:
+            bucket = hist.bucket_of(value)
+            assert 0 <= bucket < hist.num_buckets
+            low, high = hist.bucket_range(bucket)
+            if low is not None:
+                assert value > low or value == low  # boundary convention
+            if high is not None:
+                assert value <= high

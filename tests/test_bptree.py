@@ -1,0 +1,195 @@
+"""Unit + property tests for the B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import IndexError_
+from repro.index import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert tree.min_key() is None and tree.max_key() is None
+        assert list(tree.range()) == []
+
+    def test_insert_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        assert tree.search(5) == ["a"]
+        assert tree.search(3) == ["b"]
+        assert tree.search(4) == []
+
+    def test_duplicates_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.search(1) == ["a", "b"]
+        assert len(tree) == 1  # one distinct key
+
+    def test_min_max(self):
+        tree = BPlusTree(order=4)
+        for key in (9, 2, 5, 11):
+            tree.insert(key, key)
+        assert tree.min_key() == 2 and tree.max_key() == 11
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+    def test_height_grows(self):
+        tree = BPlusTree(order=3)
+        for i in range(50):
+            tree.insert(i, i)
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert((1, 5), "a")
+        tree.insert((1, 2), "b")
+        tree.insert((0, 9), "c")
+        assert [k for k, _ in tree.items()] == [(0, 9), (1, 2), (1, 5)]
+
+
+class TestRange:
+    def build(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 5):
+            tree.insert(key, key * 10)
+        return tree
+
+    def test_closed_range(self):
+        tree = self.build()
+        assert [k for k, _ in tree.range(10, 30)] == [10, 15, 20, 25, 30]
+
+    def test_open_low(self):
+        tree = self.build()
+        assert [k for k, _ in tree.range(None, 10)] == [0, 5, 10]
+
+    def test_open_high(self):
+        tree = self.build()
+        assert [k for k, _ in tree.range(90, None)] == [90, 95]
+
+    def test_exclusive_bounds(self):
+        tree = self.build()
+        got = [k for k, _ in tree.range(10, 30, include_low=False,
+                                        include_high=False)]
+        assert got == [15, 20, 25]
+
+    def test_empty_range(self):
+        tree = self.build()
+        assert list(tree.range(11, 14)) == []
+
+    def test_range_with_duplicates(self):
+        tree = BPlusTree(order=4)
+        for i in range(3):
+            tree.insert(7, f"v{i}")
+        assert [v for _, v in tree.range(7, 7)] == ["v0", "v1", "v2"]
+
+
+class TestFloor:
+    def test_exact_match(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "x")
+        assert tree.floor(5) == (5, ["x"])
+
+    def test_between_keys(self):
+        tree = BPlusTree(order=4)
+        for key in (10, 20, 30):
+            tree.insert(key, key)
+        assert tree.floor(25)[0] == 20
+
+    def test_below_all(self):
+        tree = BPlusTree(order=4)
+        tree.insert(10, "x")
+        assert tree.floor(5) is None
+
+    def test_above_all(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 60, 10):
+            tree.insert(key, key)
+        assert tree.floor(1000)[0] == 50
+
+    def test_floor_across_many_leaves(self):
+        tree = BPlusTree(order=3)
+        for key in range(0, 200, 2):
+            tree.insert(key, key)
+        for probe in (1, 51, 99, 151, 199):
+            assert tree.floor(probe)[0] == probe - 1
+
+
+class TestBulkLoad:
+    def test_matches_incremental(self):
+        pairs = [(k, k * 2) for k in range(100)]
+        random.Random(5).shuffle(pairs)
+        bulk = BPlusTree.bulk_load(pairs, order=5)
+        incremental = BPlusTree(order=5)
+        for k, v in pairs:
+            incremental.insert(k, v)
+        assert list(bulk.items()) == list(incremental.items())
+        bulk.check_invariants()
+
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([], order=4)
+        assert len(tree) == 0
+
+    def test_duplicates_grouped(self):
+        tree = BPlusTree.bulk_load([(1, "a"), (1, "b"), (2, "c")], order=4)
+        assert tree.search(1) == ["a", "b"]
+
+    def test_leaves_packed(self):
+        """Bulk-loaded leaves are full (the paper's claim for the
+        monotone-append block index)."""
+        tree = BPlusTree.bulk_load([(i, i) for i in range(64)], order=5)
+        leaf = tree._leftmost_leaf()
+        sizes = []
+        while leaf is not None:
+            sizes.append(len(leaf.keys))
+            leaf = leaf.next_leaf
+        assert all(s == 4 for s in sizes[:-1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(-100, 100), st.integers()), max_size=300),
+    st.integers(min_value=3, max_value=12),
+)
+def test_tree_matches_reference_dict(pairs, order):
+    """Property: the tree behaves like a sorted multimap."""
+    tree = BPlusTree(order=order)
+    reference: dict = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        reference.setdefault(key, []).append(value)
+    tree.check_invariants()
+    assert len(tree) == len(reference)
+    expected_items = [
+        (k, v) for k in sorted(reference) for v in reference[k]
+    ]
+    assert list(tree.items()) == expected_items
+    for key in list(reference)[:20]:
+        assert tree.search(key) == reference[key]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 60), min_size=1, max_size=200),
+    st.integers(0, 60),
+    st.integers(0, 60),
+)
+def test_range_property(keys, a, b):
+    low, high = min(a, b), max(a, b)
+    tree = BPlusTree(order=5)
+    for key in keys:
+        tree.insert(key, key)
+    got = [k for k, _ in tree.range(low, high)]
+    # duplicates yield one (key, payload) pair per insertion
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert got == expected

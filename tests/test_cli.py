@@ -1,0 +1,110 @@
+"""Tests for the SQL shell (repro.cli)."""
+
+import pytest
+
+from repro.cli import Shell, build_node, format_table, main, render_result
+
+
+@pytest.fixture()
+def shell():
+    node = build_node(None)
+    s = Shell(node)
+    s.run_line("CREATE donate (donor string, amount decimal)")
+    s.run_line("INSERT INTO donate VALUES ('Jack', 10.0)")
+    s.run_line("INSERT INTO donate VALUES ('Rose', 20.0)")
+    return s
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("a", "long_column"), [(1, "x"), (22, "yy")])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert "long_column" in lines[0]
+
+    def test_empty_rows(self):
+        out = format_table(("a",), [])
+        assert "a" in out
+
+    def test_clipping(self):
+        out = format_table(("c",), [("x" * 100,)], max_width=10)
+        assert "…" in out
+
+
+class TestShell:
+    def test_select(self, shell):
+        out = shell.run_line("SELECT donor, amount FROM donate")
+        assert "Jack" in out and "Rose" in out
+        assert "(2 row(s)" in out
+
+    def test_write_returns_ok(self, shell):
+        assert shell.run_line("INSERT INTO donate VALUES ('A', 1.0)") == "OK"
+
+    def test_aggregate(self, shell):
+        out = shell.run_line("SELECT SUM(amount) FROM donate")
+        assert "30.0" in out
+
+    def test_get_block(self, shell):
+        out = shell.run_line("GET BLOCK ID = 1")
+        assert "block height=1" in out
+
+    def test_empty_line(self, shell):
+        assert shell.run_line("  ") == ""
+
+    def test_meta_tables(self, shell):
+        assert "donate" in shell.run_line("\\tables")
+
+    def test_meta_indexes(self, shell):
+        assert "(no layered indexes)" in shell.run_line("\\indexes")
+        shell.node.create_index("senid")
+        assert "senid" in shell.run_line("\\indexes")
+
+    def test_meta_chain(self, shell):
+        out = shell.run_line("\\chain")
+        assert "height: 4" in out
+
+    def test_meta_explain(self, shell):
+        out = shell.run_line("\\explain SELECT * FROM donate WHERE amount > 5")
+        assert "access_path" in out
+
+    def test_meta_help(self, shell):
+        assert "TRACE" in shell.run_line("\\help")
+
+    def test_meta_unknown(self, shell):
+        assert "unknown meta command" in shell.run_line("\\wat")
+
+    def test_meta_quit(self, shell):
+        with pytest.raises(EOFError):
+            shell.run_line("\\quit")
+
+
+class TestMainEntry:
+    def test_command_mode(self, capsys):
+        code = main([
+            "-c", "CREATE t (a int)",
+            "-c", "INSERT INTO t VALUES (7)",
+            "-c", "SELECT * FROM t",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "7" in out and "1 row(s)" in out
+
+    def test_error_exit_code(self, capsys):
+        code = main(["-c", "SELECT * FROM ghosts"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_durable_dir(self, tmp_path, capsys):
+        assert main(["--data-dir", str(tmp_path),
+                     "-c", "CREATE t (a int)",
+                     "-c", "INSERT INTO t VALUES (5)"]) == 0
+        # a second invocation sees the persisted data
+        assert main(["--data-dir", str(tmp_path),
+                     "-c", "SELECT * FROM t"]) == 0
+        assert "5" in capsys.readouterr().out
+
+
+class TestRenderResult:
+    def test_none_is_ok(self):
+        assert render_result(None) == "OK"

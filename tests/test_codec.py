@@ -1,0 +1,171 @@
+"""Unit + property tests for the binary codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.codec import Reader, Writer
+from repro.common.errors import CodecError
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+    def test_roundtrip(self, value):
+        w = Writer()
+        w.write_varint(value)
+        assert Reader(w.getvalue()).read_varint() == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            Writer().write_varint(-1)
+
+    def test_single_byte_for_small_values(self):
+        w = Writer()
+        w.write_varint(127)
+        assert len(w.getvalue()) == 1
+
+    def test_underflow_raises(self):
+        with pytest.raises(CodecError):
+            Reader(b"").read_varint()
+
+    def test_unterminated_varint_raises(self):
+        with pytest.raises(CodecError):
+            Reader(b"\x80\x80").read_varint()
+
+    def test_oversized_varint_rejected(self):
+        with pytest.raises(CodecError):
+            Reader(b"\xff" * 200 + b"\x01").read_varint()
+
+    @given(st.integers(min_value=0, max_value=2**70))
+    def test_roundtrip_property(self, value):
+        w = Writer()
+        w.write_varint(value)
+        r = Reader(w.getvalue())
+        assert r.read_varint() == value
+        assert r.remaining() == 0
+
+
+class TestSigned:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 1000, -1000, 2**40, -(2**40)])
+    def test_roundtrip(self, value):
+        w = Writer()
+        w.write_signed(value)
+        assert Reader(w.getvalue()).read_signed() == value
+
+    def test_zigzag_interleaves(self):
+        # 0, -1, 1, -2, 2 encode to 0, 1, 2, 3, 4
+        for value, encoded in [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)]:
+            w = Writer()
+            w.write_signed(value)
+            assert Reader(w.getvalue()).read_varint() == encoded
+
+    @given(st.integers(min_value=-(2**68), max_value=2**68))
+    def test_roundtrip_property(self, value):
+        w = Writer()
+        w.write_signed(value)
+        assert Reader(w.getvalue()).read_signed() == value
+
+
+class TestBytesAndStrings:
+    def test_bytes_roundtrip(self):
+        w = Writer()
+        w.write_bytes(b"hello\x00world")
+        assert Reader(w.getvalue()).read_bytes() == b"hello\x00world"
+
+    def test_empty_bytes(self):
+        w = Writer()
+        w.write_bytes(b"")
+        assert Reader(w.getvalue()).read_bytes() == b""
+
+    def test_str_roundtrip_unicode(self):
+        w = Writer()
+        w.write_str("教育 donation ✓")
+        assert Reader(w.getvalue()).read_str() == "教育 donation ✓"
+
+    def test_invalid_utf8_raises(self):
+        w = Writer()
+        w.write_bytes(b"\xff\xfe")
+        with pytest.raises(CodecError):
+            Reader(w.getvalue()).read_str()
+
+    def test_truncated_bytes_raise(self):
+        w = Writer()
+        w.write_bytes(b"abcdef")
+        data = w.getvalue()[:-2]
+        with pytest.raises(CodecError):
+            Reader(data).read_bytes()
+
+    @given(st.binary(max_size=512))
+    def test_bytes_property(self, blob):
+        w = Writer()
+        w.write_bytes(blob)
+        assert Reader(w.getvalue()).read_bytes() == blob
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -5, 7, 3.25, -1e300, "", "text", b"", b"\x00raw"],
+    )
+    def test_roundtrip(self, value):
+        w = Writer()
+        w.write_value(value)
+        got = Reader(w.getvalue()).read_value()
+        assert got == value
+        assert type(got) is type(value)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(CodecError):
+            Writer().write_value({"not": "supported"})
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(CodecError):
+            Reader(b"\x99").read_value()
+
+    def test_bool_not_confused_with_int(self):
+        w = Writer()
+        w.write_value(True)
+        w.write_value(1)
+        r = Reader(w.getvalue())
+        first, second = r.read_value(), r.read_value()
+        assert first is True and second == 1 and second is not True
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+                st.text(max_size=40), st.binary(max_size=40),
+            ),
+            max_size=20,
+        )
+    )
+    def test_sequence_property(self, values):
+        w = Writer()
+        for value in values:
+            w.write_value(value)
+        r = Reader(w.getvalue())
+        got = [r.read_value() for _ in values]
+        assert got == values
+        assert r.remaining() == 0
+
+
+class TestReaderPositioning:
+    def test_position_tracks(self):
+        w = Writer()
+        w.write_varint(5)
+        w.write_bytes(b"abc")
+        r = Reader(w.getvalue())
+        assert r.position == 0
+        r.read_varint()
+        assert r.position == 1
+        r.read_bytes()
+        assert r.remaining() == 0
+
+    def test_offset_start(self):
+        data = b"\x00\x00" + b"\x07"
+        assert Reader(data, offset=2).read_varint() == 7
+
+    def test_float_roundtrip(self):
+        w = Writer()
+        w.write_float(1.5e-42)
+        assert Reader(w.getvalue()).read_float() == 1.5e-42

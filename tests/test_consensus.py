@@ -1,0 +1,259 @@
+"""Tests for the three consensus engines and the batch buffer."""
+
+import pytest
+
+from repro.consensus import (
+    BYZ_EQUIVOCATE,
+    BYZ_SILENT,
+    BatchBuffer,
+    KafkaOrderer,
+    PBFTCluster,
+    TendermintEngine,
+)
+from repro.model import Transaction
+from repro.network import MessageBus
+
+
+def make_tx(i: int) -> Transaction:
+    return Transaction.create("donate", (f"d{i}", "edu", float(i)),
+                              ts=i, sender="client")
+
+
+def collect_chains(engine, count=4):
+    chains = {i: [] for i in range(count)}
+    for i in range(count):
+        engine.register_replica(
+            f"node{i}",
+            (lambda i: lambda batch: chains[i].append(
+                tuple(tx.ts for tx in batch)))(i),
+        )
+    return chains
+
+
+class TestBatchBuffer:
+    def test_take_full_when_ready(self):
+        buffer = BatchBuffer(3)
+        for i in range(2):
+            buffer.append(make_tx(i), None)
+        assert buffer.take_full() is None
+        buffer.append(make_tx(2), None)
+        batch = buffer.take_full()
+        assert batch is not None and len(batch) == 3
+        assert len(buffer) == 0
+
+    def test_take_full_leaves_remainder(self):
+        buffer = BatchBuffer(2)
+        for i in range(3):
+            buffer.append(make_tx(i), None)
+        assert len(buffer.take_full()) == 2
+        assert len(buffer) == 1
+
+    def test_take_all(self):
+        buffer = BatchBuffer(10)
+        buffer.append(make_tx(0), None)
+        assert len(buffer.take_all()) == 1
+        assert buffer.take_all() == []
+
+    def test_epoch_bumps_only_on_nonempty(self):
+        buffer = BatchBuffer(10)
+        epoch = buffer.epoch
+        buffer.take_all()
+        assert buffer.epoch == epoch
+        buffer.append(make_tx(0), None)
+        buffer.take_all()
+        assert buffer.epoch == epoch + 1
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            BatchBuffer(0)
+
+
+class TestKafka:
+    def test_batches_by_size(self):
+        bus = MessageBus(seed=1)
+        engine = KafkaOrderer(bus, batch_txs=5, timeout_ms=1_000)
+        chains = collect_chains(engine)
+        for i in range(10):
+            engine.submit(make_tx(i))
+        bus.run_until_idle()
+        assert [len(b) for b in chains[0]] == [5, 5]
+
+    def test_batches_by_timeout(self):
+        bus = MessageBus(seed=1)
+        engine = KafkaOrderer(bus, batch_txs=100, timeout_ms=20)
+        chains = collect_chains(engine)
+        for i in range(3):
+            engine.submit(make_tx(i))
+        bus.run_until_idle()
+        assert [len(b) for b in chains[0]] == [3]
+        assert bus.clock.now_ms() >= 20
+
+    def test_all_replicas_identical(self):
+        bus = MessageBus(seed=2)
+        engine = KafkaOrderer(bus, batch_txs=4, timeout_ms=10)
+        chains = collect_chains(engine)
+        for i in range(13):
+            engine.submit(make_tx(i))
+        bus.run_until_idle()
+        assert chains[0] == chains[1] == chains[2] == chains[3]
+        assert sum(len(b) for b in chains[0]) == 13
+
+    def test_replies_fired(self):
+        bus = MessageBus(seed=3)
+        engine = KafkaOrderer(bus, batch_txs=2, timeout_ms=10)
+        collect_chains(engine)
+        replies = []
+        for i in range(4):
+            engine.submit(make_tx(i), on_reply=replies.append)
+        bus.run_until_idle()
+        assert len(replies) == 4
+        assert all(t >= 0 for t in replies)
+
+    def test_flush_cuts_partial_batch(self):
+        bus = MessageBus(seed=4)
+        engine = KafkaOrderer(bus, batch_txs=100, timeout_ms=100_000)
+        chains = collect_chains(engine)
+        engine.submit(make_tx(0))
+        bus.run_until_idle()
+        engine.flush()
+        bus.run_until_idle()
+        assert sum(len(b) for b in chains[0]) == 1
+
+    def test_stats(self):
+        bus = MessageBus(seed=5)
+        engine = KafkaOrderer(bus, batch_txs=2, timeout_ms=10)
+        collect_chains(engine)
+        for i in range(4):
+            engine.submit(make_tx(i))
+        bus.run_until_idle()
+        assert engine.stats.submitted == 4
+        assert engine.stats.committed == 4
+        assert engine.stats.batches == 2
+
+
+class TestPBFT:
+    def run_cluster(self, n=4, byzantine=None, crash=None, txs=12,
+                    request_timeout=500.0):
+        bus = MessageBus(seed=7)
+        cluster = PBFTCluster(bus, n=n, batch_txs=5, timeout_ms=20,
+                              request_timeout_ms=request_timeout)
+        if byzantine is not None:
+            index, mode = byzantine
+            cluster.make_byzantine(index, mode)
+        chains = collect_chains(cluster, count=n)
+        if crash is not None:
+            cluster.crash(crash)
+        replies = []
+        for i in range(txs):
+            cluster.submit(make_tx(i), on_reply=replies.append)
+        bus.run_until_idle()
+        return cluster, chains, replies
+
+    def test_happy_path(self):
+        cluster, chains, replies = self.run_cluster()
+        assert chains[0] == chains[1] == chains[2] == chains[3]
+        assert sum(len(b) for b in chains[0]) == 12
+        assert len(replies) == 12
+
+    def test_total_order_agreed(self):
+        """Concurrent requests may be reordered by network jitter, but all
+        replicas must agree on one total order covering every request."""
+        _, chains, _ = self.run_cluster()
+        orders = [
+            [ts for batch in chains[i] for ts in batch] for i in range(4)
+        ]
+        assert orders[0] == orders[1] == orders[2] == orders[3]
+        assert sorted(orders[0]) == list(range(12))
+
+    @pytest.mark.parametrize("mode", [BYZ_SILENT, BYZ_EQUIVOCATE])
+    def test_one_byzantine_tolerated(self, mode):
+        cluster, chains, replies = self.run_cluster(byzantine=(3, mode))
+        assert chains[0] == chains[1] == chains[2]
+        assert sum(len(b) for b in chains[0]) == 12
+        assert len(replies) == 12
+
+    def test_primary_crash_triggers_view_change(self):
+        cluster, chains, replies = self.run_cluster(
+            crash=0, txs=3, request_timeout=100.0
+        )
+        assert sum(len(b) for b in chains[1]) == 3
+        assert cluster.replicas[1].view >= 1
+
+    def test_bad_byzantine_mode_rejected(self):
+        bus = MessageBus()
+        cluster = PBFTCluster(bus, n=4)
+        from repro.common.errors import ConsensusError
+
+        with pytest.raises(ConsensusError):
+            cluster.make_byzantine(0, "chaotic")
+
+    def test_f_computed(self):
+        bus = MessageBus()
+        assert PBFTCluster(bus, n=4).f == 1
+        bus2 = MessageBus()
+        assert PBFTCluster(bus2, n=7).f == 2
+
+
+class TestTendermint:
+    def test_happy_path(self):
+        bus = MessageBus(seed=9)
+        engine = TendermintEngine(bus, n=4, batch_txs=6, timeout_ms=20)
+        chains = collect_chains(engine)
+        replies = []
+        for i in range(15):
+            engine.submit(make_tx(i), on_reply=replies.append)
+        bus.run_until_idle()
+        assert chains[0] == chains[3]
+        assert sum(len(b) for b in chains[0]) == 15
+        assert len(replies) == 15
+
+    def test_serial_checktx_delays_under_load(self):
+        """More clients -> longer queueing in the serial CheckTx lane."""
+        def mean_latency(num):
+            bus = MessageBus(seed=10)
+            engine = TendermintEngine(bus, n=4, batch_txs=10_000,
+                                      timeout_ms=20)
+            collect_chains(engine)
+            latencies = []
+            t0 = bus.clock.now_ms()
+            for i in range(num):
+                engine.submit(make_tx(i),
+                              on_reply=lambda t, s=t0: latencies.append(t - s))
+            bus.run_until_idle()
+            return sum(latencies) / len(latencies)
+
+        assert mean_latency(200) > mean_latency(20)
+
+    def test_order_consistent(self):
+        bus = MessageBus(seed=11)
+        engine = TendermintEngine(bus, n=4, batch_txs=4, timeout_ms=10)
+        chains = collect_chains(engine)
+        for i in range(9):
+            engine.submit(make_tx(i))
+        bus.run_until_idle()
+        flattened = [ts for batch in chains[2] for ts in batch]
+        assert flattened == sorted(flattened)
+
+
+class TestCrossEngineEquivalence:
+    """All engines must deliver the same *set* of transactions to all
+    replicas in a consistent order - the property the node layer relies
+    on for identical chains."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda bus: KafkaOrderer(bus, batch_txs=7, timeout_ms=25),
+        lambda bus: PBFTCluster(bus, n=4, batch_txs=7, timeout_ms=25),
+        lambda bus: TendermintEngine(bus, n=4, batch_txs=7, timeout_ms=25),
+    ])
+    def test_delivery_contract(self, factory):
+        bus = MessageBus(seed=21)
+        engine = factory(bus)
+        chains = collect_chains(engine)
+        for i in range(20):
+            engine.submit(make_tx(i))
+        bus.run_until_idle()
+        engine.flush()
+        bus.run_until_idle()
+        assert chains[0] == chains[1] == chains[2] == chains[3]
+        delivered = [ts for batch in chains[0] for ts in batch]
+        assert sorted(delivered) == list(range(20))

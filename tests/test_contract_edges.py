@@ -1,0 +1,113 @@
+"""Edge-case tests for smart-contract rendering and the codec's raw API."""
+
+import pytest
+
+from repro.common.codec import Reader, Writer
+from repro.common.errors import CodecError, ContractError
+from repro.model import TableSchema
+from repro.node import ContractRuntime, ForEach, FullNode, SmartContract
+from repro.node.contract import _render_literal, _substitute
+
+
+class TestLiteralRendering:
+    @pytest.mark.parametrize("value,expected", [
+        (None, "NULL"),
+        (True, "TRUE"),
+        (False, "FALSE"),
+        (42, "42"),
+        (1.5, "1.5"),
+        (-3, "-3"),
+        ("plain", "'plain'"),
+    ])
+    def test_simple(self, value, expected):
+        assert _render_literal(value) == expected
+
+    def test_quote_escaping(self):
+        rendered = _render_literal("it's")
+        assert rendered == r"'it\'s'"
+
+    def test_backslash_escaping(self):
+        rendered = _render_literal("a\\b")
+        assert rendered == r"'a\\b'"
+
+    def test_unsupported_type(self):
+        with pytest.raises(ContractError):
+            _render_literal(object())
+
+    def test_substitute(self):
+        out = _substitute("INSERT INTO t VALUES (:a, :b)", {"a": "x", "b": 2})
+        assert out == "INSERT INTO t VALUES ('x', 2)"
+
+    def test_substitute_unbound(self):
+        with pytest.raises(ContractError):
+            _substitute(":ghost", {})
+
+
+class TestContractEdges:
+    def make_node(self):
+        node = FullNode("n0")
+        node.create_table(TableSchema.create(
+            "t", [("a", "string"), ("n", "decimal")]
+        ))
+        return node
+
+    def test_escaped_string_roundtrips_through_contract(self):
+        node = self.make_node()
+        runtime = ContractRuntime(node)
+        runtime.deploy(SmartContract(
+            "c", ("who",), ("INSERT INTO t VALUES (:who, 1.0)",)
+        ))
+        runtime.invoke("c", ("O'Brien \\ Sons",))
+        rows = node.query("SELECT * FROM t")
+        assert rows.transactions[0].values[0] == "O'Brien \\ Sons"
+
+    def test_bool_and_null_params(self):
+        node = FullNode("n0")
+        node.create_table(TableSchema.create(
+            "flags", [("name", "string"), ("on", "bool")]
+        ))
+        runtime = ContractRuntime(node)
+        runtime.deploy(SmartContract(
+            "set", ("name", "state"),
+            ("INSERT INTO flags VALUES (:name, :state)",),
+        ))
+        runtime.invoke("set", ("f1", True))
+        runtime.invoke("set", ("f2", False))
+        rows = node.query("SELECT name, on FROM flags ORDER BY name")
+        assert rows.rows == [("f1", True), ("f2", False)]
+
+    def test_foreach_over_empty_result(self):
+        node = self.make_node()
+        runtime = ContractRuntime(node)
+        runtime.deploy(SmartContract(
+            "noop", (),
+            (ForEach(query="SELECT a FROM t",
+                     template="INSERT INTO t VALUES (:a, 0.0)"),),
+        ))
+        assert runtime.invoke("noop", ()) == 0
+
+    def test_invalid_contract_name(self):
+        with pytest.raises(ContractError):
+            SmartContract("bad name!", (), ())
+
+    def test_invalid_param_name(self):
+        with pytest.raises(ContractError):
+            SmartContract("ok", ("bad param",), ())
+
+
+class TestCodecRaw:
+    def test_write_read_raw(self):
+        writer = Writer()
+        writer.write_raw(b"abc")
+        writer.write_raw(b"def")
+        reader = Reader(writer.getvalue())
+        assert reader.read_raw(6) == b"abcdef"
+
+    def test_read_raw_underflow(self):
+        with pytest.raises(CodecError):
+            Reader(b"ab").read_raw(3)
+
+    def test_read_raw_zero(self):
+        reader = Reader(b"xy")
+        assert reader.read_raw(0) == b""
+        assert reader.remaining() == 2

@@ -1,0 +1,136 @@
+"""Tests for secp256k1 group math, Schnorr signatures and key pairs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SignatureError
+from repro.crypto import (
+    GENERATOR,
+    IDENTITY,
+    KeyPair,
+    Point,
+    address_of,
+    is_on_curve,
+    point_add,
+    scalar_mul,
+    sign,
+    verify,
+)
+from repro.crypto.group import N, P, deserialize_point, point_neg, serialize_point
+
+
+class TestGroup:
+    def test_generator_on_curve(self):
+        assert is_on_curve(GENERATOR)
+
+    def test_identity_is_neutral(self):
+        assert point_add(GENERATOR, IDENTITY) == GENERATOR
+        assert point_add(IDENTITY, GENERATOR) == GENERATOR
+
+    def test_point_plus_negation_is_identity(self):
+        assert point_add(GENERATOR, point_neg(GENERATOR)) == IDENTITY
+
+    def test_doubling_matches_scalar(self):
+        assert point_add(GENERATOR, GENERATOR) == scalar_mul(2)
+
+    def test_group_order(self):
+        assert scalar_mul(N) == IDENTITY
+        assert scalar_mul(N + 1) == GENERATOR
+
+    def test_scalar_mul_distributes(self):
+        assert point_add(scalar_mul(3), scalar_mul(5)) == scalar_mul(8)
+
+    def test_results_stay_on_curve(self):
+        for k in (2, 3, 7, 12345, N - 1):
+            assert is_on_curve(scalar_mul(k))
+
+    def test_serialize_roundtrip(self):
+        for k in (1, 2, 99, 2**200):
+            point = scalar_mul(k)
+            assert deserialize_point(serialize_point(point)) == point
+
+    def test_identity_serialization(self):
+        assert deserialize_point(serialize_point(IDENTITY)) == IDENTITY
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"\x02" + b"\x00" * 31, b"\x04" + b"\x00" * 32,
+         b"\x02" + P.to_bytes(32, "big")],
+    )
+    def test_bad_encodings_rejected(self, data):
+        with pytest.raises(SignatureError):
+            deserialize_point(data)
+
+    def test_x_not_on_curve_rejected(self):
+        # x = 5 has no square root for y^2 = x^3 + 7 on secp256k1
+        with pytest.raises(SignatureError):
+            deserialize_point(b"\x02" + (5).to_bytes(32, "big"))
+
+
+class TestSchnorr:
+    def test_sign_verify(self):
+        kp = KeyPair.from_seed("alice")
+        sig = sign(kp.private_key, b"hello")
+        assert verify(kp.public_key, b"hello", sig)
+
+    def test_wrong_message_fails(self):
+        kp = KeyPair.from_seed("alice")
+        sig = sign(kp.private_key, b"hello")
+        assert not verify(kp.public_key, b"hell0", sig)
+
+    def test_wrong_key_fails(self):
+        alice = KeyPair.from_seed("alice")
+        bob = KeyPair.from_seed("bob")
+        sig = sign(alice.private_key, b"msg")
+        assert not verify(bob.public_key, b"msg", sig)
+
+    def test_bitflip_in_signature_fails(self):
+        kp = KeyPair.from_seed("alice")
+        sig = bytearray(sign(kp.private_key, b"msg"))
+        for position in (0, 16, 33, 64):
+            tampered = bytearray(sig)
+            tampered[position] ^= 0x01
+            assert not verify(kp.public_key, b"msg", bytes(tampered))
+
+    def test_deterministic(self):
+        kp = KeyPair.from_seed("alice")
+        assert sign(kp.private_key, b"m") == sign(kp.private_key, b"m")
+
+    def test_malformed_signature_returns_false(self):
+        kp = KeyPair.from_seed("alice")
+        assert not verify(kp.public_key, b"m", b"short")
+        assert not verify(kp.public_key, b"m", b"\x00" * 65)
+
+    def test_out_of_range_private_key(self):
+        with pytest.raises(SignatureError):
+            sign(0, b"m")
+        with pytest.raises(SignatureError):
+            sign(N, b"m")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=64), st.integers(min_value=1, max_value=2**64))
+    def test_roundtrip_property(self, message, scalar):
+        kp = KeyPair._from_scalar(scalar % (N - 1) + 1)
+        assert verify(kp.public_key, message, sign(kp.private_key, message))
+
+
+class TestKeyPair:
+    def test_from_seed_deterministic(self):
+        assert KeyPair.from_seed("x") == KeyPair.from_seed("x")
+        assert KeyPair.from_seed("x") != KeyPair.from_seed("y")
+
+    def test_generate_is_unique(self):
+        assert KeyPair.generate() != KeyPair.generate()
+
+    def test_address_derivation(self):
+        kp = KeyPair.from_seed("alice")
+        assert kp.address == address_of(kp.public_key)
+        assert len(kp.address) == 40  # 20 bytes hex
+
+    def test_sign_verify_methods(self):
+        kp = KeyPair.from_seed("alice")
+        assert kp.verify(b"data", kp.sign(b"data"))
+
+    def test_seed_accepts_bytes(self):
+        assert KeyPair.from_seed(b"raw") == KeyPair.from_seed(b"raw")

@@ -1,0 +1,107 @@
+"""DISTINCT tests plus parser robustness fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ParseError, SebdbError
+from repro.sqlparser import parse
+
+
+class TestDistinct:
+    def test_parse_flag(self):
+        assert parse("SELECT DISTINCT donor FROM donate").distinct
+        assert not parse("SELECT donor FROM donate").distinct
+
+    def test_distinct_column(self, chain):
+        result = chain.engine.execute("SELECT DISTINCT donor FROM donate")
+        donors = [row[0] for row in result.rows]
+        assert len(donors) == len(set(donors))
+        truth = {tx.values[0] for tx in chain.all_txs
+                 if tx.tname == "donate"}
+        assert set(donors) == truth
+
+    def test_distinct_with_order_and_limit(self, chain):
+        result = chain.engine.execute(
+            "SELECT DISTINCT donor FROM donate ORDER BY donor LIMIT 3"
+        )
+        donors = [row[0] for row in result.rows]
+        assert donors == sorted(donors)
+        assert len(donors) == 3
+
+    def test_distinct_multi_column(self, chain):
+        result = chain.engine.execute(
+            "SELECT DISTINCT donor, project FROM donate"
+        )
+        assert len(result.rows) == len(set(result.rows))
+
+    def test_distinct_on_join(self, chain):
+        result = chain.engine.execute(
+            "SELECT DISTINCT transfer.organization FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization"
+        )
+        orgs = [row[0] for row in result.rows]
+        assert len(orgs) == len(set(orgs))
+
+    def test_distinct_offchain(self, chain):
+        chain.offchain.insert("doneeinfo", [("tom", "Tom-dupe", 100.0)])
+        try:
+            result = chain.engine.execute(
+                "SELECT DISTINCT donee FROM offchain.doneeinfo"
+            )
+            donees = [row[0] for row in result.rows]
+            assert len(donees) == len(set(donees))
+        finally:
+            chain.offchain._conn.execute(
+                "DELETE FROM doneeinfo WHERE name = 'Tom-dupe'"
+            )
+            chain.offchain._conn.commit()
+
+
+class TestParserFuzz:
+    """The parser must reject garbage with ParseError - never crash."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=120))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except ParseError:
+            pass  # expected for junk
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(
+        alphabet="SELECT FROM WHERE*(),'\"0123456789abc=<>?[]between and or",
+        max_size=80,
+    ))
+    def test_sql_shaped_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except ParseError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=60))
+    def test_binary_garbage(self, blob):
+        try:
+            parse(blob.decode("latin-1"))
+        except ParseError:
+            pass
+
+    def test_deeply_nested_predicates_parse(self):
+        depth = 50
+        sql = ("SELECT * FROM t WHERE " + "(" * depth + "a = 1"
+               + ")" * depth)
+        stmt = parse(sql)
+        assert stmt.where is not None
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=60))
+    def test_engine_never_crashes_on_text(self, chain, text):
+        """Even past the parser, errors must be SebdbError subclasses."""
+        try:
+            chain.engine.execute(text)
+        except SebdbError:
+            pass
+        except (ValueError,):
+            pass  # forced-path errors are ValueError by contract

@@ -1,0 +1,77 @@
+"""Tests for facade-level observers and bulk submission."""
+
+import pytest
+
+from repro import SebdbNetwork
+
+
+class TestFacadeObservers:
+    def test_observer_follows_commits(self):
+        net = SebdbNetwork(num_nodes=3, consensus="kafka", batch_txs=8,
+                           timeout_ms=25)
+        net.execute("CREATE t (a int)")
+        observer = net.add_observer("analytics")
+        for i in range(10):
+            net.execute(f"INSERT INTO t VALUES ({i})")
+        net.commit()
+        assert observer.store.tip_hash == net.node(0).store.tip_hash
+        assert len(observer.query("SELECT * FROM t")) == 10
+
+    def test_observer_added_after_history(self):
+        net = SebdbNetwork(num_nodes=2, consensus="kafka", batch_txs=5,
+                           timeout_ms=20)
+        net.execute("CREATE t (a int)")
+        for i in range(7):
+            net.execute(f"INSERT INTO t VALUES ({i})")
+        net.commit()
+        late = net.add_observer("late")  # syncs immediately on attach
+        assert len(late.query("SELECT * FROM t")) == 7
+
+    def test_multiple_observers(self):
+        net = SebdbNetwork.single_node()
+        net.execute("CREATE t (a int)")
+        a = net.add_observer("a")
+        b = net.add_observer("b")
+        net.execute("INSERT INTO t VALUES (1)")
+        net.commit()
+        assert a.store.tip_hash == b.store.tip_hash == net.node(0).store.tip_hash
+        assert net.observers == [a, b]
+
+    def test_observer_can_serve_indexes(self):
+        net = SebdbNetwork.single_node()
+        net.execute("CREATE t (a string)")
+        observer = net.add_observer()
+        for i in range(6):
+            net.execute(f"INSERT INTO t VALUES ('v{i}')", sender=f"o{i % 2}")
+        net.commit()
+        observer.create_index("senid")
+        assert len(observer.query("TRACE OPERATOR = 'o1'",
+                                  method="layered")) == 3
+
+
+class TestInsertMany:
+    def test_bulk_path_single_node(self):
+        net = SebdbNetwork.single_node()
+        net.execute("CREATE donate (donor string, amount decimal)")
+        rows = [(f"d{i}", float(i)) for i in range(50)]
+        net.insert_many("donate", rows,
+                        senders=[f"org{i % 3}" for i in range(50)],
+                        ts_list=list(range(50)))
+        net.commit()
+        result = net.execute("SELECT COUNT(*) FROM donate")
+        assert result.rows[0][0] == 50
+
+    def test_bulk_path_consensus(self):
+        net = SebdbNetwork(num_nodes=2, consensus="kafka", batch_txs=25,
+                           timeout_ms=25)
+        net.execute("CREATE donate (donor string, amount decimal)")
+        net.insert_many("donate", [(f"d{i}", float(i)) for i in range(40)])
+        net.commit()
+        assert net.chains_consistent()
+        assert len(net.execute("SELECT * FROM donate")) == 40
+
+    def test_bulk_validates_schema(self):
+        net = SebdbNetwork.single_node()
+        net.execute("CREATE donate (donor string, amount decimal)")
+        with pytest.raises(Exception):
+            net.insert_many("donate", [("ok", "not-a-number")])

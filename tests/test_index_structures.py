@@ -1,0 +1,288 @@
+"""Tests for the block-level, table-level and layered indexes."""
+
+import pytest
+
+from repro.common.errors import IndexError_
+from repro.index import (
+    Bitmap,
+    BlockIndex,
+    IndexManager,
+    LayeredIndex,
+    TableBitmapIndex,
+    ranges_intersect,
+)
+from repro.model import Block, GENESIS_PREV_HASH, Transaction
+from repro.storage.segment import BlockLocation
+
+
+def make_block(height, specs, prev=GENESIS_PREV_HASH, start_tid=0):
+    """specs: list of (tname, sender, values, ts)."""
+    txs = [
+        Transaction.create(tname, values, ts=ts, sender=sender).with_tid(
+            start_tid + i
+        )
+        for i, (tname, sender, values, ts) in enumerate(specs)
+    ]
+    return Block.package(prev, height, max((s[3] for s in specs),
+                                           default=height), txs)
+
+
+def loc(n=0):
+    return BlockLocation(0, n * 100, 100)
+
+
+class TestBlockIndex:
+    def build(self):
+        index = BlockIndex(order=4)
+        prev = GENESIS_PREV_HASH
+        tid = 0
+        for height in range(6):
+            specs = [("t", "s", (), height * 100 + j) for j in range(4)]
+            block = make_block(height, specs, prev, start_tid=tid)
+            index.add_block(block, loc(height))
+            prev = block.block_hash()
+            tid += 4
+        return index
+
+    def test_by_bid(self):
+        index = self.build()
+        assert index.by_bid(3).bid == 3
+        assert index.by_bid(99) is None
+
+    def test_by_tid(self):
+        index = self.build()
+        # tids 0..23, block i holds 4i..4i+3
+        assert index.by_tid(0).bid == 0
+        assert index.by_tid(5).bid == 1
+        assert index.by_tid(23).bid == 5
+        assert index.by_tid(99) is None
+
+    def test_by_timestamp_floor(self):
+        index = self.build()
+        # block h is packaged at ts 100h+3 (its last transaction's ts)
+        assert index.by_timestamp(250).bid == 2
+        assert index.by_timestamp(3).bid == 0
+        assert index.by_timestamp(2) is None  # before the first block
+
+    def test_window_bitmap_on_tx_timestamps(self):
+        index = self.build()
+        # block h holds tx ts in [100h, 100h+3]
+        assert list(index.window_bitmap(100, 203)) == [1, 2]
+        assert list(index.window_bitmap(None, 3)) == [0]
+        assert list(index.window_bitmap(550, None)) == []
+        assert len(index.window_bitmap(None, None)) == 6
+
+    def test_all_blocks_bitmap(self):
+        index = self.build()
+        assert list(index.all_blocks_bitmap()) == list(range(6))
+
+    def test_monotonicity_enforced(self):
+        index = self.build()
+        stale = make_block(2, [("t", "s", (), 1)], start_tid=999)
+        with pytest.raises(IndexError_):
+            index.add_block(stale, loc())
+
+    def test_empty_block_indexed(self):
+        index = BlockIndex()
+        block = Block.package(GENESIS_PREV_HASH, 0, 50, [])
+        index.add_block(block, loc())
+        assert index.by_bid(0).first_tid == -1
+
+
+class TestTableBitmapIndex:
+    def build(self):
+        index = TableBitmapIndex(track_senders=True)
+        index.add_block(make_block(0, [("a", "s1", (), 0), ("b", "s2", (), 1)]))
+        index.add_block(make_block(1, [("a", "s1", (), 2)], start_tid=2))
+        index.add_block(make_block(2, [("b", "s1", (), 3)], start_tid=3))
+        return index
+
+    def test_blocks_for_table(self):
+        index = self.build()
+        assert list(index.blocks_for_table("a")) == [0, 1]
+        assert list(index.blocks_for_table("b")) == [0, 2]
+        assert list(index.blocks_for_table("zzz")) == []
+
+    def test_blocks_for_sender(self):
+        index = self.build()
+        assert list(index.blocks_for_sender("s1")) == [0, 1, 2]
+        assert list(index.blocks_for_sender("s2")) == [0]
+
+    def test_union(self):
+        index = self.build()
+        assert list(index.blocks_for_tables(["a", "b"])) == [0, 1, 2]
+
+    def test_tuple_count(self):
+        index = self.build()
+        assert index.tuple_count("a") == 2
+        assert index.tuple_count("b") == 2
+        assert index.tuple_count("none") == 0
+
+    def test_selectivity(self):
+        index = self.build()
+        assert index.selectivity("a") == pytest.approx(2 / 3)
+
+    def test_returned_bitmap_is_a_copy(self):
+        index = self.build()
+        bitmap = index.blocks_for_table("a")
+        bitmap.set(50)
+        assert 50 not in index.blocks_for_table("a")
+
+
+class TestLayeredIndexDiscrete:
+    def build(self):
+        index = LayeredIndex(
+            column="senid", extractor=lambda tx: tx.senid, continuous=False,
+            order=4,
+        )
+        index.add_block(make_block(0, [("t", "org1", (), 0),
+                                       ("t", "org2", (), 1)]))
+        index.add_block(make_block(1, [("t", "org2", (), 2)], start_tid=2))
+        index.add_block(make_block(2, [("t", "org1", (), 3),
+                                       ("t", "org1", (), 4)], start_tid=3))
+        return index
+
+    def test_candidate_blocks_eq(self):
+        index = self.build()
+        assert list(index.candidate_blocks_eq("org1")) == [0, 2]
+        assert list(index.candidate_blocks_eq("orgX")) == []
+
+    def test_search_block_positions(self):
+        index = self.build()
+        assert index.search_block(2, "org1") == [0, 1]
+        assert index.search_block(1, "org1") == []
+
+    def test_first_level_bitmap(self):
+        index = self.build()
+        assert list(index.first_level_bitmap()) == [0, 1, 2]
+
+    def test_block_values(self):
+        index = self.build()
+        assert index.block_values(0) == {"org1", "org2"}
+
+    def test_block_value_bounds(self):
+        index = self.build()
+        assert index.block_value_bounds(0) == ("org1", "org2")
+        assert index.block_value_bounds(99) is None
+
+    def test_bucket_ranges_are_points(self):
+        index = self.build()
+        assert index.block_bucket_ranges(2) == [("org1", "org1")]
+
+    def test_out_of_order_add_rejected(self):
+        index = self.build()
+        with pytest.raises(IndexError_):
+            index.add_block(make_block(1, [("t", "x", (), 9)]))
+
+    def test_candidate_range_on_discrete(self):
+        index = self.build()
+        got = index.candidate_blocks_range("org1", "org1")
+        assert list(got) == [0, 2]
+
+
+class TestLayeredIndexContinuous:
+    def build(self):
+        from repro.index import EqualDepthHistogram
+
+        hist = EqualDepthHistogram([100.0, 200.0, 300.0])
+        index = LayeredIndex(
+            column="amount", extractor=lambda tx: tx.values[0],
+            continuous=True, histogram=hist, order=4,
+        )
+        index.add_block(make_block(0, [("t", "s", (50.0,), 0),
+                                       ("t", "s", (150.0,), 1)]))
+        index.add_block(make_block(1, [("t", "s", (250.0,), 2)], start_tid=2))
+        index.add_block(make_block(2, [("t", "s", (350.0,), 3)], start_tid=3))
+        return index
+
+    def test_histogram_required(self):
+        with pytest.raises(IndexError_):
+            LayeredIndex("x", lambda tx: 0, continuous=True)
+
+    def test_candidate_blocks_range(self):
+        index = self.build()
+        # [120, 180] hits bucket (100,200] -> blocks 0 (has 150)
+        assert list(index.candidate_blocks_range(120.0, 180.0)) == [0]
+        # [220, 400] -> buckets (200,300] and (300,inf) -> blocks 1, 2
+        assert list(index.candidate_blocks_range(220.0, 400.0)) == [1, 2]
+
+    def test_range_block(self):
+        index = self.build()
+        assert index.range_block(0, 100.0, 200.0) == [(150.0, 1)]
+
+    def test_block_value_bounds_from_buckets(self):
+        index = self.build()
+        low, high = index.block_value_bounds(0)
+        assert low is None          # bucket (-inf, 100]
+        assert high == 200.0        # bucket (100, 200]
+
+    def test_none_values_skipped(self):
+        index = self.build()
+        index.add_block(make_block(3, [("t", "s", (None,), 9)], start_tid=9))
+        assert not index.has_tree(3)
+
+    def test_tree_access_raises_when_absent(self):
+        index = self.build()
+        with pytest.raises(IndexError_):
+            index.tree(42)
+
+
+class TestRangesIntersect:
+    def test_overlap(self):
+        assert ranges_intersect([(1, 5)], [(4, 9)])
+        assert ranges_intersect([(1, 5), (20, 30)], [(25, 26)])
+
+    def test_disjoint(self):
+        assert not ranges_intersect([(1, 5)], [(6, 9)])
+
+    def test_touching_counts(self):
+        assert ranges_intersect([(1, 5)], [(5, 9)])
+
+    def test_open_ends(self):
+        assert ranges_intersect([(None, 5)], [(4, None)])
+        assert not ranges_intersect([(None, 3)], [(4, None)])
+
+    def test_empty(self):
+        assert not ranges_intersect([], [(1, 2)])
+
+
+class TestIndexManager:
+    def test_manager_via_chain_fixture(self, chain):
+        # created in conftest: senid, tname global; app columns per table
+        assert chain.indexes.layered("senid") is not None
+        assert chain.indexes.layered("amount", "donate") is not None
+        assert chain.indexes.layered("nothing") is None
+
+    def test_global_fallback(self, chain):
+        # asking with a table falls back to the global index
+        assert chain.indexes.layered("senid", "donate") is not None
+
+    def test_duplicate_creation_rejected(self, chain):
+        with pytest.raises(IndexError_):
+            chain.indexes.create_layered_index("senid")
+
+    def test_app_column_needs_schema(self, chain):
+        from repro.common.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            chain.indexes.create_layered_index("project", table="donate")
+
+    def test_backfill_matches_live(self, chain):
+        """An index created after loading equals one updated live."""
+        late = chain.indexes.create_layered_index(
+            "donor", table="donate", schema=chain.catalog.get("donate")
+        )
+        # verify against ground truth
+        expected_blocks = {
+            tx.tid // chain.TXS_PER_BLOCK
+            for tx in chain.all_txs
+            if tx.tname == "donate" and tx.values[0] == "donor3"
+        }
+        got = set(late.candidate_blocks_eq("donor3"))
+        truth = set()
+        for height in range(1, chain.store.height):
+            block = chain.store.read_block(height)
+            if any(tx.tname == "donate" and tx.values[0] == "donor3"
+                   for tx in block.transactions):
+                truth.add(height)
+        assert got == truth

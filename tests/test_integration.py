@@ -1,0 +1,177 @@
+"""Integration tests: whole-system flows across layers."""
+
+import pytest
+
+from repro import OffChainDatabase, SebdbNetwork, ThinClient
+from repro.common.errors import VerificationError
+from repro.model import verify_chain
+
+
+class TestWriteReadFlow:
+    @pytest.mark.parametrize("consensus", ["kafka", "pbft", "tendermint"])
+    def test_full_cycle(self, consensus):
+        net = SebdbNetwork(num_nodes=4, consensus=consensus, batch_txs=10,
+                           timeout_ms=30)
+        net.execute("CREATE donate (donor string, project string, "
+                    "amount decimal)")
+        for i in range(33):
+            net.execute(
+                f"INSERT INTO donate VALUES ('d{i % 5}', 'edu', {float(i)})",
+                sender=f"org{i % 3 + 1}",
+            )
+        net.commit()
+        assert net.chains_consistent()
+        # every node's chain verifies end to end
+        for node in net.nodes:
+            assert verify_chain(node.store.iter_blocks())
+        # every node answers queries identically
+        answers = [
+            sorted(tx.tid for tx in net.execute(
+                "SELECT * FROM donate WHERE amount > 20", node=i
+            ).transactions)
+            for i in range(4)
+        ]
+        assert answers[0] == answers[1] == answers[2] == answers[3]
+        assert len(answers[0]) == 12
+
+    def test_signed_workflow(self):
+        from repro.crypto import KeyPair
+
+        net = SebdbNetwork(num_nodes=2, consensus="kafka", batch_txs=5,
+                           timeout_ms=20, verify_signatures=True)
+        net.execute("CREATE t (a string)")
+        donor = KeyPair.from_seed("donor")
+        for i in range(6):
+            net.execute(f"INSERT INTO t VALUES ('v{i}')", keypair=donor)
+        net.commit()
+        result = net.execute("SELECT * FROM t")
+        assert len(result) == 6
+        assert all(tx.verify_signature() for tx in result.transactions)
+        assert all(tx.senid == donor.address for tx in result.transactions)
+
+    def test_unsigned_rejected_when_verifying(self):
+        net = SebdbNetwork(num_nodes=2, consensus="kafka", batch_txs=5,
+                           timeout_ms=20, verify_signatures=True)
+        net.execute("CREATE t (a string)")
+        net.execute("INSERT INTO t VALUES ('unsigned')", sender="nobody")
+        net.commit()
+        assert len(net.execute("SELECT * FROM t")) == 0
+
+
+class TestLateJoiningNode:
+    def test_gossip_catches_up_a_recovering_node(self):
+        from repro.network import GossipNode, MessageBus
+
+        bus = MessageBus(seed=17)
+        nodes = [GossipNode(f"g{i}", bus, fanout=2) for i in range(5)]
+        bus.fail("g4")
+        for i in range(8):
+            nodes[0].publish(f"block-{i}", {"height": i})
+        bus.run_until_idle()
+        assert not nodes[4].knows("block-0")
+        bus.heal("g4")
+        nodes[4].anti_entropy("g0")
+        bus.run_until_idle()
+        assert all(nodes[4].knows(f"block-{i}") for i in range(8))
+
+
+class TestByzantineResilience:
+    def test_pbft_network_with_equivocator_stays_consistent(self):
+        net = SebdbNetwork(num_nodes=4, consensus="pbft", batch_txs=6,
+                           timeout_ms=25)
+        net.consensus.make_byzantine(2, "equivocate")
+        net.execute("CREATE t (a int)")
+        for i in range(14):
+            net.execute(f"INSERT INTO t VALUES ({i})")
+        net.commit()
+        honest = [net.nodes[i] for i in (0, 1, 3)]
+        tips = {n.store.tip_hash for n in honest}
+        assert len(tips) == 1
+        assert len(net.execute("SELECT * FROM t", node=0)) == 14
+
+    def test_thin_client_catches_byzantine_auxiliary(self):
+        """An auxiliary node serving a stale/forged digest is outvoted."""
+        net = SebdbNetwork(num_nodes=4, consensus="kafka", batch_txs=10,
+                           timeout_ms=20)
+        net.execute("CREATE t (a string, amount decimal)")
+        for i in range(20):
+            net.execute(f"INSERT INTO t VALUES ('v{i}', {float(i)})",
+                        sender="org1")
+        net.commit()
+        for node in net.nodes:
+            node.create_index("senid", authenticated=True)
+        client = ThinClient(net.nodes, seed=5, byzantine_ratio=0.25)
+        client.sync_headers()
+        # m=2 means a single lying auxiliary cannot win the digest race
+        answer = client.authenticated_trace("org1", n_aux=3, m=2)
+        assert len(answer.transactions) == 20
+        assert answer.residual_risk == 0.0
+
+
+class TestOnOffChainScenario:
+    def test_cross_source_join_after_consensus(self):
+        net = SebdbNetwork(num_nodes=3, consensus="kafka", batch_txs=8,
+                           timeout_ms=25)
+        net.execute("CREATE distribute (project string, donee string, "
+                    "amount decimal)")
+        donees = ["tom", "amy", "bob", "zoe"]
+        for i in range(16):
+            net.execute(
+                f"INSERT INTO distribute VALUES ('edu', "
+                f"'{donees[i % 4]}', {float(i)})",
+                sender="school",
+            )
+        net.commit()
+        db = OffChainDatabase()
+        db.create_table("doneeinfo", [("donee", "string"), ("name", "string")])
+        db.insert("doneeinfo", [("tom", "Tom"), ("amy", "Amy")])
+        net.attach_offchain(db)
+        result = net.execute(
+            "SELECT * FROM onchain.distribute, offchain.doneeinfo "
+            "ON distribute.donee = doneeinfo.donee"
+        )
+        assert len(result) == 8  # 4 tom + 4 amy
+
+    def test_window_query_spanning_blocks(self):
+        net = SebdbNetwork.single_node()
+        net.execute("CREATE t (a int)")
+        for batch in range(4):
+            for i in range(5):
+                net.execute(f"INSERT INTO t VALUES ({batch * 5 + i})")
+            net.commit()  # each commit seals one block
+        assert net.height() >= 5
+        all_rows = net.execute("SELECT * FROM t")
+        assert len(all_rows) == 20
+        ts_values = sorted(tx.ts for tx in all_rows.transactions)
+        mid = ts_values[len(ts_values) // 2]
+        windowed = net.execute(f"SELECT * FROM t WINDOW [{mid}, ]")
+        truth = [tx for tx in all_rows.transactions if tx.ts >= mid]
+        assert len(windowed) == len(truth)
+
+
+class TestAuthenticatedEndToEnd:
+    def test_client_detects_node_serving_stale_chain(self):
+        """A full node answering from a shorter (stale) chain produces a
+        digest mismatch against up-to-date auxiliaries."""
+        net = SebdbNetwork(num_nodes=3, consensus="kafka", batch_txs=5,
+                           timeout_ms=20)
+        net.execute("CREATE t (a decimal)")
+        for i in range(10):
+            net.execute(f"INSERT INTO t VALUES ({float(i)})", sender="org1")
+        net.commit()
+        for node in net.nodes:
+            node.create_index("senid", authenticated=True)
+
+        from repro.node.auth import AuthQueryServer
+
+        fresh = AuthQueryServer(net.node(0))
+        # phase 1 executed at a *stale* snapshot (height 1: genesis only)
+        stale_vo = fresh.trace_vo("org1", height=1)
+        live_digest = fresh.auxiliary_digest(
+            "senid", "org1", "org1", net.node(0).store.height
+        )
+        from repro.mht.vo import verify_query_vo
+
+        with pytest.raises(VerificationError):
+            verify_query_vo(stale_vo, key_of=lambda tx: tx.senid,
+                            expected_digest=live_digest)

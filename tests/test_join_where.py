@@ -1,0 +1,94 @@
+"""Tests for residual WHERE predicates on join queries."""
+
+import pytest
+
+from repro.common.errors import QueryError
+
+
+class TestJoinWhere:
+    def test_filter_on_left_table(self, chain):
+        full = chain.engine.execute(
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization"
+        )
+        filtered = chain.engine.execute(
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization "
+            "WHERE transfer.amount > 500"
+        )
+        idx = full.columns.index("transfer.amount")
+        expected = [row for row in full.rows if row[idx] > 500]
+        assert sorted(filtered.rows) == sorted(expected)
+
+    def test_filter_on_right_table(self, chain):
+        filtered = chain.engine.execute(
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization "
+            "WHERE donee = 'tom'"
+        )
+        idx = filtered.columns.index("distribute.donee")
+        assert all(row[idx] == "tom" for row in filtered.rows)
+        assert len(filtered) > 0
+
+    def test_conjunction_across_sides(self, chain):
+        filtered = chain.engine.execute(
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization "
+            "WHERE transfer.amount > 300 AND donee = 'amy'"
+        )
+        a = filtered.columns.index("transfer.amount")
+        d = filtered.columns.index("distribute.donee")
+        assert all(row[a] > 300 and row[d] == "amy" for row in filtered.rows)
+
+    def test_ambiguous_unqualified_app_column_rejected(self, chain):
+        # both transfer and distribute declare 'amount'
+        with pytest.raises(QueryError):
+            chain.engine.execute(
+                "SELECT * FROM transfer, distribute "
+                "ON transfer.organization = distribute.organization "
+                "WHERE amount > 10"
+            )
+
+    def test_qualified_resolves_ambiguity(self, chain):
+        result = chain.engine.execute(
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization "
+            "WHERE distribute.amount < 100"
+        )
+        idx = result.columns.index("distribute.amount")
+        assert all(row[idx] < 100 for row in result.rows)
+
+    def test_unknown_column_rejected(self, chain):
+        with pytest.raises(QueryError):
+            chain.engine.execute(
+                "SELECT * FROM transfer, distribute "
+                "ON transfer.organization = distribute.organization "
+                "WHERE ghost = 1"
+            )
+
+    def test_where_on_onoff_join(self, chain):
+        result = chain.engine.execute(
+            "SELECT * FROM onchain.distribute, offchain.doneeinfo "
+            "ON distribute.donee = doneeinfo.donee "
+            "WHERE income > 60"
+        )
+        idx = result.columns.index("doneeinfo.income")
+        assert all(row[idx] > 60 for row in result.rows)
+        full = chain.engine.execute(
+            "SELECT * FROM onchain.distribute, offchain.doneeinfo "
+            "ON distribute.donee = doneeinfo.donee"
+        )
+        expected = [row for row in full.rows if row[idx] > 60]
+        assert len(result) == len(expected)
+
+    def test_methods_agree_with_join_where(self, chain):
+        sql = (
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization "
+            "WHERE transfer.amount BETWEEN 200 AND 700"
+        )
+        results = {
+            m: sorted(chain.engine.execute(sql, method=m).rows)
+            for m in ("scan", "bitmap", "layered")
+        }
+        assert results["scan"] == results["bitmap"] == results["layered"]

@@ -1,0 +1,130 @@
+"""Tests for the byte-budgeted LRU cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.lru import LRUCache
+
+
+def bytes_cache(capacity: int) -> LRUCache:
+    return LRUCache(capacity, size_of=len)
+
+
+class TestBasics:
+    def test_get_miss_returns_none(self):
+        cache = bytes_cache(10)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+
+    def test_put_get(self):
+        cache = bytes_cache(10)
+        cache.put("a", b"xx")
+        assert cache.get("a") == b"xx"
+        assert cache.hits == 1
+
+    def test_replace_updates_size(self):
+        cache = bytes_cache(10)
+        cache.put("a", b"xxxx")
+        cache.put("a", b"y")
+        assert cache.used_bytes == 1
+        assert len(cache) == 1
+
+    def test_pop(self):
+        cache = bytes_cache(10)
+        cache.put("a", b"xx")
+        assert cache.pop("a") == b"xx"
+        assert cache.pop("a") is None
+        assert cache.used_bytes == 0
+
+    def test_contains_and_iter(self):
+        cache = bytes_cache(10)
+        cache.put("a", b"x")
+        cache.put("b", b"y")
+        assert "a" in cache and "b" in cache
+        assert list(cache) == ["a", "b"]
+
+    def test_clear(self):
+        cache = bytes_cache(10)
+        cache.put("a", b"xyz")
+        cache.clear()
+        assert len(cache) == 0 and cache.used_bytes == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = bytes_cache(3)
+        cache.put("a", b"x")
+        cache.put("b", b"x")
+        cache.put("c", b"x")
+        cache.get("a")              # a becomes most recent
+        cache.put("d", b"x")        # evicts b (the LRU)
+        assert "a" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_large_value_evicts_many(self):
+        cache = bytes_cache(4)
+        for key in "abcd":
+            cache.put(key, b"x")
+        cache.put("big", b"xxx")
+        assert cache.used_bytes <= 4
+        assert "big" in cache
+        assert cache.evictions == 3
+
+    def test_oversized_value_not_cached(self):
+        cache = bytes_cache(4)
+        cache.put("huge", b"x" * 10)
+        assert "huge" not in cache
+        assert cache.used_bytes == 0
+
+    def test_oversized_replaces_existing_entry_by_removing_it(self):
+        cache = bytes_cache(4)
+        cache.put("k", b"xx")
+        cache.put("k", b"x" * 10)
+        assert "k" not in cache
+
+    def test_peek_does_not_touch_recency(self):
+        cache = bytes_cache(2)
+        cache.put("a", b"x")
+        cache.put("b", b"x")
+        cache.peek("a")             # not a recency bump
+        cache.put("c", b"x")        # evicts a
+        assert "a" not in cache and "b" in cache
+
+    def test_zero_capacity_caches_nothing(self):
+        cache = bytes_cache(0)
+        cache.put("a", b"")
+        cache.put("b", b"x")
+        assert "b" not in cache
+
+
+class TestStatistics:
+    def test_hit_ratio(self):
+        cache = bytes_cache(10)
+        cache.put("a", b"x")
+        cache.get("a")
+        cache.get("zz")
+        assert cache.hit_ratio() == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert bytes_cache(10).hit_ratio() == 0.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.binary(min_size=1, max_size=8)),
+        max_size=200,
+    )
+)
+def test_budget_invariant(operations):
+    """used_bytes never exceeds capacity and always matches contents."""
+    cache = LRUCache(16, size_of=len)
+    for key, value in operations:
+        cache.put(key, value)
+        assert cache.used_bytes <= 16
+    total = sum(len(cache.peek(k)) for k in cache)
+    assert total == cache.used_bytes

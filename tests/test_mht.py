@@ -1,0 +1,212 @@
+"""Tests for Merkle trees, MB-trees and verification objects."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import IndexError_, VerificationError
+from repro.common.hashing import hash_leaf
+from repro.mht import (
+    EMPTY_MB_ROOT,
+    EMPTY_ROOT,
+    MBTree,
+    MerkleTree,
+    merkle_root,
+    merkle_root_from_leaves,
+    reconstruct_root,
+    verify_proof,
+)
+
+
+class TestMerkleTree:
+    def test_empty(self):
+        assert merkle_root([]) == EMPTY_ROOT
+        tree = MerkleTree([])
+        assert tree.root == EMPTY_ROOT
+
+    def test_single_item(self):
+        tree = MerkleTree([b"one"])
+        assert tree.root == hash_leaf(b"one")
+
+    def test_root_matches_fast_path(self):
+        items = [f"tx{i}".encode() for i in range(13)]
+        assert MerkleTree(items).root == merkle_root(items)
+        assert merkle_root(items) == merkle_root_from_leaves(
+            [hash_leaf(item) for item in items]
+        )
+
+    def test_root_depends_on_order(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_root_depends_on_content(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a", b"c"])
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8, 13])
+    def test_membership_proofs(self, count):
+        items = [f"tx{i}".encode() for i in range(count)]
+        tree = MerkleTree(items)
+        for i, item in enumerate(items):
+            proof = tree.proof(i)
+            assert verify_proof(item, proof, tree.root)
+
+    def test_proof_fails_for_wrong_item(self):
+        items = [b"a", b"b", b"c"]
+        tree = MerkleTree(items)
+        proof = tree.proof(1)
+        assert not verify_proof(b"evil", proof, tree.root)
+
+    def test_proof_index_out_of_range(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.proof(5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1,
+                    max_size=40), st.data())
+    def test_proof_property(self, items, data):
+        tree = MerkleTree(items)
+        index = data.draw(st.integers(0, len(items) - 1))
+        assert verify_proof(items[index], tree.proof(index), tree.root)
+
+
+class TestMBTree:
+    def build(self, keys):
+        pairs = [(k, i) for i, k in enumerate(keys)]
+        return MBTree.bulk_load(pairs, order=3)
+
+    def test_empty_root(self):
+        tree = MBTree.bulk_load([], order=3)
+        assert tree.root == EMPTY_MB_ROOT
+        assert len(tree) == 0
+
+    def test_search(self):
+        tree = self.build([5, 3, 9, 3])
+        assert sorted(tree.search(3)) == [0, 3] or len(tree.search(3)) == 2
+        assert tree.search(4) == []
+
+    def test_range(self):
+        tree = self.build([1, 5, 7, 9, 12])
+        assert [k for k, _ in tree.range(5, 9)] == [5, 7, 9]
+        assert [k for k, _ in tree.range(None, 5)] == [1, 5]
+        assert [k for k, _ in tree.range(10, None)] == [12]
+
+    def test_unsorted_entries_rejected(self):
+        with pytest.raises(IndexError_):
+            MBTree([(5, 0), (3, 1)], [b"\x00" * 32] * 2, order=3)
+
+    def test_order_too_small(self):
+        with pytest.raises(IndexError_):
+            MBTree([], [], order=1)
+
+    def test_root_changes_with_digest(self):
+        digests_a = [hash_leaf(b"a"), hash_leaf(b"b")]
+        digests_b = [hash_leaf(b"a"), hash_leaf(b"X")]
+        t1 = MBTree([(1, 0), (2, 1)], digests_a, order=3)
+        t2 = MBTree([(1, 0), (2, 1)], digests_b, order=3)
+        assert t1.root != t2.root
+
+
+class TestRangeProofs:
+    def records(self, keys):
+        return {k: f"record-{k}".encode() for k in keys}
+
+    def build(self, keys, order=3):
+        recs = self.records(keys)
+        pairs = [(k, k) for k in keys]
+        return (
+            MBTree.bulk_load(
+                pairs, order=order,
+                digest_fn=lambda key, payload: hash_leaf(recs[key]),
+            ),
+            recs,
+        )
+
+    def reconstruct(self, tree, recs, low, high):
+        proof = tree.range_proof(low, high)
+        covered = tree.covered_payloads(proof)
+        leaf_digests = [hash_leaf(recs[k]) for k, _ in covered]
+        return proof, covered, reconstruct_root(proof, leaf_digests)
+
+    @pytest.mark.parametrize("low,high", [(3, 9), (1, 12), (0, 100),
+                                          (5, 5), (6, 6), (-5, 0), (13, 20)])
+    def test_root_reconstruction(self, low, high):
+        keys = [1, 3, 5, 7, 9, 11, 12]
+        tree, recs = self.build(keys)
+        proof, covered, root = self.reconstruct(tree, recs, low, high)
+        assert root == tree.root
+        matched = [k for k, _ in covered
+                   if (low is None or k >= low) and (high is None or k <= high)]
+        assert matched == [k for k in keys if low <= k <= high]
+
+    def test_boundaries_flank_the_range(self):
+        tree, recs = self.build([1, 3, 5, 7, 9])
+        proof = tree.range_proof(4, 8)
+        covered = tree.covered_payloads(proof)
+        keys = [k for k, _ in covered]
+        assert keys[0] == 3 and keys[-1] == 9          # boundary records
+        assert proof.has_left_boundary and proof.has_right_boundary
+
+    def test_no_left_boundary_at_start(self):
+        tree, recs = self.build([1, 3, 5])
+        proof = tree.range_proof(0, 3)
+        assert not proof.has_left_boundary
+        assert proof.start == 0
+
+    def test_no_right_boundary_at_end(self):
+        tree, recs = self.build([1, 3, 5])
+        proof = tree.range_proof(4, 99)
+        assert not proof.has_right_boundary
+        assert proof.start + proof.covered == proof.total
+
+    def test_empty_result_still_proves(self):
+        tree, recs = self.build([1, 3, 9, 11])
+        proof, covered, root = self.reconstruct(tree, recs, 4, 8)
+        assert root == tree.root
+        keys = [k for k, _ in covered]
+        assert keys == [3, 9]  # the sandwich proving emptiness
+
+    def test_empty_tree_proof(self):
+        tree = MBTree.bulk_load([], order=3)
+        proof = tree.range_proof(1, 2)
+        assert reconstruct_root(proof, []) == EMPTY_MB_ROOT
+
+    def test_wrong_leaf_count_raises(self):
+        tree, recs = self.build([1, 2, 3])
+        proof = tree.range_proof(1, 3)
+        with pytest.raises(VerificationError):
+            reconstruct_root(proof, [hash_leaf(b"x")])
+
+    def test_tampered_record_changes_root(self):
+        tree, recs = self.build([1, 3, 5, 7, 9])
+        proof = tree.range_proof(3, 7)
+        covered = tree.covered_payloads(proof)
+        digests = [hash_leaf(recs[k]) for k, _ in covered]
+        digests[1] = hash_leaf(b"forged")
+        assert reconstruct_root(proof, digests) != tree.root
+
+    def test_vo_size_reported(self):
+        tree, recs = self.build(list(range(0, 64, 2)), order=4)
+        proof = tree.range_proof(10, 20)
+        assert proof.size_bytes() > 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.sets(st.integers(0, 80), min_size=1, max_size=50),
+        st.integers(0, 80),
+        st.integers(0, 80),
+        st.integers(2, 8),
+    )
+    def test_reconstruction_property(self, key_set, a, b, order):
+        low, high = min(a, b), max(a, b)
+        keys = sorted(key_set)
+        recs = {k: f"r{k}".encode() for k in keys}
+        tree = MBTree.bulk_load(
+            [(k, k) for k in keys], order=order,
+            digest_fn=lambda key, payload: hash_leaf(recs[key]),
+        )
+        proof = tree.range_proof(low, high)
+        covered = tree.covered_payloads(proof)
+        digests = [hash_leaf(recs[k]) for k, _ in covered]
+        assert reconstruct_root(proof, digests) == tree.root
+        matched = [k for k, _ in covered if low <= k <= high]
+        assert matched == [k for k in keys if low <= k <= high]

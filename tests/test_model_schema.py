@@ -1,0 +1,126 @@
+"""Tests for column types and table schemas."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.model import ColumnType, TableSchema
+from repro.model.schema import SYSTEM_COLUMN_NAMES, Column
+
+
+class TestColumnType:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("string", ColumnType.STRING), ("VARCHAR", ColumnType.STRING),
+            ("int", ColumnType.INT), ("BIGINT", ColumnType.INT),
+            ("decimal", ColumnType.DECIMAL), ("double", ColumnType.DECIMAL),
+            ("timestamp", ColumnType.TIMESTAMP),
+            ("bool", ColumnType.BOOL), ("bytes", ColumnType.BYTES),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert ColumnType.from_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            ColumnType.from_name("json")
+
+    def test_continuity_classification(self):
+        assert ColumnType.INT.is_continuous
+        assert ColumnType.DECIMAL.is_continuous
+        assert ColumnType.TIMESTAMP.is_continuous
+        assert not ColumnType.STRING.is_continuous
+        assert not ColumnType.BOOL.is_continuous
+
+    def test_validate_accepts_none(self):
+        assert ColumnType.INT.validate(None) is None
+
+    def test_validate_string(self):
+        assert ColumnType.STRING.validate("x") == "x"
+        with pytest.raises(SchemaError):
+            ColumnType.STRING.validate(1)
+
+    def test_validate_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT.validate(True)
+
+    def test_validate_decimal_coerces_int(self):
+        out = ColumnType.DECIMAL.validate(5)
+        assert out == 5.0 and isinstance(out, float)
+
+    def test_validate_bytes_coerces_bytearray(self):
+        assert ColumnType.BYTES.validate(bytearray(b"x")) == b"x"
+
+    def test_validate_bool(self):
+        assert ColumnType.BOOL.validate(True) is True
+        with pytest.raises(SchemaError):
+            ColumnType.BOOL.validate(1)
+
+
+class TestTableSchema:
+    def make(self) -> TableSchema:
+        return TableSchema.create(
+            "donate",
+            [("donor", "string"), ("project", "string"), ("amount", "decimal")],
+        )
+
+    def test_system_columns_prepended(self):
+        schema = self.make()
+        assert schema.column_names[:5] == SYSTEM_COLUMN_NAMES
+        assert schema.column_names[5:] == ("donor", "project", "amount")
+
+    def test_column_index_and_type(self):
+        schema = self.make()
+        assert schema.column_index("tid") == 0
+        assert schema.column_index("amount") == 7
+        assert schema.column_type("amount") is ColumnType.DECIMAL
+        assert schema.column_index("AMOUNT") == 7  # case-insensitive
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().column_index("nope")
+
+    def test_has_column(self):
+        schema = self.make()
+        assert schema.has_column("senid")
+        assert schema.has_column("donor")
+        assert not schema.has_column("ghost")
+
+    def test_reserved_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.create("t", [("tid", "int")])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.create("t", [("a", "int"), ("A", "string")])
+
+    def test_bad_table_name_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.create("bad table!", [("a", "int")])
+
+    def test_bad_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.INT)
+
+    def test_validate_app_values(self):
+        schema = self.make()
+        values = schema.validate_app_values(("Jack", "Edu", 100))
+        assert values == ("Jack", "Edu", 100.0)
+
+    def test_validate_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_app_values(("Jack",))
+
+    def test_validate_wrong_type(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_app_values(("Jack", "Edu", "lots"))
+
+    def test_serialization_roundtrip(self):
+        schema = self.make()
+        restored = TableSchema.from_bytes(schema.to_bytes())
+        assert restored == schema
+
+    def test_names_lowercased(self):
+        schema = TableSchema.create("DoNaTe", [("DONOR", "string")])
+        assert schema.name == "donate"
+        assert schema.app_columns[0].name == "donor"

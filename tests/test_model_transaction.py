@@ -1,0 +1,156 @@
+"""Tests for transactions: signing, sequencing, serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SignatureError
+from repro.crypto import KeyPair
+from repro.model import (
+    SCHEMA_TNAME,
+    TableSchema,
+    Transaction,
+    UNASSIGNED_TID,
+    schema_from_sync_transaction,
+    schema_sync_transaction,
+)
+
+
+class TestCreation:
+    def test_unsigned_creation(self):
+        tx = Transaction.create("donate", ("Jack", 1.0), ts=5, sender="org1")
+        assert tx.senid == "org1"
+        assert tx.tname == "donate"
+        assert not tx.is_sequenced
+        assert tx.tid == UNASSIGNED_TID
+        assert tx.sig == b""
+
+    def test_signed_creation(self, keypair):
+        tx = Transaction.create("donate", ("Jack", 1.0), ts=5, keypair=keypair)
+        assert tx.senid == keypair.address
+        assert tx.verify_signature()
+
+    def test_tname_lowercased(self):
+        tx = Transaction.create("DoNate", (), ts=0, sender="s")
+        assert tx.tname == "donate"
+
+    def test_with_tid(self):
+        tx = Transaction.create("t", (), ts=0, sender="s")
+        sequenced = tx.with_tid(17)
+        assert sequenced.tid == 17 and sequenced.is_sequenced
+        assert tx.tid == UNASSIGNED_TID  # original untouched
+
+
+class TestSignatures:
+    def test_unsigned_does_not_verify(self):
+        tx = Transaction.create("t", (), ts=0, sender="s")
+        assert not tx.verify_signature()
+
+    def test_tampered_value_fails(self, keypair):
+        tx = Transaction.create("t", ("a", 1), ts=0, keypair=keypair)
+        tx.values = ("a", 2)
+        assert not tx.verify_signature()
+
+    def test_tampered_sender_fails(self, keypair):
+        tx = Transaction.create("t", ("a",), ts=0, keypair=keypair)
+        tx.senid = "someone-else"
+        assert not tx.verify_signature()
+
+    def test_signature_survives_sequencing(self, keypair):
+        tx = Transaction.create("t", ("a",), ts=0, keypair=keypair)
+        assert tx.with_tid(5).verify_signature()  # tid not covered by sig
+
+    def test_stolen_pubkey_fails(self, keypair):
+        other = KeyPair.from_seed("other")
+        tx = Transaction.create("t", ("a",), ts=0, keypair=keypair)
+        tx.pubkey = other.public_key
+        assert not tx.verify_signature()
+
+    def test_require_valid_signature_raises(self):
+        tx = Transaction.create("t", (), ts=0, sender="s")
+        with pytest.raises(SignatureError):
+            tx.require_valid_signature()
+
+
+class TestSerialization:
+    def test_roundtrip(self, keypair):
+        tx = Transaction.create(
+            "donate", ("Jack", "Edu", 100.0, None, True, b"raw"),
+            ts=99, keypair=keypair,
+        ).with_tid(3)
+        restored = Transaction.from_bytes(tx.to_bytes())
+        assert restored == tx
+        assert restored.verify_signature()
+
+    def test_unassigned_tid_roundtrip(self):
+        tx = Transaction.create("t", (), ts=0, sender="s")
+        assert Transaction.from_bytes(tx.to_bytes()).tid == UNASSIGNED_TID
+
+    def test_hash_changes_with_content(self):
+        tx1 = Transaction.create("t", ("a",), ts=0, sender="s")
+        tx2 = Transaction.create("t", ("b",), ts=0, sender="s")
+        assert tx1.hash() != tx2.hash()
+
+    def test_size_bytes_matches_serialization(self):
+        tx = Transaction.create("t", ("abc",), ts=0, sender="s")
+        assert tx.size_bytes() == len(tx.to_bytes())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+        st.lists(
+            st.one_of(st.integers(), st.floats(allow_nan=False),
+                      st.text(max_size=20), st.none()),
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=2**40),
+    )
+    def test_roundtrip_property(self, tname, values, ts):
+        tx = Transaction.create(tname, values, ts=ts, sender="s")
+        restored = Transaction.from_bytes(tx.to_bytes())
+        assert restored.tname == tname.lower()
+        assert restored.values == tuple(values)
+        assert restored.ts == ts
+
+
+class TestRowView:
+    def test_row_layout(self, donate_schema):
+        tx = Transaction.create("donate", ("Jack", "Edu", 5.0), ts=7,
+                                sender="org1").with_tid(2)
+        row = tx.row()
+        assert row[0] == 2          # tid
+        assert row[1] == 7          # ts
+        assert row[3] == "org1"     # senid
+        assert row[4] == "donate"   # tname
+        assert row[5:] == ("Jack", "Edu", 5.0)
+
+    def test_get_by_column(self, donate_schema):
+        tx = Transaction.create("donate", ("Jack", "Edu", 5.0), ts=7,
+                                sender="org1")
+        assert tx.get("donor", donate_schema) == "Jack"
+        assert tx.get("amount", donate_schema) == 5.0
+        assert tx.get("senid", donate_schema) == "org1"
+
+    def test_as_dict_with_schema(self, donate_schema):
+        tx = Transaction.create("donate", ("Jack", "Edu", 5.0), ts=7,
+                                sender="org1")
+        d = tx.as_dict(donate_schema)
+        assert d["donor"] == "Jack" and d["tname"] == "donate"
+
+    def test_as_dict_without_schema(self):
+        tx = Transaction.create("t", ("a", "b"), ts=0, sender="s")
+        d = tx.as_dict()
+        assert d["v0"] == "a" and d["v1"] == "b"
+
+
+class TestSchemaSync:
+    def test_roundtrip(self):
+        schema = TableSchema.create("x", [("a", "int"), ("b", "string")])
+        tx = schema_sync_transaction(schema, ts=1)
+        assert tx.tname == SCHEMA_TNAME
+        assert schema_from_sync_transaction(tx) == schema
+
+    def test_non_sync_rejected(self):
+        tx = Transaction.create("donate", (b"junk",), ts=0, sender="s")
+        with pytest.raises(SignatureError):
+            schema_from_sync_transaction(tx)

@@ -1,0 +1,88 @@
+"""Tests for the off-chain RDBMS adapter."""
+
+import pytest
+
+from repro.common.errors import CatalogError, QueryError
+from repro.offchain import OffChainDatabase
+
+
+@pytest.fixture()
+def db():
+    with OffChainDatabase() as database:
+        database.create_table(
+            "doneeinfo",
+            [("donee", "string"), ("age", "int"), ("income", "decimal")],
+        )
+        database.insert(
+            "doneeinfo",
+            [("tom", 10, 100.0), ("amy", 12, 50.0), ("bob", 9, 75.0)],
+        )
+        yield database
+
+
+class TestDDL:
+    def test_create_and_columns(self, db):
+        assert db.columns("doneeinfo") == ["donee", "age", "income"]
+
+    def test_has_table(self, db):
+        assert db.has_table("doneeinfo")
+        assert not db.has_table("nope")
+
+    def test_missing_table_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.columns("ghost")
+
+    def test_empty_columns_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("empty", [])
+
+    def test_unknown_type_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("bad", [("a", "jsonb")])
+
+    def test_identifier_injection_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("x; DROP TABLE y", [("a", "int")])
+
+    def test_on_disk(self, tmp_path):
+        path = tmp_path / "private.db"
+        with OffChainDatabase(path) as database:
+            database.create_table("t", [("a", "int")])
+            database.insert("t", [(1,)])
+        with OffChainDatabase(path) as database:
+            assert database.count("t") == 1
+
+
+class TestQueries:
+    def test_fetch_all(self, db):
+        rows = db.fetch_all("doneeinfo")
+        assert len(rows) == 3
+        assert ("tom", 10, 100.0) in rows
+
+    def test_fetch_sorted(self, db):
+        rows = db.fetch_sorted("doneeinfo", "income")
+        assert [r[2] for r in rows] == [50.0, 75.0, 100.0]
+
+    def test_min_max(self, db):
+        assert db.min_max("doneeinfo", "age") == (9, 12)
+
+    def test_distinct_values(self, db):
+        db.insert("doneeinfo", [("tom", 11, 20.0)])
+        assert db.distinct_values("doneeinfo", "donee") == ["amy", "bob", "tom"]
+
+    def test_count(self, db):
+        assert db.count("doneeinfo") == 3
+
+    def test_insert_empty(self, db):
+        assert db.insert("doneeinfo", []) == 0
+
+    def test_insert_returns_count(self, db):
+        assert db.insert("doneeinfo", [("x", 1, 2.0), ("y", 3, 4.0)]) == 2
+
+    def test_execute_select(self, db):
+        rows = db.execute("SELECT donee FROM doneeinfo WHERE age > ?", (9,))
+        assert sorted(r[0] for r in rows) == ["amy", "tom"]
+
+    def test_execute_rejects_writes(self, db):
+        with pytest.raises(QueryError):
+            db.execute("DELETE FROM doneeinfo")

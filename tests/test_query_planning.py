@@ -1,0 +1,180 @@
+"""Unit tests for constraint extraction, predicate evaluation, planning
+and the EXPLAIN facility."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.model import TableSchema, Transaction
+from repro.query.operators import (
+    RangeConstraint,
+    extract_constraints,
+    predicate_matches,
+    project,
+    projected_columns,
+)
+from repro.sqlparser import parse
+
+SCHEMA = TableSchema.create(
+    "donate", [("donor", "string"), ("project", "string"),
+               ("amount", "decimal")]
+)
+
+
+def where_of(sql: str):
+    return parse(f"SELECT * FROM donate WHERE {sql}").where
+
+
+def tx(donor="Jack", project="edu", amount=100.0, ts=10, sender="org1"):
+    return Transaction.create("donate", (donor, project, amount),
+                              ts=ts, sender=sender)
+
+
+class TestExtractConstraints:
+    def test_equality(self):
+        constraints = extract_constraints(where_of("amount = 5"))
+        assert constraints["amount"].low == 5
+        assert constraints["amount"].high == 5
+        assert constraints["amount"].is_equality
+
+    def test_between(self):
+        constraints = extract_constraints(where_of("amount BETWEEN 2 AND 9"))
+        assert (constraints["amount"].low, constraints["amount"].high) == (2, 9)
+
+    def test_inequalities_tighten(self):
+        constraints = extract_constraints(
+            where_of("amount > 1 AND amount >= 3 AND amount < 10 AND amount <= 8")
+        )
+        assert constraints["amount"].low == 3
+        assert constraints["amount"].high == 8
+
+    def test_multiple_columns(self):
+        constraints = extract_constraints(
+            where_of("amount > 5 AND donor = 'Jack'")
+        )
+        assert set(constraints) == {"amount", "donor"}
+        assert constraints["donor"].is_equality
+
+    def test_or_contributes_nothing(self):
+        constraints = extract_constraints(where_of("amount = 1 OR amount = 2"))
+        assert constraints == {}
+
+    def test_ne_gives_no_range(self):
+        constraints = extract_constraints(where_of("amount <> 5"))
+        assert constraints["amount"].low is None
+        assert constraints["amount"].high is None
+
+    def test_none_predicate(self):
+        assert extract_constraints(None) == {}
+
+    def test_constraint_tighten_helpers(self):
+        c = RangeConstraint("x")
+        c.tighten_low(1)
+        c.tighten_low(0)   # looser: ignored
+        c.tighten_high(10)
+        c.tighten_high(20)  # looser: ignored
+        assert (c.low, c.high) == (1, 10)
+
+
+class TestPredicateMatches:
+    def test_comparison_ops(self):
+        t = tx(amount=5.0)
+        assert predicate_matches(t, where_of("amount = 5"), SCHEMA)
+        assert predicate_matches(t, where_of("amount >= 5"), SCHEMA)
+        assert predicate_matches(t, where_of("amount <= 5"), SCHEMA)
+        assert not predicate_matches(t, where_of("amount < 5"), SCHEMA)
+        assert not predicate_matches(t, where_of("amount > 5"), SCHEMA)
+        assert predicate_matches(t, where_of("amount <> 6"), SCHEMA)
+
+    def test_between_inclusive(self):
+        assert predicate_matches(tx(amount=2.0),
+                                 where_of("amount BETWEEN 2 AND 3"), SCHEMA)
+        assert predicate_matches(tx(amount=3.0),
+                                 where_of("amount BETWEEN 2 AND 3"), SCHEMA)
+        assert not predicate_matches(tx(amount=3.5),
+                                     where_of("amount BETWEEN 2 AND 3"),
+                                     SCHEMA)
+
+    def test_and_or(self):
+        t = tx(donor="Jack", amount=5.0)
+        assert predicate_matches(
+            t, where_of("donor = 'Jack' AND amount = 5"), SCHEMA
+        )
+        assert predicate_matches(
+            t, where_of("donor = 'Nope' OR amount = 5"), SCHEMA
+        )
+        assert not predicate_matches(
+            t, where_of("donor = 'Nope' AND amount = 5"), SCHEMA
+        )
+
+    def test_system_columns(self):
+        t = tx(sender="org7", ts=55)
+        assert predicate_matches(t, where_of("senid = 'org7'"), SCHEMA)
+        assert predicate_matches(t, where_of("ts BETWEEN 50 AND 60"), SCHEMA)
+
+    def test_null_never_matches(self):
+        t = Transaction.create("donate", (None, "edu", 1.0), ts=0, sender="s")
+        assert not predicate_matches(t, where_of("donor = 'Jack'"), SCHEMA)
+        assert not predicate_matches(t, where_of("donor <> 'Jack'"), SCHEMA)
+
+    def test_none_predicate_matches_all(self):
+        assert predicate_matches(tx(), None, SCHEMA)
+
+
+class TestProjection:
+    def test_project_all(self):
+        t = tx().with_tid(9)
+        row = project(t, SCHEMA, ())
+        assert row == t.row()
+
+    def test_project_subset(self):
+        stmt = parse("SELECT donor, amount FROM donate")
+        row = project(tx(donor="A", amount=7.0), SCHEMA, stmt.projection)
+        assert row == ("A", 7.0)
+
+    def test_projected_columns(self):
+        stmt = parse("SELECT amount, senid FROM donate")
+        assert projected_columns(SCHEMA, stmt.projection) == ("amount", "senid")
+        assert projected_columns(SCHEMA, ()) == SCHEMA.column_names
+
+
+class TestExplain:
+    def test_explain_reports_plan(self, chain):
+        plan = chain.engine.explain(
+            "SELECT * FROM donate WHERE amount BETWEEN 100 AND 140"
+        )
+        assert plan["table"] == "donate"
+        assert plan["access_path"] in ("scan", "bitmap", "layered")
+        assert set(plan["alternatives_ms"]) == {"scan", "bitmap", "layered"}
+        assert plan["constraints"]["amount"] == (100, 140)
+
+    def test_explain_layered_details(self, chain):
+        plan = chain.engine.explain(
+            "SELECT * FROM donate WHERE amount BETWEEN 100 AND 110"
+        )
+        if plan["access_path"] == "layered":
+            assert plan["index_column"] == "amount"
+            assert plan["estimated_rows"] >= 1
+
+    def test_explain_no_index_alternative_is_none(self, chain):
+        plan = chain.engine.explain(
+            "SELECT * FROM donate WHERE project = 'edu'"
+        )
+        assert plan["alternatives_ms"]["layered"] is None
+
+    def test_explain_cheapest_alternative_chosen(self, chain):
+        plan = chain.engine.explain(
+            "SELECT * FROM donate WHERE amount BETWEEN 100 AND 200"
+        )
+        costs = {k: v for k, v in plan["alternatives_ms"].items()
+                 if v is not None}
+        assert plan["access_path"] == min(costs, key=costs.get)
+
+    def test_explain_rejects_non_select(self, chain):
+        with pytest.raises(QueryError):
+            chain.engine.explain("TRACE OPERATOR = 'org1'")
+
+    def test_explain_with_params(self, chain):
+        plan = chain.engine.explain(
+            "SELECT * FROM donate WHERE amount BETWEEN ? AND ?", (1, 2)
+        )
+        assert plan["constraints"]["amount"] == (1, 2)

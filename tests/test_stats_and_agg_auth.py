@@ -1,0 +1,110 @@
+"""Tests for node statistics and authenticated aggregates."""
+
+import pytest
+
+from repro import SebdbNetwork, ThinClient
+from repro.node.stats import collect_stats
+
+
+@pytest.fixture(scope="module")
+def net():
+    network = SebdbNetwork(num_nodes=3, consensus="kafka", batch_txs=10,
+                           timeout_ms=25)
+    network.execute("CREATE donate (donor string, amount decimal)")
+    for i in range(30):
+        network.execute(
+            f"INSERT INTO donate VALUES ('d{i % 5}', {float(i)})",
+            sender="org1" if i % 2 == 0 else "org2",
+        )
+    network.commit()
+    for node in network.nodes:
+        node.create_index("senid", authenticated=True)
+        node.create_index("amount", table="donate", authenticated=True)
+    return network
+
+
+class TestNodeStats:
+    def test_chain_counts(self, net):
+        stats = collect_stats(net.node(0))
+        assert stats.chain_height == net.height()
+        assert stats.tables["donate"] == 30
+        assert stats.total_transactions >= 30
+        assert stats.bytes_on_chain > 0
+
+    def test_index_inventory(self, net):
+        stats = collect_stats(net.node(0))
+        entries = {(i.table, i.column): i for i in stats.indexes}
+        assert ("<all>", "senid") in entries
+        assert ("donate", "amount") in entries
+        assert entries[("donate", "amount")].kind == "continuous"
+        assert entries[("<all>", "senid")].kind == "discrete"
+        assert entries[("<all>", "senid")].authenticated
+
+    def test_cache_stats_move(self, net):
+        node = net.node(0)
+        node.query("SELECT * FROM donate WHERE amount BETWEEN 5 AND 9",
+                   method="layered")
+        node.query("SELECT * FROM donate WHERE amount BETWEEN 5 AND 9",
+                   method="layered")
+        stats = collect_stats(node)
+        assert stats.cache_hit_ratio > 0
+
+    def test_summary_renders(self, net):
+        text = collect_stats(net.node(0)).summary()
+        assert "chain height" in text
+        assert "donate: 30" in text
+        assert "amount" in text
+
+    def test_cli_stats_meta(self, net):
+        from repro.cli import Shell
+
+        shell = Shell(net.node(0))
+        out = shell.run_line("\\stats")
+        assert "tables:" in out and "indexes:" in out
+
+
+class TestAuthenticatedAggregates:
+    def test_verified_sum(self, net):
+        client = ThinClient(net.nodes, seed=1)
+        client.sync_headers()
+        schema = net.node(0).catalog.get("donate")
+        value, answer = client.authenticated_aggregate(
+            "sum", "amount", 10.0, 19.0, table="donate", schema=schema
+        )
+        assert value == pytest.approx(sum(range(10, 20)))
+        assert len(answer.transactions) == 10
+
+    def test_verified_count_and_avg(self, net):
+        client = ThinClient(net.nodes, seed=2)
+        client.sync_headers()
+        schema = net.node(0).catalog.get("donate")
+        count, _ = client.authenticated_aggregate(
+            "count", "amount", 0.0, 29.0, table="donate", schema=schema
+        )
+        assert count == 30
+        avg, _ = client.authenticated_aggregate(
+            "avg", "amount", 0.0, 29.0, table="donate", schema=schema
+        )
+        assert avg == pytest.approx(14.5)
+
+    def test_verified_min_max(self, net):
+        client = ThinClient(net.nodes, seed=3)
+        client.sync_headers()
+        schema = net.node(0).catalog.get("donate")
+        low, _ = client.authenticated_aggregate(
+            "min", "amount", 5.0, 25.0, table="donate", schema=schema
+        )
+        high, _ = client.authenticated_aggregate(
+            "max", "amount", 5.0, 25.0, table="donate", schema=schema
+        )
+        assert (low, high) == (5.0, 25.0)
+
+    def test_empty_range_aggregates(self, net):
+        client = ThinClient(net.nodes, seed=4)
+        client.sync_headers()
+        schema = net.node(0).catalog.get("donate")
+        count, answer = client.authenticated_aggregate(
+            "count", "amount", 500.0, 600.0, table="donate", schema=schema
+        )
+        assert count == 0
+        assert answer.transactions == ()

@@ -1,0 +1,249 @@
+"""Tests for segment files, the block store, caches and the cost model."""
+
+import pytest
+
+from repro.common.config import SebdbConfig
+from repro.common.errors import StorageError
+from repro.model import Block, GENESIS_PREV_HASH, Transaction, make_genesis
+from repro.storage import BlockLocation, BlockStore, CostModel, SegmentStore
+
+
+def make_block(prev, height, count=4, tname="donate", start_tid=0):
+    txs = [
+        Transaction.create(tname, (f"v{i}", float(i)), ts=height * 100 + i,
+                           sender=f"org{i % 2}").with_tid(start_tid + i)
+        for i in range(count)
+    ]
+    return Block.package(prev, height, height * 100 + 99, txs)
+
+
+def build_store(num_blocks=4, config=None):
+    store = BlockStore(config or SebdbConfig.in_memory())
+    genesis = make_genesis()
+    store.append_block(genesis)
+    prev = genesis.block_hash()
+    tid = 0
+    for h in range(1, num_blocks + 1):
+        block = make_block(prev, h, start_tid=tid)
+        store.append_block(block)
+        prev = block.block_hash()
+        tid += 4
+    return store
+
+
+class TestSegmentStore:
+    def test_append_read_roundtrip(self):
+        seg = SegmentStore(None, 1024)
+        loc = seg.append(b"hello")
+        assert seg.read(loc) == b"hello"
+
+    def test_rollover(self):
+        seg = SegmentStore(None, 10)
+        loc1 = seg.append(b"x" * 8)
+        loc2 = seg.append(b"y" * 8)
+        assert loc1.segment == 0 and loc2.segment == 1
+        assert seg.read(loc1) == b"x" * 8
+        assert seg.read(loc2) == b"y" * 8
+
+    def test_record_larger_than_segment_still_stored(self):
+        seg = SegmentStore(None, 4)
+        loc = seg.append(b"toolarge")
+        assert seg.read(loc) == b"toolarge"
+
+    def test_empty_append_rejected(self):
+        with pytest.raises(StorageError):
+            SegmentStore(None, 10).append(b"")
+
+    def test_read_range(self):
+        seg = SegmentStore(None, 100)
+        loc = seg.append(b"0123456789")
+        assert seg.read_range(loc, 2, 3) == b"234"
+
+    def test_read_range_out_of_bounds(self):
+        seg = SegmentStore(None, 100)
+        loc = seg.append(b"0123")
+        with pytest.raises(StorageError):
+            seg.read_range(loc, 2, 10)
+
+    def test_on_disk_roundtrip(self, tmp_path):
+        seg = SegmentStore(tmp_path, 64)
+        locs = [seg.append(bytes([i]) * 40) for i in range(4)]
+        assert seg.segment_count >= 2
+        for i, loc in enumerate(locs):
+            assert seg.read(loc) == bytes([i]) * 40
+
+    def test_on_disk_recovery(self, tmp_path):
+        seg = SegmentStore(tmp_path, 64)
+        loc = seg.append(b"persisted")
+        del seg
+        seg2 = SegmentStore(tmp_path, 64)
+        assert seg2.read(loc) == b"persisted"
+        loc2 = seg2.append(b"more")
+        assert seg2.read(loc2) == b"more"
+
+    def test_missing_segment_raises(self):
+        seg = SegmentStore(None, 100)
+        with pytest.raises(StorageError):
+            seg.read(BlockLocation(segment=5, offset=0, length=1))
+
+
+class TestBlockStore:
+    def test_append_and_read(self):
+        store = build_store(3)
+        assert store.height == 4
+        block = store.read_block(2)
+        assert block.height == 2
+        assert len(block.transactions) == 4
+
+    def test_wrong_height_rejected(self):
+        store = build_store(1)
+        bad = make_block(store.tip_hash, 7)
+        with pytest.raises(StorageError):
+            store.append_block(bad)
+
+    def test_broken_chain_rejected(self):
+        store = build_store(1)
+        bad = make_block(b"\xee" * 32, 2)
+        with pytest.raises(StorageError):
+            store.append_block(bad)
+
+    def test_read_missing_block(self):
+        store = build_store(1)
+        with pytest.raises(StorageError):
+            store.read_block(9)
+
+    def test_read_transaction_point(self):
+        store = build_store(2)
+        tx = store.read_transaction(1, 2)
+        assert tx.values[0] == "v2"
+
+    def test_read_transaction_bad_index(self):
+        store = build_store(1)
+        with pytest.raises(StorageError):
+            store.read_transaction(1, 99)
+
+    def test_headers_match_blocks(self):
+        store = build_store(3)
+        headers = store.headers
+        assert len(headers) == 4
+        assert headers[2].height == 2
+        assert headers[2].block_hash() == store.read_block(2).block_hash()
+
+    def test_iter_blocks_range(self):
+        store = build_store(4)
+        heights = [b.height for b in store.iter_blocks(1, 3)]
+        assert heights == [1, 2]
+
+    def test_listener_fired(self):
+        store = BlockStore(SebdbConfig.in_memory())
+        seen = []
+        store.add_listener(lambda block, loc: seen.append(block.height))
+        store.append_block(make_genesis())
+        assert seen == [0]
+
+    def test_location_exposed(self):
+        store = build_store(1)
+        loc = store.location(1)
+        assert loc.length == store.block_size(1)
+
+
+class TestCaching:
+    def test_transaction_cache_hits(self):
+        config = SebdbConfig.in_memory(cache_mode="transaction")
+        store = build_store(2, config)
+        store.cost.reset()
+        store.read_transaction(1, 0)
+        seeks_first = store.cost.seeks
+        store.read_transaction(1, 0)
+        assert store.cost.seeks == seeks_first  # second read free
+        assert store.tx_cache.hits == 1
+
+    def test_block_cache_hits(self):
+        config = SebdbConfig.in_memory(cache_mode="block")
+        store = build_store(2, config)
+        store.cost.reset()
+        store.read_block(1)
+        seeks_first = store.cost.seeks
+        store.read_block(1)
+        assert store.cost.seeks == seeks_first
+        assert store.block_cache.hits == 1
+
+    def test_block_cache_serves_point_reads(self):
+        config = SebdbConfig.in_memory(cache_mode="block")
+        store = build_store(2, config)
+        store.read_block(1)
+        store.cost.reset()
+        tx = store.read_transaction(1, 1)
+        assert tx.values[0] == "v1"
+        assert store.cost.seeks == 0  # came from the cached block
+
+    def test_no_cache_mode(self):
+        config = SebdbConfig.in_memory(cache_mode="none")
+        store = build_store(2, config)
+        store.cost.reset()
+        store.read_block(1)
+        store.read_block(1)
+        assert store.cost.seeks == 2
+
+    def test_clear_caches(self):
+        config = SebdbConfig.in_memory(cache_mode="block")
+        store = build_store(2, config)
+        store.read_block(1)
+        store.clear_caches()
+        store.cost.reset()
+        store.read_block(1)
+        assert store.cost.seeks == 1
+
+    def test_disk_backed_store(self, tmp_path):
+        config = SebdbConfig.in_memory()
+        config.data_dir = tmp_path
+        store = build_store(3, config)
+        assert store.read_block(3).height == 3
+        assert any(tmp_path.glob("segment-*.dat"))
+
+
+class TestCostModel:
+    def test_pages_for(self):
+        cost = CostModel(page_size=100)
+        assert cost.pages_for(0) == 0
+        assert cost.pages_for(1) == 1
+        assert cost.pages_for(100) == 1
+        assert cost.pages_for(101) == 2
+
+    def test_record_read(self):
+        cost = CostModel(seek_ms=2.0, transfer_ms=1.0, page_size=10)
+        cost.record_read(25)
+        assert cost.seeks == 1 and cost.page_transfers == 3
+        assert cost.elapsed_ms() == pytest.approx(2.0 + 3.0)
+
+    def test_equation_1_scan(self):
+        """C = n*tS + (f*n/b)*tT, the paper's eq. (1)."""
+        cost = CostModel(seek_ms=4.0, transfer_ms=0.1, page_size=4096)
+        n, f = 100, 4 * 1024 * 1024
+        expected = n * 4.0 + (f * n / 4096) * 0.1
+        assert cost.estimate_scan(n, f) == pytest.approx(expected)
+
+    def test_equation_2_bitmap_bounded_by_scan(self):
+        cost = CostModel()
+        assert cost.estimate_bitmap(10, 1000) <= cost.estimate_scan(50, 1000)
+
+    def test_equation_3_layered(self):
+        cost = CostModel(seek_ms=4.0, transfer_ms=0.1)
+        assert cost.estimate_layered(100) == pytest.approx(100 * 4.1)
+
+    def test_snapshot_delta(self):
+        cost = CostModel()
+        first = cost.snapshot()
+        cost.record_read(100)
+        delta = cost.snapshot().delta(first)
+        assert delta.seeks == 1
+        assert delta.bytes_read == 100
+
+    def test_store_accounting_matches_block_size(self):
+        store = build_store(1)
+        store.cost.reset()
+        store.read_block(1)
+        assert store.cost.bytes_read == store.block_size(1)
+        assert store.cost.page_transfers == store.cost.pages_for(
+            store.block_size(1)
+        )

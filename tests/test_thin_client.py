@@ -1,0 +1,223 @@
+"""Tests for thin clients: header sync, authenticated queries, sampling."""
+
+import pytest
+
+from repro.client import (
+    ThinClient,
+    digest_error_probability,
+    minimum_m_for_risk,
+    prob_right_digest_wins,
+    prob_wrong_digest_wins,
+)
+from repro.common.errors import VerificationError
+from repro.mht.vo import BlockVO, QueryVO, verify_query_vo
+from repro.node import SebdbNetwork
+from repro.node.auth import AuthQueryServer
+
+
+@pytest.fixture(scope="module")
+def auth_net():
+    net = SebdbNetwork(num_nodes=4, consensus="kafka", batch_txs=20,
+                       timeout_ms=40)
+    net.execute("CREATE donate (donor string, project string, amount decimal)")
+    for i in range(80):
+        net.execute(
+            f"INSERT INTO donate VALUES ('donor{i % 9}', 'edu', {float(i)})",
+            sender="org1" if i % 4 == 0 else f"org{2 + i % 3}",
+        )
+    net.commit()
+    for node in net.nodes:
+        node.create_index("senid", authenticated=True)
+        node.create_index("amount", table="donate", authenticated=True)
+    return net
+
+
+class TestHeaderSync:
+    def test_sync_headers(self, auth_net):
+        client = ThinClient(auth_net.nodes, seed=1)
+        assert client.sync_headers() == auth_net.height()
+        assert client.header(0).height == 0
+
+    def test_broken_header_chain_rejected(self, auth_net):
+        import dataclasses
+
+        client = ThinClient(auth_net.nodes, seed=1)
+        node = auth_net.node(0)
+        headers = node.store.headers
+        # corrupt a *copy* - the originals are shared with the store
+        headers[2] = dataclasses.replace(headers[2], prev_hash=b"\x00" * 32)
+
+        class FakeNode:
+            class store:
+                pass
+
+        fake = FakeNode()
+        fake.store.headers = headers
+        with pytest.raises(VerificationError):
+            client.sync_headers(from_node=fake)
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(VerificationError):
+            ThinClient([])
+
+
+class TestAuthenticatedQueries:
+    def test_trace_matches_unverified(self, auth_net):
+        client = ThinClient(auth_net.nodes, seed=2)
+        client.sync_headers()
+        answer = client.authenticated_trace("org1")
+        truth = auth_net.execute("TRACE OPERATOR = 'org1'")
+        assert sorted(t.tid for t in answer.transactions) == sorted(
+            t.tid for t in truth.transactions
+        )
+
+    def test_trace_with_operation_filter(self, auth_net):
+        client = ThinClient(auth_net.nodes, seed=3)
+        client.sync_headers()
+        answer = client.authenticated_trace("org1", operation="donate")
+        assert all(t.tname == "donate" for t in answer.transactions)
+
+    def test_range_matches_unverified(self, auth_net):
+        client = ThinClient(auth_net.nodes, seed=4)
+        client.sync_headers()
+        schema = auth_net.node(0).catalog.get("donate")
+        answer = client.authenticated_range(
+            "amount", 20.0, 40.0, table="donate", schema=schema
+        )
+        truth = auth_net.execute(
+            "SELECT * FROM donate WHERE amount BETWEEN 20 AND 40"
+        )
+        assert len(answer.transactions) == len(truth)
+
+    def test_empty_range_verifies(self, auth_net):
+        client = ThinClient(auth_net.nodes, seed=5)
+        client.sync_headers()
+        schema = auth_net.node(0).catalog.get("donate")
+        answer = client.authenticated_range(
+            "amount", 5000.0, 6000.0, table="donate", schema=schema
+        )
+        assert answer.transactions == ()
+
+    def test_vo_size_positive(self, auth_net):
+        client = ThinClient(auth_net.nodes, seed=6)
+        client.sync_headers()
+        answer = client.authenticated_trace("org1")
+        assert answer.vo_size_bytes > 0
+        assert answer.blocks_verified if hasattr(answer, "blocks_verified") else True
+
+
+class TestTamperDetection:
+    def server(self, auth_net):
+        return AuthQueryServer(auth_net.node(0))
+
+    def honest(self, auth_net):
+        server = self.server(auth_net)
+        vo = server.trace_vo("org1")
+        digest = server.auxiliary_digest("senid", "org1", "org1",
+                                         vo.chain_height)
+        return vo, digest
+
+    def test_honest_vo_verifies(self, auth_net):
+        vo, digest = self.honest(auth_net)
+        result = verify_query_vo(vo, key_of=lambda tx: tx.senid,
+                                 expected_digest=digest)
+        assert result.digest == digest
+
+    def test_dropped_record_detected(self, auth_net):
+        vo, digest = self.honest(auth_net)
+        blocks = list(vo.blocks)
+        target = max(range(len(blocks)), key=lambda i: len(blocks[i].records))
+        b = blocks[target]
+        blocks[target] = BlockVO(b.height, b.records[1:], b.proof)
+        bad = QueryVO(vo.chain_height, vo.column, vo.low, vo.high,
+                      tuple(blocks))
+        with pytest.raises(VerificationError):
+            verify_query_vo(bad, key_of=lambda tx: tx.senid,
+                            expected_digest=digest)
+
+    def test_forged_record_detected(self, auth_net):
+        from repro.model import Transaction
+
+        vo, digest = self.honest(auth_net)
+        blocks = list(vo.blocks)
+        b = blocks[0]
+        forged = Transaction.create("donate", ("evil", "edu", 1.0),
+                                    ts=0, sender="org1").with_tid(1)
+        blocks[0] = BlockVO(
+            b.height, (forged.to_bytes(),) + b.records[1:], b.proof
+        )
+        bad = QueryVO(vo.chain_height, vo.column, vo.low, vo.high,
+                      tuple(blocks))
+        with pytest.raises(VerificationError):
+            verify_query_vo(bad, key_of=lambda tx: tx.senid,
+                            expected_digest=digest)
+
+    def test_withheld_block_detected(self, auth_net):
+        vo, digest = self.honest(auth_net)
+        if len(vo.blocks) < 2:
+            pytest.skip("need at least 2 result blocks")
+        bad = QueryVO(vo.chain_height, vo.column, vo.low, vo.high,
+                      vo.blocks[1:])
+        with pytest.raises(VerificationError):
+            verify_query_vo(bad, key_of=lambda tx: tx.senid,
+                            expected_digest=digest)
+
+    def test_duplicate_block_detected(self, auth_net):
+        vo, digest = self.honest(auth_net)
+        bad = QueryVO(vo.chain_height, vo.column, vo.low, vo.high,
+                      vo.blocks + vo.blocks[:1])
+        with pytest.raises(VerificationError):
+            verify_query_vo(bad, key_of=lambda tx: tx.senid,
+                            expected_digest=digest)
+
+    def test_block_beyond_snapshot_detected(self, auth_net):
+        vo, digest = self.honest(auth_net)
+        b = vo.blocks[0]
+        bad_block = BlockVO(vo.chain_height + 5, b.records, b.proof)
+        bad = QueryVO(vo.chain_height, vo.column, vo.low, vo.high,
+                      vo.blocks + (bad_block,))
+        with pytest.raises(VerificationError):
+            verify_query_vo(bad, key_of=lambda tx: tx.senid,
+                            expected_digest=digest)
+
+
+class TestSamplingMath:
+    def test_eq4_eq5_symmetry(self):
+        # at p = 0.5 the race is symmetric
+        assert prob_wrong_digest_wins(0.5, 3) == pytest.approx(
+            prob_right_digest_wins(0.5, 3)
+        )
+
+    def test_eq4_grows_with_p(self):
+        assert prob_wrong_digest_wins(0.1, 2) < prob_wrong_digest_wins(0.4, 2)
+
+    def test_theta_zero_when_m_exceeds_byzantine(self):
+        # a wrong digest can never reach m copies with only 1 Byzantine node
+        assert digest_error_probability(0.25, m=2, n=4, max_byzantine=1) == 0.0
+
+    def test_theta_positive_when_feasible(self):
+        theta = digest_error_probability(0.25, m=1, n=4, max_byzantine=2)
+        assert 0 < theta < 1
+
+    def test_theta_decreases_with_m(self):
+        t1 = digest_error_probability(0.3, 1, 10, 5)
+        t2 = digest_error_probability(0.3, 2, 10, 5)
+        t3 = digest_error_probability(0.3, 3, 10, 5)
+        assert t1 > t2 > t3
+
+    def test_minimum_m(self):
+        m = minimum_m_for_risk(0.3, n=10, max_byzantine=5, target=0.05)
+        assert digest_error_probability(0.3, m, 10, 5) <= 0.05
+        if m > 1:
+            assert digest_error_probability(0.3, m - 1, 10, 5) > 0.05
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            prob_wrong_digest_wins(1.5, 2)
+
+    def test_m_larger_than_n_rejected(self):
+        with pytest.raises(VerificationError):
+            digest_error_probability(0.1, m=5, n=3, max_byzantine=5)
+
+    def test_zero_byzantine_ratio(self):
+        assert digest_error_probability(0.0, 1, 4, 2) == 0.0

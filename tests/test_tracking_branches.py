@@ -1,0 +1,94 @@
+"""Branch-coverage tests for tracking and layered fallbacks."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.index import IndexManager
+from repro.model import Block, Catalog, TableSchema, Transaction, make_genesis
+from repro.query import AccessPath, QueryEngine, trace_transactions
+from repro.storage import BlockStore
+
+SCHEMA = TableSchema.create("ev", [("kind", "string"), ("v", "decimal")])
+
+
+def bare_chain(with_indexes: bool):
+    """A small chain, optionally without any layered indexes."""
+    store = BlockStore()
+    catalog = Catalog()
+    genesis = make_genesis(0, [SCHEMA])
+    store.append_block(genesis)
+    catalog.apply_block(genesis)
+    indexes = IndexManager(store, order=6, histogram_depth=4)
+    prev = store.tip_hash
+    tid = 1
+    for height in range(1, 5):
+        txs = []
+        for i in range(6):
+            tx = Transaction.create(
+                "ev", (f"k{i % 2}", float(i)), ts=height * 10 + i,
+                sender=f"org{i % 3}",
+            ).with_tid(tid)
+            tid += 1
+            txs.append(tx)
+        block = Block.package(prev, height, height * 10 + 9, txs)
+        store.append_block(block)
+        prev = block.block_hash()
+    if with_indexes:
+        indexes.create_layered_index("senid")
+        indexes.create_layered_index("tname")
+    return store, indexes, catalog
+
+
+class TestTrackingBranches:
+    def test_operation_only_layered(self):
+        store, indexes, _ = bare_chain(with_indexes=True)
+        result = trace_transactions(
+            store, indexes, operation="ev", method=AccessPath.LAYERED
+        )
+        assert len(result) == 24
+
+    def test_operation_only_without_tname_index(self):
+        store, indexes, _ = bare_chain(with_indexes=False)
+        with pytest.raises(QueryError):
+            trace_transactions(
+                store, indexes, operation="ev", method=AccessPath.LAYERED
+            )
+
+    def test_operator_without_senid_index(self):
+        store, indexes, _ = bare_chain(with_indexes=False)
+        with pytest.raises(QueryError):
+            trace_transactions(
+                store, indexes, operator="org1", method=AccessPath.LAYERED
+            )
+
+    def test_default_method_degrades_to_bitmap(self):
+        store, indexes, catalog = bare_chain(with_indexes=False)
+        engine = QueryEngine(store, indexes, catalog)
+        result = engine.execute("TRACE OPERATOR = 'org1'")  # no index: bitmap
+        assert len(result) == 8
+
+    def test_no_dimension_rejected(self):
+        store, indexes, _ = bare_chain(with_indexes=True)
+        with pytest.raises(QueryError):
+            trace_transactions(store, indexes)
+
+    def test_unknown_operator_empty(self):
+        store, indexes, _ = bare_chain(with_indexes=True)
+        for method in (AccessPath.SCAN, AccessPath.BITMAP, AccessPath.LAYERED):
+            assert trace_transactions(
+                store, indexes, operator="nobody", method=method
+            ) == []
+
+    def test_global_senid_index_on_table_select(self):
+        """A table-scoped query can fall back to the global senid index."""
+        store, indexes, catalog = bare_chain(with_indexes=True)
+        engine = QueryEngine(store, indexes, catalog)
+        layered = engine.execute(
+            "SELECT * FROM ev WHERE senid = 'org2'", method="layered"
+        )
+        scan = engine.execute(
+            "SELECT * FROM ev WHERE senid = 'org2'", method="scan"
+        )
+        assert sorted(t.tid for t in layered.transactions) == sorted(
+            t.tid for t in scan.transactions
+        )

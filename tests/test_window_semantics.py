@@ -1,0 +1,106 @@
+"""Time-window semantics: boundaries, open ends, and path agreement.
+
+Windows range over *transaction* timestamps (``s <= t[Ts] <= e`` in the
+paper's tracking definition); the block index prunes conservatively using
+per-block [min_ts, max_ts] so no matching tuple is ever lost to pruning.
+"""
+
+import pytest
+
+
+def tids(result):
+    return sorted(tx.tid for tx in result.transactions)
+
+
+class TestWindowBoundaries:
+    def truth(self, chain, start, end, tname="donate"):
+        return sorted(
+            tx.tid for tx in chain.all_txs
+            if tx.tname == tname
+            and (start is None or tx.ts >= start)
+            and (end is None or tx.ts <= end)
+        )
+
+    def test_inclusive_both_ends(self, chain):
+        # block 3's transactions have ts 300..323
+        result = chain.engine.execute(
+            "SELECT * FROM donate WHERE amount > 0 WINDOW [300, 323]"
+        )
+        assert tids(result) == self.truth(chain, 300, 323)
+
+    def test_exact_single_timestamp(self, chain):
+        target = next(
+            tx for tx in chain.all_txs if tx.tname == "donate"
+        )
+        result = chain.engine.execute(
+            f"SELECT * FROM donate WHERE amount > 0 "
+            f"WINDOW [{target.ts}, {target.ts}]"
+        )
+        assert target.tid in tids(result)
+        assert tids(result) == self.truth(chain, target.ts, target.ts)
+
+    def test_open_start(self, chain):
+        result = chain.engine.execute(
+            "SELECT * FROM donate WHERE amount > 0 WINDOW [, 450]"
+        )
+        assert tids(result) == self.truth(chain, None, 450)
+
+    def test_open_end(self, chain):
+        result = chain.engine.execute(
+            "SELECT * FROM donate WHERE amount > 0 WINDOW [660, ]"
+        )
+        assert tids(result) == self.truth(chain, 660, None)
+
+    def test_empty_window(self, chain):
+        result = chain.engine.execute(
+            "SELECT * FROM donate WHERE amount > 0 WINDOW [5000, 6000]"
+        )
+        assert len(result) == 0
+
+    def test_inverted_window_empty(self, chain):
+        result = chain.engine.execute(
+            "SELECT * FROM donate WHERE amount > 0 WINDOW [400, 300]"
+        )
+        assert len(result) == 0
+
+    def test_window_spanning_block_boundary(self, chain):
+        # [395, 405] straddles blocks 3 (ts<=399... block3 ts 300-323)
+        result = chain.engine.execute(
+            "SELECT * FROM donate WHERE amount > 0 WINDOW [323, 401]"
+        )
+        assert tids(result) == self.truth(chain, 323, 401)
+
+    @pytest.mark.parametrize("window", ["[250, 610]", "[, 310]", "[777, ]"])
+    def test_paths_agree_under_windows(self, chain, window):
+        sql = f"SELECT * FROM donate WHERE amount > 0 WINDOW {window}"
+        results = {
+            m: tids(chain.engine.execute(sql, method=m))
+            for m in ("scan", "bitmap", "layered")
+        }
+        assert results["scan"] == results["bitmap"] == results["layered"]
+
+    def test_trace_window_matches_definition(self, chain):
+        """The paper's definition: s <= t[Ts] <= e on the tuple itself."""
+        result = chain.engine.execute("TRACE [410, 520] OPERATOR = 'org1'")
+        expected = sorted(
+            tx.tid for tx in chain.all_txs
+            if tx.senid == "org1" and 410 <= tx.ts <= 520
+        )
+        assert tids(result) == expected
+
+    def test_join_respects_window(self, chain):
+        sql = (
+            "SELECT * FROM transfer, distribute "
+            "ON transfer.organization = distribute.organization "
+            "WINDOW [300, 700]"
+        )
+        result = chain.engine.execute(sql, method="scan")
+        transfers = [t for t in chain.all_txs
+                     if t.tname == "transfer" and 300 <= t.ts <= 700]
+        distributes = [t for t in chain.all_txs
+                       if t.tname == "distribute" and 300 <= t.ts <= 700]
+        expected = sum(
+            1 for t in transfers for d in distributes
+            if t.values[2] == d.values[2]
+        )
+        assert len(result) == expected

@@ -1,0 +1,96 @@
+"""Tests for the Fig 7 closed-loop driver and the metrics helpers."""
+
+import pytest
+
+from repro.bench.metrics import QueryMeasurement, ThroughputSample, measure
+from repro.bench.write_bench import (
+    kafka_factory,
+    run_closed_loop,
+    sweep_clients,
+    tendermint_factory,
+)
+from repro.network import MessageBus
+from repro.storage import CostModel
+
+
+class TestThroughputSample:
+    def make(self, latencies, committed=10, duration=2_000.0):
+        return ThroughputSample(clients=5, committed=committed,
+                                duration_ms=duration, latencies_ms=latencies)
+
+    def test_throughput(self):
+        sample = self.make([1.0] * 10)
+        assert sample.throughput_tps == pytest.approx(5.0)
+
+    def test_zero_duration(self):
+        sample = self.make([], duration=0.0)
+        assert sample.throughput_tps == 0.0
+
+    def test_mean_latency(self):
+        sample = self.make([10.0, 20.0, 30.0])
+        assert sample.mean_latency_ms == pytest.approx(20.0)
+
+    def test_mean_latency_empty(self):
+        assert self.make([]).mean_latency_ms == 0.0
+
+    def test_p99(self):
+        latencies = [float(i) for i in range(100)]
+        sample = self.make(latencies)
+        assert sample.p99_latency_ms == 99.0
+
+    def test_p99_small_sample(self):
+        assert self.make([5.0]).p99_latency_ms == 5.0
+
+
+class TestMeasure:
+    def test_measure_wraps_cost_delta(self):
+        cost = CostModel()
+        before = cost.snapshot()
+
+        def work():
+            cost.record_read(4096)
+            return [1, 2, 3]
+
+        result, meas = measure(work, before, cost.snapshot)
+        assert result == [1, 2, 3]
+        assert meas.rows == 3
+        assert meas.seeks == 1
+        assert meas.wall_ms >= 0
+        assert isinstance(meas, QueryMeasurement)
+
+    def test_total_combines_wall_and_model(self):
+        meas = QueryMeasurement(wall_ms=2.0, modelled_io_ms=8.0,
+                                seeks=1, page_transfers=1, rows=0)
+        assert meas.total_ms == 10.0
+
+
+class TestClosedLoop:
+    def test_all_transactions_commit(self):
+        bus = MessageBus(seed=1)
+        engine = kafka_factory(batch_txs=20, timeout_ms=50)(bus)
+        sample = run_closed_loop(bus, engine, num_clients=10, txs_per_client=8)
+        assert sample.committed == 80
+        assert len(sample.latencies_ms) == 80
+        assert sample.duration_ms > 0
+
+    def test_tendermint_loop(self):
+        bus = MessageBus(seed=2)
+        engine = tendermint_factory(batch_txs=50, timeout_ms=50)(bus)
+        sample = run_closed_loop(bus, engine, num_clients=5, txs_per_client=6)
+        assert sample.committed == 30
+
+    def test_sweep_isolates_runs(self):
+        samples = sweep_clients(kafka_factory(batch_txs=10, timeout_ms=20),
+                                [5, 10], txs_per_client=4)
+        assert [s.clients for s in samples] == [5, 10]
+        assert all(s.committed == s.clients * 4 for s in samples)
+
+    def test_more_clients_more_throughput_under_light_load(self):
+        samples = sweep_clients(kafka_factory(), [10, 80], txs_per_client=10)
+        assert samples[1].throughput_tps > samples[0].throughput_tps
+
+    def test_latencies_positive(self):
+        bus = MessageBus(seed=3)
+        engine = kafka_factory(batch_txs=5, timeout_ms=10)(bus)
+        sample = run_closed_loop(bus, engine, num_clients=3, txs_per_client=3)
+        assert all(lat > 0 for lat in sample.latencies_ms)
