@@ -19,17 +19,23 @@ Quickstart::
 
 __version__ = "1.0.0"
 
+from .client.submitter import ResilientSubmitter
 from .client.thin import ThinClient
 from .common.config import SebdbConfig
 from .common.errors import SebdbError, VerificationError
+from .faults import ChaosController, FaultSchedule, InvariantChecker
 from .model.schema import TableSchema
 from .node.fullnode import FullNode
 from .node.network import SebdbNetwork
 from .offchain.adapter import OffChainDatabase
 
 __all__ = [
+    "ChaosController",
+    "FaultSchedule",
     "FullNode",
+    "InvariantChecker",
     "OffChainDatabase",
+    "ResilientSubmitter",
     "SebdbConfig",
     "SebdbError",
     "SebdbNetwork",

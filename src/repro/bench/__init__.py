@@ -15,6 +15,7 @@ from .generator import (
     create_standard_indexes,
     spread_counts,
 )
+from .chaos_bench import ChaosSample, run_lossy_load, sweep_loss_rates
 from .metrics import QueryMeasurement, ThroughputSample
 from .schema import (
     DISTRIBUTE,
@@ -35,6 +36,7 @@ from .write_bench import (
 __all__ = [
     "ALL_QUERIES",
     "BenchQuery",
+    "ChaosSample",
     "DISTRIBUTE",
     "DONATE",
     "Dataset",
@@ -66,9 +68,11 @@ __all__ = [
     "kafka_factory",
     "print_table",
     "run_closed_loop",
+    "run_lossy_load",
     "run_query",
     "sebdb_row",
     "spread_counts",
     "sweep_clients",
+    "sweep_loss_rates",
     "tendermint_factory",
 ]

@@ -1,4 +1,4 @@
-"""Clients: thin (header-only, verifying) client and sampling maths."""
+"""Clients: thin (verifying) client, resilient submitter, sampling maths."""
 
 from .sampling import (
     digest_error_probability,
@@ -6,10 +6,16 @@ from .sampling import (
     prob_right_digest_wins,
     prob_wrong_digest_wins,
 )
+from .submitter import ACKED, FAILED, PENDING, ResilientSubmitter, SubmissionRecord
 from .thin import AuthenticatedAnswer, ThinClient
 
 __all__ = [
+    "ACKED",
+    "FAILED",
+    "PENDING",
     "AuthenticatedAnswer",
+    "ResilientSubmitter",
+    "SubmissionRecord",
     "ThinClient",
     "digest_error_probability",
     "minimum_m_for_risk",

@@ -1,0 +1,184 @@
+"""Resilient transaction submission (retry + backoff + dedup nonces).
+
+The paper's clients fire transactions at the ordering service and wait
+for acks; under an unreliable network (lost submissions, lost acks,
+crashed brokers) a naive client either hangs forever or double-submits.
+:class:`ResilientSubmitter` wraps any consensus engine with the standard
+production recipe:
+
+* every transaction is stamped with a unique ``(client_id, seq)`` nonce,
+  so the engine's :class:`~repro.consensus.base.SubmissionLedger` can
+  collapse retries instead of committing them twice;
+* each attempt runs under a per-attempt timeout; an unacked attempt is
+  retried with exponential backoff plus deterministic jitter;
+* an optional overall deadline bounds total waiting
+  (:class:`~repro.common.errors.TimeoutError_`), and a bounded attempt
+  budget turns persistent failure into
+  :class:`~repro.common.errors.RetryExhausted` instead of an infinite
+  loop.
+
+Everything runs on the simulated bus clock, so chaos tests are fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from ..common.errors import RetryExhausted, SebdbError, TimeoutError_
+from ..consensus.base import ConsensusEngine, ReplyCallback
+from ..model.transaction import Transaction
+from ..network.bus import MessageBus
+
+#: submission lifecycle states
+PENDING = "pending"
+ACKED = "acked"
+FAILED = "failed"
+
+
+@dataclasses.dataclass
+class SubmissionRecord:
+    """Tracks one logical client request across all its retry attempts."""
+
+    tx: Transaction
+    nonce: str
+    status: str = PENDING
+    attempts: int = 0
+    submitted_at: float = 0.0
+    acked_at: Optional[float] = None
+    #: simulated commit timestamp reported by the engine's ack
+    commit_ms: Optional[float] = None
+    #: terminal error for ``failed`` records (TimeoutError_/RetryExhausted)
+    error: Optional[SebdbError] = None
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+class ResilientSubmitter:
+    """Client-side retry pipeline in front of a consensus engine."""
+
+    def __init__(
+        self,
+        engine: ConsensusEngine,
+        bus: MessageBus,
+        client_id: str = "client",
+        max_attempts: int = 6,
+        attempt_timeout_ms: float = 800.0,
+        base_backoff_ms: float = 50.0,
+        backoff_factor: float = 2.0,
+        max_backoff_ms: float = 2_000.0,
+        jitter_ms: float = 25.0,
+        deadline_ms: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.engine = engine
+        self.bus = bus
+        self.client_id = client_id
+        self.max_attempts = max_attempts
+        self.attempt_timeout_ms = attempt_timeout_ms
+        self.base_backoff_ms = base_backoff_ms
+        self.backoff_factor = backoff_factor
+        self.max_backoff_ms = max_backoff_ms
+        self.jitter_ms = jitter_ms
+        self.deadline_ms = deadline_ms
+        self._rng = random.Random(seed)
+        self._seq = 0
+        self.records: list[SubmissionRecord] = []
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def acked(self) -> list[SubmissionRecord]:
+        return [r for r in self.records if r.status == ACKED]
+
+    @property
+    def failed(self) -> list[SubmissionRecord]:
+        return [r for r in self.records if r.status == FAILED]
+
+    @property
+    def pending(self) -> list[SubmissionRecord]:
+        return [r for r in self.records if r.status == PENDING]
+
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self, tx: Transaction, on_ack: Optional[ReplyCallback] = None
+    ) -> SubmissionRecord:
+        """Submit ``tx``, retrying until acked, exhausted, or past deadline.
+
+        The transaction is stamped with a fresh client nonce unless it
+        already carries one (a caller-managed retry keeps its identity).
+        Returns the live :class:`SubmissionRecord`; drive the bus to make
+        progress and inspect ``record.status`` afterwards.
+        """
+        if not tx.nonce:
+            self._seq += 1
+            tx = dataclasses.replace(tx, nonce=f"{self.client_id}-{self._seq}")
+        record = SubmissionRecord(
+            tx=tx, nonce=tx.nonce, submitted_at=self.bus.clock.now_ms()
+        )
+        self.records.append(record)
+        self._attempt(record, on_ack)
+        return record
+
+    def _attempt(
+        self, record: SubmissionRecord, on_ack: Optional[ReplyCallback]
+    ) -> None:
+        if record.status != PENDING:
+            return  # acked while a retry was waiting out its backoff
+        record.attempts += 1
+        attempt_no = record.attempts
+
+        def on_reply(commit_ms: float) -> None:
+            if record.status != PENDING:
+                return  # late ack of an attempt we already resolved
+            record.status = ACKED
+            record.acked_at = self.bus.clock.now_ms()
+            record.commit_ms = commit_ms
+            if on_ack is not None:
+                on_ack(commit_ms)
+
+        def on_timeout() -> None:
+            if record.status != PENDING or record.attempts != attempt_no:
+                return  # acked, failed, or a newer attempt is in flight
+            now = self.bus.clock.now_ms()
+            if (self.deadline_ms is not None
+                    and now - record.submitted_at >= self.deadline_ms):
+                record.status = FAILED
+                record.error = TimeoutError_(
+                    f"request {record.nonce} missed its "
+                    f"{self.deadline_ms:.0f} ms deadline "
+                    f"after {record.attempts} attempt(s)"
+                )
+                return
+            if record.attempts >= self.max_attempts:
+                record.status = FAILED
+                record.error = RetryExhausted(
+                    f"request {record.nonce} unacked after "
+                    f"{record.attempts} attempt(s)"
+                )
+                return
+            self.bus.schedule(
+                self._backoff(attempt_no), lambda: self._attempt(record, on_ack)
+            )
+
+        self.engine.submit(record.tx, on_reply)
+        self.bus.schedule(self.attempt_timeout_ms, on_timeout)
+
+    def _backoff(self, attempt_no: int) -> float:
+        base = min(
+            self.max_backoff_ms,
+            self.base_backoff_ms * self.backoff_factor ** (attempt_no - 1),
+        )
+        if self.jitter_ms:
+            base += self._rng.uniform(0, self.jitter_ms)
+        return base

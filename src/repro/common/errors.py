@@ -75,6 +75,32 @@ class NetworkError(SebdbError):
     """Simulated network failure."""
 
 
+class TimeoutError_(SebdbError):
+    """A client request missed its overall deadline.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`TimeoutError`.
+    """
+
+
+class RetryExhausted(SebdbError):
+    """A resilient client gave up after its retry budget ran out.
+
+    The transaction *may or may not* have committed (the final ack could
+    have been lost); callers resolve the ambiguity with a read or by
+    resubmitting under the same nonce, which consensus deduplicates.
+    """
+
+
+class DivergenceError(SebdbError):
+    """The safety contract failed after a chaos run.
+
+    Raised by the invariant checker when honest nodes hold conflicting
+    chains, an acknowledged transaction is missing, or a transaction
+    committed more than once.
+    """
+
+
 class AccessDenied(SebdbError):
     """Access-control rejection for a channel or operation."""
 

@@ -1,11 +1,18 @@
 """Pluggable consensus engines: Kafka-style ordering, PBFT, Tendermint."""
 
-from .base import BatchBuffer, CommitCallback, ConsensusEngine, ConsensusStats
-from .kafka import KafkaOrderer
+from .base import (
+    BatchBuffer,
+    CommitCallback,
+    ConsensusEngine,
+    ConsensusStats,
+    SubmissionLedger,
+)
+from .kafka import BROKER_ID, KafkaOrderer
 from .pbft import BYZ_EQUIVOCATE, BYZ_SILENT, PBFTCluster
 from .tendermint import TendermintEngine
 
 __all__ = [
+    "BROKER_ID",
     "BYZ_EQUIVOCATE",
     "BYZ_SILENT",
     "BatchBuffer",
@@ -14,5 +21,6 @@ __all__ = [
     "ConsensusStats",
     "KafkaOrderer",
     "PBFTCluster",
+    "SubmissionLedger",
     "TendermintEngine",
 ]

@@ -35,12 +35,85 @@ class ConsensusStats:
     committed: int = 0
     batches: int = 0
     messages: int = 0
+    #: retried submissions collapsed by nonce instead of double-committing
+    deduplicated: int = 0
 
     def reset(self) -> None:
         self.submitted = 0
         self.committed = 0
         self.batches = 0
         self.messages = 0
+        self.deduplicated = 0
+
+
+class SubmissionLedger:
+    """Nonce-keyed dedup and re-ack state shared by every engine.
+
+    Consensus must commit a retried submission *at most once* while still
+    acknowledging every copy of the request, otherwise a client whose ack
+    was lost retries forever.  The ledger tracks each nonce-carrying
+    transaction through three states:
+
+    * unknown  -> ``admit`` returns True: order it, remember callbacks;
+    * pending  -> ``admit`` returns False: swallow the duplicate, queue
+      its callback next to the original's;
+    * committed -> ``admit`` returns False and ``replay_ack`` supplies
+      the recorded commit time so the retry is acked immediately.
+
+    Transactions without a nonce bypass the ledger entirely (``admit``
+    always True), preserving fire-and-forget semantics.
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[tuple[str, str], list[ReplyCallback]] = {}
+        self._committed: dict[tuple[str, str], float] = {}
+
+    def admit(self, tx: Transaction, on_reply: Optional[ReplyCallback]) -> bool:
+        """True when ``tx`` is new and must be ordered; False on a retry."""
+        key = tx.dedup_key()
+        if key is None:
+            return True
+        if key in self._committed:
+            return False
+        if key in self._pending:
+            if on_reply is not None:
+                self._pending[key].append(on_reply)
+            return False
+        self._pending[key] = [] if on_reply is None else [on_reply]
+        return True
+
+    def replay_ack(self, tx: Transaction) -> Optional[float]:
+        """Commit time to re-ack a retry of an already-committed tx."""
+        key = tx.dedup_key()
+        if key is None:
+            return None
+        return self._committed.get(key)
+
+    def commit(self, tx: Transaction, commit_ms: float) -> list[ReplyCallback]:
+        """Mark committed; returns every callback waiting on this nonce."""
+        key = tx.dedup_key()
+        if key is None:
+            return []
+        self._committed[key] = commit_ms
+        return self._pending.pop(key, [])
+
+    def abandon(self, tx: Transaction) -> list[ReplyCallback]:
+        """Give up on a pending transaction (engine abandoned its height).
+
+        Returns the orphaned callbacks; the nonce becomes unknown again so
+        a later retry is re-admitted and re-ordered from scratch.
+        """
+        key = tx.dedup_key()
+        if key is None or key in self._committed:
+            return []
+        return self._pending.pop(key, [])
+
+    def is_committed(self, tx: Transaction) -> bool:
+        key = tx.dedup_key()
+        return key is not None and key in self._committed
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._committed)
 
 
 class ConsensusEngine(abc.ABC):
@@ -53,6 +126,10 @@ class ConsensusEngine(abc.ABC):
     def register_replica(self, replica_id: str, on_commit: CommitCallback) -> None:
         """Attach a replica; it will receive every committed batch."""
         self._replicas[replica_id] = on_commit
+
+    def unregister_replica(self, replica_id: str) -> None:
+        """Detach a replica (crashed node); it stops receiving batches."""
+        self._replicas.pop(replica_id, None)
 
     @property
     def replica_ids(self) -> list[str]:

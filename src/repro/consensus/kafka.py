@@ -12,15 +12,26 @@ packaging and appending block to disk") - we model it with an explicit
 busy-until horizon: work requests queue behind one another, so per-tx
 processing cost bounds sustained throughput, and queueing delay shows up
 in client response times exactly as in the figure.
+
+The broker is a real bus endpoint (``kafka-broker``): submissions travel
+over a faultable link, so chaos schedules can crash the broker's node,
+partition it, or drop/duplicate the submit traffic.  Nonce-carrying
+retries are deduplicated through a :class:`SubmissionLedger` - a retry of
+a committed transaction is re-acked, never re-ordered.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import BatchBuffer, ConsensusEngine, ReplyCallback
+from .base import BatchBuffer, ConsensusEngine, ReplyCallback, SubmissionLedger
+
+#: bus node id of the single broker (the crash target of chaos runs)
+BROKER_ID = "kafka-broker"
+
+SUBMIT = "kafka-submit"
 
 
 class KafkaOrderer(ConsensusEngine):
@@ -35,6 +46,7 @@ class KafkaOrderer(ConsensusEngine):
         per_tx_cost_ms: float = 0.25,
         per_block_cost_ms: float = 5.0,
         deliver_latency_ms: float = 1.0,
+        broker_id: str = BROKER_ID,
     ) -> None:
         super().__init__()
         self._bus = bus
@@ -44,29 +56,53 @@ class KafkaOrderer(ConsensusEngine):
         self._per_tx = per_tx_cost_ms
         self._per_block = per_block_cost_ms
         self._deliver_latency = deliver_latency_ms
+        self.broker_id = broker_id
+        self.ledger = SubmissionLedger()
         #: simulated time until which the single packager thread is busy
         self._busy_until = 0.0
+        bus.register(broker_id, self._on_message)
 
     # -- client side ----------------------------------------------------------
 
     def submit(
         self, tx: Transaction, on_reply: Optional[ReplyCallback] = None
     ) -> None:
-        """Publish a transaction to the broker's topic."""
+        """Publish a transaction to the broker's topic (a lossy link!)."""
         self.stats.submitted += 1
         self.stats.messages += 1
-        self._bus.schedule(self._submit_latency, lambda: self._broker_receive(tx, on_reply))
+        self._bus.send(
+            "client", self.broker_id,
+            {"kind": SUBMIT, "tx": tx, "on_reply": on_reply},
+            delay_ms=self._submit_latency, fifo=True,
+        )
 
     def flush(self) -> None:
         self._cut(self._buffer.take_all())
 
     # -- broker side -------------------------------------------------------------
 
+    def _on_message(self, src: str, message: Any) -> None:
+        if isinstance(message, dict) and message.get("kind") == SUBMIT:
+            self._broker_receive(message["tx"], message.get("on_reply"))
+
     def _broker_receive(
         self, tx: Transaction, on_reply: Optional[ReplyCallback]
     ) -> None:
+        if not self.ledger.admit(tx, on_reply):
+            # a retry: either queue behind the pending original (admit
+            # recorded the callback) or re-ack the recorded commit
+            self.stats.deduplicated += 1
+            replayed = self.ledger.replay_ack(tx)
+            if replayed is not None and on_reply is not None:
+                self._bus.schedule(
+                    self._deliver_latency,
+                    (lambda cb, t: lambda: cb(t))(on_reply, replayed),
+                )
+            return
         was_empty = len(self._buffer) == 0
-        self._buffer.append(tx, on_reply)
+        # nonce-carrying txs ack through the ledger; legacy ones keep the
+        # callback attached to the buffer entry
+        self._buffer.append(tx, None if tx.dedup_key() else on_reply)
         full = self._buffer.take_full()
         if full is not None:
             self._cut(full)
@@ -94,11 +130,14 @@ class KafkaOrderer(ConsensusEngine):
             self.stats.messages += len(self.replica_ids)
             self._deliver(txs)
             commit_time = self._bus.clock.now_ms() + self._deliver_latency
-            for _tx, on_reply in batch:
+            for tx, on_reply in batch:
+                callbacks = self.ledger.commit(tx, commit_time)
                 if on_reply is not None:
+                    callbacks = callbacks + [on_reply]
+                for callback in callbacks:
                     self._bus.schedule(
                         self._deliver_latency,
-                        (lambda cb: lambda: cb(commit_time))(on_reply),
+                        (lambda cb, t: lambda: cb(t))(callback, commit_time),
                     )
 
         self._bus.schedule(done_in, finish)

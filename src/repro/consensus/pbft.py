@@ -21,7 +21,7 @@ from ..common.errors import ConsensusError
 from ..common.hashing import sha256
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import BatchBuffer, ConsensusEngine, ReplyCallback
+from .base import BatchBuffer, ConsensusEngine, ReplyCallback, SubmissionLedger
 
 PRE_PREPARE = "pbft-pre-prepare"
 PREPARE = "pbft-prepare"
@@ -110,11 +110,25 @@ class _Replica:
             return
         seq = self.next_seq
         self.next_seq += 1
+        self.propose_at(seq, batch)
+
+    def propose_at(self, seq: int, batch: list[Transaction]) -> None:
+        """(Re-)propose ``batch`` at a fixed sequence in the current view.
+
+        The view-change path uses this to re-run the three-phase protocol
+        for in-flight sequences the crashed primary left behind; votes
+        collected under the old view are discarded.
+        """
+        if self.byzantine == BYZ_SILENT:
+            return
         digest = _batch_digest(batch)
         state = self.state(seq)
         state.batch = batch
         state.digest = digest
         state.view = self.view
+        state.prepares = {self.node_id}
+        state.commits = set()
+        state.prepared = False
         message = {
             "kind": PRE_PREPARE,
             "view": self.view,
@@ -122,9 +136,8 @@ class _Replica:
             "digest": self._maybe_corrupt(digest),
             "batch": batch,
         }
-        self._broadcast(message)
         # the pre-prepare doubles as the primary's own prepare vote
-        state.prepares.add(self.node_id)
+        self._broadcast(message)
         self.on_prepare_quorum_check(seq)
 
     # -- message handling ----------------------------------------------------------
@@ -173,10 +186,17 @@ class _Replica:
 
     def on_pre_prepare(self, src: str, message: dict[str, Any]) -> None:
         view, seq = message["view"], message["seq"]
-        if view != self.view:
-            return
         if src != f"pbft-{self.primary_of(view)}":
             return  # only the view's primary may pre-prepare
+        if view > self.view:
+            # the cluster moved on while we were crashed or partitioned;
+            # a pre-prepare from the legitimate primary of a higher view
+            # doubles as its new-view announcement (same trust base as
+            # NEW_VIEW in this simulation), letting us rejoin instead of
+            # ignoring the live view forever
+            self.view = view
+        if view != self.view:
+            return  # stale view
         batch: list[Transaction] = message["batch"]
         digest = _batch_digest(batch)
         if digest != message["digest"]:
@@ -184,6 +204,15 @@ class _Replica:
             self.start_view_change(self.view + 1)
             return
         state = self.state(seq)
+        if state.committed:
+            return  # this sequence is already decided locally
+        if view > state.view:
+            # a new view re-proposes this undecided sequence: votes
+            # gathered under the dead view are void, the protocol re-runs
+            state.prepares = set()
+            state.commits = set()
+            state.prepared = False
+            state.digest = None
         if state.digest is not None and state.digest != digest:
             return
         state.batch = batch
@@ -288,7 +317,30 @@ class _Replica:
                 self.next_seq = max(self.next_seq, self.last_executed + 1,
                                     self.cluster.max_seq_seen() + 1)
                 self._broadcast({"kind": NEW_VIEW, "view": new_view})
-                self.cluster.reassign_pending(self)
+                reproposed = self._repropose_in_flight()
+                self.cluster.reassign_pending(self, exclude=reproposed)
+
+    def _repropose_in_flight(self) -> set[bytes]:
+        """New-primary duty: re-run every undecided sequence number.
+
+        Sequences the crashed primary proposed but never drove to commit
+        would stall execution forever (replicas execute strictly in
+        order).  The new primary re-proposes the batch it saw for each
+        such sequence, and fills sequences whose content it never
+        received with an explicit no-op batch - the classic new-view
+        null request.  Returns the hashes of every re-proposed
+        transaction so pending reassignment skips them.
+        """
+        reproposed: set[bytes] = set()
+        for seq in range(self.last_executed + 1, self.next_seq):
+            state = self.states.get(seq)
+            if state is not None and state.executed:
+                continue
+            batch = state.batch if state is not None and state.batch else []
+            for tx in batch:
+                reproposed.add(tx.hash())
+            self.propose_at(seq, batch)
+        return reproposed
 
     def on_new_view(self, src: str, message: dict[str, Any]) -> None:
         new_view = message["view"]
@@ -319,11 +371,14 @@ class PBFTCluster(ConsensusEngine):
         self._buffer = BatchBuffer(batch_txs)
         self._timeout = timeout_ms
         self.replicas = [_Replica(self, i) for i in range(n)]
+        self.ledger = SubmissionLedger()
         self._executed_digests: set[bytes] = set()
+        #: hashes appended to the primary buffer or proposed - duplicates
+        #: (retries and re-broadcast requests) are not buffered again
+        self._in_pipeline: set[bytes] = set()
         self._exec_counts: dict[int, int] = {}
         self._delivered: set[int] = set()
         self._replies: dict[bytes, ReplyCallback] = {}
-        self._pending_replies: dict[int, list[ReplyCallback]] = {}
 
     # -- fault injection -----------------------------------------------------
 
@@ -333,10 +388,20 @@ class PBFTCluster(ConsensusEngine):
             raise ConsensusError(f"unknown Byzantine mode {mode!r}")
         self.replicas[index].byzantine = mode
 
+    def heal_byzantine(self, index: int) -> None:
+        """Restore replica ``index`` to honest behaviour (mid-run toggle)."""
+        self.replicas[index].byzantine = None
+
     def crash(self, index: int) -> None:
         """Crash-stop a replica (drops all its traffic)."""
         self.bus.fail(f"pbft-{index}")
         self.replicas[index].byzantine = BYZ_SILENT
+
+    def restart(self, index: int) -> None:
+        """Bring a crashed replica back; it rejoins the live view on the
+        next pre-prepare it receives from that view's primary."""
+        self.bus.heal(f"pbft-{index}")
+        self.replicas[index].byzantine = None
 
     # -- submission -------------------------------------------------------------
 
@@ -344,7 +409,21 @@ class PBFTCluster(ConsensusEngine):
         self, tx: Transaction, on_reply: Optional[ReplyCallback] = None
     ) -> None:
         self.stats.submitted += 1
-        if on_reply is not None:
+        if not self.ledger.admit(tx, on_reply):
+            self.stats.deduplicated += 1
+            replayed = self.ledger.replay_ack(tx)
+            if replayed is not None:
+                # the transaction already committed; re-ack immediately
+                if on_reply is not None:
+                    self.bus.schedule(
+                        self._submit_latency,
+                        (lambda cb, t: lambda: cb(t))(on_reply, replayed),
+                    )
+                return
+            # still pending: fall through and re-broadcast the REQUEST -
+            # the original may never have reached the primary, and the
+            # re-broadcast re-arms the backups' progress timers
+        elif tx.dedup_key() is None and on_reply is not None:
             self._replies[tx.hash()] = on_reply
 
         def arrive() -> None:
@@ -362,6 +441,10 @@ class PBFTCluster(ConsensusEngine):
     # -- primary-side batching ------------------------------------------------------
 
     def primary_buffer_append(self, replica: _Replica, tx: Transaction) -> None:
+        digest = tx.hash()
+        if digest in self._in_pipeline or digest in self._executed_digests:
+            return  # a retry of a request already buffered, proposed or done
+        self._in_pipeline.add(digest)
         self._buffer.append(tx, None)
         full = self._buffer.take_full()
         if full is not None:
@@ -377,20 +460,33 @@ class PBFTCluster(ConsensusEngine):
     def _propose(self, batch: list[Transaction], replica: Optional[_Replica] = None) -> None:
         if not batch:
             return
+        for tx in batch:
+            self._in_pipeline.add(tx.hash())
         primary = replica
         if primary is None or not primary.is_primary:
             view = max(r.view for r in self.replicas)
             primary = self.replicas[view % self.n]
         primary.propose(batch)
 
-    def reassign_pending(self, new_primary: _Replica) -> None:
-        """After a view change, the new primary re-proposes stuck requests."""
-        stuck = [
-            tx for tx, _ in new_primary.pending_requests
-            if not self.was_executed(tx)
-        ]
+    def reassign_pending(
+        self, new_primary: _Replica, exclude: frozenset[bytes] | set[bytes] = frozenset()
+    ) -> None:
+        """After a view change, the new primary re-proposes stuck requests.
+
+        ``exclude`` holds hashes the new primary already re-proposed for
+        in-flight sequences, so they are not proposed a second time.
+        """
+        stuck = []
+        seen: set[bytes] = set()
+        for tx, _ in new_primary.pending_requests:
+            digest = tx.hash()
+            if (digest in exclude or digest in seen
+                    or digest in self._executed_digests):
+                continue
+            seen.add(digest)
+            stuck.append(tx)
+        new_primary.pending_requests = []
         if stuck:
-            new_primary.pending_requests = []
             self._propose(stuck, new_primary)
 
     # -- execution plumbing --------------------------------------------------------------
@@ -412,14 +508,28 @@ class PBFTCluster(ConsensusEngine):
         # guarantee at least one correct replica executed it)
         if count >= self.f + 1 and seq not in self._delivered:
             self._delivered.add(seq)
+            # exactly-once delivery: a view change can re-propose a request
+            # at a new sequence while the old one also survives, so filter
+            # every transaction already delivered (cross-batch and within
+            # this batch) before handing the rest to the SEBDB nodes
+            fresh: list[Transaction] = []
             for tx in batch:
-                self._executed_digests.add(tx.hash())
-            self._deliver(batch)
+                digest = tx.hash()
+                if digest in self._executed_digests:
+                    continue
+                self._executed_digests.add(digest)
+                fresh.append(tx)
+            if not fresh:
+                return
+            self._deliver(fresh)
             now = self.bus.clock.now_ms()
-            for tx in batch:
+            for tx in fresh:
+                callbacks = self.ledger.commit(tx, now)
                 reply = self._replies.pop(tx.hash(), None)
                 if reply is not None:
+                    callbacks = callbacks + [reply]
+                for callback in callbacks:
                     self.bus.schedule(
                         self._submit_latency,
-                        (lambda cb, t: lambda: cb(t))(reply, now),
+                        (lambda cb, t: lambda: cb(t))(callback, now),
                     )

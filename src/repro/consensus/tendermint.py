@@ -10,6 +10,17 @@ bottleneck the paper calls out ("each transaction sent to Tendermint is
 first checked by and then delivered to SEBDB in a serial manner, which is
 a slow process"), so throughput saturates early and response time grows
 with client count.
+
+Robustness model: submissions travel over a faultable bus link to the
+entry validator (``tm-0``), where nonce-carrying retries are deduplicated
+through a :class:`SubmissionLedger`.  The proposer retransmits its
+PROPOSE on a timer until the height commits - vote handlers are
+idempotent (``>=`` quorums with sent-once flags) and a validator that
+already voted re-broadcasts its latest vote on every retransmission, so
+lost PREVOTE/PRECOMMIT messages heal instead of livelocking the round.
+A height whose retransmission budget runs out is *abandoned*: its
+replies are dropped and its nonces released, so client retries are
+re-admitted and re-ordered from scratch.
 """
 
 from __future__ import annotations
@@ -19,11 +30,15 @@ from typing import Any, Optional
 from ..common.errors import ConsensusError
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import BatchBuffer, ConsensusEngine, ReplyCallback
+from .base import BatchBuffer, ConsensusEngine, ReplyCallback, SubmissionLedger
 
 PROPOSE = "tm-propose"
 PREVOTE = "tm-prevote"
 PRECOMMIT = "tm-precommit"
+SUBMIT = "tm-submit"
+
+#: bus node id of the entry validator (serial CheckTx lane lives here)
+ENTRY_ID = "tm-0"
 
 
 class TendermintEngine(ConsensusEngine):
@@ -38,6 +53,7 @@ class TendermintEngine(ConsensusEngine):
         submit_latency_ms: float = 1.0,
         check_tx_cost_ms: float = 0.35,
         deliver_tx_cost_ms: float = 0.35,
+        max_retransmits: int = 25,
     ) -> None:
         super().__init__()
         if n < 1:
@@ -50,6 +66,8 @@ class TendermintEngine(ConsensusEngine):
         self._submit_latency = submit_latency_ms
         self._check_cost = check_tx_cost_ms
         self._deliver_cost = deliver_tx_cost_ms
+        self._max_retransmits = max_retransmits
+        self.ledger = SubmissionLedger()
         #: serial CheckTx lane of the entry validator
         self._check_busy_until = 0.0
         #: serial DeliverTx lane of the (simulated co-located) SEBDB node
@@ -58,7 +76,11 @@ class TendermintEngine(ConsensusEngine):
         self._round_votes: dict[tuple[int, str], set[str]] = {}
         self._proposals: dict[int, list[Transaction]] = {}
         self._committed_heights: set[int] = set()
+        self._abandoned_heights: set[int] = set()
         self._replies: dict[int, list[Optional[ReplyCallback]]] = {}
+        #: (height, validator index) pairs whose vote was already broadcast
+        self._prevote_sent: set[tuple[int, int]] = set()
+        self._precommit_sent: set[tuple[int, int]] = set()
         self._in_flight = False
         for i in range(n):
             bus.register(f"tm-{i}", self._make_handler(i))
@@ -68,14 +90,35 @@ class TendermintEngine(ConsensusEngine):
     def submit(
         self, tx: Transaction, on_reply: Optional[ReplyCallback] = None
     ) -> None:
-        """Serial CheckTx, then mempool."""
+        """Ship the transaction to the entry validator over a lossy link."""
         self.stats.submitted += 1
+        self.stats.messages += 1
+        self.bus.send(
+            "client", ENTRY_ID,
+            {"kind": SUBMIT, "tx": tx, "on_reply": on_reply},
+            delay_ms=self._submit_latency, fifo=True,
+        )
+
+    def _entry_receive(
+        self, tx: Transaction, on_reply: Optional[ReplyCallback]
+    ) -> None:
+        """Entry validator: dedup retries, then serial CheckTx."""
+        if not self.ledger.admit(tx, on_reply):
+            self.stats.deduplicated += 1
+            replayed = self.ledger.replay_ack(tx)
+            if replayed is not None and on_reply is not None:
+                self.bus.schedule(
+                    self._submit_latency,
+                    (lambda cb, t: lambda: cb(t))(on_reply, replayed),
+                )
+            return
         now = self.bus.clock.now_ms()
-        start = max(now + self._submit_latency, self._check_busy_until)
+        start = max(now, self._check_busy_until)
         self._check_busy_until = start + self._check_cost
+        callback = None if tx.dedup_key() else on_reply
         self.bus.schedule(
             self._check_busy_until - now,
-            lambda: self._mempool_add(tx, on_reply),
+            lambda: self._mempool_add(tx, callback),
         )
 
     def flush(self) -> None:
@@ -112,6 +155,11 @@ class TendermintEngine(ConsensusEngine):
         txs = [tx for tx, _ in batch]
         self._proposals[height] = txs
         self._replies[height] = [cb for _, cb in batch]
+        self._send_proposal(height)
+        self.bus.schedule(self._timeout, lambda: self._retransmit(height, 1))
+
+    def _send_proposal(self, height: int) -> None:
+        txs = self._proposals[height]
         proposer = f"tm-{height % self.n}"
         self.stats.messages += self.n
         for i in range(self.n):
@@ -120,35 +168,76 @@ class TendermintEngine(ConsensusEngine):
                 {"kind": PROPOSE, "height": height, "txs": txs},
             )
 
+    def _retransmit(self, height: int, attempt: int) -> None:
+        """Proposer liveness timer: re-broadcast until committed or give up."""
+        if height in self._committed_heights or height not in self._proposals:
+            return
+        if attempt > self._max_retransmits:
+            self._abandon(height)
+            return
+        self._send_proposal(height)
+        self.bus.schedule(
+            self._timeout, lambda: self._retransmit(height, attempt + 1)
+        )
+
+    def _abandon(self, height: int) -> None:
+        """Retransmission budget exhausted: drop the round entirely.
+
+        Pending replies are orphaned (the client's timeout fires and its
+        retry is re-admitted, because the nonces are released here) and
+        the engine moves on to the next height.
+        """
+        self._abandoned_heights.add(height)
+        txs = self._proposals.pop(height, [])
+        self._replies.pop(height, None)
+        for tx in txs:
+            self.ledger.abandon(tx)
+        self._height += 1
+        self._in_flight = False
+
     # -- vote rounds -----------------------------------------------------------------
 
     def _make_handler(self, index: int):
         node_id = f"tm-{index}"
 
+        def broadcast(kind: str, height: int) -> None:
+            self.stats.messages += self.n
+            for i in range(self.n):
+                self.bus.send(
+                    node_id, f"tm-{i}",
+                    {"kind": kind, "height": height, "voter": node_id},
+                )
+
         def handle(src: str, message: dict[str, Any]) -> None:
             kind = message["kind"]
+            if kind == SUBMIT:
+                if index == 0:
+                    self._entry_receive(message["tx"], message.get("on_reply"))
+                return
             height = message["height"]
+            if height in self._committed_heights or height in self._abandoned_heights:
+                return
             if kind == PROPOSE:
-                self.stats.messages += self.n
-                for i in range(self.n):
-                    self.bus.send(
-                        node_id, f"tm-{i}",
-                        {"kind": PREVOTE, "height": height, "voter": node_id},
-                    )
+                if (height, index) not in self._prevote_sent:
+                    self._prevote_sent.add((height, index))
+                    broadcast(PREVOTE, height)
+                elif (height, index) in self._precommit_sent:
+                    # retransmitted proposal: re-broadcast our latest vote
+                    # so peers whose copy was lost can still reach quorum
+                    broadcast(PRECOMMIT, height)
+                else:
+                    broadcast(PREVOTE, height)
             elif kind == PREVOTE:
                 votes = self._round_votes.setdefault((height, f"pv-{index}"), set())
                 votes.add(message["voter"])
-                if len(votes) == self._quorum:
-                    self.stats.messages += self.n
-                    for i in range(self.n):
-                        self.bus.send(
-                            node_id, f"tm-{i}",
-                            {"kind": PRECOMMIT, "height": height, "voter": node_id},
-                        )
+                if (len(votes) >= self._quorum
+                        and (height, index) not in self._precommit_sent):
+                    self._precommit_sent.add((height, index))
+                    broadcast(PRECOMMIT, height)
             elif kind == PRECOMMIT:
                 votes = self._round_votes.setdefault((height, f"pc-{index}"), set())
                 votes.add(message["voter"])
-                if len(votes) == self._quorum and index == 0:
+                if len(votes) >= self._quorum and index == 0:
                     self._commit(height)
 
         return handle
@@ -156,7 +245,7 @@ class TendermintEngine(ConsensusEngine):
     # -- commit ------------------------------------------------------------------------
 
     def _commit(self, height: int) -> None:
-        if height in self._committed_heights:
+        if height in self._committed_heights or height not in self._proposals:
             return
         self._committed_heights.add(height)
         txs = self._proposals.pop(height)
@@ -170,11 +259,14 @@ class TendermintEngine(ConsensusEngine):
         def finish() -> None:
             self._deliver(txs)
             commit_time = self.bus.clock.now_ms()
-            for reply in replies:
+            for tx, reply in zip(txs, replies):
+                callbacks = self.ledger.commit(tx, commit_time)
                 if reply is not None:
+                    callbacks = callbacks + [reply]
+                for callback in callbacks:
                     self.bus.schedule(
                         self._submit_latency,
-                        (lambda cb: lambda: cb(commit_time))(reply),
+                        (lambda cb, t: lambda: cb(t))(callback, commit_time),
                     )
             self._height += 1
             self._in_flight = False

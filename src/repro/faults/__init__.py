@@ -1,0 +1,40 @@
+"""Chaos engineering for the simulated SEBDB deployment.
+
+Three pieces: :class:`FaultSchedule` scripts deterministic timed fault
+events, :class:`ChaosController` arms a schedule against a live
+bus/engine/node deployment, and :class:`InvariantChecker` asserts the
+safety contract (byte-identical chains, exactly-once acked commits,
+typed failures) once the run drains.  See DESIGN.md §6 for the fault
+model.
+"""
+
+from .checker import InvariantChecker, InvariantReport
+from .controller import ChaosController
+from .schedule import (
+    BYZANTINE,
+    CLEAR_LINK,
+    CRASH,
+    FaultEvent,
+    FaultSchedule,
+    HEAL_BYZANTINE,
+    HEAL_PARTITION,
+    LINK_FAULT,
+    PARTITION,
+    RESTART,
+)
+
+__all__ = [
+    "BYZANTINE",
+    "CLEAR_LINK",
+    "CRASH",
+    "ChaosController",
+    "FaultEvent",
+    "FaultSchedule",
+    "HEAL_BYZANTINE",
+    "HEAL_PARTITION",
+    "InvariantChecker",
+    "InvariantReport",
+    "LINK_FAULT",
+    "PARTITION",
+    "RESTART",
+]

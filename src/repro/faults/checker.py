@@ -1,0 +1,175 @@
+"""Post-chaos safety checking.
+
+After a chaos run drains, the deployment must still satisfy the ledger's
+safety contract (section "no worse than crash-free" of the fault model,
+DESIGN.md §6):
+
+* **Agreement** - every live node holds a byte-identical chain;
+* **Integrity** - every chain re-verifies (hash chaining + Merkle roots);
+* **Exactly-once** - every acknowledged client request appears on-chain
+  exactly once (no loss, no duplication despite retries), and *no*
+  nonce-carrying request appears more than once;
+* **Typed failures** - every submission that did not commit is surfaced
+  with a typed error (:class:`TimeoutError_` / :class:`RetryExhausted`),
+  never silently dropped.
+
+:class:`InvariantChecker` evaluates all of these and either returns an
+:class:`InvariantReport` or raises
+:class:`~repro.common.errors.DivergenceError` listing each violation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Optional, Sequence
+
+from ..client.submitter import ACKED, FAILED, PENDING, ResilientSubmitter
+from ..common.errors import DivergenceError, StorageError
+from ..node.fullnode import FullNode
+
+
+@dataclasses.dataclass
+class InvariantReport:
+    """Outcome of one invariant sweep."""
+
+    violations: list[str] = dataclasses.field(default_factory=list)
+    warnings: list[str] = dataclasses.field(default_factory=list)
+    heights: dict[str, int] = dataclasses.field(default_factory=dict)
+    acked: int = 0
+    failed: int = 0
+    pending: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"invariants {status}; heights={self.heights}; "
+            f"acked={self.acked} failed={self.failed} pending={self.pending}; "
+            f"warnings={len(self.warnings)}"
+        )
+
+
+class InvariantChecker:
+    """Asserts chain-level and client-level safety after a chaos run."""
+
+    def __init__(
+        self,
+        nodes: Sequence[FullNode],
+        submitters: Sequence[ResilientSubmitter] = (),
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one node to check")
+        self.nodes = list(nodes)
+        self.submitters = list(submitters)
+
+    def check(self, raise_on_violation: bool = True) -> InvariantReport:
+        report = InvariantReport()
+        live = [node for node in self.nodes if not node.crashed]
+        for node in self.nodes:
+            report.heights[node.node_id] = node.store.height
+        if not live:
+            report.violations.append("no live nodes left to check")
+        else:
+            self._check_agreement(live, report)
+            self._check_integrity(live, report)
+            self._check_submissions(live[0], report)
+        if raise_on_violation and report.violations:
+            raise DivergenceError(
+                "safety violated after chaos run:\n  - "
+                + "\n  - ".join(report.violations)
+            )
+        return report
+
+    # -- chain-level invariants ---------------------------------------------
+
+    def _check_agreement(
+        self, live: list[FullNode], report: InvariantReport
+    ) -> None:
+        reference = live[0]
+        for node in live[1:]:
+            if node.store.height != reference.store.height:
+                report.violations.append(
+                    f"height divergence: {node.node_id} at "
+                    f"{node.store.height}, {reference.node_id} at "
+                    f"{reference.store.height}"
+                )
+                continue
+            for height in range(reference.store.height):
+                ours = reference.store.read_block(height).to_bytes()
+                theirs = node.store.read_block(height).to_bytes()
+                if ours != theirs:
+                    report.violations.append(
+                        f"chain divergence at height {height}: "
+                        f"{node.node_id} disagrees with {reference.node_id}"
+                    )
+                    break
+
+    def _check_integrity(
+        self, live: list[FullNode], report: InvariantReport
+    ) -> None:
+        for node in live:
+            try:
+                node.verify_local_chain()
+            except StorageError as exc:
+                report.violations.append(
+                    f"{node.node_id} chain fails re-verification: {exc}"
+                )
+
+    # -- client-level invariants ---------------------------------------------
+
+    def _committed_keys(self, reference: FullNode) -> Counter:
+        keys: Counter = Counter()
+        for block in reference.store.iter_blocks():
+            for tx in block.transactions:
+                key = tx.dedup_key()
+                if key is not None:
+                    keys[key] += 1
+        return keys
+
+    def _check_submissions(
+        self, reference: FullNode, report: InvariantReport
+    ) -> None:
+        keys = self._committed_keys(reference)
+        # global no-duplication: no nonce commits twice, acked or not
+        for key, count in keys.items():
+            if count > 1:
+                report.violations.append(
+                    f"request {key[1]!r} from {key[0]!r} committed "
+                    f"{count} times"
+                )
+        for submitter in self.submitters:
+            for record in submitter.records:
+                key = (record.tx.senid, record.nonce)
+                on_chain = keys.get(key, 0)
+                if record.status == ACKED:
+                    report.acked += 1
+                    if on_chain == 0:
+                        report.violations.append(
+                            f"acked request {record.nonce!r} is missing "
+                            f"from the chain"
+                        )
+                elif record.status == FAILED:
+                    report.failed += 1
+                    if record.error is None:
+                        report.violations.append(
+                            f"failed request {record.nonce!r} carries no "
+                            f"typed error"
+                        )
+                    if on_chain:
+                        # committed but the final ack was lost; the client
+                        # was told the outcome is ambiguous, so this is
+                        # surfaced but not a safety violation
+                        report.warnings.append(
+                            f"request {record.nonce!r} failed client-side "
+                            f"({type(record.error).__name__}) but did commit"
+                        )
+                elif record.status == PENDING:
+                    report.pending += 1
+                    report.warnings.append(
+                        f"request {record.nonce!r} still pending - run "
+                        f"not fully drained"
+                    )

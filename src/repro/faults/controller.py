@@ -1,0 +1,129 @@
+"""Chaos controller: arms a fault schedule against a live deployment.
+
+The controller owns the mapping from abstract fault events to concrete
+system mutations: bus-level crashes and link faults for any node id,
+engine-aware crash/restart for PBFT replicas (which also clears the
+Byzantine flag), and :class:`~repro.node.fullnode.FullNode` crash/restart
+(detach from consensus, verify + catch up on restart) for registered
+full nodes.  Events fire on the simulated clock via ``bus.schedule``, so
+a chaos run is exactly as deterministic as the schedule and bus seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..consensus.pbft import PBFTCluster
+from ..network.bus import MessageBus
+from ..node.fullnode import FullNode
+from .schedule import (
+    BYZANTINE,
+    CLEAR_LINK,
+    CRASH,
+    FaultEvent,
+    FaultSchedule,
+    HEAL_BYZANTINE,
+    HEAL_PARTITION,
+    LINK_FAULT,
+    PARTITION,
+    RESTART,
+)
+
+
+class ChaosController:
+    """Executes a :class:`FaultSchedule` on a bus/engine/node deployment."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        schedule: FaultSchedule,
+        engine: Optional[object] = None,
+        nodes: Optional[Sequence[FullNode]] = None,
+    ) -> None:
+        self.bus = bus
+        self.schedule = schedule
+        self.engine = engine
+        self.nodes = {node.node_id: node for node in (nodes or [])}
+        #: (fired_at_ms, event) log of everything applied so far
+        self.applied: list[tuple[float, FaultEvent]] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every event relative to the current simulated time."""
+        if self._armed:
+            raise RuntimeError("chaos schedule already armed")
+        self._armed = True
+        now = self.bus.clock.now_ms()
+        for event in self.schedule:
+            delay = max(0.0, event.at_ms - now)
+            self.bus.schedule(
+                delay, (lambda ev: lambda: self._apply(ev))(event)
+            )
+
+    # -- event dispatch -----------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        self.applied.append((self.bus.clock.now_ms(), event))
+        params = event.param_dict()
+        if event.kind == CRASH:
+            self._crash(params["node"])
+        elif event.kind == RESTART:
+            self._restart(params["node"])
+        elif event.kind == PARTITION:
+            self.bus.partition(
+                params["group_a"], params["group_b"],
+                symmetric=params.get("symmetric", True),
+            )
+        elif event.kind == HEAL_PARTITION:
+            self.bus.heal_partition(params["group_a"], params["group_b"])
+        elif event.kind == LINK_FAULT:
+            src = params.pop("src")
+            dst = params.pop("dst")
+            self.bus.set_link_fault(src, dst, **params)
+        elif event.kind == CLEAR_LINK:
+            self.bus.clear_link_fault(params["src"], params["dst"])
+        elif event.kind == BYZANTINE:
+            self._pbft().make_byzantine(params["replica"], params["mode"])
+        elif event.kind == HEAL_BYZANTINE:
+            self._pbft().heal_byzantine(params["replica"])
+
+    def _pbft(self) -> PBFTCluster:
+        if not isinstance(self.engine, PBFTCluster):
+            raise RuntimeError("Byzantine fault events need a PBFT engine")
+        return self.engine
+
+    def _crash(self, node_id: str) -> None:
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.crash()
+            self.bus.fail(node_id)
+            return
+        index = self._replica_index(node_id)
+        if index is not None:
+            self.engine.crash(index)  # type: ignore[union-attr]
+            return
+        self.bus.fail(node_id)
+
+    def _restart(self, node_id: str) -> None:
+        node = self.nodes.get(node_id)
+        if node is not None:
+            self.bus.heal(node_id)
+            peers = [
+                peer for peer in self.nodes.values()
+                if peer.node_id != node_id and not peer.crashed
+            ]
+            node.restart(peers)
+            return
+        index = self._replica_index(node_id)
+        if index is not None:
+            self.engine.restart(index)  # type: ignore[union-attr]
+            return
+        self.bus.heal(node_id)
+
+    def _replica_index(self, node_id: str) -> Optional[int]:
+        """Index of a PBFT replica bus id (``pbft-3`` -> 3), else None."""
+        if isinstance(self.engine, PBFTCluster) and node_id.startswith("pbft-"):
+            suffix = node_id.rsplit("-", 1)[1]
+            if suffix.isdigit() and int(suffix) < self.engine.n:
+                return int(suffix)
+        return None

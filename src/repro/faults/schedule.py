@@ -1,0 +1,209 @@
+"""Scripted fault schedules.
+
+A :class:`FaultSchedule` is a deterministic, replayable script of timed
+fault events - the chaos-engineering counterpart of a benchmark workload.
+Build one with the fluent helpers (``crash`` / ``partition`` /
+``degrade_link`` / ...), or sample a randomized-but-seeded schedule with
+:meth:`FaultSchedule.randomized`.  The schedule itself never touches the
+system; :class:`~repro.faults.controller.ChaosController` arms it against
+a live bus/engine/node deployment.
+
+Two runs with the same schedule and the same bus seed produce identical
+event sequences, which is what lets the soak tests assert byte-identical
+chains across repetitions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+# -- event kinds --------------------------------------------------------------
+
+CRASH = "crash"                    #: crash-stop a bus node
+RESTART = "restart"                #: bring a crashed node back
+PARTITION = "partition"            #: cut links between two groups
+HEAL_PARTITION = "heal-partition"  #: restore links between two groups
+LINK_FAULT = "link-fault"          #: degrade one directed link
+CLEAR_LINK = "clear-link"          #: restore one directed link
+BYZANTINE = "byzantine"            #: flip a PBFT replica Byzantine
+HEAL_BYZANTINE = "heal-byzantine"  #: restore a PBFT replica to honest
+
+_KINDS = frozenset({
+    CRASH, RESTART, PARTITION, HEAL_PARTITION,
+    LINK_FAULT, CLEAR_LINK, BYZANTINE, HEAL_BYZANTINE,
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault: *at* ``at_ms`` apply *kind* with ``params``."""
+
+    at_ms: float
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("fault events cannot fire before t=0")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        # fail at build time, not mid-run when the controller applies it
+        for name, value in self.params:
+            if name.endswith("_rate") and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+            if name.endswith("_ms") and value < 0:
+                raise ValueError(f"{name} cannot be negative, got {value}")
+
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"t={self.at_ms:.0f}ms {self.kind}({args})"
+
+
+class FaultSchedule:
+    """An ordered, immutable-once-armed script of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events = sorted(events, key=lambda e: e.at_ms)
+
+    # -- fluent builders ----------------------------------------------------
+
+    def _add(self, at_ms: float, kind: str, **params: Any) -> "FaultSchedule":
+        self._events.append(
+            FaultEvent(at_ms, kind, tuple(sorted(params.items())))
+        )
+        self._events.sort(key=lambda e: e.at_ms)
+        return self
+
+    def crash(self, at_ms: float, node: str) -> "FaultSchedule":
+        """Crash-stop ``node`` (a bus id, e.g. ``pbft-1``, ``kafka-broker``)."""
+        return self._add(at_ms, CRASH, node=node)
+
+    def restart(self, at_ms: float, node: str) -> "FaultSchedule":
+        """Restart a previously crashed node."""
+        return self._add(at_ms, RESTART, node=node)
+
+    def partition(
+        self,
+        at_ms: float,
+        group_a: Sequence[str],
+        group_b: Sequence[str],
+        symmetric: bool = True,
+    ) -> "FaultSchedule":
+        """Cut traffic between two groups; asymmetric cuts only a->b."""
+        return self._add(
+            at_ms, PARTITION,
+            group_a=tuple(group_a), group_b=tuple(group_b),
+            symmetric=symmetric,
+        )
+
+    def heal_partition(
+        self, at_ms: float, group_a: Sequence[str], group_b: Sequence[str]
+    ) -> "FaultSchedule":
+        return self._add(
+            at_ms, HEAL_PARTITION,
+            group_a=tuple(group_a), group_b=tuple(group_b),
+        )
+
+    def degrade_link(
+        self, at_ms: float, src: str, dst: str, **fault_fields: float
+    ) -> "FaultSchedule":
+        """Apply loss/delay/duplicate/reorder/corrupt rates to a link.
+
+        ``src``/``dst`` accept the ``"*"`` wildcard; ``fault_fields`` are
+        the :class:`~repro.network.bus.LinkFault` fields (``loss_rate``,
+        ``extra_delay_ms``, ``duplicate_rate``, ``reorder_rate``,
+        ``corrupt_rate``, ...).
+        """
+        return self._add(at_ms, LINK_FAULT, src=src, dst=dst, **fault_fields)
+
+    def restore_link(self, at_ms: float, src: str, dst: str) -> "FaultSchedule":
+        return self._add(at_ms, CLEAR_LINK, src=src, dst=dst)
+
+    def byzantine(
+        self, at_ms: float, replica: int, mode: str = "silent"
+    ) -> "FaultSchedule":
+        """Flip PBFT replica ``replica`` Byzantine (silent/equivocate)."""
+        return self._add(at_ms, BYZANTINE, replica=replica, mode=mode)
+
+    def heal_byzantine(self, at_ms: float, replica: int) -> "FaultSchedule":
+        return self._add(at_ms, HEAL_BYZANTINE, replica=replica)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def describe(self) -> str:
+        return "\n".join(event.describe() for event in self._events)
+
+    # -- randomized-but-seeded generation -----------------------------------
+
+    @classmethod
+    def randomized(
+        cls,
+        seed: int,
+        duration_ms: float,
+        nodes: Sequence[str],
+        crash_count: int = 1,
+        partition_count: int = 1,
+        lossy_links: int = 2,
+        loss_rate: float = 0.05,
+        duplicate_rate: float = 0.02,
+        min_downtime_ms: float = 200.0,
+        rng: Optional[random.Random] = None,
+    ) -> "FaultSchedule":
+        """Sample a plausible chaos script from a seed (fully deterministic).
+
+        Crashes always restart before ``duration_ms`` and partitions
+        always heal, so a run that drains the bus afterwards can be held
+        to the full convergence contract.
+        """
+        rng = rng or random.Random(seed)
+        schedule = cls()
+        window = max(duration_ms - 2 * min_downtime_ms, min_downtime_ms)
+        for _ in range(crash_count):
+            victim = rng.choice(list(nodes))
+            start = rng.uniform(0, window)
+            stop = min(duration_ms, start + rng.uniform(
+                min_downtime_ms, 2 * min_downtime_ms))
+            schedule.crash(start, victim)
+            schedule.restart(stop, victim)
+        for _ in range(partition_count):
+            if len(nodes) < 2:
+                break
+            cut = max(1, len(nodes) // 3)
+            shuffled = list(nodes)
+            rng.shuffle(shuffled)
+            group_a, group_b = shuffled[:cut], shuffled[cut:]
+            start = rng.uniform(0, window)
+            stop = min(duration_ms, start + rng.uniform(
+                min_downtime_ms, 2 * min_downtime_ms))
+            symmetric = rng.random() < 0.5
+            schedule.partition(start, group_a, group_b, symmetric=symmetric)
+            schedule.heal_partition(stop, group_a, group_b)
+        for _ in range(lossy_links):
+            src = rng.choice(list(nodes) + ["*"])
+            dst = rng.choice([n for n in nodes if n != src] or list(nodes))
+            start = rng.uniform(0, window)
+            schedule.degrade_link(
+                start, src, dst,
+                loss_rate=loss_rate, duplicate_rate=duplicate_rate,
+            )
+            schedule.restore_link(
+                min(duration_ms, start + rng.uniform(
+                    min_downtime_ms, 3 * min_downtime_ms)),
+                src, dst,
+            )
+        return schedule

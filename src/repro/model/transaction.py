@@ -50,6 +50,11 @@ class Transaction:
         signing payload.  Both empty when the deployment runs unsigned
         (``sign=False`` in the client), which the benchmark harness uses
         to keep generated datasets fast.
+    nonce:
+        Optional client-chosen request id, unique per (senid, nonce).
+        A retried submission carries the same nonce, which lets every
+        consensus engine deduplicate it instead of double-committing.
+        Empty for fire-and-forget submissions (no dedup).
     """
 
     ts: int
@@ -59,6 +64,7 @@ class Transaction:
     tid: int = UNASSIGNED_TID
     pubkey: bytes = b""
     sig: bytes = b""
+    nonce: str = ""
 
     @classmethod
     def create(
@@ -68,10 +74,12 @@ class Transaction:
         ts: int,
         keypair: Optional[KeyPair] = None,
         sender: Optional[str] = None,
+        nonce: str = "",
     ) -> "Transaction":
         """Build (and optionally sign) a fresh, unsequenced transaction."""
         senid = keypair.address if keypair is not None else (sender or "anonymous")
-        tx = cls(ts=ts, senid=senid, tname=tname.lower(), values=tuple(values))
+        tx = cls(ts=ts, senid=senid, tname=tname.lower(), values=tuple(values),
+                 nonce=nonce)
         if keypair is not None:
             tx.pubkey = keypair.public_key
             tx.sig = keypair.sign(tx.signing_payload())
@@ -83,10 +91,21 @@ class Transaction:
         writer.write_varint(self.ts)
         writer.write_str(self.senid)
         writer.write_str(self.tname)
+        writer.write_str(self.nonce)
         writer.write_varint(len(self.values))
         for value in self.values:
             writer.write_value(value)
         return writer.getvalue()
+
+    def dedup_key(self) -> Optional[tuple[str, str]]:
+        """Identity used by consensus to collapse retried submissions.
+
+        ``None`` when the transaction carries no nonce - such
+        transactions are never deduplicated (legacy behaviour).
+        """
+        if not self.nonce:
+            return None
+        return (self.senid, self.nonce)
 
     def verify_signature(self) -> bool:
         """Check the Schnorr signature and that senid matches the key."""
@@ -148,6 +167,7 @@ class Transaction:
         writer.write_bytes(self.pubkey)
         writer.write_str(self.senid)
         writer.write_str(self.tname)
+        writer.write_str(self.nonce)
         writer.write_varint(len(self.values))
         for value in self.values:
             writer.write_value(value)
@@ -161,11 +181,12 @@ class Transaction:
         pubkey = reader.read_bytes()
         senid = reader.read_str()
         tname = reader.read_str()
+        nonce = reader.read_str()
         count = reader.read_varint()
         values = tuple(reader.read_value() for _ in range(count))
         return cls(
             tid=tid, ts=ts, sig=sig, pubkey=pubkey, senid=senid,
-            tname=tname, values=values,
+            tname=tname, values=values, nonce=nonce,
         )
 
     @classmethod

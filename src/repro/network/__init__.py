@@ -1,7 +1,14 @@
 """Simulated network: message bus, gossip, failure detection."""
 
-from .bus import MessageBus
+from .bus import ANY, LinkFault, MessageBus, corrupt_payload
 from .gossip import GossipNode
 from .membership import FailureDetector
 
-__all__ = ["FailureDetector", "GossipNode", "MessageBus"]
+__all__ = [
+    "ANY",
+    "FailureDetector",
+    "GossipNode",
+    "LinkFault",
+    "MessageBus",
+    "corrupt_payload",
+]

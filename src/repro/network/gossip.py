@@ -10,6 +10,7 @@ full node catches up with the chain.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Any, Callable, Optional
 
 from .bus import MessageBus
@@ -36,7 +37,9 @@ class GossipNode:
         self._bus = bus
         self._fanout = fanout
         self._round_ms = round_ms
-        self._rng = random.Random(seed ^ hash(node_id) & 0xFFFF)
+        # crc32 is a stable digest: Python's salted str hash() would make
+        # peer selection differ between processes and break reproducibility
+        self._rng = random.Random(seed ^ zlib.crc32(node_id.encode("utf-8")))
         self._rumors: dict[str, Any] = {}
         #: rumor id -> remaining push rounds (rumor mongering budget)
         self._budget: dict[str, int] = {}

@@ -8,7 +8,7 @@ and consensus view changes consume.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from .bus import MessageBus
 
@@ -31,9 +31,12 @@ class FailureDetector:
         self._suspect_after = suspect_after
         self._last_seen: dict[str, float] = {}
         self._running = False
+        self._started_at: Optional[float] = None
 
     def start(self) -> None:
         self._running = True
+        if self._started_at is None:
+            self._started_at = self._bus.clock.now_ms()
         self._tick()
 
     def stop(self) -> None:
@@ -49,15 +52,21 @@ class FailureDetector:
         return False
 
     def suspected(self) -> set[str]:
-        """Members not heard from for ``suspect_after`` intervals."""
+        """Members not heard from for ``suspect_after`` intervals.
+
+        A peer with no observed traffic at all is measured against the
+        detector's start time, so nobody is suspected before a full grace
+        window of ``suspect_after`` heartbeat intervals has elapsed.
+        """
         now = self._bus.clock.now_ms()
         horizon = self._interval * self._suspect_after
+        grace_origin = self._started_at if self._started_at is not None else now
         out = set()
         for node_id in self._bus.node_ids:
             if node_id == self.node_id:
                 continue
-            last = self._last_seen.get(node_id)
-            if last is None or now - last > horizon:
+            last = self._last_seen.get(node_id, grace_origin)
+            if now - last > horizon:
                 out.add(node_id)
         return out
 

@@ -66,6 +66,8 @@ class FullNode:
         self._consensus = consensus
         self._next_tid = 0
         self._rejected: list[Transaction] = []
+        #: True between :meth:`crash` and :meth:`restart`
+        self.crashed = False
         if self.store.height > 0:
             # the store recovered an existing chain from its segment files:
             # rebuild the catalog and the tid counter instead of re-creating
@@ -176,6 +178,69 @@ class FullNode:
     def rejected_transactions(self) -> list[Transaction]:
         """Transactions dropped for invalid signatures."""
         return list(self._rejected)
+
+    # -- crash / restart -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop: detach from consensus, stop applying batches.
+
+        The block store (our simulated durable segment files) survives;
+        everything delivered while down is missed and must be recovered
+        on :meth:`restart`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self._consensus is not None:
+            self._consensus.unregister_replica(self.node_id)
+
+    def restart(self, peers: Sequence["FullNode"] = ()) -> int:
+        """Recover from a crash and rejoin consensus.
+
+        Recovery order matters: first re-verify the durable chain
+        (hash chaining + Merkle roots, exactly what segment replay
+        guarantees), then catch up on blocks missed while down by
+        pulling from live peers (the anti-entropy path), and only then
+        re-register with consensus so the next delivered batch builds on
+        a complete chain.  Returns the number of blocks adopted.
+        """
+        if not self.crashed:
+            return 0
+        self.verify_local_chain()
+        adopted = 0
+        for peer in peers:
+            if peer.crashed:
+                continue
+            adopted += self.sync_from(peer)
+        self.crashed = False
+        if self._consensus is not None:
+            self._consensus.register_replica(self.node_id, self.apply_batch)
+        return adopted
+
+    def verify_local_chain(self) -> int:
+        """Integrity check over the whole local chain (crash recovery).
+
+        Re-verifies hash chaining and every block's transaction Merkle
+        root, raising :class:`StorageError` on the first inconsistency.
+        Returns the number of blocks verified.
+        """
+        prev_hash: Optional[bytes] = None
+        count = 0
+        for block in self.store.iter_blocks():
+            if prev_hash is not None and block.header.prev_hash != prev_hash:
+                raise StorageError(
+                    f"chain broken at height {block.header.height}: "
+                    f"prev_hash does not match our block "
+                    f"{block.header.height - 1}"
+                )
+            if not block.verify_trans_root():
+                raise StorageError(
+                    f"block {block.header.height} has a corrupt "
+                    f"transaction root"
+                )
+            prev_hash = block.block_hash()
+            count += 1
+        return count
 
     # -- catch-up (data recovery over gossip/anti-entropy) ---------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..common.config import SebdbConfig
-from ..common.errors import StorageError
+from ..common.errors import CodecError, StorageError
 from ..model.block import Block
 from ..network.bus import MessageBus
 from ..network.gossip import GossipNode
@@ -63,11 +63,13 @@ class BlockGossip:
         """Apply buffered blocks in strict height order."""
         while self.node.store.height in self._pending:
             payload = self._pending.pop(self.node.store.height)
-            block = Block.from_bytes(payload)
             try:
+                block = Block.from_bytes(payload)
                 self.node.accept_block(block)
-            except StorageError:
-                # a bad rumor is dropped; the chain stays intact
+            except (CodecError, StorageError):
+                # an undecodable (fault-corrupted) or non-chaining rumor
+                # is dropped; the chain stays intact and anti-entropy can
+                # re-fetch a clean copy later
                 return
 
 

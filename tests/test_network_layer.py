@@ -32,10 +32,13 @@ class TestMessageBus:
         with pytest.raises(NetworkError):
             bus.register("a", lambda s, m: None)
 
-    def test_send_to_unknown_dropped(self):
+    def test_send_to_unknown_counted_unroutable(self):
+        """A never-registered destination is not a fault drop: it gets its
+        own counter so chaos assertions on drop counts stay meaningful."""
         bus = MessageBus()
         bus.send("a", "ghost", "x")
-        assert bus.messages_dropped == 1
+        assert bus.messages_unroutable == 1
+        assert bus.messages_dropped == 0
 
     def test_fail_and_heal(self):
         bus = MessageBus()
