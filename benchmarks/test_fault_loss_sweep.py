@@ -10,7 +10,11 @@ transactions.
 import pytest
 
 from conftest import save_series
-from repro.bench.chaos_bench import run_lossy_load, sweep_loss_rates
+from repro.bench.chaos_bench import (
+    run_lossy_load,
+    sweep_loss_rates,
+    sweep_loss_rates_closed_loop,
+)
 from repro.consensus.kafka import KafkaOrderer
 from repro.network import MessageBus
 
@@ -79,3 +83,32 @@ def test_loss_sweep_shapes(benchmark, series):
 
     sample = benchmark(one_round)
     assert sample.commit_rate >= 0.99
+
+
+def test_closed_loop_loss_costs_throughput(benchmark):
+    """Closed-loop drivers expose what the open loop hides: loss -> tps.
+
+    Each client submits its next request only when the previous one
+    terminates, so every retry round trip stalls that client and fewer
+    requests complete per unit time.  The open-loop sweep above shows a
+    near-flat tps curve; this one must slope down.
+    """
+    samples = benchmark.pedantic(
+        lambda: sweep_loss_rates_closed_loop(
+            "kafka", [0.0, 0.2], clients=6, window_ms=2_000.0, seed=5,
+        ),
+        rounds=1, iterations=1,
+    )
+    clean, lossy = samples
+    save_series(
+        "fault_loss_closed_loop_throughput",
+        "Chaos: closed-loop throughput vs submit-link loss rate",
+        {"kafka": [(s.loss_rate, s.throughput_tps) for s in samples]},
+        x_label="loss_rate", y_label="tps",
+    )
+    # loss must manifest as reduced throughput, not lost transactions
+    assert lossy.throughput_tps < clean.throughput_tps
+    assert lossy.acked < clean.acked
+    # ... while still never silently dropping anything
+    assert lossy.acked + lossy.failed == lossy.submitted
+    assert lossy.retries > clean.retries == 0

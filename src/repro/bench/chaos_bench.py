@@ -121,6 +121,70 @@ def run_lossy_load(
     )
 
 
+def run_closed_loop_lossy_load(
+    bus: MessageBus,
+    engine: ConsensusEngine,
+    loss_rate: float,
+    clients: int = 8,
+    window_ms: float = 3_000.0,
+    seed: int = 0,
+    attempt_timeout_ms: float = 300.0,
+) -> ChaosSample:
+    """Closed-loop load: each client submits its next tx when the last
+    one *finishes* (ack or typed failure).
+
+    This is the driver where link loss shows up as reduced throughput:
+    every lost submission or lost ack stalls that client through a retry
+    round trip, so fewer requests complete inside the window.  The
+    open-loop :func:`run_lossy_load` hides this (it fires a fixed count
+    regardless), which is why both exist.
+    """
+    if loss_rate:
+        bus.set_link_fault("client", _submit_target(engine),
+                           loss_rate=loss_rate)
+    submitter = ResilientSubmitter(
+        engine, bus, seed=seed, attempt_timeout_ms=attempt_timeout_ms,
+        max_attempts=8,
+    )
+    t_start = bus.clock.now_ms()
+    counter = {"next": 0}
+
+    def fire(_record: object = None) -> None:
+        if bus.clock.now_ms() - t_start >= window_ms:
+            return  # window closed: this client's loop ends
+        counter["next"] += 1
+        i = counter["next"]
+        tx = Transaction.create(
+            "donate", (f"donor{i}", "education", float(i)),
+            ts=int(bus.clock.now_ms()) + 1, sender="bench",
+        )
+        submitter.submit(tx, on_done=fire)
+
+    for c in range(clients):
+        bus.schedule(float(c), fire)  # staggered start, one loop per client
+    for _ in range(int(window_ms / 100.0) + 40):
+        bus.run_for(100.0)
+        engine.flush()
+    bus.run_until_idle()
+    engine.flush()
+    bus.run_until_idle()
+    duration = bus.clock.now_ms() - t_start
+    latencies = [
+        record.acked_at - record.submitted_at
+        for record in submitter.acked
+        if record.acked_at is not None
+    ]
+    return ChaosSample(
+        loss_rate=loss_rate,
+        submitted=len(submitter.records),
+        acked=len(submitter.acked),
+        failed=len(submitter.failed),
+        retries=submitter.total_retries(),
+        duration_ms=duration,
+        latencies_ms=latencies,
+    )
+
+
 def sweep_loss_rates(
     consensus: str,
     loss_rates: list[float],
@@ -146,5 +210,36 @@ def sweep_loss_rates(
         samples.append(
             run_lossy_load(bus, engine, loss, num_txs=num_txs,
                            window_ms=window_ms, seed=seed)
+        )
+    return samples
+
+
+def sweep_loss_rates_closed_loop(
+    consensus: str,
+    loss_rates: list[float],
+    clients: int = 8,
+    window_ms: float = 3_000.0,
+    seed: int = 0,
+) -> list[ChaosSample]:
+    """Closed-loop counterpart of :func:`sweep_loss_rates`."""
+    samples = []
+    for loss in loss_rates:
+        bus = MessageBus(seed=seed)
+        if consensus == "kafka":
+            engine: ConsensusEngine = KafkaOrderer(
+                bus, batch_txs=50, timeout_ms=50.0)
+        elif consensus == "pbft":
+            engine = PBFTCluster(bus, n=4, batch_txs=50, timeout_ms=50.0)
+        elif consensus == "tendermint":
+            engine = TendermintEngine(bus, n=4, batch_txs=50, timeout_ms=50.0)
+        else:
+            raise ValueError(f"unknown consensus {consensus!r}")
+        for i in range(4):
+            engine.register_replica(f"sink-{i}", lambda batch: None)
+        samples.append(
+            run_closed_loop_lossy_load(
+                bus, engine, loss, clients=clients,
+                window_ms=window_ms, seed=seed,
+            )
         )
     return samples

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Optional
+from typing import Callable, Optional
 
 from ..common.errors import RetryExhausted, SebdbError, TimeoutError_
 from ..consensus.base import ConsensusEngine, ReplyCallback
@@ -111,14 +111,20 @@ class ResilientSubmitter:
     # -- submission ---------------------------------------------------------
 
     def submit(
-        self, tx: Transaction, on_ack: Optional[ReplyCallback] = None
+        self,
+        tx: Transaction,
+        on_ack: Optional[ReplyCallback] = None,
+        on_done: Optional[Callable[[SubmissionRecord], None]] = None,
     ) -> SubmissionRecord:
         """Submit ``tx``, retrying until acked, exhausted, or past deadline.
 
         The transaction is stamped with a fresh client nonce unless it
         already carries one (a caller-managed retry keeps its identity).
         Returns the live :class:`SubmissionRecord`; drive the bus to make
-        progress and inspect ``record.status`` afterwards.
+        progress and inspect ``record.status`` afterwards.  ``on_done``
+        fires exactly once when the record leaves PENDING - on ACKED *or*
+        FAILED - which is what closed-loop drivers key their next
+        submission off.
         """
         if not tx.nonce:
             self._seq += 1
@@ -127,11 +133,14 @@ class ResilientSubmitter:
             tx=tx, nonce=tx.nonce, submitted_at=self.bus.clock.now_ms()
         )
         self.records.append(record)
-        self._attempt(record, on_ack)
+        self._attempt(record, on_ack, on_done)
         return record
 
     def _attempt(
-        self, record: SubmissionRecord, on_ack: Optional[ReplyCallback]
+        self,
+        record: SubmissionRecord,
+        on_ack: Optional[ReplyCallback],
+        on_done: Optional[Callable[[SubmissionRecord], None]] = None,
     ) -> None:
         if record.status != PENDING:
             return  # acked while a retry was waiting out its backoff
@@ -146,6 +155,8 @@ class ResilientSubmitter:
             record.commit_ms = commit_ms
             if on_ack is not None:
                 on_ack(commit_ms)
+            if on_done is not None:
+                on_done(record)
 
         def on_timeout() -> None:
             if record.status != PENDING or record.attempts != attempt_no:
@@ -159,6 +170,8 @@ class ResilientSubmitter:
                     f"{self.deadline_ms:.0f} ms deadline "
                     f"after {record.attempts} attempt(s)"
                 )
+                if on_done is not None:
+                    on_done(record)
                 return
             if record.attempts >= self.max_attempts:
                 record.status = FAILED
@@ -166,9 +179,12 @@ class ResilientSubmitter:
                     f"request {record.nonce} unacked after "
                     f"{record.attempts} attempt(s)"
                 )
+                if on_done is not None:
+                    on_done(record)
                 return
             self.bus.schedule(
-                self._backoff(attempt_no), lambda: self._attempt(record, on_ack)
+                self._backoff(attempt_no),
+                lambda: self._attempt(record, on_ack, on_done),
             )
 
         self.engine.submit(record.tx, on_reply)

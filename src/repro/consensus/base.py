@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Callable, Optional, Sequence
+import weakref
+from typing import Any, Callable, Optional, Sequence
 
 from ..model.transaction import Transaction
+from ..network.bus import MessageBus
 
 #: Called on every replica for every committed batch, in commit order.
 CommitCallback = Callable[[Sequence[Transaction]], None]
@@ -25,6 +27,26 @@ CommitCallback = Callable[[Sequence[Transaction]], None]
 #: Called once per submitted transaction when its batch commits;
 #: receives the simulated commit timestamp (ms).
 ReplyCallback = Callable[[float], None]
+
+#: Called when the engine certifies a checkpoint (PBFT stable checkpoint).
+CheckpointCallback = Callable[["Checkpoint"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class Checkpoint:
+    """A quorum-certified snapshot of the ordered prefix.
+
+    ``seq`` is the last sequence the checkpoint covers, ``digest`` the
+    running execution digest up to and including that sequence, and
+    ``votes`` the replicas whose matching CHECKPOINT messages form the
+    2f+1 proof.  A replica holding a checkpoint certificate can hand it
+    to a lagging peer, which jumps its protocol state to ``seq`` without
+    re-running the three-phase protocol for the covered sequences.
+    """
+
+    seq: int
+    digest: bytes
+    votes: tuple[str, ...]
 
 
 @dataclasses.dataclass
@@ -37,6 +59,12 @@ class ConsensusStats:
     messages: int = 0
     #: retried submissions collapsed by nonce instead of double-committing
     deduplicated: int = 0
+    #: views installed across the cluster (PBFT; one count per new view)
+    view_changes: int = 0
+    #: checkpoints that reached a 2f+1 quorum (one count per sequence)
+    checkpoints: int = 0
+    #: state transfers completed by lagging replicas
+    state_transfers: int = 0
 
     def reset(self) -> None:
         self.submitted = 0
@@ -44,6 +72,71 @@ class ConsensusStats:
         self.batches = 0
         self.messages = 0
         self.deduplicated = 0
+        self.view_changes = 0
+        self.checkpoints = 0
+        self.state_transfers = 0
+
+
+class AckChannel:
+    """Routes engine acks to client callbacks over the *faultable* bus.
+
+    Engines used to schedule reply callbacks with ``bus.schedule``, which
+    no link fault can touch - lost-ack retries were therefore untestable.
+    The channel registers one ``client`` endpoint per bus and ships every
+    ack as a real message from the acking engine node, so acks traverse
+    the same loss/delay/duplication/partition filters as any other
+    traffic.  A dropped ack simply never invokes its callback: the
+    client's attempt timeout fires, the retry is deduplicated by the
+    :class:`SubmissionLedger`, and the re-ack travels the link again.
+    """
+
+    KIND = "engine-ack"
+    CLIENT_ID = "client"
+
+    _channels: "weakref.WeakKeyDictionary[MessageBus, AckChannel]" = (
+        weakref.WeakKeyDictionary()
+    )
+
+    def __init__(self, bus: MessageBus, client_id: str = CLIENT_ID) -> None:
+        self._bus = bus
+        self._client_id = client_id
+        self._callbacks: dict[int, ReplyCallback] = {}
+        self._next_token = 0
+        bus.register(client_id, self._on_message)
+
+    @classmethod
+    def for_bus(cls, bus: MessageBus) -> "AckChannel":
+        """The shared per-bus channel (engines on one bus share ``client``)."""
+        channel = cls._channels.get(bus)
+        if channel is None:
+            channel = cls(bus)
+            cls._channels[bus] = channel
+        return channel
+
+    def deliver(
+        self,
+        src: str,
+        callback: ReplyCallback,
+        commit_ms: float,
+        delay_ms: float,
+    ) -> None:
+        """Send one ack from engine node ``src`` over the lossy link."""
+        token = self._next_token
+        self._next_token += 1
+        self._callbacks[token] = callback
+        self._bus.send(
+            src, self._client_id,
+            {"kind": self.KIND, "token": token, "commit_ms": commit_ms},
+            delay_ms=delay_ms,
+        )
+
+    def _on_message(self, src: str, message: Any) -> None:
+        if not isinstance(message, dict) or message.get("kind") != self.KIND:
+            return  # gossip/heartbeat traffic addressed at the client id
+        callback = self._callbacks.pop(message["token"], None)
+        if callback is not None:
+            # a duplicated ack pops nothing the second time - idempotent
+            callback(message["commit_ms"])
 
 
 class SubmissionLedger:
@@ -122,6 +215,7 @@ class ConsensusEngine(abc.ABC):
     def __init__(self) -> None:
         self.stats = ConsensusStats()
         self._replicas: dict[str, CommitCallback] = {}
+        self._checkpoint_listeners: dict[str, CheckpointCallback] = {}
 
     def register_replica(self, replica_id: str, on_commit: CommitCallback) -> None:
         """Attach a replica; it will receive every committed batch."""
@@ -130,6 +224,25 @@ class ConsensusEngine(abc.ABC):
     def unregister_replica(self, replica_id: str) -> None:
         """Detach a replica (crashed node); it stops receiving batches."""
         self._replicas.pop(replica_id, None)
+
+    def register_checkpoint_listener(
+        self, listener_id: str, on_checkpoint: CheckpointCallback
+    ) -> None:
+        """Be told whenever the engine certifies a checkpoint.
+
+        Full nodes use this to record durable chain checkpoints so crash
+        recovery re-verifies only the suffix past the last certified
+        prefix instead of the whole chain.  Engines without a checkpoint
+        protocol simply never notify.
+        """
+        self._checkpoint_listeners[listener_id] = on_checkpoint
+
+    def unregister_checkpoint_listener(self, listener_id: str) -> None:
+        self._checkpoint_listeners.pop(listener_id, None)
+
+    def _notify_checkpoint(self, checkpoint: Checkpoint) -> None:
+        for listener_id in sorted(self._checkpoint_listeners):
+            self._checkpoint_listeners[listener_id](checkpoint)
 
     @property
     def replica_ids(self) -> list[str]:

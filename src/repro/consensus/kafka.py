@@ -26,7 +26,13 @@ from typing import Any, Optional
 
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import BatchBuffer, ConsensusEngine, ReplyCallback, SubmissionLedger
+from .base import (
+    AckChannel,
+    BatchBuffer,
+    ConsensusEngine,
+    ReplyCallback,
+    SubmissionLedger,
+)
 
 #: bus node id of the single broker (the crash target of chaos runs)
 BROKER_ID = "kafka-broker"
@@ -58,6 +64,7 @@ class KafkaOrderer(ConsensusEngine):
         self._deliver_latency = deliver_latency_ms
         self.broker_id = broker_id
         self.ledger = SubmissionLedger()
+        self._acks = AckChannel.for_bus(bus)
         #: simulated time until which the single packager thread is busy
         self._busy_until = 0.0
         bus.register(broker_id, self._on_message)
@@ -94,10 +101,10 @@ class KafkaOrderer(ConsensusEngine):
             self.stats.deduplicated += 1
             replayed = self.ledger.replay_ack(tx)
             if replayed is not None and on_reply is not None:
-                self._bus.schedule(
-                    self._deliver_latency,
-                    (lambda cb, t: lambda: cb(t))(on_reply, replayed),
-                )
+                # the re-ack travels the broker->client link and can be
+                # lost again - the retry loop, not a timer, is the net
+                self._acks.deliver(self.broker_id, on_reply, replayed,
+                                   self._deliver_latency)
             return
         was_empty = len(self._buffer) == 0
         # nonce-carrying txs ack through the ledger; legacy ones keep the
@@ -135,9 +142,9 @@ class KafkaOrderer(ConsensusEngine):
                 if on_reply is not None:
                     callbacks = callbacks + [on_reply]
                 for callback in callbacks:
-                    self._bus.schedule(
-                        self._deliver_latency,
-                        (lambda cb, t: lambda: cb(t))(callback, commit_time),
-                    )
+                    # acks are real broker->client messages: they drop
+                    # while the broker is crashed and on lossy links
+                    self._acks.deliver(self.broker_id, callback,
+                                       commit_time, self._deliver_latency)
 
         self._bus.schedule(done_in, finish)

@@ -7,6 +7,24 @@ equivocating).  A request timer drives view changes when the primary
 fails: backups broadcast VIEW-CHANGE, and on ``2f + 1`` votes the next
 primary installs the new view and re-proposes pending requests.
 
+Liveness under *cascading* failures comes from two mechanisms on top of
+the basic protocol:
+
+* **Repeated view-change timers.**  Voting for view ``v+1`` arms an
+  exponentially backed-off escalation timer; if the view change stalls
+  (the next primary is itself crashed or partitioned) and client
+  requests are still stuck when it fires, the replica escalates to
+  ``v+2``, then ``v+3``, ... - the classic doubled-timeout rule that
+  makes PBFT live as long as at most ``f`` replicas are faulty.
+* **Checkpoints + state transfer.**  Every ``checkpoint_interval``
+  executed sequences a replica broadcasts a CHECKPOINT carrying its
+  running execution digest; ``2f+1`` matching votes certify the prefix,
+  garbage-collect per-sequence state, and form a transferable
+  certificate.  A replica that rejoins far behind (long partition,
+  crash) sends STATE-REQ and installs a peer's certified checkpoint plus
+  the committed tail, skipping the three-phase protocol for every
+  covered sequence instead of waiting for new-view re-proposals.
+
 This is the BFT plug-in of SEBDB's consensus layer (Example 4 of the
 paper runs four full nodes under PBFT) and the adversary model behind the
 thin client's auxiliary-node sampling (eq. 6).
@@ -21,7 +39,14 @@ from ..common.errors import ConsensusError
 from ..common.hashing import sha256
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import BatchBuffer, ConsensusEngine, ReplyCallback, SubmissionLedger
+from .base import (
+    AckChannel,
+    BatchBuffer,
+    Checkpoint,
+    ConsensusEngine,
+    ReplyCallback,
+    SubmissionLedger,
+)
 
 PRE_PREPARE = "pbft-pre-prepare"
 PREPARE = "pbft-prepare"
@@ -29,6 +54,9 @@ COMMIT = "pbft-commit"
 REQUEST = "pbft-request"
 VIEW_CHANGE = "pbft-view-change"
 NEW_VIEW = "pbft-new-view"
+CHECKPOINT = "pbft-checkpoint"
+STATE_REQ = "pbft-state-req"
+STATE_RESP = "pbft-state-resp"
 
 #: Byzantine behaviours a replica can be configured with.
 BYZ_SILENT = "silent"
@@ -68,6 +96,20 @@ class _Replica:
         self.byzantine: Optional[str] = None
         self.view_change_votes: dict[int, set[str]] = {}
         self.pending_requests: list[tuple[Transaction, float]] = []
+        #: running digest chain over executed batches (checkpoint material)
+        self.exec_digest = b"\x00" * 32
+        #: (seq, digest) -> replicas that announced that checkpoint
+        self.checkpoint_votes: dict[tuple[int, bytes], set[str]] = {}
+        #: latest 2f+1-certified checkpoint we hold (serves STATE-REQs)
+        self.stable_checkpoint: Optional[Checkpoint] = None
+        #: sequences adopted from a transferred checkpoint, not re-executed
+        self.sequences_skipped = 0
+        #: simulated time before which we will not re-broadcast STATE-REQ
+        self._state_req_cooldown_until = 0.0
+        #: progress timers do not initiate another view change before this:
+        #: a fresh vote or a fresh installation restarts the clock, giving
+        #: the (possibly new) primary one full timeout to make progress
+        self._vc_cooldown_until = 0.0
         cluster.bus.register(self.node_id, self.handle)
 
     # -- helpers -------------------------------------------------------------
@@ -158,6 +200,12 @@ class _Replica:
             self.on_view_change(src, message)
         elif kind == NEW_VIEW:
             self.on_new_view(src, message)
+        elif kind == CHECKPOINT:
+            self.on_checkpoint(src, message)
+        elif kind == STATE_REQ:
+            self.on_state_req(src, message)
+        elif kind == STATE_RESP:
+            self.on_state_resp(src, message)
 
     def on_request(self, message: dict[str, Any]) -> None:
         """Every replica tracks requests so backups can detect a dead primary."""
@@ -181,8 +229,24 @@ class _Replica:
             if not self.cluster.was_executed(tx)
         ]
         self.pending_requests = still_pending
-        if still_pending and len(still_pending) >= 1 and epoch > 0:
-            self.start_view_change(self.view + 1)
+        if not still_pending or epoch <= 0:
+            return
+        if self.cluster.bus.clock.now_ms() < self._vc_cooldown_until:
+            # we voted (or installed a view) within the last timeout
+            # window; the escalation timer owns the next move - without
+            # this, every request arrival re-votes v+1 each timeout and
+            # the cluster churns through views faster than it commits
+            return
+        self.start_view_change(self.view + 1)
+
+    def _has_stuck_requests(self) -> bool:
+        """Prune executed requests; True when any are still undelivered."""
+        self.pending_requests = [
+            (tx, t0)
+            for tx, t0 in self.pending_requests
+            if not self.cluster.was_executed(tx)
+        ]
+        return bool(self.pending_requests)
 
     def on_pre_prepare(self, src: str, message: dict[str, Any]) -> None:
         view, seq = message["view"], message["seq"]
@@ -203,6 +267,11 @@ class _Replica:
             # primary equivocated; refuse and push towards a view change
             self.start_view_change(self.view + 1)
             return
+        if seq > self.last_executed + self.cluster.checkpoint_interval:
+            # we are more than a checkpoint interval behind the live
+            # protocol (long partition / crash): ask peers for a certified
+            # checkpoint instead of waiting to re-run every sequence
+            self.request_state_transfer()
         state = self.state(seq)
         if state.committed:
             return  # this sequence is already decided locally
@@ -283,19 +352,51 @@ class _Replica:
                 return
             self.last_executed += 1
             state.executed = True
+            self.exec_digest = sha256(self.exec_digest + (state.digest or b""))
             self.cluster.on_replica_executed(self, self.last_executed, state.batch)
+            self._maybe_emit_checkpoint(self.last_executed)
 
     # -- view change -------------------------------------------------------------------
 
-    def start_view_change(self, new_view: int) -> None:
+    def start_view_change(self, new_view: int, attempt: int = 0) -> None:
         if new_view <= self.view:
             return
         votes = self.view_change_votes.setdefault(new_view, set())
         if self.node_id in votes:
             return
         votes.add(self.node_id)
+        self._vc_cooldown_until = (
+            self.cluster.bus.clock.now_ms()
+            + self.cluster.view_change_timeout_ms
+        )
         self._broadcast({"kind": VIEW_CHANGE, "view": new_view})
+        self._arm_escalation(new_view, attempt)
         self._maybe_install(new_view)
+
+    def _arm_escalation(self, new_view: int, attempt: int) -> None:
+        """Re-arm the view-change timer with exponential backoff.
+
+        One shot per request arrival is not live: when the primary of
+        ``new_view`` is itself crashed or partitioned, the view change
+        completes (or never gathers a quorum) and nothing ever fires
+        again.  Each vote therefore schedules a stall check after
+        ``view_change_timeout * 2^attempt``; if client requests are still
+        stuck, the replica escalates past every dead primary until the
+        attempt budget runs out (restarted by the next client retry).
+        """
+        if attempt >= self.cluster.max_view_change_attempts:
+            return
+        timeout = self.cluster.view_change_timeout_ms * (2 ** min(attempt, 10))
+        self.cluster.bus.schedule(
+            timeout, lambda: self._view_change_stalled(new_view, attempt)
+        )
+
+    def _view_change_stalled(self, new_view: int, attempt: int) -> None:
+        if self.byzantine == BYZ_SILENT:
+            return
+        if not self._has_stuck_requests():
+            return  # the view change (or a competing one) restored progress
+        self.start_view_change(max(self.view, new_view) + 1, attempt + 1)
 
     def on_view_change(self, src: str, message: dict[str, Any]) -> None:
         new_view = message["view"]
@@ -313,6 +414,16 @@ class _Replica:
         votes = self.view_change_votes.get(new_view, set())
         if len(votes) >= 2 * self.f + 1 and new_view > self.view:
             self.view = new_view
+            self._vc_cooldown_until = (
+                self.cluster.bus.clock.now_ms()
+                + self.cluster.view_change_timeout_ms
+            )
+            self.view_change_votes = {
+                view: votes
+                for view, votes in self.view_change_votes.items()
+                if view > new_view
+            }
+            self.cluster.on_view_installed(new_view)
             if self.is_primary:
                 self.next_seq = max(self.next_seq, self.last_executed + 1,
                                     self.cluster.max_seq_seen() + 1)
@@ -347,6 +458,163 @@ class _Replica:
         if new_view > self.view and src == f"pbft-{self.primary_of(new_view)}":
             self.view = new_view
 
+    # -- checkpoints -------------------------------------------------------------------
+
+    def _maybe_emit_checkpoint(self, seq: int) -> None:
+        if (seq + 1) % self.cluster.checkpoint_interval != 0:
+            return
+        message = {
+            "kind": CHECKPOINT,
+            "seq": seq,
+            "digest": self._maybe_corrupt(self.exec_digest),
+        }
+        self._broadcast(message)
+        self._record_checkpoint_vote(self.node_id, seq, self.exec_digest)
+
+    def on_checkpoint(self, src: str, message: dict[str, Any]) -> None:
+        self._record_checkpoint_vote(src, message["seq"], message["digest"])
+
+    def _record_checkpoint_vote(self, voter: str, seq: int, digest: bytes) -> None:
+        stable = self.stable_checkpoint
+        if stable is not None and seq <= stable.seq:
+            return
+        votes = self.checkpoint_votes.setdefault((seq, digest), set())
+        votes.add(voter)
+        if len(votes) >= 2 * self.f + 1 or self.n == 1:
+            self._stabilize_checkpoint(
+                Checkpoint(seq=seq, digest=digest, votes=tuple(sorted(votes)))
+            )
+        elif seq > self.last_executed and len(votes) >= self.f + 1:
+            # f+1 replicas vouch for a prefix we have not executed: we are
+            # behind the live protocol - fetch the certified state
+            self.request_state_transfer()
+
+    def _stabilize_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """A 2f+1 quorum certified ``checkpoint``: adopt it and GC."""
+        stable = self.stable_checkpoint
+        if stable is not None and checkpoint.seq <= stable.seq:
+            return
+        self.stable_checkpoint = checkpoint
+        # garbage-collect per-sequence state and votes the proof covers
+        self.states = {
+            seq: state for seq, state in self.states.items()
+            if seq > checkpoint.seq
+        }
+        self.checkpoint_votes = {
+            key: votes for key, votes in self.checkpoint_votes.items()
+            if key[0] > checkpoint.seq
+        }
+        self.cluster.on_checkpoint_stable(checkpoint)
+        if checkpoint.seq > self.last_executed:
+            # certified past our execution horizon: the quorum proves at
+            # least f+1 honest replicas executed the whole prefix, so we
+            # adopt the certificate directly (no re-execution) and only
+            # fetch the committed tail beyond it from peers
+            self.sequences_skipped += checkpoint.seq - self.last_executed
+            self.last_executed = checkpoint.seq
+            self.exec_digest = checkpoint.digest
+            self.cluster.stats.state_transfers += 1
+            self.request_state_transfer()
+            self.try_execute()  # sequences past the jump may be committed
+
+    # -- state transfer ----------------------------------------------------------------
+
+    def request_state_transfer(self) -> None:
+        """Broadcast STATE-REQ asking peers for a certified checkpoint.
+
+        Rate-limited to one outstanding request per timeout window so a
+        badly lagging replica does not flood the cluster while responses
+        are in flight.
+        """
+        if self.byzantine == BYZ_SILENT:
+            return
+        now = self.cluster.bus.clock.now_ms()
+        if now < self._state_req_cooldown_until:
+            return
+        self._state_req_cooldown_until = now + self.cluster.request_timeout_ms
+        self._broadcast({"kind": STATE_REQ, "have": self.last_executed})
+
+    def on_state_req(self, src: str, message: dict[str, Any]) -> None:
+        have = message["have"]
+        if self.last_executed <= have:
+            return  # nothing the requester does not already have
+        checkpoint = self.stable_checkpoint
+        tail_from = max(
+            have, checkpoint.seq if checkpoint is not None else -1
+        ) + 1
+        tail: list[tuple[int, list[Transaction]]] = []
+        for seq in range(tail_from, self.last_executed + 1):
+            state = self.states.get(seq)
+            if state is None or not state.executed or state.batch is None:
+                break  # only a contiguous committed prefix is transferable
+            tail.append((seq, state.batch))
+        response: dict[str, Any] = {"kind": STATE_RESP, "tail": tail}
+        if checkpoint is not None and checkpoint.seq > have:
+            response["checkpoint"] = {
+                "seq": checkpoint.seq,
+                "digest": checkpoint.digest,
+                "votes": list(checkpoint.votes),
+            }
+        if not tail and "checkpoint" not in response:
+            return
+        self.cluster.stats.messages += 1
+        self.cluster.bus.send(self.node_id, src, response)
+
+    def on_state_resp(self, src: str, message: dict[str, Any]) -> None:
+        progressed = False
+        proof = message.get("checkpoint")
+        if proof is not None and self._install_checkpoint(proof):
+            progressed = True
+        for seq, batch in message.get("tail", ()):
+            if seq != self.last_executed + 1:
+                continue  # stale, duplicated, or out-of-order tail entry
+            state = self.state(seq)
+            state.batch = batch
+            state.digest = _batch_digest(batch)
+            state.prepared = True
+            state.committed = True
+            state.executed = True
+            self.last_executed = seq
+            self.exec_digest = sha256(self.exec_digest + state.digest)
+            self.cluster.on_replica_executed(self, seq, batch)
+            self._maybe_emit_checkpoint(seq)
+            progressed = True
+        if progressed:
+            self.cluster.stats.state_transfers += 1
+            # sequences committed while we caught up may now be runnable
+            self.try_execute()
+
+    def _install_checkpoint(self, proof: dict[str, Any]) -> bool:
+        """Adopt a transferred checkpoint certificate; True on a jump.
+
+        The certificate must carry 2f+1 distinct replica votes (the same
+        trust base as NEW-VIEW in this simulation - vote sets stand in
+        for signatures).  Installing jumps ``last_executed`` straight to
+        the checkpoint without re-running the three-phase protocol for
+        any covered sequence.
+        """
+        seq, digest = proof["seq"], proof["digest"]
+        voters = {
+            voter for voter in proof.get("votes", ())
+            if isinstance(voter, str) and voter.startswith("pbft-")
+        }
+        if len(voters) < 2 * self.f + 1 and self.n > 1:
+            return False  # not a valid certificate - refuse the jump
+        if seq <= self.last_executed:
+            return False  # we already executed past it
+        self.sequences_skipped += seq - self.last_executed
+        self.last_executed = seq
+        self.exec_digest = digest
+        self.states = {s: st for s, st in self.states.items() if s > seq}
+        checkpoint = Checkpoint(seq=seq, digest=digest,
+                                votes=tuple(sorted(voters)))
+        self.stable_checkpoint = checkpoint
+        self.checkpoint_votes = {
+            key: votes for key, votes in self.checkpoint_votes.items()
+            if key[0] > seq
+        }
+        return True
+
 
 class PBFTCluster(ConsensusEngine):
     """A PBFT replica group exposed through the plug-in interface."""
@@ -359,26 +627,45 @@ class PBFTCluster(ConsensusEngine):
         timeout_ms: float = 100.0,
         request_timeout_ms: float = 2_000.0,
         submit_latency_ms: float = 1.0,
+        checkpoint_interval: int = 32,
+        view_change_timeout_ms: Optional[float] = None,
+        max_view_change_attempts: int = 8,
     ) -> None:
         super().__init__()
         if n < 1:
             raise ConsensusError("PBFT needs at least one replica")
+        if checkpoint_interval < 1:
+            raise ConsensusError("checkpoint_interval must be positive")
         self.bus = bus
         self.n = n
         self.f = (n - 1) // 3
         self.request_timeout_ms = request_timeout_ms
+        #: base of the exponential view-change escalation timers
+        self.view_change_timeout_ms = (
+            request_timeout_ms if view_change_timeout_ms is None
+            else view_change_timeout_ms
+        )
+        self.max_view_change_attempts = max_view_change_attempts
+        self.checkpoint_interval = checkpoint_interval
         self._submit_latency = submit_latency_ms
         self._buffer = BatchBuffer(batch_txs)
         self._timeout = timeout_ms
         self.replicas = [_Replica(self, i) for i in range(n)]
         self.ledger = SubmissionLedger()
+        self._acks = AckChannel.for_bus(bus)
         self._executed_digests: set[bytes] = set()
         #: hashes appended to the primary buffer or proposed - duplicates
         #: (retries and re-broadcast requests) are not buffered again
         self._in_pipeline: set[bytes] = set()
-        self._exec_counts: dict[int, int] = {}
+        #: executions per (seq, batch digest) - keying by digest stops a
+        #: replica fed a corrupted state transfer from completing an f+1
+        #: delivery quorum for a batch honest replicas never executed
+        self._exec_counts: dict[tuple[int, bytes], int] = {}
         self._delivered: set[int] = set()
         self._replies: dict[bytes, ReplyCallback] = {}
+        #: views / checkpoint seqs already counted in the stats
+        self._views_installed: set[int] = set()
+        self._stable_seqs: set[int] = set()
 
     # -- fault injection -----------------------------------------------------
 
@@ -399,9 +686,14 @@ class PBFTCluster(ConsensusEngine):
 
     def restart(self, index: int) -> None:
         """Bring a crashed replica back; it rejoins the live view on the
-        next pre-prepare it receives from that view's primary."""
+        next pre-prepare it receives from that view's primary, and
+        immediately asks peers for a certified checkpoint so a long
+        outage is recovered by state transfer, not by re-proposals."""
         self.bus.heal(f"pbft-{index}")
-        self.replicas[index].byzantine = None
+        replica = self.replicas[index]
+        replica.byzantine = None
+        replica._state_req_cooldown_until = 0.0
+        self.bus.schedule(0.0, replica.request_state_transfer)
 
     # -- submission -------------------------------------------------------------
 
@@ -413,11 +705,12 @@ class PBFTCluster(ConsensusEngine):
             self.stats.deduplicated += 1
             replayed = self.ledger.replay_ack(tx)
             if replayed is not None:
-                # the transaction already committed; re-ack immediately
+                # the transaction already committed; the current primary
+                # re-acks over its (faultable, possibly dead) client link
                 if on_reply is not None:
-                    self.bus.schedule(
+                    self._acks.deliver(
+                        self._ack_source(), on_reply, replayed,
                         self._submit_latency,
-                        (lambda cb, t: lambda: cb(t))(on_reply, replayed),
                     )
                 return
             # still pending: fall through and re-broadcast the REQUEST -
@@ -493,19 +786,47 @@ class PBFTCluster(ConsensusEngine):
 
     def max_seq_seen(self) -> int:
         seqs = [max(r.states) for r in self.replicas if r.states]
-        return max(seqs) if seqs else -1
+        horizon = max(seqs) if seqs else -1
+        return max(horizon, max(r.last_executed for r in self.replicas))
 
     def was_executed(self, tx: Transaction) -> bool:
         return tx.hash() in self._executed_digests
+
+    def _ack_source(self) -> str:
+        """Bus id the cluster's client-facing acks originate from.
+
+        Replies conceptually come from the replica the client talks to:
+        the primary of the highest installed view.  If that replica is
+        crashed or partitioned away from the client, its acks are lost on
+        the wire - exactly the ambiguity the resilient client must
+        tolerate.
+        """
+        view = max(replica.view for replica in self.replicas)
+        return f"pbft-{view % self.n}"
+
+    def on_view_installed(self, view: int) -> None:
+        """First replica to install ``view`` counts it in the stats."""
+        if view not in self._views_installed:
+            self._views_installed.add(view)
+            self.stats.view_changes += 1
+
+    def on_checkpoint_stable(self, checkpoint: "Checkpoint") -> None:
+        """First replica to certify a checkpoint publishes it outward."""
+        if checkpoint.seq in self._stable_seqs:
+            return
+        self._stable_seqs.add(checkpoint.seq)
+        self.stats.checkpoints += 1
+        self._notify_checkpoint(checkpoint)
 
     def on_replica_executed(
         self, replica: _Replica, seq: int, batch: list[Transaction]
     ) -> None:
         """Called by each replica as it executes; drives delivery and replies."""
-        count = self._exec_counts.get(seq, 0) + 1
-        self._exec_counts[seq] = count
-        # deliver to the SEBDB nodes once the batch is final (f+1 executions
-        # guarantee at least one correct replica executed it)
+        key = (seq, _batch_digest(batch))
+        count = self._exec_counts.get(key, 0) + 1
+        self._exec_counts[key] = count
+        # deliver to the SEBDB nodes once the batch is final (f+1 matching
+        # executions guarantee at least one correct replica executed it)
         if count >= self.f + 1 and seq not in self._delivered:
             self._delivered.add(seq)
             # exactly-once delivery: a view change can re-propose a request
@@ -529,7 +850,8 @@ class PBFTCluster(ConsensusEngine):
                 if reply is not None:
                     callbacks = callbacks + [reply]
                 for callback in callbacks:
-                    self.bus.schedule(
-                        self._submit_latency,
-                        (lambda cb, t: lambda: cb(t))(callback, now),
+                    # the ack rides the executing replica's client link -
+                    # lossy, partitionable, and dead when that replica is
+                    self._acks.deliver(
+                        replica.node_id, callback, now, self._submit_latency
                     )

@@ -30,7 +30,13 @@ from typing import Any, Optional
 from ..common.errors import ConsensusError
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import BatchBuffer, ConsensusEngine, ReplyCallback, SubmissionLedger
+from .base import (
+    AckChannel,
+    BatchBuffer,
+    ConsensusEngine,
+    ReplyCallback,
+    SubmissionLedger,
+)
 
 PROPOSE = "tm-propose"
 PREVOTE = "tm-prevote"
@@ -68,6 +74,7 @@ class TendermintEngine(ConsensusEngine):
         self._deliver_cost = deliver_tx_cost_ms
         self._max_retransmits = max_retransmits
         self.ledger = SubmissionLedger()
+        self._acks = AckChannel.for_bus(bus)
         #: serial CheckTx lane of the entry validator
         self._check_busy_until = 0.0
         #: serial DeliverTx lane of the (simulated co-located) SEBDB node
@@ -107,10 +114,10 @@ class TendermintEngine(ConsensusEngine):
             self.stats.deduplicated += 1
             replayed = self.ledger.replay_ack(tx)
             if replayed is not None and on_reply is not None:
-                self.bus.schedule(
-                    self._submit_latency,
-                    (lambda cb, t: lambda: cb(t))(on_reply, replayed),
-                )
+                # re-acks travel the entry-validator->client link, so a
+                # lossy or partitioned link keeps the retry loop honest
+                self._acks.deliver(ENTRY_ID, on_reply, replayed,
+                                   self._submit_latency)
             return
         now = self.bus.clock.now_ms()
         start = max(now, self._check_busy_until)
@@ -143,12 +150,21 @@ class TendermintEngine(ConsensusEngine):
             self._start_round(self._buffer.take_all())
 
     def _start_round(
-        self, batch: list[tuple[Transaction, Optional[ReplyCallback]]]
+        self,
+        batch: list[tuple[Transaction, Optional[ReplyCallback]]],
+        requeue_attempt: int = 0,
     ) -> None:
         """Proposer broadcasts the block for the next height."""
         if self._in_flight:
-            # one height at a time; requeue behind the current round
-            self.bus.schedule(1.0, lambda: self._start_round(batch))
+            # one height at a time; requeue behind the current round with
+            # exponential backoff derived from the configured timeout (a
+            # fixed 1 ms poll would make chaos runs hinge on a magic
+            # constant and busy-spin while a stuck height retransmits)
+            delay = min(self._timeout,
+                        (self._timeout / 20.0) * (2 ** min(requeue_attempt, 10)))
+            self.bus.schedule(
+                delay, lambda: self._start_round(batch, requeue_attempt + 1)
+            )
             return
         self._in_flight = True
         height = self._height
@@ -264,10 +280,10 @@ class TendermintEngine(ConsensusEngine):
                 if reply is not None:
                     callbacks = callbacks + [reply]
                 for callback in callbacks:
-                    self.bus.schedule(
-                        self._submit_latency,
-                        (lambda cb, t: lambda: cb(t))(callback, commit_time),
-                    )
+                    # commit acks are real entry->client messages subject
+                    # to the same link faults as any other traffic
+                    self._acks.deliver(ENTRY_ID, callback, commit_time,
+                                       self._submit_latency)
             self._height += 1
             self._in_flight = False
 

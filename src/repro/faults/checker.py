@@ -113,7 +113,9 @@ class InvariantChecker:
     ) -> None:
         for node in live:
             try:
-                node.verify_local_chain()
+                # the checker is the auditor of record: always re-verify
+                # end to end, never trust the checkpoint fast path
+                node.verify_local_chain(full=True)
             except StorageError as exc:
                 report.violations.append(
                     f"{node.node_id} chain fails re-verification: {exc}"

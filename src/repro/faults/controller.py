@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 from ..consensus.pbft import PBFTCluster
 from ..network.bus import MessageBus
 from ..node.fullnode import FullNode
+from ..node.observer import BlockGossip
 from .schedule import (
     BYZANTINE,
     CLEAR_LINK,
@@ -39,11 +40,16 @@ class ChaosController:
         schedule: FaultSchedule,
         engine: Optional[object] = None,
         nodes: Optional[Sequence[FullNode]] = None,
+        gossips: Optional[Sequence[BlockGossip]] = None,
     ) -> None:
         self.bus = bus
         self.schedule = schedule
         self.engine = engine
         self.nodes = {node.node_id: node for node in (nodes or [])}
+        #: gossip meshes riding along with the nodes: a node crash takes
+        #: its gossip endpoint down too, and a restart triggers an
+        #: anti-entropy pull from every live peer mesh
+        self.gossips = list(gossips or [])
         #: (fired_at_ms, event) log of everything applied so far
         self.applied: list[tuple[float, FaultEvent]] = []
         self._armed = False
@@ -97,6 +103,8 @@ class ChaosController:
         if node is not None:
             node.crash()
             self.bus.fail(node_id)
+            for gossip in self._gossips_of(node_id):
+                self.bus.fail(gossip.gossip.node_id)
             return
         index = self._replica_index(node_id)
         if index is not None:
@@ -113,12 +121,20 @@ class ChaosController:
                 if peer.node_id != node_id and not peer.crashed
             ]
             node.restart(peers)
+            for gossip in self._gossips_of(node_id):
+                self.bus.heal(gossip.gossip.node_id)
+                for peer_mesh in self.gossips:
+                    if peer_mesh is not gossip and not peer_mesh.node.crashed:
+                        gossip.anti_entropy(peer_mesh)
             return
         index = self._replica_index(node_id)
         if index is not None:
             self.engine.restart(index)  # type: ignore[union-attr]
             return
         self.bus.heal(node_id)
+
+    def _gossips_of(self, node_id: str) -> list[BlockGossip]:
+        return [g for g in self.gossips if g.node.node_id == node_id]
 
     def _replica_index(self, node_id: str) -> Optional[int]:
         """Index of a PBFT replica bus id (``pbft-3`` -> 3), else None."""

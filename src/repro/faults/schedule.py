@@ -124,6 +124,27 @@ class FaultSchedule:
     def restore_link(self, at_ms: float, src: str, dst: str) -> "FaultSchedule":
         return self._add(at_ms, CLEAR_LINK, src=src, dst=dst)
 
+    def cascading_crashes(
+        self,
+        at_ms: float,
+        nodes: Sequence[str],
+        gap_ms: float,
+        downtime_ms: float,
+    ) -> "FaultSchedule":
+        """Crash ``nodes`` one after another, ``gap_ms`` apart.
+
+        Each victim stays down for ``downtime_ms``.  With ``gap_ms`` <
+        ``downtime_ms`` the outages overlap - aimed at consecutive PBFT
+        primaries, this forces view changes to chain (v+1's primary is
+        already dead when v's view change completes) and exercises the
+        escalation timers.
+        """
+        for i, node in enumerate(nodes):
+            start = at_ms + i * gap_ms
+            self.crash(start, node)
+            self.restart(start + downtime_ms, node)
+        return self
+
     def byzantine(
         self, at_ms: float, replica: int, mode: str = "silent"
     ) -> "FaultSchedule":

@@ -32,6 +32,7 @@ class GossipNode:
         round_ms: float = 5.0,
         seed: int = 0,
         on_rumor: Optional[Callable[[str, Any], None]] = None,
+        validate: Optional[Callable[[str, Any], bool]] = None,
     ) -> None:
         self.node_id = node_id
         self._bus = bus
@@ -44,6 +45,7 @@ class GossipNode:
         #: rumor id -> remaining push rounds (rumor mongering budget)
         self._budget: dict[str, int] = {}
         self._on_rumor = on_rumor
+        self._validate = validate
         self._round_pending = False
         bus.register(node_id, self._handle)
 
@@ -74,6 +76,11 @@ class GossipNode:
 
     def _learn(self, rumor_id: str, payload: Any) -> None:
         if rumor_id in self._rumors:
+            return
+        if self._validate is not None and not self._validate(rumor_id, payload):
+            # a corrupted rumor must not be stored: once stored, this node
+            # would advertise the id in anti-entropy ``have`` lists and a
+            # clean copy could never be re-fetched
             return
         self._rumors[rumor_id] = payload
         # push for O(log n) + slack rounds - enough for full coverage whp

@@ -11,12 +11,12 @@ every node.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from ..common.clock import Clock
 from ..common.config import SebdbConfig
 from ..common.errors import CatalogError, QueryError, StorageError
-from ..consensus.base import ConsensusEngine, ReplyCallback
+from ..consensus.base import Checkpoint, ConsensusEngine, ReplyCallback
 from ..crypto.keys import KeyPair
 from ..index.manager import IndexManager
 from ..model.block import Block
@@ -68,6 +68,13 @@ class FullNode:
         self._rejected: list[Transaction] = []
         #: True between :meth:`crash` and :meth:`restart`
         self.crashed = False
+        #: called with every locally packaged block (gossip announcers)
+        self._block_listeners: list[Callable[[Block], None]] = []
+        #: durable (height, tip_hash) pairs recorded at engine checkpoints;
+        #: restart re-verifies the chain only from the newest one
+        self._chain_checkpoints: list[tuple[int, bytes]] = []
+        #: diagnostics of the most recent :meth:`restart`
+        self.last_recovery: dict[str, Any] = {}
         if self.store.height > 0:
             # the store recovered an existing chain from its segment files:
             # rebuild the catalog and the tid counter instead of re-creating
@@ -86,6 +93,9 @@ class FullNode:
             self._next_tid = len(genesis.transactions)
         if consensus is not None:
             consensus.register_replica(node_id, self.apply_batch)
+            consensus.register_checkpoint_listener(
+                node_id, self._on_engine_checkpoint
+            )
 
     # -- write path -----------------------------------------------------------
 
@@ -172,12 +182,36 @@ class FullNode:
         )
         self.store.append_block(block)
         self.catalog.apply_block(block)
+        for listener in self._block_listeners:
+            listener(block)
         return block
 
     @property
     def rejected_transactions(self) -> list[Transaction]:
         """Transactions dropped for invalid signatures."""
         return list(self._rejected)
+
+    def add_block_listener(self, listener: Callable[[Block], None]) -> None:
+        """Observe every block this node packages (gossip announce hook)."""
+        self._block_listeners.append(listener)
+
+    # -- engine checkpoints -----------------------------------------------------
+
+    def _on_engine_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """The engine certified an ordered prefix: pin our chain position.
+
+        Every registered node applied the same delivered batches when the
+        quorum formed, so (height, tip_hash) is identical across live
+        nodes - a durable restart point that bounds how much chain a
+        recovery has to re-verify.
+        """
+        if self.store.tip_hash is None:
+            return
+        self._chain_checkpoints.append((self.store.height, self.store.tip_hash))
+
+    @property
+    def chain_checkpoints(self) -> list[tuple[int, bytes]]:
+        return list(self._chain_checkpoints)
 
     # -- crash / restart -------------------------------------------------------
 
@@ -193,20 +227,22 @@ class FullNode:
         self.crashed = True
         if self._consensus is not None:
             self._consensus.unregister_replica(self.node_id)
+            self._consensus.unregister_checkpoint_listener(self.node_id)
 
     def restart(self, peers: Sequence["FullNode"] = ()) -> int:
         """Recover from a crash and rejoin consensus.
 
-        Recovery order matters: first re-verify the durable chain
-        (hash chaining + Merkle roots, exactly what segment replay
-        guarantees), then catch up on blocks missed while down by
-        pulling from live peers (the anti-entropy path), and only then
-        re-register with consensus so the next delivered batch builds on
-        a complete chain.  Returns the number of blocks adopted.
+        Recovery order matters: first re-verify the durable chain from
+        the newest recorded checkpoint (hash chaining + Merkle roots over
+        the unverified suffix only), then catch up on blocks missed while
+        down by pulling from live peers (the anti-entropy path), and only
+        then re-register with consensus so the next delivered batch
+        builds on a complete chain.  Returns the number of blocks
+        adopted.
         """
         if not self.crashed:
             return 0
-        self.verify_local_chain()
+        verified = self.verify_local_chain()
         adopted = 0
         for peer in peers:
             if peer.crashed:
@@ -215,18 +251,42 @@ class FullNode:
         self.crashed = False
         if self._consensus is not None:
             self._consensus.register_replica(self.node_id, self.apply_batch)
+            self._consensus.register_checkpoint_listener(
+                self.node_id, self._on_engine_checkpoint
+            )
+        self.last_recovery = {
+            "verified": verified,
+            "adopted": adopted,
+            "from_checkpoint": verified < self.store.height - adopted,
+        }
         return adopted
 
-    def verify_local_chain(self) -> int:
-        """Integrity check over the whole local chain (crash recovery).
+    def verify_local_chain(self, full: bool = False) -> int:
+        """Integrity check over the local chain (crash recovery).
 
         Re-verifies hash chaining and every block's transaction Merkle
         root, raising :class:`StorageError` on the first inconsistency.
+        When a durable chain checkpoint is recorded (and ``full`` is not
+        forced), verification starts at the newest checkpoint at or
+        below the current height instead of at genesis - the certified
+        prefix was already quorum-checked when the checkpoint formed.
+        Falls back to a full scan when the checkpointed block no longer
+        matches (a corrupted store must never hide behind a checkpoint).
         Returns the number of blocks verified.
         """
+        start = 0
+        if not full:
+            for height, tip_hash in reversed(self._chain_checkpoints):
+                if height > self.store.height or height < 1:
+                    continue
+                anchor = self.store.read_block(height - 1)
+                if anchor.block_hash() == tip_hash:
+                    start = height - 1
+                break
         prev_hash: Optional[bytes] = None
         count = 0
-        for block in self.store.iter_blocks():
+        for height in range(start, self.store.height):
+            block = self.store.read_block(height)
             if prev_hash is not None and block.header.prev_hash != prev_hash:
                 raise StorageError(
                     f"chain broken at height {block.header.height}: "

@@ -33,18 +33,40 @@ class BlockGossip:
         bus: MessageBus,
         fanout: int = 2,
         seed: int = 0,
+        announce_commits: bool = False,
     ) -> None:
         self.node = node
         self._pending: dict[int, bytes] = {}
         self.gossip = GossipNode(
             f"gossip-{node.node_id}", bus, fanout=fanout, seed=seed,
-            on_rumor=self._on_rumor,
+            on_rumor=self._on_rumor, validate=self._validate_rumor,
         )
+        if announce_commits:
+            # member mode: every block this node commits via consensus is
+            # announced to the mesh automatically
+            node.add_block_listener(self.announce)
 
     def announce(self, block: Block) -> None:
         """Publish a freshly committed block to the mesh."""
         self.gossip.publish(f"block-{block.header.height:012d}",
                             block.to_bytes())
+
+    @staticmethod
+    def _validate_rumor(rumor_id: str, payload: bytes) -> bool:
+        """Reject corrupted block rumors before they enter the rumor store.
+
+        A stored rumor is advertised in anti-entropy ``have`` lists, so
+        storing a corrupted payload would permanently shadow the clean
+        copy.  Non-block rumors pass through untouched.
+        """
+        if not rumor_id.startswith("block-"):
+            return True
+        try:
+            block = Block.from_bytes(payload)
+        except CodecError:
+            return False
+        return (block.header.height == int(rumor_id.split("-", 1)[1])
+                and block.verify_trans_root())
 
     def anti_entropy(self, peer: "BlockGossip") -> None:
         """Pull missed rumors from a peer (partition recovery)."""

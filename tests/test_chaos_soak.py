@@ -17,10 +17,12 @@ from repro import (
     ResilientSubmitter,
     SebdbNetwork,
 )
-from repro.common.errors import DivergenceError
+from repro.client.submitter import FAILED
+from repro.common.errors import DivergenceError, RetryExhausted
 from repro.consensus.kafka import BROKER_ID
 from repro.faults.schedule import FaultEvent
 from repro.model.transaction import Transaction
+from repro.node.observer import BlockGossip, make_observer
 
 
 def submit_over_time(net, sub, count, window_ms, table="t"):
@@ -197,6 +199,238 @@ class TestInvariantChecker:
         b = FaultSchedule.randomized(42, 5_000, nodes)
         assert a.describe() == b.describe()
         assert len(a) > 0
+
+
+def cascading_primary_soak(seed):
+    """Two consecutive primaries die mid-protocol; PBFT must stay live.
+
+    n=7 (f=2): the view-0 primary is first stranded mid-prepare (its
+    pre-prepares reach only pbft-1), then crashes; pbft-1 - the primary
+    of view 1 - crashes moments later, so the first view change elects a
+    dead replica and only the escalation timers can recover liveness by
+    pushing past it to view 2+.
+    """
+    net = SebdbNetwork(num_nodes=7, consensus="pbft", seed=seed,
+                       batch_txs=10, timeout_ms=30)
+    net.consensus.request_timeout_ms = 500.0
+    net.consensus.view_change_timeout_ms = 500.0
+    net.execute("CREATE t (v int)")
+    # schedule times are absolute simulated time; the CREATE's commit
+    # already advanced the clock, so anchor the script at "now"
+    t0 = net.bus.clock.now_ms()
+    schedule = FaultSchedule()
+    # strand the view-0 primary: only pbft-1 still hears it, so sequences
+    # get pre-prepared but can never gather a prepare quorum
+    for i in range(2, 7):
+        schedule.degrade_link(t0 + 300, "pbft-0", f"pbft-{i}", loss_rate=1.0)
+        schedule.restore_link(t0 + 4_000, "pbft-0", f"pbft-{i}")
+    # then the primaries of views 0 and 1 crash back to back
+    schedule.cascading_crashes(t0 + 600, ["pbft-0", "pbft-1"],
+                               gap_ms=300, downtime_ms=4_000)
+    controller = ChaosController(net.bus, schedule, engine=net.consensus,
+                                 nodes=net.nodes)
+    controller.arm()
+    sub = ResilientSubmitter(net.consensus, net.bus, seed=seed,
+                             attempt_timeout_ms=700.0, max_attempts=12)
+    submit_over_time(net, sub, count=40, window_ms=1_500)
+    drive(net, 15_000)
+    report = InvariantChecker(net.nodes, [sub]).check()
+    return net, sub, report
+
+
+class TestCascadingPrimaryCrash:
+    @pytest.mark.parametrize("seed", [13, 31])
+    def test_commits_within_bounded_view_changes(self, seed):
+        net, sub, report = cascading_primary_soak(seed)
+        # liveness: every request eventually commits and is acked
+        assert report.ok
+        assert report.acked == 40
+        assert report.pending == 0 and report.failed == 0
+        # the cluster escalated past the dead view-1 primary ...
+        assert max(r.view for r in net.consensus.replicas) >= 2
+        # ... within a bounded number of view changes (no runaway
+        # escalation once progress resumed)
+        assert 2 <= net.consensus.stats.view_changes <= 12
+        # safety: byte-identical chains on all seven nodes
+        assert len({node.store.tip_hash for node in net.nodes}) == 1
+
+    def test_is_deterministic(self):
+        net_a, _, _ = cascading_primary_soak(13)
+        net_b, _, _ = cascading_primary_soak(13)
+        tips_a = tuple(n.store.tip_hash for n in net_a.nodes)
+        tips_b = tuple(n.store.tip_hash for n in net_b.nodes)
+        assert tips_a == tips_b
+        assert (net_a.consensus.stats.view_changes
+                == net_b.consensus.stats.view_changes)
+        assert (net_a.consensus.stats.state_transfers
+                == net_b.consensus.stats.state_transfers)
+
+
+class TestCheckpointStateTransfer:
+    def test_partitioned_replica_rejoins_via_checkpoint(self):
+        """ISSUE acceptance: a long-partitioned replica catches up through
+        a certified checkpoint + committed tail, not by re-running the
+        three-phase protocol for every missed sequence - and ends
+        byte-identical."""
+        net = SebdbNetwork(num_nodes=4, consensus="pbft", seed=17,
+                           batch_txs=2, timeout_ms=30)
+        net.consensus.checkpoint_interval = 3
+        net.execute("CREATE t (v int)")
+        # anchor the script at "now": the CREATE's commit already advanced
+        # the simulated clock past the schedule's absolute timestamps
+        t0 = net.bus.clock.now_ms()
+        others = ["pbft-0", "pbft-1", "pbft-2"]
+        schedule = (
+            FaultSchedule()
+            # pbft-3 (and its co-located full node) drop off for a long
+            # stretch while the rest keep committing
+            .partition(t0 + 800, others, ["pbft-3"])
+            .crash(t0 + 800, "node-3")
+            .heal_partition(t0 + 3_000, others, ["pbft-3"])
+            .restart(t0 + 3_000, "node-3")
+        )
+        controller = ChaosController(net.bus, schedule, engine=net.consensus,
+                                     nodes=net.nodes)
+        controller.arm()
+        sub = ResilientSubmitter(net.consensus, net.bus, seed=17,
+                                 attempt_timeout_ms=700.0, max_attempts=10)
+        # wave 1: committed by everyone, forms the first checkpoints
+        submit_over_time(net, sub, count=8, window_ms=500)
+        # wave 2: committed behind pbft-3's back (well past an interval)
+        for i in range(24):
+            at = 1_000 + i * 60.0
+
+            def fire(i=i):
+                tx = Transaction.create(
+                    "t", (100 + i,), ts=int(net.bus.clock.now_ms()),
+                    sender="c",
+                )
+                sub.submit(tx)
+
+            net.bus.schedule(at, fire)
+        # wave 3: after the heal - the first pre-prepare far beyond
+        # pbft-3's horizon is what triggers its STATE-REQ
+        for i in range(6):
+            at = 3_300 + i * 80.0
+
+            def fire(i=i):
+                tx = Transaction.create(
+                    "t", (200 + i,), ts=int(net.bus.clock.now_ms()),
+                    sender="c",
+                )
+                sub.submit(tx)
+
+            net.bus.schedule(at, fire)
+        drive(net, 12_000)
+        report = InvariantChecker(net.nodes, [sub]).check()
+        assert report.ok
+        assert report.acked == 38 and report.pending == 0
+        stats = net.consensus.stats
+        # checkpoints formed and were certified during the run
+        assert stats.checkpoints >= 3
+        # the rejoining replica jumped via a transferred certificate
+        # instead of re-executing every missed sequence
+        assert stats.state_transfers >= 1
+        assert net.consensus.replicas[3].sequences_skipped > 0
+        assert net.consensus.replicas[3].stable_checkpoint is not None
+        # the co-located full node recovered from its newest recorded
+        # chain checkpoint (partial re-verification, then catch-up)
+        recovery = net.nodes[3].last_recovery
+        assert recovery["from_checkpoint"]
+        assert recovery["adopted"] > 0
+        # byte-identical chains, including the rejoined node
+        assert len({node.store.tip_hash for node in net.nodes}) == 1
+        assert len({node.store.height for node in net.nodes}) == 1
+
+
+class TestRetryExhaustedButCommitted:
+    def test_lost_acks_yield_typed_ambiguity_not_duplication(self):
+        """A client that exhausts retries because *acks* are lost must get
+        a typed RetryExhausted - while the chain holds each request
+        exactly once and the checker flags the ambiguity as a warning,
+        not a violation."""
+        net = SebdbNetwork(num_nodes=4, consensus="kafka", seed=19,
+                           batch_txs=5, timeout_ms=40)
+        net.execute("CREATE t (v int)")
+        # the submit direction stays clean; the ack direction is dead, so
+        # every request commits but no confirmation ever arrives
+        net.bus.set_link_fault(BROKER_ID, "client", loss_rate=1.0)
+        sub = ResilientSubmitter(net.consensus, net.bus, seed=19,
+                                 attempt_timeout_ms=200.0, max_attempts=3)
+        submit_over_time(net, sub, count=10, window_ms=400)
+        drive(net, 5_000)
+        report = InvariantChecker(net.nodes, [sub]).check()
+        # no safety violation: exactly-once held despite all the retries
+        assert report.ok
+        assert report.failed == 10 and report.acked == 0
+        for record in sub.records:
+            assert record.status == FAILED
+            assert isinstance(record.error, RetryExhausted)
+        # every request is on-chain exactly once (10 + the CREATE)
+        assert net.consensus.stats.committed == 11
+        assert net.consensus.stats.deduplicated >= 10
+        # the checker surfaced each failed-but-committed ambiguity
+        committed_warnings = [
+            w for w in report.warnings if "but did commit" in w
+        ]
+        assert len(committed_warnings) == 10
+
+
+class TestObserverConvergenceUnderChaos:
+    def test_observer_converges_after_anti_entropy(self):
+        """Gossip observers wired into a chaos run: the observer crashes
+        mid-run, rumors are lost, duplicated and corrupted, yet after
+        restart-triggered anti-entropy it converges byte-identically."""
+        net = SebdbNetwork(num_nodes=3, consensus="kafka", seed=23,
+                           batch_txs=5, timeout_ms=40)
+        # meshes attach before the first commit so every block (including
+        # the CREATE's schema-sync block) is announced to the observer
+        meshes = [
+            BlockGossip(node, net.bus, seed=23 + i, announce_commits=True)
+            for i, node in enumerate(net.nodes)
+        ]
+        observer, obs_mesh = make_observer(net.nodes[0], net.bus, seed=41)
+        net.execute("CREATE t (v int)")
+        obs_id = obs_mesh.gossip.node_id
+        schedule = (
+            FaultSchedule()
+            # every push toward the observer is lossy and duplicating;
+            # one member's link additionally corrupts payloads
+            .degrade_link(0, "gossip-node-0", obs_id,
+                          loss_rate=0.15, duplicate_rate=0.1,
+                          corrupt_rate=0.3)
+            .degrade_link(0, "gossip-node-1", obs_id,
+                          loss_rate=0.15, duplicate_rate=0.1)
+            .degrade_link(0, "gossip-node-2", obs_id,
+                          loss_rate=0.15, duplicate_rate=0.1)
+            .crash(600, observer.node_id)
+            .restart(2_200, observer.node_id)
+            .restore_link(4_000, "gossip-node-0", obs_id)
+            .restore_link(4_000, "gossip-node-1", obs_id)
+            .restore_link(4_000, "gossip-node-2", obs_id)
+        )
+        controller = ChaosController(
+            net.bus, schedule, engine=net.consensus,
+            nodes=[observer], gossips=meshes + [obs_mesh],
+        )
+        controller.arm()
+        sub = ResilientSubmitter(net.consensus, net.bus, seed=23,
+                                 attempt_timeout_ms=300.0)
+        submit_over_time(net, sub, count=60, window_ms=3_000)
+        drive(net, 8_000)
+        # a final anti-entropy pass over the (now healed) links is the
+        # recovery path the paper's network layer prescribes
+        obs_mesh.anti_entropy(meshes[1])
+        net.bus.run_until_idle()
+        # the chaos actually happened
+        assert net.bus.messages_dropped > 0
+        assert net.bus.messages_duplicated > 0
+        assert net.bus.messages_corrupted > 0
+        # convergence: the observer holds the members' exact chain
+        assert observer.store.height == net.nodes[0].store.height
+        assert observer.store.tip_hash == net.nodes[0].store.tip_hash
+        report = InvariantChecker(list(net.nodes) + [observer], [sub]).check()
+        assert report.ok and report.pending == 0
 
 
 class TestNodeCrashRestart:
