@@ -39,6 +39,33 @@ def save_series(name: str, title: str, series: Series,
     (RESULTS_DIR / f"{name}.tsv").write_text("\n".join(lines) + "\n")
 
 
+def save_operator_breakdown(
+    name: str, title: str,
+    breakdowns: dict[str, list[dict[str, Any]]],
+) -> None:
+    """Persist per-operator cost profiles (one section per access method).
+
+    ``breakdowns`` maps a method label to the rows produced by
+    :func:`repro.bench.harness.operator_breakdown`.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    columns = ("operator", "rows_in", "rows_out", "seeks",
+               "page_transfers", "modelled_ms", "wall_ms")
+    lines = [f"# {title}", "method\t" + "\t".join(columns)]
+    for method, rows in breakdowns.items():
+        for row in rows:
+            label = "  " * row["depth"] + row["operator"]
+            if row["detail"]:
+                label += f"({row['detail']})"
+            lines.append("\t".join([
+                method, label,
+                str(row["rows_in"]), str(row["rows_out"]),
+                str(row["seeks"]), str(row["page_transfers"]),
+                f"{row['modelled_ms']:.3f}", f"{row['wall_ms']:.3f}",
+            ]))
+    (RESULTS_DIR / f"{name}.tsv").write_text("\n".join(lines) + "\n")
+
+
 def last_point(series: Series, label: str) -> float:
     """y value of the last (largest-x) point of one series."""
     return series[label][-1][1]

@@ -7,9 +7,9 @@ mildly with the chain as more block pairs must be intersected.
 
 import pytest
 
-from conftest import last_point, save_series
+from conftest import last_point, save_operator_breakdown, save_series
 from repro.bench.generator import build_join_dataset, create_standard_indexes
-from repro.bench.harness import fig13_join_datasize
+from repro.bench.harness import fig13_join_datasize, operator_breakdown
 
 BLOCKS = [50, 100, 150]
 TABLE_ROWS = 600
@@ -39,6 +39,20 @@ def test_fig13_shapes(benchmark, series):
     dataset = build_join_dataset(BLOCKS[-1], TXS_PER_BLOCK, TABLE_ROWS,
                                  RESULT_PAIRS)
     create_standard_indexes(dataset)
+
+    # where the Fig 13 latency goes, operator by operator and per method
+    breakdowns = {
+        method: operator_breakdown(dataset.node, Q5, method=method)
+        for method in ("scan", "bitmap", "layered")
+    }
+    save_operator_breakdown(
+        "fig13_operators",
+        f"Fig 13: Q5 per-operator costs at {BLOCKS[-1]} blocks",
+        breakdowns,
+    )
+    for method, rows in breakdowns.items():
+        root = rows[0]
+        assert root["rows_out"] == RESULT_PAIRS, (method, root)
 
     def layered_q5():
         dataset.store.clear_caches()

@@ -67,6 +67,42 @@ def _timed(node: FullNode, fn: Callable[[], Any]) -> tuple[Any, QueryMeasurement
     )
 
 
+def operator_breakdown(
+    node: FullNode,
+    sql: str,
+    params: tuple[Any, ...] = (),
+    method: Optional[str] = None,
+) -> list[dict[str, Any]]:
+    """Run one query cold and return its per-operator cost profile.
+
+    Each entry is one operator of the physical plan (pre-order, with
+    ``depth`` giving its position in the tree): rows in/out, seeks, page
+    transfers, the modelled disk ms attributed to that operator by its
+    own cost tracker, and inclusive wall-clock ms.  The per-operator
+    modelled costs sum to the query's total, so a breakdown row directly
+    answers "where did the latency of Fig 13 go".
+    """
+    node.store.clear_caches()
+    plan = node.engine.plan(sql, params=params, method=method)
+    for _ in plan.root.execute():
+        pass
+    breakdown = []
+    for depth, op in plan.root.walk():
+        stats = op.stats
+        breakdown.append({
+            "depth": depth,
+            "operator": op.name,
+            "detail": op.describe(),
+            "rows_in": stats.rows_in,
+            "rows_out": stats.rows_out,
+            "seeks": stats.seeks,
+            "page_transfers": stats.page_transfers,
+            "modelled_ms": stats.modelled_ms,
+            "wall_ms": stats.wall_ms,
+        })
+    return breakdown
+
+
 def ascii_chart(series: Series, width: int = 40) -> str:
     """Sparkline-style rendering of each series' trend.
 

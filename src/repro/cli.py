@@ -7,8 +7,8 @@ Usage::
     python -m repro -c "CREATE t (a int)" -c "INSERT INTO t VALUES (1)"
 
 The shell accepts the full SQL-like language (CREATE / INSERT / SELECT
-with aggregates, GROUP BY, ORDER BY / TRACE / GET BLOCK) plus meta
-commands: ``\\tables``, ``\\indexes``, ``\\explain <select>``,
+with aggregates, GROUP BY, ORDER BY / TRACE / GET BLOCK, and
+EXPLAIN [ANALYZE] over any read statement) plus meta commands: ``\\tables``, ``\\indexes``, ``\\explain <select>``,
 ``\\chain``, ``\\quit``.
 """
 
@@ -51,6 +51,10 @@ def format_table(columns: Sequence[str], rows: Sequence[Sequence[Any]],
 def render_result(result: Optional[QueryResult]) -> str:
     if result is None:
         return "OK"
+    if result.columns == ("QUERY PLAN",):
+        # EXPLAIN [ANALYZE] output: the indentation is the structure,
+        # so print the plan lines bare instead of boxing them
+        return "\n".join(line for (line,) in result.rows)
     if result.block is not None:
         header = result.block.header
         prefix = (
@@ -117,6 +121,7 @@ class Shell:
         if command == "\\help":
             return (
                 "statements: CREATE / INSERT / SELECT / TRACE / GET BLOCK\n"
+                "            EXPLAIN [ANALYZE] <select|trace|get block>\n"
                 "meta: \\tables \\indexes \\chain \\stats "
                 "\\explain <select> \\quit"
             )

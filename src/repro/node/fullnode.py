@@ -408,6 +408,8 @@ class FullNode:
 
 
 def _tables_of(statement: nodes.Statement) -> list[str]:
+    if isinstance(statement, nodes.Explain):
+        return _tables_of(statement.statement)
     if isinstance(statement, nodes.Select):
         return [t.name for t in statement.tables]
     if isinstance(statement, nodes.Trace):

@@ -1,17 +1,28 @@
-"""Query processing: planner, physical operators, engine."""
+"""Query processing: planner, streaming physical operators, engine."""
 
 from .engine import QueryEngine
 from .join_onchain import join_onchain
 from .join_onoff import join_onoff
 from .operators import extract_constraints, predicate_matches
-from .plan import AccessPath, PathChoice, choose_access_path
+from .physical import OperatorStats, PhysicalOperator, render_plan
+from .plan import (
+    AccessPath,
+    PathChoice,
+    PhysicalPlan,
+    Planner,
+    choose_access_path,
+)
 from .range_scan import select_transactions
 from .result import QueryResult
 from .tracking import trace_transactions
 
 __all__ = [
     "AccessPath",
+    "OperatorStats",
     "PathChoice",
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "Planner",
     "QueryEngine",
     "QueryResult",
     "choose_access_path",
@@ -19,6 +30,7 @@ __all__ = [
     "join_onchain",
     "join_onoff",
     "predicate_matches",
+    "render_plan",
     "select_transactions",
     "trace_transactions",
 ]

@@ -51,10 +51,8 @@ def _aggregate_over(
     return compute_aggregate(item.func, values)
 
 
-def aggregate_rows(
-    stmt: Select, schema: TableSchema, txs: Sequence[Transaction]
-) -> tuple[tuple[str, ...], list[tuple[Any, ...]]]:
-    """Materialize an aggregated (optionally grouped) result."""
+def aggregate_columns(stmt: Select) -> tuple[str, ...]:
+    """Validate and name an aggregate projection (usable at plan time)."""
     if not stmt.projection:
         raise QueryError("aggregate queries need an explicit projection")
     group_col: Optional[ColumnRef] = stmt.group_by
@@ -67,10 +65,18 @@ def aggregate_rows(
                 f"column {item.column!r} must appear in GROUP BY or be "
                 f"wrapped in an aggregate"
             )
-    columns = tuple(
+    return tuple(
         item.label if isinstance(item, Aggregate) else item.column
         for item in stmt.projection
     )
+
+
+def aggregate_rows(
+    stmt: Select, schema: TableSchema, txs: Sequence[Transaction]
+) -> tuple[tuple[str, ...], list[tuple[Any, ...]]]:
+    """Materialize an aggregated (optionally grouped) result."""
+    columns = aggregate_columns(stmt)
+    group_col: Optional[ColumnRef] = stmt.group_by
     if group_col is None:
         row = tuple(
             _aggregate_over(item, schema, txs) for item in stmt.projection
@@ -94,6 +100,20 @@ def aggregate_rows(
     return columns, rows
 
 
+def resolve_order_index(columns: tuple[str, ...], column: ColumnRef) -> int:
+    """Position of an ORDER BY column within the output columns."""
+    for candidate in (str(column), column.column):
+        if candidate in columns:
+            return columns.index(candidate)
+    # qualified output columns like "donate.amount" match bare refs
+    for i, name in enumerate(columns):
+        if name.rsplit(".", 1)[-1] == column.column:
+            return i
+    raise QueryError(
+        f"ORDER BY column {column.column!r} is not in the output"
+    )
+
+
 def order_rows(
     rows: list[tuple[Any, ...]],
     columns: tuple[str, ...],
@@ -101,22 +121,7 @@ def order_rows(
     descending: bool,
 ) -> list[tuple[Any, ...]]:
     """Sort materialized rows by one output column (NULLs last)."""
-    candidates = [str(column), column.column]
-    index = None
-    for candidate in candidates:
-        if candidate in columns:
-            index = columns.index(candidate)
-            break
-    if index is None:
-        # qualified output columns like "donate.amount" match bare refs
-        for i, name in enumerate(columns):
-            if name.rsplit(".", 1)[-1] == column.column:
-                index = i
-                break
-    if index is None:
-        raise QueryError(
-            f"ORDER BY column {column.column!r} is not in the output"
-        )
+    index = resolve_order_index(columns, column)
     return sorted(
         rows,
         key=lambda row: (row[index] is None, row[index]),

@@ -1,9 +1,17 @@
-"""The query engine: parse -> plan -> execute -> materialize.
+"""The query engine: parse -> plan -> execute -> materialize (or stream).
 
-The engine is a *read* component: it answers SELECT / TRACE / GET BLOCK
-against one node's block store, indexes, catalog and off-chain database.
-CREATE and INSERT are write operations that must travel through consensus;
-the node (:mod:`repro.node.fullnode`) owns those and raises here.
+The engine is a *read* component: it answers SELECT / TRACE / GET BLOCK /
+EXPLAIN against one node's block store, indexes, catalog and off-chain
+database.  CREATE and INSERT are write operations that must travel through
+consensus; the node (:mod:`repro.node.fullnode`) owns those and raises
+here.
+
+Every read statement is compiled by :class:`~repro.query.plan.Planner`
+into a tree of streaming operators (:mod:`repro.query.physical`) and
+executed by pulling rows through it.  Costs are attributed to a per-query
+:class:`~repro.storage.costmodel.CostTracker` created at plan time, so two
+interleaved queries each see exactly their own I/O (the old global
+snapshot-delta accounting double-counted under interleaving).
 """
 
 from __future__ import annotations
@@ -13,24 +21,12 @@ from typing import Any, Optional, Union
 from ..common.errors import CatalogError, QueryError
 from ..index.manager import IndexManager
 from ..model.catalog import Catalog
-from ..model.schema import TableSchema
-from ..model.transaction import Transaction
 from ..offchain.adapter import OffChainDatabase
 from ..sqlparser import nodes
 from ..sqlparser.parser import bind, parse
 from ..storage.blockstore import BlockStore
-from .aggregates import aggregate_rows, order_rows
-from .join_onchain import join_onchain
-from .join_onoff import join_onoff
-from .operators import (
-    predicate_matches,
-    project,
-    projected_columns,
-)
-from .plan import AccessPath
-from .range_scan import select_transactions
+from .plan import AccessPath, PhysicalPlan, Planner, choose_access_path
 from .result import QueryResult
-from .tracking import trace_transactions
 
 MethodArg = Union[AccessPath, str, None]
 
@@ -60,6 +56,7 @@ class QueryEngine:
         self._indexes = indexes
         self._catalog = catalog
         self._offchain = offchain
+        self._planner = Planner(store, indexes, catalog, offchain)
 
     # -- public API -------------------------------------------------------------
 
@@ -68,6 +65,7 @@ class QueryEngine:
         statement: Union[str, nodes.Statement],
         params: tuple[Any, ...] = (),
         method: MethodArg = None,
+        stream: bool = False,
     ) -> QueryResult:
         """Run a read statement (SQL text or pre-parsed AST).
 
@@ -75,28 +73,44 @@ class QueryEngine:
         ``"bitmap"``, ``"layered"``) - the benchmark harness uses this to
         reproduce the per-method curves; normal callers leave it ``None``
         and get the cost-based choice.
+
+        ``stream=True`` returns a lazy result: rows are pulled through the
+        operator pipeline as the result is iterated, and a consumer that
+        stops early stops the underlying block reads too.
         """
         if isinstance(statement, str):
             statement = parse(statement)
         if params:
             statement = bind(statement, tuple(params))
         resolved = _resolve_method(method)
-        before = self._store.cost.snapshot()
-        if isinstance(statement, nodes.Select):
-            result = self._execute_select(statement, resolved)
-        elif isinstance(statement, nodes.Trace):
-            result = self._execute_trace(statement, resolved)
-        elif isinstance(statement, nodes.GetBlock):
-            result = self._execute_get_block(statement)
-        elif isinstance(statement, (nodes.CreateTable, nodes.Insert)):
+        if isinstance(statement, nodes.Explain):
+            return self._execute_explain(statement, resolved)
+        if isinstance(statement, (nodes.CreateTable, nodes.Insert)):
             raise QueryError(
                 "CREATE/INSERT are write statements - submit them through "
                 "the node, not the query engine"
             )
-        else:
+        if not isinstance(
+            statement, (nodes.Select, nodes.Trace, nodes.GetBlock)
+        ):
             raise QueryError(f"unsupported statement {type(statement).__name__}")
-        result.cost = self._store.cost.snapshot().delta(before)
-        return result
+        plan = self._planner.plan(statement, resolved)
+        return self._run(plan, stream)
+
+    def plan(
+        self,
+        statement: Union[str, nodes.Statement],
+        params: tuple[Any, ...] = (),
+        method: MethodArg = None,
+    ) -> PhysicalPlan:
+        """Compile a read statement to its physical plan without running it."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if params:
+            statement = bind(statement, tuple(params))
+        if isinstance(statement, nodes.Explain):
+            statement = statement.statement
+        return self._planner.plan(statement, _resolve_method(method))
 
     def explain(
         self, statement: Union[str, nodes.Statement],
@@ -106,19 +120,20 @@ class QueryEngine:
 
         Returns the chosen access path, the index (if any), the estimated
         matching rows, and the modelled cost of each alternative - the
-        planner's view of eqs (1)-(3).
+        planner's view of eqs (1)-(3).  (``EXPLAIN <stmt>`` renders the
+        full operator tree; this older API reports path selection only.)
         """
         if isinstance(statement, str):
             statement = parse(statement)
         if params:
             statement = bind(statement, tuple(params))
+        if isinstance(statement, nodes.Explain):
+            statement = statement.statement
         if not isinstance(statement, nodes.Select):
             raise QueryError("EXPLAIN supports SELECT statements")
         if len(statement.tables) != 1 or statement.tables[0].source != "onchain":
             raise QueryError("EXPLAIN supports single on-chain tables")
         from .operators import extract_constraints
-        from .plan import AccessPath as _AP
-        from .plan import choose_access_path
 
         schema = self._catalog.get(statement.tables[0].name)
         constraints = extract_constraints(statement.where)
@@ -126,7 +141,7 @@ class QueryEngine:
             self._store, self._indexes, schema.name, constraints
         )
         alternatives = {}
-        for path in _AP:
+        for path in AccessPath:
             try:
                 alt = choose_access_path(
                     self._store, self._indexes, schema.name, constraints,
@@ -147,272 +162,33 @@ class QueryEngine:
             },
         }
 
-    # -- SELECT ----------------------------------------------------------------------
+    # -- execution --------------------------------------------------------------
 
-    def _execute_select(
-        self, stmt: nodes.Select, method: Optional[AccessPath]
-    ) -> QueryResult:
-        if len(stmt.tables) == 1:
-            table = stmt.tables[0]
-            if table.source == "offchain":
-                return self._select_offchain(stmt, table)
-            return self._select_onchain(stmt, table, method)
-        if len(stmt.tables) == 2:
-            return self._select_join(stmt, method)
-        raise QueryError("SELECT supports one table or one two-table join")
+    def _run(self, plan: PhysicalPlan, stream: bool) -> QueryResult:
+        result = QueryResult(
+            columns=plan.columns,
+            access_path=plan.access_path,
+            plan=plan,
+            stream=plan.root.execute(),
+        )
+        if not stream:
+            result._drain()  # noqa: SLF001 - the result's own engine
+        return result
 
-    def _select_onchain(
-        self, stmt: nodes.Select, table: nodes.TableRef, method: Optional[AccessPath]
+    def _execute_explain(
+        self, stmt: nodes.Explain, method: Optional[AccessPath]
     ) -> QueryResult:
-        schema = self._catalog.get(table.name)
-        # LIMIT can only be pushed into the access path when no aggregate,
-        # grouping or ordering needs the full result first
-        needs_all = (
-            stmt.has_aggregates or stmt.group_by is not None
-            or stmt.order_by is not None or stmt.distinct
-        )
-        txs, choice = select_transactions(
-            self._store,
-            self._indexes,
-            schema,
-            predicate=stmt.where,
-            window=stmt.window,
-            method=method,
-            limit=None if needs_all else stmt.limit,
-        )
-        if stmt.has_aggregates or stmt.group_by is not None:
-            columns, rows = aggregate_rows(stmt, schema, txs)
-            txs = []
-        else:
-            columns = projected_columns(schema, stmt.projection)
-            rows = [project(tx, schema, stmt.projection) for tx in txs]
-        if stmt.distinct:
-            rows = list(dict.fromkeys(rows))
-            txs = []  # row/transaction alignment is lost after dedup
-        if stmt.order_by is not None:
-            rows = order_rows(rows, columns, stmt.order_by.column,
-                              stmt.order_by.descending)
-            txs = []  # row/transaction alignment is lost after sorting
-        if needs_all and stmt.limit is not None:
-            rows = rows[: stmt.limit]
+        plan = self._planner.plan(stmt.statement, method)
+        if stmt.analyze:
+            # run the statement to completion, then annotate the tree
+            for _ in plan.root.execute():
+                pass
+        lines = plan.render(analyze=stmt.analyze)
         return QueryResult(
-            columns=columns,
-            rows=rows,
-            transactions=txs,
-            access_path=choice.path.value,
-        )
-
-    def _select_offchain(
-        self, stmt: nodes.Select, table: nodes.TableRef
-    ) -> QueryResult:
-        offchain = self._require_offchain()
-        columns = offchain.columns(table.name)
-        rows = offchain.fetch_all(table.name)
-        if stmt.where is not None:
-            schema = _pseudo_schema(table.name, columns)
-            kept = []
-            for row in rows:
-                tx = _pseudo_tx(table.name, columns, row)
-                if predicate_matches(tx, stmt.where, schema):
-                    kept.append(row)
-            rows = kept
-        if stmt.has_aggregates or stmt.group_by is not None:
-            raise QueryError(
-                "aggregates over off-chain tables belong in the local RDBMS "
-                "- use OffChainDatabase.execute()"
-            )
-        if stmt.projection:
-            picks = [columns.index(ref.column) for ref in stmt.projection]
-            rows = [tuple(row[i] for i in picks) for row in rows]
-            out_columns = tuple(ref.column for ref in stmt.projection)
-        else:
-            out_columns = tuple(columns)
-        if stmt.distinct:
-            rows = list(dict.fromkeys(rows))
-        if stmt.order_by is not None:
-            rows = order_rows(rows, out_columns, stmt.order_by.column,
-                              stmt.order_by.descending)
-        if stmt.limit is not None:
-            rows = rows[: stmt.limit]
-        return QueryResult(columns=out_columns, rows=rows, access_path="offchain")
-
-    def _select_join(
-        self, stmt: nodes.Select, method: Optional[AccessPath]
-    ) -> QueryResult:
-        if stmt.join_on is None:
-            raise QueryError("two-table SELECT needs an ON equi-join condition")
-        left_ref, right_ref = stmt.tables
-        left_col, right_col = self._align_join_columns(stmt, left_ref, right_ref)
-        onchain_count = sum(1 for t in stmt.tables if t.source == "onchain")
-        if onchain_count == 2:
-            return self._join_onchain(stmt, left_ref, right_ref, left_col, right_col, method)
-        if onchain_count == 1:
-            return self._join_onoff(stmt, left_ref, right_ref, left_col, right_col, method)
-        raise QueryError("joining two off-chain tables belongs in the local RDBMS")
-
-    def _align_join_columns(
-        self,
-        stmt: nodes.Select,
-        left_ref: nodes.TableRef,
-        right_ref: nodes.TableRef,
-    ) -> tuple[str, str]:
-        """Return (left table's join column, right table's join column)."""
-        assert stmt.join_on is not None
-        a, b = stmt.join_on
-        names = {left_ref.effective_name: "left", right_ref.effective_name: "right"}
-        side_a = names.get(a.table or "", None)
-        side_b = names.get(b.table or "", None)
-        if side_a == "right" or side_b == "left":
-            a, b = b, a
-        return a.column, b.column
-
-    def _join_onchain(
-        self,
-        stmt: nodes.Select,
-        left_ref: nodes.TableRef,
-        right_ref: nodes.TableRef,
-        left_col: str,
-        right_col: str,
-        method: Optional[AccessPath],
-    ) -> QueryResult:
-        left = self._catalog.get(left_ref.name)
-        right = self._catalog.get(right_ref.name)
-        pairs = join_onchain(
-            self._store, self._indexes, left, right, left_col, right_col,
-            window=stmt.window, method=method,
-        )
-        if stmt.where is not None:
-            pairs = [
-                (ltx, rtx) for ltx, rtx in pairs
-                if _pair_matches(stmt.where, ltx, left, rtx, right)
-            ]
-        columns = tuple(
-            [f"{left.name}.{c}" for c in left.column_names]
-            + [f"{right.name}.{c}" for c in right.column_names]
-        )
-        rows = [ltx.row() + rtx.row() for ltx, rtx in pairs]
-        transactions = [ltx for ltx, _ in pairs]
-        if stmt.projection:
-            columns, rows = _project_joined(columns, rows, stmt.projection)
-            transactions = []
-        if stmt.distinct:
-            rows = list(dict.fromkeys(rows))
-            transactions = []
-        if stmt.order_by is not None:
-            rows = order_rows(rows, columns, stmt.order_by.column,
-                              stmt.order_by.descending)
-            transactions = []
-        if stmt.limit is not None:
-            rows = rows[: stmt.limit]
-        return QueryResult(
-            columns=columns,
-            rows=rows,
-            transactions=transactions,
-            access_path=(method or AccessPath.LAYERED).value,
-        )
-
-    def _join_onoff(
-        self,
-        stmt: nodes.Select,
-        left_ref: nodes.TableRef,
-        right_ref: nodes.TableRef,
-        left_col: str,
-        right_col: str,
-        method: Optional[AccessPath],
-    ) -> QueryResult:
-        offchain = self._require_offchain()
-        if left_ref.source == "onchain":
-            on_ref, on_col = left_ref, left_col
-            off_ref, off_col = right_ref, right_col
-        else:
-            on_ref, on_col = right_ref, right_col
-            off_ref, off_col = left_ref, left_col
-        schema = self._catalog.get(on_ref.name)
-        pairs = join_onoff(
-            self._store, self._indexes, offchain, schema, on_col,
-            off_ref.name, off_col, window=stmt.window, method=method,
-        )
-        off_columns = offchain.columns(off_ref.name)
-        if stmt.where is not None:
-            off_schema = _pseudo_schema(off_ref.name, off_columns)
-            pairs = [
-                (tx, row) for tx, row in pairs
-                if _pair_matches(
-                    stmt.where, tx, schema,
-                    _pseudo_tx(off_ref.name, off_columns, row), off_schema,
-                )
-            ]
-        columns = tuple(
-            [f"{schema.name}.{c}" for c in schema.column_names]
-            + [f"{off_ref.name}.{c}" for c in off_columns]
-        )
-        rows = [tx.row() + tuple(row) for tx, row in pairs]
-        transactions = [tx for tx, _ in pairs]
-        if stmt.projection:
-            columns, rows = _project_joined(columns, rows, stmt.projection)
-            transactions = []
-        if stmt.distinct:
-            rows = list(dict.fromkeys(rows))
-            transactions = []
-        if stmt.order_by is not None:
-            rows = order_rows(rows, columns, stmt.order_by.column,
-                              stmt.order_by.descending)
-            transactions = []
-        if stmt.limit is not None:
-            rows = rows[: stmt.limit]
-        return QueryResult(
-            columns=columns,
-            rows=rows,
-            transactions=transactions,
-            access_path=(method or AccessPath.LAYERED).value,
-        )
-
-    # -- TRACE -------------------------------------------------------------------------
-
-    def _execute_trace(
-        self, stmt: nodes.Trace, method: Optional[AccessPath]
-    ) -> QueryResult:
-        txs = trace_transactions(
-            self._store,
-            self._indexes,
-            operator=stmt.operator,
-            operation=stmt.operation,
-            window=stmt.window,
-            method=method,
-        )
-        columns = ("tid", "ts", "senid", "tname", "values")
-        rows = [(tx.tid, tx.ts, tx.senid, tx.tname, tx.values) for tx in txs]
-        return QueryResult(
-            columns=columns,
-            rows=rows,
-            transactions=txs,
-            access_path=(method or AccessPath.LAYERED).value,
-        )
-
-    # -- GET BLOCK ------------------------------------------------------------------------
-
-    def _execute_get_block(self, stmt: nodes.GetBlock) -> QueryResult:
-        index = self._indexes.block_index
-        if stmt.kind is nodes.BlockLookupKind.BY_ID:
-            entry = index.by_bid(int(stmt.value))
-        elif stmt.kind is nodes.BlockLookupKind.BY_TID:
-            entry = index.by_tid(int(stmt.value))
-        else:
-            entry = index.by_timestamp(int(stmt.value))
-        if entry is None:
-            raise QueryError(f"no block found for {stmt.kind.value}={stmt.value!r}")
-        block = self._store.read_block(entry.bid)
-        columns = ("tid", "ts", "senid", "tname", "values")
-        rows = [
-            (tx.tid, tx.ts, tx.senid, tx.tname, tx.values)
-            for tx in block.transactions
-        ]
-        return QueryResult(
-            columns=columns,
-            rows=rows,
-            transactions=list(block.transactions),
-            block=block,
-            access_path="block-index",
+            columns=("QUERY PLAN",),
+            rows=[(line,) for line in lines],
+            access_path=plan.access_path,
+            plan=plan,
         )
 
     def _require_offchain(self) -> OffChainDatabase:
@@ -421,94 +197,3 @@ class QueryEngine:
                 "this node has no off-chain database attached"
             )
         return self._offchain
-
-
-def _project_joined(
-    columns: tuple[str, ...],
-    rows: list[tuple[Any, ...]],
-    projection: tuple[Any, ...],
-) -> tuple[tuple[str, ...], list[tuple[Any, ...]]]:
-    """Resolve projected column refs over a joined row's qualified columns."""
-    indices: list[int] = []
-    out_columns: list[str] = []
-    for ref in projection:
-        qualified = str(ref)
-        if qualified in columns:
-            index = columns.index(qualified)
-        else:
-            matches = [
-                i for i, name in enumerate(columns)
-                if name.rsplit(".", 1)[-1] == ref.column
-            ]
-            if not matches:
-                raise QueryError(
-                    f"join output has no column {ref.column!r}"
-                )
-            if len(matches) > 1:
-                raise QueryError(
-                    f"ambiguous column {ref.column!r} in join projection - "
-                    f"qualify it with a table name"
-                )
-            index = matches[0]
-        indices.append(index)
-        out_columns.append(columns[index])
-    projected = [tuple(row[i] for i in indices) for row in rows]
-    return tuple(out_columns), projected
-
-
-def _pair_matches(
-    predicate: nodes.Predicate,
-    ltx: Transaction,
-    lschema: TableSchema,
-    rtx: Transaction,
-    rschema: TableSchema,
-) -> bool:
-    """Evaluate a residual WHERE over a joined (left, right) pair.
-
-    Columns resolve by table qualifier first, then by which side declares
-    the name; a name both sides declare must be qualified.
-    """
-    if isinstance(predicate, nodes.And):
-        return all(
-            _pair_matches(p, ltx, lschema, rtx, rschema)
-            for p in predicate.parts
-        )
-    if isinstance(predicate, nodes.Or):
-        return any(
-            _pair_matches(p, ltx, lschema, rtx, rschema)
-            for p in predicate.parts
-        )
-    column = predicate.column  # Comparison | Between
-    if column.table == lschema.name:
-        side = (ltx, lschema)
-    elif column.table == rschema.name:
-        side = (rtx, rschema)
-    elif lschema.has_column(column.column) and rschema.has_column(column.column):
-        # system columns exist on both sides; require a qualifier for
-        # app columns, default system columns to the left side
-        from ..model.schema import SYSTEM_COLUMN_NAMES
-
-        if column.column not in SYSTEM_COLUMN_NAMES:
-            raise QueryError(
-                f"ambiguous column {column.column!r} in join WHERE - "
-                f"qualify it with a table name"
-            )
-        side = (ltx, lschema)
-    elif lschema.has_column(column.column):
-        side = (ltx, lschema)
-    elif rschema.has_column(column.column):
-        side = (rtx, rschema)
-    else:
-        raise QueryError(
-            f"neither join side has column {column.column!r}"
-        )
-    return predicate_matches(side[0], predicate, side[1])
-
-
-def _pseudo_schema(name: str, columns: list[str]) -> TableSchema:
-    """A throwaway schema so off-chain rows can reuse predicate evaluation."""
-    return TableSchema.create(name, [(c, "string") for c in columns])
-
-
-def _pseudo_tx(name: str, columns: list[str], row: tuple[Any, ...]) -> Transaction:
-    return Transaction(ts=0, senid="", tname=name, values=tuple(row))

@@ -10,20 +10,23 @@ Three strategies:
   the window, block *pairs* whose bucket ranges intersect are sort-merge
   joined using the sorted second-level trees, and only joining tuples are
   read from disk.
+
+This module is a functional facade kept for benchmarks and direct
+callers; the join algorithms are the fused join operators in
+:mod:`repro.query.physical`, built by
+:func:`repro.query.plan.build_onchain_join_leaf`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
-from ..common.errors import QueryError
-from ..index.layered import LayeredIndex, ranges_intersect
 from ..index.manager import IndexManager
 from ..model.schema import TableSchema
 from ..model.transaction import Transaction
 from ..sqlparser.nodes import TimeWindow
 from ..storage.blockstore import BlockStore
-from .plan import AccessPath
+from .plan import AccessPath, build_onchain_join_leaf
 
 JoinRow = tuple[Transaction, Transaction]
 
@@ -39,173 +42,7 @@ def join_onchain(
     method: Optional[AccessPath] = None,
 ) -> list[JoinRow]:
     """Equi-join two on-chain tables on the given columns."""
-    if method is None:
-        has_indexes = (
-            indexes.layered(left_column, left.name) is not None
-            and indexes.layered(right_column, right.name) is not None
-        )
-        method = AccessPath.LAYERED if has_indexes else AccessPath.BITMAP
-    if method is AccessPath.LAYERED:
-        return _layered_join(
-            store, indexes, left, right, left_column, right_column, window
-        )
-    return _hash_join(
-        store, indexes, left, right, left_column, right_column, window,
-        use_bitmap=method is AccessPath.BITMAP,
+    join, _method = build_onchain_join_leaf(
+        store, indexes, left, right, left_column, right_column, window, method
     )
-
-
-def _window_ok(tx: Transaction, window: Optional[TimeWindow]) -> bool:
-    if window is None:
-        return True
-    if window.start is not None and tx.ts < window.start:
-        return False
-    if window.end is not None and tx.ts > window.end:
-        return False
-    return True
-
-
-def _hash_join(
-    store: BlockStore,
-    indexes: IndexManager,
-    left: TableSchema,
-    right: TableSchema,
-    left_column: str,
-    right_column: str,
-    window: Optional[TimeWindow],
-    use_bitmap: bool,
-) -> list[JoinRow]:
-    """One-pass scan hash join (section V-B's baseline).
-
-    Scans the candidate blocks once, partitioning both tables' tuples;
-    builds a hash index on the right partitions and probes with the left.
-    """
-    if window is None or window.is_open:
-        candidate = indexes.block_index.all_blocks_bitmap()
-    else:
-        candidate = indexes.block_index.window_bitmap(window.start, window.end)
-    if use_bitmap:
-        table_bits = indexes.table_index.blocks_for_table(
-            left.name
-        ) | indexes.table_index.blocks_for_table(right.name)
-        candidate = candidate & table_bits
-    left_key = left.column_index(left_column)
-    right_key = right.column_index(right_column)
-    build: dict[Any, list[Transaction]] = {}
-    probes: list[Transaction] = []
-    for bid in candidate:
-        block = store.read_block(bid)
-        for tx in block.transactions:
-            if not _window_ok(tx, window):
-                continue
-            if tx.tname == right.name:
-                key = tx.row()[right_key]
-                if key is not None:
-                    build.setdefault(key, []).append(tx)
-            elif tx.tname == left.name:
-                probes.append(tx)
-    results: list[JoinRow] = []
-    for tx in probes:
-        key = tx.row()[left_key]
-        if key is None:
-            continue
-        for match in build.get(key, ()):
-            results.append((tx, match))
-    return results
-
-
-def _layered_join(
-    store: BlockStore,
-    indexes: IndexManager,
-    left: TableSchema,
-    right: TableSchema,
-    left_column: str,
-    right_column: str,
-    window: Optional[TimeWindow],
-) -> list[JoinRow]:
-    """Algorithm 2: intersect-filtered per-block-pair sort-merge join."""
-    left_index = indexes.layered(left_column, left.name)
-    right_index = indexes.layered(right_column, right.name)
-    if left_index is None or right_index is None:
-        raise QueryError(
-            f"layered join needs indexes on {left.name}.{left_column} and "
-            f"{right.name}.{right_column}"
-        )
-    # lines 2-7: window AND first-level bitmaps
-    if window is None or window.is_open:
-        window_bits = indexes.block_index.all_blocks_bitmap()
-    else:
-        window_bits = indexes.block_index.window_bitmap(window.start, window.end)
-    left_blocks = window_bits & left_index.first_level_bitmap()
-    left_blocks = left_blocks & indexes.table_index.blocks_for_table(left.name)
-    right_blocks = window_bits & right_index.first_level_bitmap()
-    right_blocks = right_blocks & indexes.table_index.blocks_for_table(right.name)
-    results: list[JoinRow] = []
-    right_list = list(right_blocks)
-    # lines 8-15: pairwise intersect + sort-merge join
-    for lbid in left_blocks:
-        left_ranges = left_index.block_bucket_ranges(lbid)
-        if not left_ranges:
-            continue
-        for rbid in right_list:
-            right_ranges = right_index.block_bucket_ranges(rbid)
-            if not right_ranges or not ranges_intersect(left_ranges, right_ranges):
-                continue
-            results.extend(
-                _sort_merge_block_pair(
-                    store, left_index, right_index, lbid, rbid,
-                    left, right, window,
-                )
-            )
-    return results
-
-
-def _sort_merge_block_pair(
-    store: BlockStore,
-    left_index: LayeredIndex,
-    right_index: LayeredIndex,
-    lbid: int,
-    rbid: int,
-    left: TableSchema,
-    right: TableSchema,
-    window: Optional[TimeWindow],
-) -> list[JoinRow]:
-    """Sort-merge the sorted second-level leaves of one block pair.
-
-    Only tuples that actually join are read from disk (random I/O),
-    exploiting that the level-2 leaves are sorted on the join attribute.
-    """
-    left_entries = left_index.range_block(lbid)     # sorted (key, position)
-    right_entries = right_index.range_block(rbid)
-    results: list[JoinRow] = []
-    i = j = 0
-    while i < len(left_entries) and j < len(right_entries):
-        lkey = left_entries[i][0]
-        rkey = right_entries[j][0]
-        if lkey < rkey:
-            i += 1
-        elif lkey > rkey:
-            j += 1
-        else:
-            # gather the duplicate runs on both sides
-            i_end = i
-            while i_end < len(left_entries) and left_entries[i_end][0] == lkey:
-                i_end += 1
-            j_end = j
-            while j_end < len(right_entries) and right_entries[j_end][0] == rkey:
-                j_end += 1
-            left_txs = [
-                store.read_transaction(lbid, pos) for _, pos in left_entries[i:i_end]
-            ]
-            right_txs = [
-                store.read_transaction(rbid, pos) for _, pos in right_entries[j:j_end]
-            ]
-            for ltx in left_txs:
-                if ltx.tname != left.name or not _window_ok(ltx, window):
-                    continue
-                for rtx in right_txs:
-                    if rtx.tname != right.name or not _window_ok(rtx, window):
-                        continue
-                    results.append((ltx, rtx))
-            i, j = i_end, j_end
-    return results
+    return list(join.execute())

@@ -10,20 +10,24 @@ the on-chain table:
   the on-chain blocks through the level-1 index (OR of value bitmaps for
   discrete attributes), then each surviving block is sort-merge joined
   against the sorted off-chain rows via the second-level tree.
+
+This module is a functional facade kept for benchmarks and direct
+callers; the join algorithms are the fused join operators in
+:mod:`repro.query.physical`, built by
+:func:`repro.query.plan.build_onoff_join_leaf`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
-from ..common.errors import QueryError
 from ..index.manager import IndexManager
 from ..model.schema import TableSchema
 from ..model.transaction import Transaction
 from ..offchain.adapter import OffChainDatabase
 from ..sqlparser.nodes import TimeWindow
 from ..storage.blockstore import BlockStore
-from .plan import AccessPath
+from .plan import AccessPath, build_onoff_join_leaf
 
 OffRow = tuple[Any, ...]
 OnOffRow = tuple[Transaction, OffRow]
@@ -41,158 +45,8 @@ def join_onoff(
     method: Optional[AccessPath] = None,
 ) -> list[OnOffRow]:
     """Join an on-chain table with a local off-chain table."""
-    if method is None:
-        method = (
-            AccessPath.LAYERED
-            if indexes.layered(on_column, onchain.name) is not None
-            else AccessPath.BITMAP
-        )
-    off_columns = offchain.columns(off_table)
-    if off_column not in off_columns:
-        raise QueryError(
-            f"off-chain table {off_table!r} has no column {off_column!r}"
-        )
-    off_key = off_columns.index(off_column)
-    if method is AccessPath.LAYERED:
-        return _layered_join(
-            store, indexes, offchain, onchain, on_column,
-            off_table, off_key, off_column, window,
-        )
-    return _hash_join(
-        store, indexes, offchain, onchain, on_column, off_table, off_key,
-        window, use_bitmap=method is AccessPath.BITMAP,
+    join, _method = build_onoff_join_leaf(
+        store, indexes, offchain, onchain, on_column, off_table, off_column,
+        window, method,
     )
-
-
-def _window_ok(tx: Transaction, window: Optional[TimeWindow]) -> bool:
-    if window is None:
-        return True
-    if window.start is not None and tx.ts < window.start:
-        return False
-    if window.end is not None and tx.ts > window.end:
-        return False
-    return True
-
-
-def _hash_join(
-    store: BlockStore,
-    indexes: IndexManager,
-    offchain: OffChainDatabase,
-    onchain: TableSchema,
-    on_column: str,
-    off_table: str,
-    off_key: int,
-    window: Optional[TimeWindow],
-    use_bitmap: bool,
-) -> list[OnOffRow]:
-    if window is None or window.is_open:
-        candidate = indexes.block_index.all_blocks_bitmap()
-    else:
-        candidate = indexes.block_index.window_bitmap(window.start, window.end)
-    if use_bitmap:
-        candidate = candidate & indexes.table_index.blocks_for_table(onchain.name)
-    build: dict[Any, list[OffRow]] = {}
-    for row in offchain.fetch_all(off_table):
-        key = row[off_key]
-        if key is not None:
-            build.setdefault(key, []).append(row)
-    on_key = onchain.column_index(on_column)
-    results: list[OnOffRow] = []
-    for bid in candidate:
-        block = store.read_block(bid)
-        for tx in block.transactions:
-            if tx.tname != onchain.name or not _window_ok(tx, window):
-                continue
-            key = tx.row()[on_key]
-            if key is None:
-                continue
-            for row in build.get(key, ()):
-                results.append((tx, row))
-    return results
-
-
-def _layered_join(
-    store: BlockStore,
-    indexes: IndexManager,
-    offchain: OffChainDatabase,
-    onchain: TableSchema,
-    on_column: str,
-    off_table: str,
-    off_key: int,
-    off_column: str,
-    window: Optional[TimeWindow],
-) -> list[OnOffRow]:
-    """Algorithm 3, lines 1-13."""
-    index = indexes.layered(on_column, onchain.name)
-    if index is None:
-        raise QueryError(
-            f"layered on-off join needs an index on {onchain.name}.{on_column}"
-        )
-    # line 2: window bitmap
-    if window is None or window.is_open:
-        candidate = indexes.block_index.all_blocks_bitmap()
-    else:
-        candidate = indexes.block_index.window_bitmap(window.start, window.end)
-    candidate = candidate & indexes.table_index.blocks_for_table(onchain.name)
-    # the paper sorts the off-chain rows on the join attribute once
-    off_rows = offchain.fetch_sorted(off_table, off_column)
-    if not off_rows:
-        return []
-    if index.continuous:
-        # lines 3-7: [min, max] of the off-chain side prunes level 1
-        s_min, s_max = offchain.min_max(off_table, off_column)
-        candidate = candidate & index.candidate_blocks_range(s_min, s_max)
-    else:
-        # discrete attribute: OR over the bitmaps of the unique keys
-        distinct = offchain.distinct_values(off_table, off_column)
-        mask = None
-        for value in distinct:
-            bits = index.candidate_blocks_eq(value)
-            mask = bits if mask is None else (mask | bits)
-        candidate = candidate & mask if mask is not None else candidate
-    results: list[OnOffRow] = []
-    # lines 8-13: per block, sort-merge against the sorted off-chain rows
-    for bid in candidate:
-        results.extend(
-            _sort_merge_block(
-                store, index, bid, onchain, off_rows, off_key, window
-            )
-        )
-    return results
-
-
-def _sort_merge_block(
-    store: BlockStore,
-    index: Any,
-    bid: int,
-    onchain: TableSchema,
-    off_rows: Sequence[OffRow],
-    off_key: int,
-    window: Optional[TimeWindow],
-) -> list[OnOffRow]:
-    """Sort-merge one block's sorted level-2 leaves with the off-chain rows."""
-    entries = index.range_block(bid)  # sorted (key, position)
-    results: list[OnOffRow] = []
-    i = j = 0
-    while i < len(entries) and j < len(off_rows):
-        lkey = entries[i][0]
-        rkey = off_rows[j][off_key]
-        if rkey is None or lkey > rkey:
-            j += 1
-        elif lkey < rkey:
-            i += 1
-        else:
-            i_end = i
-            while i_end < len(entries) and entries[i_end][0] == lkey:
-                i_end += 1
-            j_end = j
-            while j_end < len(off_rows) and off_rows[j_end][off_key] == rkey:
-                j_end += 1
-            txs = [store.read_transaction(bid, pos) for _, pos in entries[i:i_end]]
-            for tx in txs:
-                if tx.tname != onchain.name or not _window_ok(tx, window):
-                    continue
-                for row in off_rows[j:j_end]:
-                    results.append((tx, row))
-            i, j = i_end, j_end
-    return results
+    return list(join.execute())

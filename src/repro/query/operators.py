@@ -106,6 +106,77 @@ def extract_constraints(predicate: Optional[Predicate]) -> dict[str, RangeConstr
     return constraints
 
 
+def pair_matches(
+    predicate: Predicate,
+    ltx: Transaction,
+    lschema: TableSchema,
+    rtx: Transaction,
+    rschema: TableSchema,
+) -> bool:
+    """Evaluate a residual WHERE over a joined (left, right) pair.
+
+    Columns resolve by table qualifier first, then by which side declares
+    the name; a name both sides declare must be qualified (system columns
+    default to the left/on-chain side).
+    """
+    if isinstance(predicate, And):
+        return all(
+            pair_matches(p, ltx, lschema, rtx, rschema)
+            for p in predicate.parts
+        )
+    if isinstance(predicate, Or):
+        return any(
+            pair_matches(p, ltx, lschema, rtx, rschema)
+            for p in predicate.parts
+        )
+    column = predicate.column  # Comparison | Between
+    side = resolve_join_side(column, lschema, rschema)
+    if side == "residual":
+        raise QueryError(
+            f"ambiguous column {column.column!r} in join WHERE - "
+            f"qualify it with a table name"
+        )
+    if side == "none":
+        raise QueryError(
+            f"neither join side has column {column.column!r}"
+        )
+    tx, schema = (ltx, lschema) if side == "left" else (rtx, rschema)
+    return predicate_matches(tx, predicate, schema)
+
+
+def resolve_join_side(
+    column: ColumnRef, lschema: TableSchema, rschema: TableSchema
+) -> str:
+    """Which join side a column reference belongs to.
+
+    Returns ``"left"``, ``"right"``, ``"residual"`` (ambiguous
+    application column - must stay a runtime error so empty joins don't
+    start failing at plan time) or ``"none"``.
+    """
+    from ..model.schema import SYSTEM_COLUMN_NAMES
+
+    if column.table == lschema.name and lschema.has_column(column.column):
+        return "left"
+    if column.table == rschema.name and rschema.has_column(column.column):
+        return "right"
+    if lschema.has_column(column.column) and rschema.has_column(column.column):
+        return "left" if column.column in SYSTEM_COLUMN_NAMES else "residual"
+    if lschema.has_column(column.column):
+        return "left"
+    if rschema.has_column(column.column):
+        return "right"
+    return "none"
+
+
+def pseudo_schema(name: str, columns: Sequence[str]) -> TableSchema:
+    """A throwaway schema so off-chain rows can reuse predicate evaluation."""
+    return TableSchema.create(name, [(c, "string") for c in columns])
+
+
+def pseudo_tx(name: str, columns: Sequence[str], row: Sequence[Any]) -> Transaction:
+    return Transaction(ts=0, senid="", tname=name, values=tuple(row))
+
+
 def project(
     tx: Transaction,
     schema: TableSchema,

@@ -1,0 +1,945 @@
+"""Volcano-style streaming physical operators for the read path.
+
+Every read statement compiles to a tree of :class:`PhysicalOperator`
+nodes; execution pulls rows through generator pipelines, so upstream I/O
+stops the moment a downstream operator (``Limit``, a consumed stream)
+stops pulling.  Each operator keeps its own counters - rows in/out,
+seeks, page transfers, modelled milliseconds and wall-clock - which
+``EXPLAIN ANALYZE`` renders and which sum exactly to the query-scoped
+:class:`~repro.storage.costmodel.CostTracker` (leaf operators charge both
+their own tracker and the query tracker through one
+:class:`~repro.storage.scan.StoreScanner`).
+
+Element types flowing between operators:
+
+* access-path leaves and trace leaves yield :class:`Transaction`;
+* join operators yield ``(left, right)`` pairs;
+* row builders (:class:`Project`, :class:`JoinRows`, :class:`TraceRows`)
+  and everything above them yield ``Row = (tx | None, values
+  tuple)`` - ``tx`` is the VO-relevant transaction behind the row, and
+  is ``None`` once an operator (sort, distinct, aggregate, pruned join
+  projection) loses the row/transaction alignment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from ..common.errors import QueryError
+from ..index.bitmap import Bitmap
+from ..index.layered import LayeredIndex, ranges_intersect
+from ..model.schema import TableSchema
+from ..model.transaction import SCHEMA_TNAME, Transaction
+from ..offchain.adapter import OffChainDatabase
+from ..sqlparser.nodes import ColumnRef, Select, TimeWindow
+from ..storage.blockstore import BlockStore
+from ..storage.costmodel import CostTracker
+from .aggregates import aggregate_rows
+from .operators import RangeConstraint, project
+
+Row = tuple[Optional[Transaction], tuple[Any, ...]]
+
+
+def in_window(tx: Transaction, window: Optional[TimeWindow]) -> bool:
+    if window is None:
+        return True
+    if window.start is not None and tx.ts < window.start:
+        return False
+    if window.end is not None and tx.ts > window.end:
+        return False
+    return True
+
+
+@dataclasses.dataclass
+class OperatorStats:
+    """Per-operator execution counters (EXPLAIN ANALYZE)."""
+
+    rows_in: int = 0
+    rows_out: int = 0
+    #: inclusive wall-clock (children are pulled inside this operator)
+    wall_ms: float = 0.0
+    tracker: Optional[CostTracker] = None
+
+    @property
+    def seeks(self) -> int:
+        return self.tracker.seeks if self.tracker else 0
+
+    @property
+    def page_transfers(self) -> int:
+        return self.tracker.page_transfers if self.tracker else 0
+
+    @property
+    def modelled_ms(self) -> float:
+        return self.tracker.elapsed_ms() if self.tracker else 0.0
+
+
+class PhysicalOperator:
+    """One node of the physical plan: a restartless row generator."""
+
+    name = "Operator"
+
+    def __init__(self, children: Sequence["PhysicalOperator"] = ()) -> None:
+        self.children = tuple(children)
+        self.stats = OperatorStats()
+        self.est_rows: Optional[int] = None
+        self.est_cost_ms: Optional[float] = None
+
+    # -- contract ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Short argument summary shown in the plan tree."""
+        return ""
+
+    def _rows(self) -> Iterator[Any]:
+        raise NotImplementedError
+
+    def execute(self) -> Iterator[Any]:
+        """Pull rows, accounting wall-clock and output cardinality."""
+        iterator = self._rows()
+        while True:
+            t0 = time.perf_counter()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                self.stats.wall_ms += (time.perf_counter() - t0) * 1000.0
+                return
+            self.stats.wall_ms += (time.perf_counter() - t0) * 1000.0
+            self.stats.rows_out += 1
+            yield item
+
+    def _pull(self, child: "PhysicalOperator") -> Iterator[Any]:
+        """Consume a child, counting this operator's input rows."""
+        for item in child.execute():
+            self.stats.rows_in += 1
+            yield item
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "PhysicalOperator"]]:
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def total_cost(self) -> tuple[int, int, float]:
+        """(seeks, page transfers, modelled ms) summed over the subtree."""
+        seeks = pages = 0
+        modelled = 0.0
+        for _depth, op in self.walk():
+            seeks += op.stats.seeks
+            pages += op.stats.page_transfers
+            modelled += op.stats.modelled_ms
+        return seeks, pages, modelled
+
+
+class _LeafOperator(PhysicalOperator):
+    """An operator that performs I/O through the scan interface."""
+
+    def __init__(self, store: BlockStore, tracker: Optional[CostTracker]) -> None:
+        super().__init__()
+        own = store.cost.tracker()
+        self.stats.tracker = own
+        trackers = (tracker, own) if tracker is not None else (own,)
+        self.scanner = store.scanner(*trackers)
+
+
+# -- access-path leaves (yield Transaction) --------------------------------
+
+
+class _BlockScan(_LeafOperator):
+    """Read candidate blocks whole, emit one table's in-window tuples."""
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        candidate: Bitmap,
+        schema: TableSchema,
+        window: Optional[TimeWindow],
+    ) -> None:
+        super().__init__(store, tracker)
+        self._candidate = candidate
+        self._schema = schema
+        self._window = window
+
+    def describe(self) -> str:
+        return f"{self._schema.name}, blocks={len(self._candidate)}"
+
+    def _rows(self) -> Iterator[Transaction]:
+        for bid in self._candidate:
+            block = self.scanner.read_block(bid)
+            for tx in block.transactions:
+                if tx.tname != self._schema.name:
+                    continue
+                if not in_window(tx, self._window):
+                    continue
+                yield tx
+
+
+class SeqScan(_BlockScan):
+    """Eq. (1): every block in the window is read sequentially."""
+
+    name = "SeqScan"
+
+
+class BitmapScan(_BlockScan):
+    """Eq. (2): only the k blocks holding the table are read."""
+
+    name = "BitmapScan"
+
+
+class LayeredLookup(_LeafOperator):
+    """Eq. (3): level-1 bitmap -> level-2 trees -> per-tuple random I/O."""
+
+    name = "LayeredLookup"
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        index: LayeredIndex,
+        constraint: RangeConstraint,
+        candidate: Bitmap,
+        schema: TableSchema,
+        window: Optional[TimeWindow],
+    ) -> None:
+        super().__init__(store, tracker)
+        self._index = index
+        self._constraint = constraint
+        self._candidate = candidate
+        self._schema = schema
+        self._window = window
+
+    def describe(self) -> str:
+        c = self._constraint
+        return (f"{self._schema.name}.{self._index.column} "
+                f"[{c.low!r}, {c.high!r}], blocks={len(self._candidate)}")
+
+    def _rows(self) -> Iterator[Transaction]:
+        low, high = self._constraint.low, self._constraint.high
+        for bid in self._candidate:
+            for _key, position in self._index.range_block(bid, low, high):
+                tx = self.scanner.read_transaction(bid, position)
+                if tx.tname != self._schema.name:
+                    continue
+                if not in_window(tx, self._window):
+                    continue
+                yield tx
+
+
+# -- trace leaves (Algorithm 1; yield Transaction) --------------------------
+
+
+class _TraceBlockScan(_LeafOperator):
+    """Whole-block trace: scan or table-level-bitmap pruned."""
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        candidate: Bitmap,
+        operator: Optional[str],
+        operation: Optional[str],
+        window: Optional[TimeWindow],
+    ) -> None:
+        super().__init__(store, tracker)
+        self._candidate = candidate
+        self._operator = operator
+        self._operation = operation
+        self._window = window
+
+    def describe(self) -> str:
+        parts = [f"blocks={len(self._candidate)}"]
+        if self._operator is not None:
+            parts.append(f"operator={self._operator!r}")
+        if self._operation is not None:
+            parts.append(f"operation={self._operation!r}")
+        return ", ".join(parts)
+
+    def _matches(self, tx: Transaction) -> bool:
+        if tx.tname == SCHEMA_TNAME:
+            return False
+        if self._operator is not None and tx.senid != self._operator:
+            return False
+        if self._operation is not None and tx.tname != self._operation:
+            return False
+        return in_window(tx, self._window)
+
+    def _rows(self) -> Iterator[Transaction]:
+        for bid in self._candidate:
+            block = self.scanner.read_block(bid)
+            for tx in block.transactions:
+                if self._matches(tx):
+                    yield tx
+
+
+class TraceScan(_TraceBlockScan):
+    name = "TraceScan"
+
+
+class TraceBitmap(_TraceBlockScan):
+    name = "TraceBitmap"
+
+
+class TraceLayered(_LeafOperator):
+    """Algorithm 1: AND first-level bitmaps, intersect level-2 postings."""
+
+    name = "TraceLayered"
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        candidate: Bitmap,
+        sender_index: Optional[LayeredIndex],
+        tname_index: Optional[LayeredIndex],
+        operator: Optional[str],
+        operation: Optional[str],
+        window: Optional[TimeWindow],
+    ) -> None:
+        super().__init__(store, tracker)
+        self._candidate = candidate
+        self._sender_index = sender_index
+        self._tname_index = tname_index
+        self._operator = operator
+        self._operation = operation
+        self._window = window
+
+    def describe(self) -> str:
+        dims = []
+        if self._sender_index is not None:
+            dims.append(f"senid={self._operator!r}")
+        if self._tname_index is not None:
+            dims.append(f"tname={self._operation!r}")
+        return f"blocks={len(self._candidate)}, " + ", ".join(dims)
+
+    def _rows(self) -> Iterator[Transaction]:
+        for bid in self._candidate:
+            positions: Optional[set[int]] = None
+            if self._sender_index is not None:
+                positions = set(self._sender_index.search_block(bid, self._operator))
+            if self._tname_index is not None:
+                tname_positions = set(
+                    self._tname_index.search_block(bid, self._operation)
+                )
+                positions = (
+                    tname_positions if positions is None
+                    else positions & tname_positions
+                )
+            assert positions is not None
+            for position in sorted(positions):
+                tx = self.scanner.read_transaction(bid, position)
+                if tx.tname == SCHEMA_TNAME:
+                    continue
+                if self._operator is not None and tx.senid != self._operator:
+                    continue
+                if self._operation is not None and tx.tname != self._operation:
+                    continue
+                if in_window(tx, self._window):
+                    yield tx
+
+
+# -- GET BLOCK leaf ---------------------------------------------------------
+
+
+class BlockLookup(_LeafOperator):
+    """Read one block located through the block-level B+-tree."""
+
+    name = "BlockLookup"
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        height: int,
+        label: str,
+    ) -> None:
+        super().__init__(store, tracker)
+        self._height = height
+        self._label = label
+        self.block = None  # filled at execution
+
+    def describe(self) -> str:
+        return self._label
+
+    def _rows(self) -> Iterator[Transaction]:
+        self.block = self.scanner.read_block(self._height)
+        yield from self.block.transactions
+
+
+# -- streaming relational operators ----------------------------------------
+
+
+class Filter(PhysicalOperator):
+    """Keep elements satisfying a residual predicate."""
+
+    name = "Filter"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        accept: Callable[[Any], bool],
+        label: str = "",
+    ) -> None:
+        super().__init__((child,))
+        self._accept = accept
+        self._label = label
+
+    def describe(self) -> str:
+        return self._label
+
+    def _rows(self) -> Iterator[Any]:
+        for item in self._pull(self.children[0]):
+            if self._accept(item):
+                yield item
+
+
+class Project(PhysicalOperator):
+    """Transaction -> Row; keeps the transaction behind each row."""
+
+    name = "Project"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        schema: TableSchema,
+        projection: Sequence[ColumnRef],
+    ) -> None:
+        super().__init__((child,))
+        self._schema = schema
+        self._projection = tuple(projection)
+
+    def describe(self) -> str:
+        if not self._projection:
+            return "*"
+        return ", ".join(str(ref) for ref in self._projection)
+
+    def _rows(self) -> Iterator[Row]:
+        schema, projection = self._schema, self._projection
+        for tx in self._pull(self.children[0]):
+            yield tx, project(tx, schema, projection)
+
+
+class TraceRows(PhysicalOperator):
+    """Transaction -> Row over the system columns (TRACE / GET BLOCK)."""
+
+    name = "Output"
+    COLUMNS = ("tid", "ts", "senid", "tname", "values")
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        super().__init__((child,))
+
+    def describe(self) -> str:
+        return ", ".join(self.COLUMNS)
+
+    def _rows(self) -> Iterator[Row]:
+        for tx in self._pull(self.children[0]):
+            yield tx, (tx.tid, tx.ts, tx.senid, tx.tname, tx.values)
+
+
+class Distinct(PhysicalOperator):
+    """Streaming first-occurrence dedup on the value tuples."""
+
+    name = "Distinct"
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        super().__init__((child,))
+
+    def _rows(self) -> Iterator[Row]:
+        seen: set = set()
+        for _tx, values in self._pull(self.children[0]):
+            if values in seen:
+                continue
+            seen.add(values)
+            # dedup loses the row/transaction alignment
+            yield None, values
+
+
+class Sort(PhysicalOperator):
+    """Blocking sort on one output column (NULLs last)."""
+
+    name = "Sort"
+
+    def __init__(self, child: PhysicalOperator, key_index: int,
+                 column: str, descending: bool) -> None:
+        super().__init__((child,))
+        self._key_index = key_index
+        self._column = column
+        self._descending = descending
+
+    def describe(self) -> str:
+        return f"{self._column} {'DESC' if self._descending else 'ASC'}"
+
+    def _rows(self) -> Iterator[Row]:
+        index = self._key_index
+        rows = [values for _tx, values in self._pull(self.children[0])]
+        rows.sort(
+            key=lambda row: (row[index] is None, row[index]),
+            reverse=self._descending,
+        )
+        for values in rows:
+            yield None, values
+
+
+class Limit(PhysicalOperator):
+    """Stop pulling after n rows - the LIMIT pushdown is the laziness of
+    everything below it (a blocking Sort/Aggregate in between absorbs it,
+    which is exactly when pushdown would be illegal)."""
+
+    name = "Limit"
+
+    def __init__(self, child: PhysicalOperator, limit: int) -> None:
+        super().__init__((child,))
+        self._limit = limit
+
+    def describe(self) -> str:
+        return str(self._limit)
+
+    def _rows(self) -> Iterator[Row]:
+        if self._limit <= 0:
+            return
+        for count, item in enumerate(self._pull(self.children[0]), start=1):
+            yield item
+            if count >= self._limit:
+                return
+
+
+class Aggregate(PhysicalOperator):
+    """Blocking aggregation/grouping over the input transactions."""
+
+    name = "Aggregate"
+
+    def __init__(self, child: PhysicalOperator, stmt: Select,
+                 schema: TableSchema) -> None:
+        super().__init__((child,))
+        self._stmt = stmt
+        self._schema = schema
+
+    def describe(self) -> str:
+        items = ", ".join(
+            item.label if hasattr(item, "label") else str(item)
+            for item in self._stmt.projection
+        )
+        if self._stmt.group_by is not None:
+            items += f" GROUP BY {self._stmt.group_by}"
+        return items
+
+    def _rows(self) -> Iterator[Row]:
+        txs = list(self._pull(self.children[0]))
+        _columns, rows = aggregate_rows(self._stmt, self._schema, txs)
+        for values in rows:
+            yield None, values
+
+
+# -- off-chain access -------------------------------------------------------
+
+
+class OffchainScan(PhysicalOperator):
+    """Fetch one off-chain table from the local RDBMS; yields Rows."""
+
+    name = "OffchainScan"
+
+    def __init__(self, offchain: OffChainDatabase, table: str) -> None:
+        super().__init__()
+        self._offchain = offchain
+        self._table = table
+
+    def describe(self) -> str:
+        return self._table
+
+    def _rows(self) -> Iterator[Row]:
+        for row in self._offchain.fetch_all(self._table):
+            yield None, tuple(row)
+
+
+class ProjectIndices(PhysicalOperator):
+    """Prune Row values down to precomputed positions."""
+
+    name = "Project"
+
+    def __init__(self, child: PhysicalOperator, indices: Sequence[int],
+                 columns: Sequence[str]) -> None:
+        super().__init__((child,))
+        self._indices = tuple(indices)
+        self._columns = tuple(columns)
+
+    def describe(self) -> str:
+        return ", ".join(self._columns)
+
+    def _rows(self) -> Iterator[Row]:
+        indices = self._indices
+        for _tx, values in self._pull(self.children[0]):
+            yield None, tuple(values[i] for i in indices)
+
+
+# -- joins (yield pairs) ----------------------------------------------------
+
+
+class HashJoin(_LeafOperator):
+    """One-pass scan hash join over two on-chain tables (section V-B).
+
+    Scans the candidate blocks once, partitioning both tables' tuples;
+    builds a hash index on the right partitions and probes with the left.
+    Single-side predicate pushdowns filter tuples at intake, before they
+    enter the build table or the probe list.
+    """
+
+    name = "HashJoin"
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        candidate: Bitmap,
+        left: TableSchema,
+        right: TableSchema,
+        left_column: str,
+        right_column: str,
+        window: Optional[TimeWindow],
+        left_accept: Optional[Callable[[Transaction], bool]] = None,
+        right_accept: Optional[Callable[[Transaction], bool]] = None,
+        pushed: str = "",
+    ) -> None:
+        super().__init__(store, tracker)
+        self._candidate = candidate
+        self._left = left
+        self._right = right
+        self._left_key = left.column_index(left_column)
+        self._right_key = right.column_index(right_column)
+        self._window = window
+        self._left_accept = left_accept
+        self._right_accept = right_accept
+        self._pushed = pushed
+
+    def describe(self) -> str:
+        base = (f"{self._left.name} x {self._right.name}, "
+                f"blocks={len(self._candidate)}")
+        return base + (f", pushed: {self._pushed}" if self._pushed else "")
+
+    def _rows(self) -> Iterator[tuple[Transaction, Transaction]]:
+        build: dict[Any, list[Transaction]] = {}
+        probes: list[Transaction] = []
+        for bid in self._candidate:
+            block = self.scanner.read_block(bid)
+            for tx in block.transactions:
+                if not in_window(tx, self._window):
+                    continue
+                if tx.tname == self._right.name:
+                    if self._right_accept is not None and not self._right_accept(tx):
+                        continue
+                    key = tx.row()[self._right_key]
+                    if key is not None:
+                        build.setdefault(key, []).append(tx)
+                elif tx.tname == self._left.name:
+                    if self._left_accept is not None and not self._left_accept(tx):
+                        continue
+                    probes.append(tx)
+        for tx in probes:
+            key = tx.row()[self._left_key]
+            if key is None:
+                continue
+            for match in build.get(key, ()):
+                yield tx, match
+
+
+class MergeJoin(_LeafOperator):
+    """Algorithm 2: intersect-filtered per-block-pair sort-merge join.
+
+    Streams joining pairs block pair by block pair; only tuples that
+    actually join are read from disk (the level-2 leaves are sorted on
+    the join attribute)."""
+
+    name = "MergeJoin"
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        left_index: LayeredIndex,
+        right_index: LayeredIndex,
+        left_blocks: Bitmap,
+        right_blocks: Bitmap,
+        left: TableSchema,
+        right: TableSchema,
+        window: Optional[TimeWindow],
+        left_accept: Optional[Callable[[Transaction], bool]] = None,
+        right_accept: Optional[Callable[[Transaction], bool]] = None,
+        pushed: str = "",
+    ) -> None:
+        super().__init__(store, tracker)
+        self._left_index = left_index
+        self._right_index = right_index
+        self._left_blocks = left_blocks
+        self._right_blocks = right_blocks
+        self._left = left
+        self._right = right
+        self._window = window
+        self._left_accept = left_accept
+        self._right_accept = right_accept
+        self._pushed = pushed
+
+    def describe(self) -> str:
+        base = (f"{self._left.name} x {self._right.name}, "
+                f"blocks={len(self._left_blocks)}x{len(self._right_blocks)}")
+        return base + (f", pushed: {self._pushed}" if self._pushed else "")
+
+    def _rows(self) -> Iterator[tuple[Transaction, Transaction]]:
+        right_list = list(self._right_blocks)
+        for lbid in self._left_blocks:
+            left_ranges = self._left_index.block_bucket_ranges(lbid)
+            if not left_ranges:
+                continue
+            for rbid in right_list:
+                right_ranges = self._right_index.block_bucket_ranges(rbid)
+                if not right_ranges or not ranges_intersect(left_ranges, right_ranges):
+                    continue
+                yield from self._merge_block_pair(lbid, rbid)
+
+    def _merge_block_pair(
+        self, lbid: int, rbid: int
+    ) -> Iterator[tuple[Transaction, Transaction]]:
+        left_entries = self._left_index.range_block(lbid)   # sorted (key, pos)
+        right_entries = self._right_index.range_block(rbid)
+        i = j = 0
+        while i < len(left_entries) and j < len(right_entries):
+            lkey = left_entries[i][0]
+            rkey = right_entries[j][0]
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                i_end = i
+                while i_end < len(left_entries) and left_entries[i_end][0] == lkey:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_entries) and right_entries[j_end][0] == rkey:
+                    j_end += 1
+                left_txs = [
+                    self.scanner.read_transaction(lbid, pos)
+                    for _, pos in left_entries[i:i_end]
+                ]
+                right_txs = [
+                    self.scanner.read_transaction(rbid, pos)
+                    for _, pos in right_entries[j:j_end]
+                ]
+                for ltx in left_txs:
+                    if ltx.tname != self._left.name or not in_window(ltx, self._window):
+                        continue
+                    if self._left_accept is not None and not self._left_accept(ltx):
+                        continue
+                    for rtx in right_txs:
+                        if (rtx.tname != self._right.name
+                                or not in_window(rtx, self._window)):
+                            continue
+                        if (self._right_accept is not None
+                                and not self._right_accept(rtx)):
+                            continue
+                        yield ltx, rtx
+                i, j = i_end, j_end
+
+
+class OnOffHashJoin(_LeafOperator):
+    """On/off-chain hash join: build on the off-chain rows, probe the chain."""
+
+    name = "OnOffHashJoin"
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        candidate: Bitmap,
+        offchain: OffChainDatabase,
+        onchain: TableSchema,
+        on_column: str,
+        off_table: str,
+        off_key: int,
+        window: Optional[TimeWindow],
+        on_accept: Optional[Callable[[Transaction], bool]] = None,
+        pushed: str = "",
+    ) -> None:
+        super().__init__(store, tracker)
+        self._candidate = candidate
+        self._offchain = offchain
+        self._onchain = onchain
+        self._on_key = onchain.column_index(on_column)
+        self._off_table = off_table
+        self._off_key = off_key
+        self._window = window
+        self._on_accept = on_accept
+        self._pushed = pushed
+
+    def describe(self) -> str:
+        base = (f"{self._onchain.name} x offchain.{self._off_table}, "
+                f"blocks={len(self._candidate)}")
+        return base + (f", pushed: {self._pushed}" if self._pushed else "")
+
+    def _rows(self) -> Iterator[tuple[Transaction, tuple]]:
+        build: dict[Any, list[tuple]] = {}
+        for row in self._offchain.fetch_all(self._off_table):
+            key = row[self._off_key]
+            if key is not None:
+                build.setdefault(key, []).append(row)
+        for bid in self._candidate:
+            block = self.scanner.read_block(bid)
+            for tx in block.transactions:
+                if tx.tname != self._onchain.name or not in_window(tx, self._window):
+                    continue
+                if self._on_accept is not None and not self._on_accept(tx):
+                    continue
+                key = tx.row()[self._on_key]
+                if key is None:
+                    continue
+                for row in build.get(key, ()):
+                    yield tx, row
+
+
+class OnOffMergeJoin(_LeafOperator):
+    """Algorithm 3: level-1 pruning by the off-chain [min, max] (or the OR
+    of value bitmaps for discrete attributes), then per-block sort-merge
+    against the off-chain rows sorted on the join attribute."""
+
+    name = "OnOffMergeJoin"
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tracker: Optional[CostTracker],
+        candidate: Bitmap,
+        index: LayeredIndex,
+        onchain: TableSchema,
+        off_table: str,
+        off_rows: Sequence[tuple],
+        off_key: int,
+        window: Optional[TimeWindow],
+        on_accept: Optional[Callable[[Transaction], bool]] = None,
+        pushed: str = "",
+    ) -> None:
+        super().__init__(store, tracker)
+        self._candidate = candidate
+        self._index = index
+        self._onchain = onchain
+        self._off_table = off_table
+        self._off_rows = off_rows
+        self._off_key = off_key
+        self._window = window
+        self._on_accept = on_accept
+        self._pushed = pushed
+
+    def describe(self) -> str:
+        base = (f"{self._onchain.name} x offchain.{self._off_table}, "
+                f"blocks={len(self._candidate)}")
+        return base + (f", pushed: {self._pushed}" if self._pushed else "")
+
+    def _rows(self) -> Iterator[tuple[Transaction, tuple]]:
+        for bid in self._candidate:
+            yield from self._merge_block(bid)
+
+    def _merge_block(self, bid: int) -> Iterator[tuple[Transaction, tuple]]:
+        entries = self._index.range_block(bid)  # sorted (key, position)
+        off_rows, off_key = self._off_rows, self._off_key
+        i = j = 0
+        while i < len(entries) and j < len(off_rows):
+            lkey = entries[i][0]
+            rkey = off_rows[j][off_key]
+            if rkey is None or lkey > rkey:
+                j += 1
+            elif lkey < rkey:
+                i += 1
+            else:
+                i_end = i
+                while i_end < len(entries) and entries[i_end][0] == lkey:
+                    i_end += 1
+                j_end = j
+                while j_end < len(off_rows) and off_rows[j_end][off_key] == rkey:
+                    j_end += 1
+                txs = [
+                    self.scanner.read_transaction(bid, pos)
+                    for _, pos in entries[i:i_end]
+                ]
+                for tx in txs:
+                    if (tx.tname != self._onchain.name
+                            or not in_window(tx, self._window)):
+                        continue
+                    if self._on_accept is not None and not self._on_accept(tx):
+                        continue
+                    for row in off_rows[j:j_end]:
+                        yield tx, row
+                i, j = i_end, j_end
+
+
+class JoinRows(PhysicalOperator):
+    """Pair -> Row: builds (optionally column-pruned) joined output rows.
+
+    When the planner pushed the projection below the join, ``picks`` holds
+    ``(side, column index)`` pairs and only those columns are ever
+    materialized; the full concatenated row is never built.
+    """
+
+    name = "JoinRows"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        columns: Sequence[str],
+        picks: Optional[Sequence[tuple[int, int]]] = None,
+        right_is_offchain: bool = False,
+    ) -> None:
+        super().__init__((child,))
+        self._columns = tuple(columns)
+        self._picks = tuple(picks) if picks is not None else None
+        self._right_is_offchain = right_is_offchain
+
+    def describe(self) -> str:
+        if self._picks is None:
+            return "*"
+        return ", ".join(self._columns)
+
+    def _rows(self) -> Iterator[Row]:
+        for left, right in self._pull(self.children[0]):
+            lrow = left.row()
+            rrow = tuple(right) if self._right_is_offchain else right.row()
+            if self._picks is None:
+                # unpruned join rows keep their left transaction aligned
+                yield left, lrow + rrow
+            else:
+                sides = (lrow, rrow)
+                yield None, tuple(sides[s][i] for s, i in self._picks)
+
+
+# -- plan rendering ---------------------------------------------------------
+
+
+def render_plan(root: PhysicalOperator, analyze: bool = False) -> list[str]:
+    """The EXPLAIN / EXPLAIN ANALYZE tree, one line per operator."""
+    lines = []
+    for depth, op in root.walk():
+        prefix = "   " * depth + ("-> " if depth else "")
+        desc = op.describe()
+        head = f"{op.name}({desc})" if desc else op.name
+        if analyze:
+            stats = op.stats
+            parts = [f"rows={stats.rows_out}"]
+            if stats.rows_in:
+                parts.insert(0, f"rows_in={stats.rows_in}")
+            if stats.tracker is not None:
+                parts.append(f"seeks={stats.seeks}")
+                parts.append(f"pages={stats.page_transfers}")
+                parts.append(f"io_ms={stats.modelled_ms:.3f}")
+            parts.append(f"wall_ms={stats.wall_ms:.3f}")
+            head += "  (" + " ".join(parts) + ")"
+        else:
+            parts = []
+            if op.est_rows is not None:
+                parts.append(f"est_rows={op.est_rows}")
+            if op.est_cost_ms is not None:
+                parts.append(f"est_ms={op.est_cost_ms:.3f}")
+            if parts:
+                head += "  (" + " ".join(parts) + ")"
+        lines.append(prefix + head)
+    return lines
+
+
+def require(condition: bool, message: str) -> None:
+    """Planner-side invariant check that surfaces as a QueryError."""
+    if not condition:
+        raise QueryError(message)

@@ -1,4 +1,4 @@
-"""Access-path selection.
+"""Access-path selection and physical plan construction.
 
 Implements the cost comparison of section IV-B: a scan pays eq. (1), the
 table-level bitmap pays eq. (2) over the k blocks holding the table, and
@@ -7,18 +7,50 @@ planner estimates p (matching tuples) from the layered index's histogram
 (continuous) or distinct-value bitmaps (discrete) and picks the cheapest
 path; benchmarks override the choice explicitly to reproduce the paper's
 per-method curves.
+
+:class:`Planner` then compiles every read statement into a tree of
+streaming operators (:mod:`repro.query.physical`).  Pushdowns are explicit
+plan rewrites made here:
+
+* LIMIT caps upstream iteration through generator laziness - it is only
+  separated from the access path by streaming operators when no ORDER BY
+  or aggregate (which are blocking and must see all rows) intervenes;
+* single-side WHERE conjuncts of a join become intake filters *inside*
+  the join operator (tuples are dropped before pairing);
+* a projection over a join is fused into the row builder so pruned
+  columns are never materialized.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
+from ..common.errors import CatalogError, QueryError
+from ..index.bitmap import Bitmap
 from ..index.layered import LayeredIndex
 from ..index.manager import IndexManager
+from ..model.catalog import Catalog
+from ..model.schema import TableSchema
+from ..model.transaction import Transaction
+from ..offchain.adapter import OffChainDatabase
+from ..sqlparser import nodes
+from ..sqlparser.nodes import predicate_text
 from ..storage.blockstore import BlockStore
-from .operators import RangeConstraint
+from ..storage.costmodel import CostTracker
+from . import physical as phys
+from .aggregates import aggregate_columns, resolve_order_index
+from .operators import (
+    RangeConstraint,
+    extract_constraints,
+    pair_matches,
+    predicate_matches,
+    projected_columns,
+    pseudo_schema,
+    pseudo_tx,
+    resolve_join_side,
+)
 
 
 class AccessPath(enum.Enum):
@@ -116,3 +148,698 @@ def _avg_block_size(store: BlockStore) -> int:
     sample = min(store.height, 16)
     total = sum(store.block_size(h) for h in range(store.height - sample, store.height))
     return total // sample
+
+
+# -- physical plans ---------------------------------------------------------
+
+
+def window_bitmap(
+    indexes: IndexManager, window: Optional[nodes.TimeWindow]
+) -> Optional[Bitmap]:
+    """Blocks inside the time window, or ``None`` when the window is open."""
+    if window is None or window.is_open:
+        return None
+    return indexes.block_index.window_bitmap(window.start, window.end)
+
+
+def build_select_leaf(
+    store: BlockStore,
+    indexes: IndexManager,
+    schema: TableSchema,
+    choice: PathChoice,
+    window: Optional[nodes.TimeWindow],
+    tracker: Optional[CostTracker] = None,
+) -> phys.PhysicalOperator:
+    """The access-path leaf for a single-table select (eqs 1-3)."""
+    window_bits = window_bitmap(indexes, window)
+    if choice.path is AccessPath.LAYERED:
+        assert choice.index is not None and choice.constraint is not None
+        candidate = choice.index.candidate_blocks_range(
+            choice.constraint.low, choice.constraint.high
+        )
+        candidate = candidate & indexes.table_index.blocks_for_table(schema.name)
+        if window_bits is not None:
+            candidate = candidate & window_bits
+        leaf: phys.PhysicalOperator = phys.LayeredLookup(
+            store, tracker, choice.index, choice.constraint,
+            candidate, schema, window,
+        )
+    elif choice.path is AccessPath.BITMAP:
+        candidate = indexes.table_index.blocks_for_table(schema.name)
+        if window_bits is not None:
+            candidate = candidate & window_bits
+        leaf = phys.BitmapScan(store, tracker, candidate, schema, window)
+    else:
+        candidate = (
+            window_bits if window_bits is not None
+            else indexes.block_index.all_blocks_bitmap()
+        )
+        leaf = phys.SeqScan(store, tracker, candidate, schema, window)
+    leaf.est_rows = choice.est_rows or None
+    leaf.est_cost_ms = choice.est_cost_ms
+    return leaf
+
+
+def build_trace_leaf(
+    store: BlockStore,
+    indexes: IndexManager,
+    operator: Optional[str],
+    operation: Optional[str],
+    window: Optional[nodes.TimeWindow],
+    method: Optional[AccessPath],
+    use_operation_index: bool = True,
+    tracker: Optional[CostTracker] = None,
+) -> tuple[phys.PhysicalOperator, AccessPath]:
+    """The TRACE leaf (Algorithm 1) plus the method actually used."""
+    if operator is None and operation is None:
+        raise QueryError("tracking needs an operator and/or an operation")
+    if method is None:
+        layered_ok = not (
+            (operator is not None and indexes.layered("senid") is None)
+            or (operation is not None and operator is None
+                and indexes.layered("tname") is None)
+        )
+        method = AccessPath.LAYERED if layered_ok else AccessPath.BITMAP
+    candidate = window_bitmap(indexes, window)
+    if candidate is None:
+        candidate = indexes.block_index.all_blocks_bitmap()
+    if method is AccessPath.LAYERED:
+        sender_index = tname_index = None
+        if operator is not None:
+            sender_index = indexes.layered("senid")
+            if sender_index is None:
+                raise QueryError(
+                    "layered tracking by operator needs an index on senid"
+                )
+            candidate = candidate & sender_index.candidate_blocks_eq(operator)
+        if operation is not None and (use_operation_index or operator is None):
+            tname_index = indexes.layered("tname")
+            if tname_index is None:
+                raise QueryError(
+                    "layered tracking by operation needs an index on tname"
+                )
+            candidate = candidate & tname_index.candidate_blocks_eq(operation)
+        leaf: phys.PhysicalOperator = phys.TraceLayered(
+            store, tracker, candidate, sender_index, tname_index,
+            operator, operation, window,
+        )
+    elif method is AccessPath.BITMAP:
+        if operator is not None:
+            candidate = candidate & indexes.table_index.blocks_for_sender(operator)
+        if operation is not None:
+            candidate = candidate & indexes.table_index.blocks_for_table(operation)
+        leaf = phys.TraceBitmap(
+            store, tracker, candidate, operator, operation, window
+        )
+    else:
+        leaf = phys.TraceScan(
+            store, tracker, candidate, operator, operation, window
+        )
+    return leaf, method
+
+
+def build_onchain_join_leaf(
+    store: BlockStore,
+    indexes: IndexManager,
+    left: TableSchema,
+    right: TableSchema,
+    left_col: str,
+    right_col: str,
+    window: Optional[nodes.TimeWindow],
+    method: Optional[AccessPath],
+    tracker: Optional[CostTracker] = None,
+    left_accept: Optional[Callable[[Transaction], bool]] = None,
+    right_accept: Optional[Callable[[Transaction], bool]] = None,
+    pushed: str = "",
+) -> tuple[phys.PhysicalOperator, AccessPath]:
+    """The fused on-chain join operator (Algorithm 2 / hash baselines)."""
+    if method is None:
+        has_indexes = (
+            indexes.layered(left_col, left.name) is not None
+            and indexes.layered(right_col, right.name) is not None
+        )
+        method = AccessPath.LAYERED if has_indexes else AccessPath.BITMAP
+    window_bits = window_bitmap(indexes, window)
+    if window_bits is None:
+        window_bits = indexes.block_index.all_blocks_bitmap()
+    if method is AccessPath.LAYERED:
+        left_index = indexes.layered(left_col, left.name)
+        right_index = indexes.layered(right_col, right.name)
+        if left_index is None or right_index is None:
+            raise QueryError(
+                f"layered join needs indexes on {left.name}.{left_col} and "
+                f"{right.name}.{right_col}"
+            )
+        left_blocks = (
+            window_bits & left_index.first_level_bitmap()
+            & indexes.table_index.blocks_for_table(left.name)
+        )
+        right_blocks = (
+            window_bits & right_index.first_level_bitmap()
+            & indexes.table_index.blocks_for_table(right.name)
+        )
+        join: phys.PhysicalOperator = phys.MergeJoin(
+            store, tracker, left_index, right_index,
+            left_blocks, right_blocks, left, right, window,
+            left_accept, right_accept, pushed,
+        )
+    else:
+        candidate = window_bits
+        if method is AccessPath.BITMAP:
+            candidate = candidate & (
+                indexes.table_index.blocks_for_table(left.name)
+                | indexes.table_index.blocks_for_table(right.name)
+            )
+        join = phys.HashJoin(
+            store, tracker, candidate, left, right, left_col, right_col,
+            window, left_accept, right_accept, pushed,
+        )
+    return join, method
+
+
+def build_onoff_join_leaf(
+    store: BlockStore,
+    indexes: IndexManager,
+    offchain: OffChainDatabase,
+    onchain: TableSchema,
+    on_col: str,
+    off_table: str,
+    off_col: str,
+    window: Optional[nodes.TimeWindow],
+    method: Optional[AccessPath],
+    tracker: Optional[CostTracker] = None,
+    on_accept: Optional[Callable[[Transaction], bool]] = None,
+    pushed: str = "",
+) -> tuple[phys.PhysicalOperator, AccessPath]:
+    """The fused on/off-chain join operator (Algorithm 3 / hash baselines)."""
+    off_columns = offchain.columns(off_table)
+    if off_col not in off_columns:
+        raise QueryError(
+            f"off-chain table {off_table!r} has no column {off_col!r}"
+        )
+    off_key = off_columns.index(off_col)
+    if method is None:
+        method = (
+            AccessPath.LAYERED
+            if indexes.layered(on_col, onchain.name) is not None
+            else AccessPath.BITMAP
+        )
+    window_bits = window_bitmap(indexes, window)
+    if window_bits is None:
+        window_bits = indexes.block_index.all_blocks_bitmap()
+    if method is AccessPath.LAYERED:
+        index = indexes.layered(on_col, onchain.name)
+        if index is None:
+            raise QueryError(
+                f"layered on-off join needs an index on {onchain.name}.{on_col}"
+            )
+        candidate = window_bits & indexes.table_index.blocks_for_table(
+            onchain.name
+        )
+        # the paper sorts the off-chain rows on the join attribute once
+        off_rows = offchain.fetch_sorted(off_table, off_col)
+        if not off_rows:
+            candidate = Bitmap()
+        elif index.continuous:
+            # lines 3-7 of Alg 3: off-chain [min, max] prunes level 1
+            s_min, s_max = offchain.min_max(off_table, off_col)
+            candidate = candidate & index.candidate_blocks_range(s_min, s_max)
+        else:
+            # discrete attribute: OR over the bitmaps of the unique keys
+            mask = None
+            for value in offchain.distinct_values(off_table, off_col):
+                bits = index.candidate_blocks_eq(value)
+                mask = bits if mask is None else (mask | bits)
+            if mask is not None:
+                candidate = candidate & mask
+        join: phys.PhysicalOperator = phys.OnOffMergeJoin(
+            store, tracker, candidate, index, onchain, off_table,
+            off_rows, off_key, window, on_accept, pushed,
+        )
+    else:
+        candidate = window_bits
+        if method is AccessPath.BITMAP:
+            candidate = candidate & indexes.table_index.blocks_for_table(
+                onchain.name
+            )
+        join = phys.OnOffHashJoin(
+            store, tracker, candidate, offchain, onchain, on_col,
+            off_table, off_key, window, on_accept, pushed,
+        )
+    return join, method
+
+
+@dataclasses.dataclass
+class PhysicalPlan:
+    """A compiled read statement: operator tree plus result metadata."""
+
+    root: phys.PhysicalOperator
+    columns: tuple[str, ...]
+    access_path: str
+    #: query-scoped cost tracker every leaf operator charges
+    tracker: CostTracker
+    statement: nodes.Statement
+    choice: Optional[PathChoice] = None
+    #: the BlockLookup leaf (GET BLOCK only), to recover ``result.block``
+    block_op: Optional[phys.BlockLookup] = None
+
+    def render(self, analyze: bool = False) -> list[str]:
+        return phys.render_plan(self.root, analyze)
+
+    def operators(self) -> list[phys.PhysicalOperator]:
+        return [op for _depth, op in self.root.walk()]
+
+    def operator_cost(self) -> tuple[int, int, float]:
+        """(seeks, page transfers, modelled ms) summed over all operators."""
+        return self.root.total_cost()
+
+
+def align_join_columns(
+    stmt: nodes.Select,
+    left_ref: nodes.TableRef,
+    right_ref: nodes.TableRef,
+) -> tuple[str, str]:
+    """Return (left table's join column, right table's join column)."""
+    assert stmt.join_on is not None
+    a, b = stmt.join_on
+    names = {left_ref.effective_name: "left", right_ref.effective_name: "right"}
+    side_a = names.get(a.table or "", None)
+    side_b = names.get(b.table or "", None)
+    if side_a == "right" or side_b == "left":
+        a, b = b, a
+    return a.column, b.column
+
+
+def resolve_join_projection(
+    columns: tuple[str, ...], projection: Sequence[nodes.ProjectionItem]
+) -> tuple[tuple[str, ...], list[int]]:
+    """Resolve projected column refs over a joined row's qualified columns."""
+    indices: list[int] = []
+    out_columns: list[str] = []
+    for ref in projection:
+        if not isinstance(ref, nodes.ColumnRef):
+            raise QueryError("aggregates over join results are not supported")
+        qualified = str(ref)
+        if qualified in columns:
+            index = columns.index(qualified)
+        else:
+            matches = [
+                i for i, name in enumerate(columns)
+                if name.rsplit(".", 1)[-1] == ref.column
+            ]
+            if not matches:
+                raise QueryError(
+                    f"join output has no column {ref.column!r}"
+                )
+            if len(matches) > 1:
+                raise QueryError(
+                    f"ambiguous column {ref.column!r} in join projection - "
+                    f"qualify it with a table name"
+                )
+            index = matches[0]
+        indices.append(index)
+        out_columns.append(columns[index])
+    return tuple(out_columns), indices
+
+
+def _predicate_side(
+    predicate: nodes.Predicate, left: TableSchema, right: TableSchema
+) -> str:
+    """Which join side an entire predicate subtree can be evaluated on."""
+    if isinstance(predicate, (nodes.Comparison, nodes.Between)):
+        return resolve_join_side(predicate.column, left, right)
+    sides = {_predicate_side(p, left, right) for p in predicate.parts}
+    if sides == {"left"}:
+        return "left"
+    if sides == {"right"}:
+        return "right"
+    return "residual"
+
+
+def _and_of(parts: list[nodes.Predicate]) -> nodes.Predicate:
+    return parts[0] if len(parts) == 1 else nodes.And(tuple(parts))
+
+
+def _tx_accept(
+    predicate: nodes.Predicate, schema: TableSchema
+) -> Callable[[Transaction], bool]:
+    return lambda tx: predicate_matches(tx, predicate, schema)
+
+
+class Planner:
+    """Compiles read statements into streaming physical plans."""
+
+    def __init__(
+        self,
+        store: BlockStore,
+        indexes: IndexManager,
+        catalog: Catalog,
+        offchain: Optional[OffChainDatabase] = None,
+    ) -> None:
+        self._store = store
+        self._indexes = indexes
+        self._catalog = catalog
+        self._offchain = offchain
+
+    # -- entry point -------------------------------------------------------
+
+    def plan(
+        self,
+        statement: nodes.Statement,
+        method: Optional[AccessPath] = None,
+    ) -> PhysicalPlan:
+        if isinstance(statement, nodes.Select):
+            return self.plan_select(statement, method)
+        if isinstance(statement, nodes.Trace):
+            return self.plan_trace(statement, method)
+        if isinstance(statement, nodes.GetBlock):
+            return self.plan_get_block(statement)
+        raise QueryError(
+            f"cannot plan statement {type(statement).__name__}"
+        )
+
+    # -- SELECT ------------------------------------------------------------
+
+    def plan_select(
+        self, stmt: nodes.Select, method: Optional[AccessPath] = None
+    ) -> PhysicalPlan:
+        if len(stmt.tables) == 1:
+            table = stmt.tables[0]
+            if table.source == "offchain":
+                return self._plan_select_offchain(stmt, table)
+            return self._plan_select_onchain(stmt, table, method)
+        if len(stmt.tables) == 2:
+            return self._plan_select_join(stmt, method)
+        raise QueryError("SELECT supports one table or one two-table join")
+
+    def _plan_select_onchain(
+        self,
+        stmt: nodes.Select,
+        table: nodes.TableRef,
+        method: Optional[AccessPath],
+    ) -> PhysicalPlan:
+        schema = self._catalog.get(table.name)
+        constraints = extract_constraints(stmt.where)
+        choice = choose_access_path(
+            self._store, self._indexes, schema.name, constraints, forced=method
+        )
+        tracker = self._store.cost.tracker()
+        root: phys.PhysicalOperator = build_select_leaf(
+            self._store, self._indexes, schema, choice, stmt.window, tracker
+        )
+        if stmt.where is not None:
+            root = phys.Filter(
+                root,
+                _tx_accept(stmt.where, schema),
+                predicate_text(stmt.where),
+            )
+        if stmt.has_aggregates or stmt.group_by is not None:
+            columns = aggregate_columns(stmt)
+            root = phys.Aggregate(root, stmt, schema)
+        else:
+            columns = projected_columns(schema, stmt.projection)
+            root = phys.Project(root, schema, stmt.projection)
+        root = self._finish(root, stmt, columns)
+        return PhysicalPlan(
+            root=root, columns=columns, access_path=choice.path.value,
+            tracker=tracker, statement=stmt, choice=choice,
+        )
+
+    def _plan_select_offchain(
+        self, stmt: nodes.Select, table: nodes.TableRef
+    ) -> PhysicalPlan:
+        offchain = self._require_offchain()
+        columns = offchain.columns(table.name)
+        if stmt.has_aggregates or stmt.group_by is not None:
+            raise QueryError(
+                "aggregates over off-chain tables belong in the local RDBMS "
+                "- use OffChainDatabase.execute()"
+            )
+        tracker = self._store.cost.tracker()
+        root: phys.PhysicalOperator = phys.OffchainScan(offchain, table.name)
+        if stmt.where is not None:
+            schema = pseudo_schema(table.name, columns)
+            where = stmt.where
+
+            def accept(item: phys.Row) -> bool:
+                return predicate_matches(
+                    pseudo_tx(table.name, columns, item[1]), where, schema
+                )
+
+            root = phys.Filter(root, accept, predicate_text(stmt.where))
+        if stmt.projection:
+            picks = [columns.index(ref.column) for ref in stmt.projection]
+            out_columns = tuple(ref.column for ref in stmt.projection)
+            root = phys.ProjectIndices(root, picks, out_columns)
+        else:
+            out_columns = tuple(columns)
+        root = self._finish(root, stmt, out_columns)
+        return PhysicalPlan(
+            root=root, columns=out_columns, access_path="offchain",
+            tracker=tracker, statement=stmt,
+        )
+
+    def _finish(
+        self,
+        root: phys.PhysicalOperator,
+        stmt: nodes.Select,
+        columns: tuple[str, ...],
+    ) -> phys.PhysicalOperator:
+        """Distinct -> Sort -> Limit - the only legal top-of-plan order.
+
+        LIMIT is always planned topmost: it reaches the access path purely
+        through generator laziness, so a blocking Sort or Aggregate below
+        it automatically makes the pushdown a no-op (the illegal cases).
+        """
+        if stmt.distinct:
+            root = phys.Distinct(root)
+        if stmt.order_by is not None:
+            key = resolve_order_index(columns, stmt.order_by.column)
+            root = phys.Sort(
+                root, key, str(stmt.order_by.column), stmt.order_by.descending
+            )
+        if stmt.limit is not None:
+            root = phys.Limit(root, stmt.limit)
+            root.est_rows = stmt.limit
+        return root
+
+    # -- joins -------------------------------------------------------------
+
+    def _plan_select_join(
+        self, stmt: nodes.Select, method: Optional[AccessPath]
+    ) -> PhysicalPlan:
+        if stmt.join_on is None:
+            raise QueryError("two-table SELECT needs an ON equi-join condition")
+        left_ref, right_ref = stmt.tables
+        left_col, right_col = align_join_columns(stmt, left_ref, right_ref)
+        onchain_count = sum(1 for t in stmt.tables if t.source == "onchain")
+        if onchain_count == 2:
+            return self._plan_join_onchain(
+                stmt, left_ref, right_ref, left_col, right_col, method
+            )
+        if onchain_count == 1:
+            return self._plan_join_onoff(
+                stmt, left_ref, right_ref, left_col, right_col, method
+            )
+        raise QueryError("joining two off-chain tables belongs in the local RDBMS")
+
+    def _split_join_where(
+        self,
+        stmt: nodes.Select,
+        left: TableSchema,
+        right: TableSchema,
+    ) -> tuple[
+        Optional[nodes.Predicate],
+        Optional[nodes.Predicate],
+        Optional[nodes.Predicate],
+    ]:
+        """(left-only, right-only, residual) split of the WHERE conjuncts.
+
+        Ambiguous or cross-side conjuncts stay residual, preserving the
+        runtime "qualify it with a table name" error semantics.
+        """
+        if stmt.where is None:
+            return None, None, None
+        buckets: dict[str, list[nodes.Predicate]] = {
+            "left": [], "right": [], "residual": []
+        }
+        for atom in nodes.conjuncts(stmt.where):
+            side = _predicate_side(atom, left, right)
+            buckets[side if side in ("left", "right") else "residual"].append(atom)
+        return (
+            _and_of(buckets["left"]) if buckets["left"] else None,
+            _and_of(buckets["right"]) if buckets["right"] else None,
+            _and_of(buckets["residual"]) if buckets["residual"] else None,
+        )
+
+    def _plan_join_onchain(
+        self,
+        stmt: nodes.Select,
+        left_ref: nodes.TableRef,
+        right_ref: nodes.TableRef,
+        left_col: str,
+        right_col: str,
+        method: Optional[AccessPath],
+    ) -> PhysicalPlan:
+        left = self._catalog.get(left_ref.name)
+        right = self._catalog.get(right_ref.name)
+        left_pred, right_pred, residual = self._split_join_where(stmt, left, right)
+        pushed = " AND ".join(
+            predicate_text(p) for p in (left_pred, right_pred) if p is not None
+        )
+        tracker = self._store.cost.tracker()
+        left_accept = _tx_accept(left_pred, left) if left_pred is not None else None
+        right_accept = (
+            _tx_accept(right_pred, right) if right_pred is not None else None
+        )
+        root, method = build_onchain_join_leaf(
+            self._store, self._indexes, left, right, left_col, right_col,
+            stmt.window, method, tracker, left_accept, right_accept, pushed,
+        )
+        if residual is not None:
+            def accept(pair: tuple[Transaction, Transaction]) -> bool:
+                return pair_matches(residual, pair[0], left, pair[1], right)
+
+            root = phys.Filter(root, accept, predicate_text(residual))
+        columns = tuple(
+            [f"{left.name}.{c}" for c in left.column_names]
+            + [f"{right.name}.{c}" for c in right.column_names]
+        )
+        root, columns = self._join_rows(root, stmt, columns, len(left.column_names))
+        root = self._finish(root, stmt, columns)
+        return PhysicalPlan(
+            root=root, columns=columns, access_path=method.value,
+            tracker=tracker, statement=stmt,
+        )
+
+    def _plan_join_onoff(
+        self,
+        stmt: nodes.Select,
+        left_ref: nodes.TableRef,
+        right_ref: nodes.TableRef,
+        left_col: str,
+        right_col: str,
+        method: Optional[AccessPath],
+    ) -> PhysicalPlan:
+        offchain = self._require_offchain()
+        if left_ref.source == "onchain":
+            on_ref, on_col = left_ref, left_col
+            off_ref, off_col = right_ref, right_col
+        else:
+            on_ref, on_col = right_ref, right_col
+            off_ref, off_col = left_ref, left_col
+        schema = self._catalog.get(on_ref.name)
+        off_columns = offchain.columns(off_ref.name)
+        off_schema = pseudo_schema(off_ref.name, off_columns)
+        on_pred, _off_pred, residual = self._split_join_where(
+            stmt, schema, off_schema
+        )
+        if _off_pred is not None:
+            # off-chain-side predicates stay residual (the local RDBMS is
+            # authoritative for them; no on-chain I/O is saved by pushing)
+            residual = (
+                _off_pred if residual is None
+                else nodes.And((_off_pred, residual))
+            )
+        pushed = predicate_text(on_pred) if on_pred is not None else ""
+        on_accept = _tx_accept(on_pred, schema) if on_pred is not None else None
+        tracker = self._store.cost.tracker()
+        root, method = build_onoff_join_leaf(
+            self._store, self._indexes, offchain, schema, on_col,
+            off_ref.name, off_col, stmt.window, method, tracker,
+            on_accept, pushed,
+        )
+        if residual is not None:
+            res = residual
+
+            def accept(pair: tuple[Transaction, tuple]) -> bool:
+                return pair_matches(
+                    res, pair[0], schema,
+                    pseudo_tx(off_ref.name, off_columns, pair[1]), off_schema,
+                )
+
+            root = phys.Filter(root, accept, predicate_text(residual))
+        columns = tuple(
+            [f"{schema.name}.{c}" for c in schema.column_names]
+            + [f"{off_ref.name}.{c}" for c in off_columns]
+        )
+        root, columns = self._join_rows(
+            root, stmt, columns, len(schema.column_names), right_is_offchain=True
+        )
+        root = self._finish(root, stmt, columns)
+        return PhysicalPlan(
+            root=root, columns=columns, access_path=method.value,
+            tracker=tracker, statement=stmt,
+        )
+
+    def _join_rows(
+        self,
+        root: phys.PhysicalOperator,
+        stmt: nodes.Select,
+        columns: tuple[str, ...],
+        left_width: int,
+        right_is_offchain: bool = False,
+    ) -> tuple[phys.PhysicalOperator, tuple[str, ...]]:
+        """Fuse the projection into the join's row builder when present."""
+        if stmt.projection:
+            out_columns, indices = resolve_join_projection(columns, stmt.projection)
+            picks = [
+                (0, i) if i < left_width else (1, i - left_width)
+                for i in indices
+            ]
+            return (
+                phys.JoinRows(root, out_columns, picks, right_is_offchain),
+                out_columns,
+            )
+        return phys.JoinRows(root, columns, None, right_is_offchain), columns
+
+    # -- TRACE -------------------------------------------------------------
+
+    def plan_trace(
+        self,
+        stmt: nodes.Trace,
+        method: Optional[AccessPath] = None,
+        use_operation_index: bool = True,
+    ) -> PhysicalPlan:
+        tracker = self._store.cost.tracker()
+        leaf, method = build_trace_leaf(
+            self._store, self._indexes, stmt.operator, stmt.operation,
+            stmt.window, method, use_operation_index, tracker,
+        )
+        root = phys.TraceRows(leaf)
+        return PhysicalPlan(
+            root=root, columns=phys.TraceRows.COLUMNS,
+            access_path=method.value, tracker=tracker, statement=stmt,
+        )
+
+    # -- GET BLOCK ---------------------------------------------------------
+
+    def plan_get_block(self, stmt: nodes.GetBlock) -> PhysicalPlan:
+        index = self._indexes.block_index
+        if stmt.kind is nodes.BlockLookupKind.BY_ID:
+            entry = index.by_bid(int(stmt.value))
+        elif stmt.kind is nodes.BlockLookupKind.BY_TID:
+            entry = index.by_tid(int(stmt.value))
+        else:
+            entry = index.by_timestamp(int(stmt.value))
+        if entry is None:
+            raise QueryError(f"no block found for {stmt.kind.value}={stmt.value!r}")
+        tracker = self._store.cost.tracker()
+        leaf = phys.BlockLookup(
+            self._store, tracker, entry.bid, f"{stmt.kind.value}={stmt.value!r}"
+        )
+        root = phys.TraceRows(leaf)
+        return PhysicalPlan(
+            root=root, columns=phys.TraceRows.COLUMNS,
+            access_path="block-index", tracker=tracker, statement=stmt,
+            block_op=leaf,
+        )
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _require_offchain(self) -> OffChainDatabase:
+        if self._offchain is None:
+            raise CatalogError(
+                "this node has no off-chain database attached"
+            )
+        return self._offchain

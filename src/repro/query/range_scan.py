@@ -7,20 +7,25 @@
 
 All paths apply the full predicate as a residual filter, so they return
 identical rows; only the I/O profile differs.
+
+This module is a functional facade kept for benchmarks and direct callers:
+since the streaming-executor refactor the actual work happens in the
+physical operators (:mod:`repro.query.physical`), and ``limit`` stops the
+pipeline by simply not pulling further rows.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..index.bitmap import Bitmap
 from ..index.manager import IndexManager
 from ..model.schema import TableSchema
 from ..model.transaction import Transaction
-from ..sqlparser.nodes import Predicate, TimeWindow
+from ..sqlparser.nodes import Predicate, TimeWindow, predicate_text
 from ..storage.blockstore import BlockStore
+from . import physical as phys
 from .operators import extract_constraints, predicate_matches
-from .plan import AccessPath, PathChoice, choose_access_path
+from .plan import AccessPath, PathChoice, build_select_leaf, choose_access_path
 
 
 def select_transactions(
@@ -37,101 +42,16 @@ def select_transactions(
     choice = choose_access_path(
         store, indexes, schema.name, constraints, forced=method
     )
-    window_bits = _window_bits(indexes, window)
-    if choice.path is AccessPath.LAYERED:
-        assert choice.index is not None and choice.constraint is not None
-        results = _layered_select(
-            store, indexes, schema, predicate, choice, window_bits, window, limit
+    root = build_select_leaf(store, indexes, schema, choice, window)
+    if predicate is not None:
+        root = phys.Filter(
+            root,
+            lambda tx: predicate_matches(tx, predicate, schema),
+            predicate_text(predicate),
         )
-    elif choice.path is AccessPath.BITMAP:
-        candidate = indexes.table_index.blocks_for_table(schema.name)
-        if window_bits is not None:
-            candidate = candidate & window_bits
-        results = _filter_blocks(
-            store, candidate, schema, predicate, window, limit
-        )
-    else:
-        candidate = (
-            window_bits
-            if window_bits is not None
-            else indexes.block_index.all_blocks_bitmap()
-        )
-        results = _filter_blocks(
-            store, candidate, schema, predicate, window, limit
-        )
+    results: list[Transaction] = []
+    for tx in root.execute():
+        results.append(tx)
+        if limit is not None and len(results) >= limit:
+            break
     return results, choice
-
-
-def _window_bits(
-    indexes: IndexManager, window: Optional[TimeWindow]
-) -> Optional[Bitmap]:
-    if window is None or window.is_open:
-        return None
-    return indexes.block_index.window_bitmap(window.start, window.end)
-
-
-def _in_window(tx: Transaction, window: Optional[TimeWindow]) -> bool:
-    if window is None:
-        return True
-    if window.start is not None and tx.ts < window.start:
-        return False
-    if window.end is not None and tx.ts > window.end:
-        return False
-    return True
-
-
-def _filter_blocks(
-    store: BlockStore,
-    candidate: Bitmap,
-    schema: TableSchema,
-    predicate: Optional[Predicate],
-    window: Optional[TimeWindow],
-    limit: Optional[int],
-) -> list[Transaction]:
-    """Read whole candidate blocks sequentially and filter tuples."""
-    results: list[Transaction] = []
-    for bid in candidate:
-        block = store.read_block(bid)
-        for tx in block.transactions:
-            if tx.tname != schema.name:
-                continue
-            if not _in_window(tx, window):
-                continue
-            if predicate_matches(tx, predicate, schema):
-                results.append(tx)
-                if limit is not None and len(results) >= limit:
-                    return results
-    return results
-
-
-def _layered_select(
-    store: BlockStore,
-    indexes: IndexManager,
-    schema: TableSchema,
-    predicate: Optional[Predicate],
-    choice: PathChoice,
-    window_bits: Optional[Bitmap],
-    window: Optional[TimeWindow],
-    limit: Optional[int],
-) -> list[Transaction]:
-    """Level-1 AND level-2 lookup, then per-tuple random reads."""
-    index = choice.index
-    constraint = choice.constraint
-    assert index is not None and constraint is not None
-    candidate = index.candidate_blocks_range(constraint.low, constraint.high)
-    candidate = candidate & indexes.table_index.blocks_for_table(schema.name)
-    if window_bits is not None:
-        candidate = candidate & window_bits
-    results: list[Transaction] = []
-    for bid in candidate:
-        for _key, position in index.range_block(bid, constraint.low, constraint.high):
-            tx = store.read_transaction(bid, position)
-            if tx.tname != schema.name:
-                continue
-            if not _in_window(tx, window):
-                continue
-            if predicate_matches(tx, predicate, schema):
-                results.append(tx)
-                if limit is not None and len(results) >= limit:
-                    return results
-    return results

@@ -1,36 +1,140 @@
 """Query results.
 
-Every read returns a :class:`QueryResult`: named columns, materialized
-rows, the transactions behind them (when on-chain), the I/O cost the query
-incurred, and - for GET BLOCK - the block itself.
+Every read returns a :class:`QueryResult`: named columns, the rows, the
+transactions behind them (when on-chain), the I/O cost the query incurred,
+and - for GET BLOCK - the block itself.
+
+Results can be *materialized* (the default: the engine drains the operator
+pipeline before returning) or *streaming* (``engine.execute(...,
+stream=True)``): a streaming result pulls rows through the physical plan
+on demand while iterated, so a consumer that stops early stops the
+underlying block reads too.  Accessing ``rows``, ``transactions`` or
+``len()`` drains the remainder; ``cost`` always reflects the I/O charged
+to the query's scoped tracker *so far*.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from ..model.block import Block
 from ..model.transaction import Transaction
 from ..storage.costmodel import CostSnapshot
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import PhysicalPlan
 
-@dataclasses.dataclass
+
 class QueryResult:
-    """Materialized result of one statement."""
+    """Result of one statement, materialized or streaming."""
 
-    columns: tuple[str, ...]
-    rows: list[tuple[Any, ...]]
-    transactions: list[Transaction] = dataclasses.field(default_factory=list)
-    block: Optional[Block] = None
-    cost: Optional[CostSnapshot] = None
-    access_path: str = ""
+    def __init__(
+        self,
+        columns: tuple[str, ...],
+        rows: Optional[list[tuple[Any, ...]]] = None,
+        transactions: Optional[list[Transaction]] = None,
+        block: Optional[Block] = None,
+        cost: Optional[CostSnapshot] = None,
+        access_path: str = "",
+        plan: Optional["PhysicalPlan"] = None,
+        stream: Optional[Iterator[tuple[Optional[Transaction], tuple]]] = None,
+    ) -> None:
+        self.columns = tuple(columns)
+        self._rows: list[tuple[Any, ...]] = list(rows) if rows is not None else []
+        self._transactions: list[Transaction] = (
+            list(transactions) if transactions is not None else []
+        )
+        self._block = block
+        self._cost = cost
+        self.access_path = access_path
+        #: the compiled physical plan (with per-operator stats), when the
+        #: engine executed through the streaming pipeline
+        self.plan = plan
+        self._stream = stream
+
+    # -- lazy materialization ---------------------------------------------
+
+    @property
+    def is_streaming(self) -> bool:
+        """True while un-pulled rows remain in the pipeline."""
+        return self._stream is not None
+
+    def _drain(self) -> None:
+        if self._stream is not None:
+            for _ in self._stream_iter():
+                pass
+
+    def _stream_iter(self) -> Iterator[tuple[Any, ...]]:
+        """Yield all rows, pulling the pipeline past what's materialized."""
+        i = 0
+        while True:
+            while i < len(self._rows):
+                yield self._rows[i]
+                i += 1
+            if self._stream is None:
+                return
+            try:
+                tx, values = next(self._stream)
+            except StopIteration:
+                self._stream = None
+                continue
+            self._rows.append(values)
+            if tx is not None:
+                self._transactions.append(tx)
+
+    @property
+    def rows(self) -> list[tuple[Any, ...]]:
+        self._drain()
+        return self._rows
+
+    @rows.setter
+    def rows(self, value: list[tuple[Any, ...]]) -> None:
+        self._rows = list(value)
+        self._stream = None
+
+    @property
+    def transactions(self) -> list[Transaction]:
+        self._drain()
+        return self._transactions
+
+    @transactions.setter
+    def transactions(self, value: list[Transaction]) -> None:
+        self._transactions = list(value)
+
+    @property
+    def block(self) -> Optional[Block]:
+        if self._block is not None:
+            return self._block
+        if self.plan is not None and self.plan.block_op is not None:
+            return self.plan.block_op.block
+        return None
+
+    @block.setter
+    def block(self, value: Optional[Block]) -> None:
+        self._block = value
+
+    @property
+    def cost(self) -> Optional[CostSnapshot]:
+        """I/O charged to this query so far (scoped, interleaving-safe)."""
+        if self._cost is not None:
+            return self._cost
+        if self.plan is not None:
+            return self.plan.tracker.snapshot()
+        return None
+
+    @cost.setter
+    def cost(self, value: Optional[CostSnapshot]) -> None:
+        self._cost = value
+
+    # -- sequence protocol -------------------------------------------------
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __iter__(self) -> Iterator[tuple[Any, ...]]:
-        return iter(self.rows)
+        if self._stream is None:
+            return iter(self._rows)
+        return self._stream_iter()
 
     def dicts(self) -> list[dict[str, Any]]:
         """Rows as column->value mappings."""

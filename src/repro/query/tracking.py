@@ -11,19 +11,22 @@ window.  Three execution strategies reproduce the paper's comparisons:
 * ``layered`` (LU/LG, SI*/TI*) - Algorithm 1: AND the window bitmap with
   the first-level bitmaps of the SenID and Tname layered indexes, then
   intersect second-level postings per block and read only result tuples.
+
+This module is a functional facade kept for benchmarks and direct
+callers; the strategies themselves are the trace leaf operators in
+:mod:`repro.query.physical`, built by
+:func:`repro.query.plan.build_trace_leaf`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..common.errors import QueryError
-from ..index.bitmap import Bitmap
 from ..index.manager import IndexManager
-from ..model.transaction import SCHEMA_TNAME, Transaction
+from ..model.transaction import Transaction
 from ..sqlparser.nodes import TimeWindow
 from ..storage.blockstore import BlockStore
-from .plan import AccessPath
+from .plan import AccessPath, build_trace_leaf
 
 
 def trace_transactions(
@@ -41,145 +44,8 @@ def trace_transactions(
     variants of Fig 10: only the SenID index prunes, the Tname condition
     becomes a residual filter.
     """
-    if operator is None and operation is None:
-        raise QueryError("tracking needs an operator and/or an operation")
-    if method is None:
-        method = (
-            AccessPath.LAYERED
-            if _have_layered(indexes, operator, operation)
-            else AccessPath.BITMAP
-        )
-    if method is AccessPath.LAYERED:
-        return _layered_trace(
-            store, indexes, operator, operation, window, use_operation_index
-        )
-    if method is AccessPath.BITMAP:
-        return _bitmap_trace(store, indexes, operator, operation, window)
-    return _scan_trace(store, indexes, operator, operation, window)
-
-
-def _have_layered(
-    indexes: IndexManager, operator: Optional[str], operation: Optional[str]
-) -> bool:
-    if operator is not None and indexes.layered("senid") is None:
-        return False
-    if operation is not None and operator is None and indexes.layered("tname") is None:
-        return False
-    return True
-
-
-def _matches(
-    tx: Transaction,
-    operator: Optional[str],
-    operation: Optional[str],
-    window: Optional[TimeWindow],
-) -> bool:
-    if tx.tname == SCHEMA_TNAME:
-        return False
-    if operator is not None and tx.senid != operator:
-        return False
-    if operation is not None and tx.tname != operation:
-        return False
-    if window is not None:
-        if window.start is not None and tx.ts < window.start:
-            return False
-        if window.end is not None and tx.ts > window.end:
-            return False
-    return True
-
-
-def _window_bits(
-    indexes: IndexManager, window: Optional[TimeWindow]
-) -> Bitmap:
-    if window is None or window.is_open:
-        return indexes.block_index.all_blocks_bitmap()
-    return indexes.block_index.window_bitmap(window.start, window.end)
-
-
-def _scan_trace(
-    store: BlockStore,
-    indexes: IndexManager,
-    operator: Optional[str],
-    operation: Optional[str],
-    window: Optional[TimeWindow],
-) -> list[Transaction]:
-    results: list[Transaction] = []
-    for bid in _window_bits(indexes, window):
-        block = store.read_block(bid)
-        results.extend(
-            tx for tx in block.transactions if _matches(tx, operator, operation, window)
-        )
-    return results
-
-
-def _bitmap_trace(
-    store: BlockStore,
-    indexes: IndexManager,
-    operator: Optional[str],
-    operation: Optional[str],
-    window: Optional[TimeWindow],
-) -> list[Transaction]:
-    candidate = _window_bits(indexes, window)
-    if operator is not None:
-        candidate = candidate & indexes.table_index.blocks_for_sender(operator)
-    if operation is not None:
-        candidate = candidate & indexes.table_index.blocks_for_table(operation)
-    results: list[Transaction] = []
-    for bid in candidate:
-        block = store.read_block(bid)
-        results.extend(
-            tx for tx in block.transactions if _matches(tx, operator, operation, window)
-        )
-    return results
-
-
-def _layered_trace(
-    store: BlockStore,
-    indexes: IndexManager,
-    operator: Optional[str],
-    operation: Optional[str],
-    window: Optional[TimeWindow],
-    use_operation_index: bool,
-) -> list[Transaction]:
-    """Algorithm 1, lines 1-13."""
-    sender_index = indexes.layered("senid") if operator is not None else None
-    tname_index = (
-        indexes.layered("tname")
-        if operation is not None and use_operation_index
-        else None
+    leaf, _method = build_trace_leaf(
+        store, indexes, operator, operation, window, method,
+        use_operation_index,
     )
-    if operator is not None and sender_index is None:
-        raise QueryError("layered tracking by operator needs an index on senid")
-    if operation is not None and use_operation_index and tname_index is None:
-        raise QueryError("layered tracking by operation needs an index on tname")
-    # line 1: blocks in the time window
-    candidate = _window_bits(indexes, window)
-    # lines 2-4: AND with the first-level bitmaps of each dimension
-    if sender_index is not None:
-        candidate = candidate & sender_index.candidate_blocks_eq(operator)
-    if tname_index is not None:
-        candidate = candidate & tname_index.candidate_blocks_eq(operation)
-    elif operation is not None and sender_index is None:
-        # single-index tracking by operation only
-        fallback = indexes.layered("tname")
-        if fallback is None:
-            raise QueryError("layered tracking by operation needs an index on tname")
-        tname_index = fallback
-        candidate = candidate & tname_index.candidate_blocks_eq(operation)
-    results: list[Transaction] = []
-    # lines 6-13: per block, intersect second-level postings, read tuples
-    for bid in candidate:
-        positions: Optional[set[int]] = None
-        if sender_index is not None:
-            positions = set(sender_index.search_block(bid, operator))
-        if tname_index is not None:
-            tname_positions = set(tname_index.search_block(bid, operation))
-            positions = (
-                tname_positions if positions is None else positions & tname_positions
-            )
-        assert positions is not None
-        for position in sorted(positions):
-            tx = store.read_transaction(bid, position)
-            if _matches(tx, operator, operation, window):
-                results.append(tx)
-    return results
+    return list(leaf.execute())

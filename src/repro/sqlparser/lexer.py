@@ -29,7 +29,7 @@ KEYWORDS = {
     "create", "insert", "into", "values", "select", "from", "where",
     "and", "or", "not", "between", "on", "trace", "operator", "operation",
     "get", "block", "id", "tid", "ts", "window", "in", "as", "join",
-    "true", "false", "null", "limit",
+    "true", "false", "null", "limit", "explain", "analyze",
     "count", "sum", "avg", "min", "max", "group", "order", "by",
     "asc", "desc", "distinct",
 }

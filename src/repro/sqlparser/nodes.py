@@ -97,6 +97,25 @@ class Or:
 Predicate = Union[Comparison, Between, And, Or]
 
 
+def predicate_text(predicate: Optional[Predicate]) -> str:
+    """Render a predicate tree back to compact SQL-ish text (EXPLAIN)."""
+    if predicate is None:
+        return ""
+    if isinstance(predicate, Comparison):
+        return f"{predicate.column} {predicate.op.value} {predicate.value!r}"
+    if isinstance(predicate, Between):
+        return (f"{predicate.column} BETWEEN {predicate.low!r} "
+                f"AND {predicate.high!r}")
+    if isinstance(predicate, And):
+        return " AND ".join(
+            f"({predicate_text(p)})" if isinstance(p, Or) else predicate_text(p)
+            for p in predicate.parts
+        )
+    if isinstance(predicate, Or):
+        return " OR ".join(predicate_text(p) for p in predicate.parts)
+    return repr(predicate)
+
+
 def conjuncts(predicate: Optional[Predicate]) -> list[Predicate]:
     """Flatten a conjunctive predicate into its atoms.
 
@@ -233,4 +252,17 @@ class GetBlock:
     value: Value
 
 
-Statement = Union[CreateTable, Insert, Select, Trace, GetBlock]
+@dataclasses.dataclass(frozen=True)
+class Explain:
+    """EXPLAIN [ANALYZE] <read statement>.
+
+    Plain EXPLAIN renders the physical plan tree with the planner's
+    estimates; ANALYZE executes the statement and annotates every
+    operator with its observed rows, I/O and timings.
+    """
+
+    statement: "Statement"
+    analyze: bool = False
+
+
+Statement = Union[CreateTable, Insert, Select, Trace, GetBlock, Explain]

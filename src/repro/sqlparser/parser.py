@@ -31,6 +31,7 @@ from .nodes import (
     Comparison,
     CompareOp,
     CreateTable,
+    Explain,
     GetBlock,
     Insert,
     Or,
@@ -112,6 +113,14 @@ class _Parser:
 
     def parse_statement(self) -> Statement:
         token = self._peek()
+        if token.matches(TokenType.KEYWORD, "explain"):
+            stmt: Statement = self._parse_explain()
+            tail = self._peek()
+            if tail.type is not TokenType.EOF:
+                raise ParseError(
+                    f"unexpected trailing input {tail.value!r}", tail.position
+                )
+            return stmt
         if token.matches(TokenType.KEYWORD, "create"):
             stmt: Statement = self._parse_create()
         elif token.matches(TokenType.KEYWORD, "insert"):
@@ -132,6 +141,25 @@ class _Parser:
         return stmt
 
     # -- statements -------------------------------------------------------------
+
+    def _parse_explain(self) -> Explain:
+        token = self._expect_keyword("explain")
+        analyze = self._accept_keyword("analyze")
+        inner = self._peek()
+        if inner.matches(TokenType.KEYWORD, "select"):
+            stmt: Statement = self._parse_select()
+        elif inner.matches(TokenType.KEYWORD, "trace"):
+            stmt = self._parse_trace()
+        elif inner.matches(TokenType.KEYWORD, "get"):
+            stmt = self._parse_get_block()
+        elif inner.matches(TokenType.KEYWORD, "explain"):
+            raise ParseError("EXPLAIN cannot be nested", inner.position)
+        else:
+            raise ParseError(
+                "EXPLAIN expects a read statement (SELECT, TRACE or GET BLOCK)",
+                token.position,
+            )
+        return Explain(statement=stmt, analyze=analyze)
 
     def _parse_create(self) -> CreateTable:
         self._expect_keyword("create")
@@ -404,6 +432,8 @@ class _Binder:
     def bind(self, node: Any) -> Any:
         if node is PLACEHOLDER:
             return self._take()
+        if isinstance(node, Explain):
+            return Explain(statement=self.bind(node.statement), analyze=node.analyze)
         if isinstance(node, Insert):
             return Insert(node.table, tuple(self.value(v) for v in node.values))
         if isinstance(node, Select):

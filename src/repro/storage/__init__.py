@@ -1,7 +1,8 @@
 """Block storage: segment files, block store, caches, I/O cost model."""
 
 from .blockstore import BlockStore
-from .costmodel import CostModel, CostSnapshot
+from .costmodel import CostModel, CostSnapshot, CostTracker
+from .scan import StoreScanner
 from .segment import BlockLocation, SegmentStore
 
 __all__ = [
@@ -9,5 +10,7 @@ __all__ = [
     "BlockStore",
     "CostModel",
     "CostSnapshot",
+    "CostTracker",
     "SegmentStore",
+    "StoreScanner",
 ]

@@ -12,7 +12,7 @@ accounting only charges the cost model on cache misses.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Sequence
 
 from ..common.codec import Writer
 from ..common.config import SebdbConfig
@@ -20,7 +20,7 @@ from ..common.errors import StorageError
 from ..common.lru import LRUCache
 from ..model.block import Block, BlockHeader
 from ..model.transaction import Transaction
-from .costmodel import CostModel
+from .costmodel import CostModel, CostTracker
 from .segment import BlockLocation, SegmentStore
 
 
@@ -170,14 +170,23 @@ class BlockStore:
 
     # -- reads ---------------------------------------------------------------
 
-    def read_block(self, height: int) -> Block:
-        """Read a whole block: one seek + size/pagesize transfers on miss."""
+    def read_block(
+        self, height: int, trackers: Sequence[CostTracker] = ()
+    ) -> Block:
+        """Read a whole block: one seek + size/pagesize transfers on miss.
+
+        ``trackers`` are per-scope cost trackers (usually one per query
+        and one per plan operator) charged alongside the global model, so
+        interleaved readers each account exactly their own I/O.
+        """
         self._check_height(height)
         cached = self._block_cache.get(height)
         if cached is not None:
             return cached
         location = self._locations[height]
         self.cost.record_read(location.length, seeks=1)
+        for tracker in trackers:
+            tracker.record_read(location.length, seeks=1)
         block = Block.from_bytes(self._segments.read(location))
         if self.config.cache_mode == "block":
             self._block_cache.put(height, block)
@@ -187,7 +196,10 @@ class BlockStore:
         self._check_height(height)
         return len(self._tx_offsets[height])
 
-    def read_transaction(self, height: int, tx_index: int) -> Transaction:
+    def read_transaction(
+        self, height: int, tx_index: int,
+        trackers: Sequence[CostTracker] = (),
+    ) -> Transaction:
         """Read a single tuple: one random I/O (seek + 1-page transfer).
 
         This is the access path the layered index uses; under the block
@@ -201,17 +213,25 @@ class BlockStore:
             )
         if self.config.cache_mode == "block":
             # the block cache policy serves point reads out of whole blocks
-            return self.read_block(height).transactions[tx_index]
+            return self.read_block(height, trackers).transactions[tx_index]
         cached = self._tx_cache.get((height, tx_index))
         if cached is not None:
             return cached
         offset, length = offsets[tx_index]
         self.cost.record_read(length, seeks=1)
+        for tracker in trackers:
+            tracker.record_read(length, seeks=1)
         raw = self._segments.read_range(self._locations[height], offset, length)
         tx = Transaction.from_bytes(raw)
         if self.config.cache_mode == "transaction":
             self._tx_cache.put((height, tx_index), tx)
         return tx
+
+    def scanner(self, *trackers: CostTracker) -> "StoreScanner":
+        """The scan interface query operators must read through."""
+        from .scan import StoreScanner
+
+        return StoreScanner(self, trackers)
 
     def iter_blocks(self, start: int = 0, end: Optional[int] = None) -> Iterator[Block]:
         """Sequential scan of blocks ``start .. end-1``."""

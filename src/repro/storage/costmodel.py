@@ -91,6 +91,57 @@ class CostModel:
         """Eq. (3): layered-index point-read cost in ms."""
         return p_tuples * (self.seek_ms + self.transfer_ms)
 
+    def tracker(self) -> "CostTracker":
+        """A fresh scoped tracker priced with this model's timings."""
+        return CostTracker(model=self)
+
+
+@dataclasses.dataclass
+class CostTracker:
+    """Per-scope (usually per-query) I/O counters.
+
+    The block store charges every read to its global :class:`CostModel`
+    *and* to any trackers passed along with the read, so two interleaved
+    queries each see exactly their own I/O instead of a shared
+    snapshot-delta that double-counts the other query's reads.  Pricing
+    comes from the owning model, so a tracker's ``elapsed_ms`` is
+    directly comparable with the closed-form estimates.
+    """
+
+    model: CostModel
+    seeks: int = 0
+    page_transfers: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def record_read(self, nbytes: int, seeks: int = 1) -> None:
+        self.seeks += seeks
+        self.page_transfers += self.model.pages_for(nbytes)
+        self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int, seeks: int = 0) -> None:
+        self.seeks += seeks
+        self.bytes_written += nbytes
+
+    def elapsed_ms(self) -> float:
+        return (self.seeks * self.model.seek_ms
+                + self.page_transfers * self.model.transfer_ms)
+
+    def snapshot(self) -> "CostSnapshot":
+        return CostSnapshot(
+            seeks=self.seeks,
+            page_transfers=self.page_transfers,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            elapsed_ms=self.elapsed_ms(),
+        )
+
+    def reset(self) -> None:
+        self.seeks = 0
+        self.page_transfers = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
 
 @dataclasses.dataclass(frozen=True)
 class CostSnapshot:

@@ -1,0 +1,53 @@
+"""The scan interface between the query layer and the block store.
+
+Query operators never touch :class:`~repro.storage.blockstore.BlockStore`
+internals directly (a custom lint enforces this): every physical read goes
+through a :class:`StoreScanner`, which forwards to the store and charges
+each attached :class:`~repro.storage.costmodel.CostTracker` in addition to
+the store's global cost model.  An operator typically scans with two
+trackers attached - the query-scoped tracker (what ``QueryResult.cost``
+reports) and its own per-operator tracker (what EXPLAIN ANALYZE reports) -
+so per-operator I/O sums exactly to the query's total.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from ..model.block import Block
+from ..model.transaction import Transaction
+from .costmodel import CostTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .blockstore import BlockStore
+
+
+class StoreScanner:
+    """Tracker-scoped read facade over one block store."""
+
+    __slots__ = ("_store", "_trackers")
+
+    def __init__(self, store: "BlockStore",
+                 trackers: Sequence[CostTracker] = ()) -> None:
+        self._store = store
+        self._trackers = tuple(trackers)
+
+    @property
+    def height(self) -> int:
+        return self._store.height
+
+    def block_size(self, height: int) -> int:
+        return self._store.block_size(height)
+
+    def read_block(self, height: int) -> Block:
+        return self._store.read_block(height, trackers=self._trackers)
+
+    def read_transaction(self, height: int, tx_index: int) -> Transaction:
+        return self._store.read_transaction(
+            height, tx_index, trackers=self._trackers
+        )
+
+    def iter_blocks(self, start: int = 0, end: int | None = None) -> Iterator[Block]:
+        stop = self.height if end is None else min(end, self.height)
+        for height in range(start, stop):
+            yield self.read_block(height)

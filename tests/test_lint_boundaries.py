@@ -1,0 +1,89 @@
+"""The query/storage boundary lint (tools/lint_query_boundaries.py).
+
+The streaming executor's EXPLAIN ANALYZE invariant - per-operator costs
+sum to the query total - holds only while every read in the query layer
+goes through a StoreScanner carrying the cost trackers.  The lint
+enforces that statically; these tests pin both directions: the real tree
+is clean, and the violations it exists for are actually caught.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "lint_query_boundaries", REPO_ROOT / "tools" / "lint_query_boundaries.py"
+)
+lint_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint_mod)
+
+
+def test_repo_query_layer_is_clean():
+    assert lint_mod.lint(REPO_ROOT) == []
+
+
+def test_direct_store_read_is_flagged():
+    bad = (
+        "def scan(store):\n"
+        "    return store.read_block(0)\n"
+    )
+    problems = lint_mod.check_source(bad, "fake.py")
+    assert len(problems) == 1
+    assert "read_block" in problems[0]
+    assert "fake.py:2" in problems[0]
+
+
+def test_chained_store_read_is_flagged():
+    bad = (
+        "class Op:\n"
+        "    def run(self):\n"
+        "        return self._store.read_transaction(1, 2)\n"
+    )
+    problems = lint_mod.check_source(bad, "fake.py")
+    assert len(problems) == 1
+    assert "read_transaction" in problems[0]
+
+
+def test_private_store_attribute_is_flagged():
+    bad = (
+        "def peek(store):\n"
+        "    return store._blocks\n"
+    )
+    problems = lint_mod.check_source(bad, "fake.py")
+    assert len(problems) == 1
+    assert "_blocks" in problems[0]
+
+
+def test_scanner_reads_are_allowed():
+    good = (
+        "class Leaf:\n"
+        "    def rows(self):\n"
+        "        block = self.scanner.read_block(3)\n"
+        "        tx = self.scanner.read_transaction(3, 0)\n"
+        "        yield from self.scanner.iter_blocks()\n"
+        "        _ = block, tx\n"
+    )
+    assert lint_mod.check_source(good, "fake.py") == []
+
+
+def test_public_store_surface_is_allowed():
+    good = (
+        "def build(store, tracker):\n"
+        "    scanner = store.scanner(tracker)\n"
+        "    t = store.cost.tracker()\n"
+        "    h = store.height\n"
+        "    return scanner, t, h\n"
+    )
+    assert lint_mod.check_source(good, "fake.py") == []
+
+
+def test_cli_entrypoint_reports_clean(capsys):
+    code = lint_mod.main(["lint_query_boundaries.py", str(REPO_ROOT)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+
+
+def test_syntax_errors_are_reported_not_raised():
+    problems = lint_mod.check_source("def broken(:\n", "fake.py")
+    assert problems and "syntax error" in problems[0]
