@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import math
 
-from ..common.errors import VerificationError
+from ..common.errors import ConfigError, VerificationError
 
 
 def prob_wrong_digest_wins(p: float, m: int) -> float:
     """Eq. (4): p_w = p * sum_{i=0}^{m-1} C(m-1+i, i) p^{m-1} (1-p)^i."""
     _check_p(p)
     if m < 1:
-        raise ValueError("m must be at least 1")
+        raise ConfigError("m must be at least 1")
     total = sum(
         math.comb(m - 1 + i, i) * p ** (m - 1) * (1 - p) ** i for i in range(m)
     )
@@ -30,7 +30,7 @@ def prob_right_digest_wins(p: float, m: int) -> float:
     """Eq. (5): p_r, the mirror image of eq. (4)."""
     _check_p(p)
     if m < 1:
-        raise ValueError("m must be at least 1")
+        raise ConfigError("m must be at least 1")
     q = 1 - p
     total = sum(
         math.comb(m - 1 + i, i) * q ** (m - 1) * p ** i for i in range(m)
@@ -68,4 +68,4 @@ def minimum_m_for_risk(p: float, n: int, max_byzantine: int, target: float) -> i
 
 def _check_p(p: float) -> None:
     if not 0 <= p <= 1:
-        raise ValueError(f"Byzantine ratio must be in [0, 1], got {p}")
+        raise ConfigError(f"Byzantine ratio must be in [0, 1], got {p}")

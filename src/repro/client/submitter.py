@@ -27,7 +27,7 @@ import dataclasses
 import random
 from typing import Callable, Optional
 
-from ..common.errors import RetryExhausted, SebdbError, TimeoutError_
+from ..common.errors import ConfigError, RetryExhausted, SebdbError, TimeoutError_
 from ..consensus.base import ConsensusEngine, ReplyCallback
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
@@ -76,7 +76,7 @@ class ResilientSubmitter:
         seed: int = 0,
     ) -> None:
         if max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
+            raise ConfigError("max_attempts must be at least 1")
         self.engine = engine
         self.bus = bus
         self.client_id = client_id

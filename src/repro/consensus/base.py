@@ -18,6 +18,7 @@ import dataclasses
 import weakref
 from typing import Any, Callable, Optional, Sequence
 
+from ..common.errors import ConfigError
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
 
@@ -277,7 +278,7 @@ class BatchBuffer:
 
     def __init__(self, max_txs: int) -> None:
         if max_txs <= 0:
-            raise ValueError("max_txs must be positive")
+            raise ConfigError("max_txs must be positive")
         self._max = max_txs
         self._buffer: list[tuple[Transaction, Optional[ReplyCallback]]] = []
         #: increases every time the buffer is emptied; timers compare epochs

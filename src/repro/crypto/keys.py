@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import secrets
+import secrets  # sebdb: allow[determinism] real keygen entropy; sims use from_seed
 
 from ..common.errors import SignatureError
 from . import group, schnorr

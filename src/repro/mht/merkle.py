@@ -15,25 +15,21 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Sequence
 
-from ..common.hashing import hash_children, hash_leaf
+from ..common.hashing import (
+    EMPTY_MERKLE_ROOT as EMPTY_ROOT,
+    hash_children,
+    hash_leaf,
+    merkle_root_from_leaves,
+)
 
-#: Root of an empty tree - hash of the empty string leaf, fixed constant.
-EMPTY_ROOT = hash_leaf(b"")
-
-
-def merkle_root_from_leaves(leaves: Sequence[bytes]) -> bytes:
-    """Root hash over pre-hashed ``leaves``; O(n) time, O(n) space."""
-    if not leaves:
-        return EMPTY_ROOT
-    level = list(leaves)
-    while len(level) > 1:
-        nxt = []
-        for i in range(0, len(level) - 1, 2):
-            nxt.append(hash_children(level[i], level[i + 1]))
-        if len(level) & 1:
-            nxt.append(level[-1])
-        level = nxt
-    return level[0]
+__all__ = [
+    "EMPTY_ROOT",
+    "MerkleTree",
+    "ProofStep",
+    "merkle_root",
+    "merkle_root_from_leaves",
+    "verify_proof",
+]
 
 
 def merkle_root(items: Sequence[bytes]) -> bytes:

@@ -14,9 +14,8 @@ from typing import Iterable, Optional, Sequence
 
 from ..common.codec import Reader, Writer
 from ..common.errors import CodecError, StorageError
-from ..common.hashing import hash_leaf, sha256
+from ..common.hashing import hash_leaf, merkle_root_from_leaves, sha256
 from ..crypto.keys import KeyPair
-from ..mht.merkle import merkle_root_from_leaves
 from .transaction import Transaction
 
 GENESIS_PREV_HASH = b"\x00" * 32

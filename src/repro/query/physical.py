@@ -97,15 +97,17 @@ class PhysicalOperator:
 
     def execute(self) -> Iterator[Any]:
         """Pull rows, accounting wall-clock and output cardinality."""
+        # wall_ms is observability-only (EXPLAIN ANALYZE); it never feeds
+        # back into simulated time, event order, or any replayed state
         iterator = self._rows()
         while True:
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # sebdb: allow[determinism] stats only
             try:
                 item = next(iterator)
             except StopIteration:
-                self.stats.wall_ms += (time.perf_counter() - t0) * 1000.0
+                self.stats.wall_ms += (time.perf_counter() - t0) * 1000.0  # sebdb: allow[determinism] stats only
                 return
-            self.stats.wall_ms += (time.perf_counter() - t0) * 1000.0
+            self.stats.wall_ms += (time.perf_counter() - t0) * 1000.0  # sebdb: allow[determinism] stats only
             self.stats.rows_out += 1
             yield item
 

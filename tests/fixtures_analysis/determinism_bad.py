@@ -1,0 +1,26 @@
+"""Known-bad determinism fixture.
+
+Checked in tests with the relpath ``consensus/fixture.py`` so the
+set-iteration part of the rule is in scope; every marked line below
+must produce a ``determinism`` diagnostic.
+"""
+
+import random
+import time
+
+
+def now_ms():
+    return time.time() * 1000.0  # BAD: wall clock
+
+
+def pick(items):
+    return random.choice(items)  # BAD: hidden global RNG
+
+
+def make_rng():
+    return random.Random()  # BAD: unseeded
+
+
+def drain(pending: set):
+    for item in pending:  # BAD: set iteration on an event path
+        yield item

@@ -1,0 +1,20 @@
+"""Known-good determinism fixture: zero diagnostics expected."""
+
+import random
+
+
+def make_rng(seed: int):
+    return random.Random(seed)  # seeded: fine
+
+
+def drain(pending: set):
+    for item in sorted(pending):  # ordered before iteration: fine
+        yield item
+
+
+def quorum(votes: set, threshold: int):
+    return len(votes) >= threshold  # order-insensitive consumers: fine
+
+
+def stamp(clock):
+    return clock.now_ms()  # the simulated clock is the sanctioned source

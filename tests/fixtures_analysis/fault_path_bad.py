@@ -1,0 +1,20 @@
+"""Known-bad fault-path fixture: all three handlers below are flagged."""
+
+
+def swallow_everything(bus):
+    try:
+        bus.send()
+    except:  # BAD: bare except
+        pass
+
+
+def swallow_exception(bus):
+    try:
+        bus.send()
+    except Exception:  # BAD: pass-only body
+        pass
+
+
+def validate(n):
+    if n < 0:
+        raise ValueError("negative")  # BAD: builtin on a faultable path

@@ -1,0 +1,32 @@
+"""Known-good fault-path fixture: zero diagnostics expected.
+
+``NetworkError``/``ConfigError`` stand in for the sanctioned hierarchy
+of ``repro/common/errors.py``; the test passes those names in.
+"""
+
+
+class LocalDropError(NetworkError):  # local subclass of a sanctioned base
+    pass
+
+
+def risky(bus, log):
+    try:
+        bus.send()
+    except NetworkError as exc:  # typed, handled: fine
+        log.append(exc)
+        return None
+
+
+def reraise(bus):
+    try:
+        bus.send()
+    except Exception:
+        raise  # re-raising is fine
+
+
+def validate(n):
+    if n < 0:
+        raise ConfigError("negative")
+    if n == 0:
+        raise LocalDropError("zero")
+    raise NotImplementedError  # contract stubs stay legal

@@ -1,0 +1,1 @@
+from ..storage import segment  # ...this closes a cycle

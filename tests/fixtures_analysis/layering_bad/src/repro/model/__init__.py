@@ -1,0 +1,1 @@
+from ..node import helpers  # upward: model must not import node

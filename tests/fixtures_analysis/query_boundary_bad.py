@@ -1,0 +1,10 @@
+"""Known-bad query-boundary fixture: both bodies below are flagged."""
+
+
+class Op:
+    def run(self):
+        return self._store.read_transaction(1, 2)  # BAD: bypasses scanner
+
+
+def peek(store):
+    return store._blocks  # BAD: private BlockStore attribute

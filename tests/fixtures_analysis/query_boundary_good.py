@@ -1,0 +1,16 @@
+"""Known-good query-boundary fixture: zero diagnostics expected."""
+
+
+class Leaf:
+    def rows(self):
+        block = self.scanner.read_block(3)
+        tx = self.scanner.read_transaction(3, 0)
+        yield from self.scanner.iter_blocks()
+        del block, tx
+
+
+def build(store, tracker):
+    scanner = store.scanner(tracker)
+    t = store.cost.tracker()
+    h = store.height
+    return scanner, t, h

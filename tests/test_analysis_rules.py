@@ -1,0 +1,198 @@
+"""Per-rule fixture tests: each rule catches its known-bad snippet and
+stays silent on its known-good twin (tests/fixtures_analysis/)."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analysis import run_analysis  # noqa: E402
+from tools.analysis.core import Diagnostic, ModuleInfo  # noqa: E402
+from tools.analysis.rules.determinism import DeterminismRule  # noqa: E402
+from tools.analysis.rules.fault_paths import (  # noqa: E402
+    FaultPathRule,
+    check_module_tree,
+)
+from tools.analysis.rules.layering import module_edges  # noqa: E402
+from tools.analysis.rules.query_boundary import QueryBoundaryRule  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures_analysis"
+
+#: stand-in for the names parsed out of repro/common/errors.py
+SANCTIONED = {"SebdbError", "NetworkError", "ConfigError"}
+
+
+def _module(fixture: str, relpath: str) -> ModuleInfo:
+    source = (FIXTURES / fixture).read_text()
+    return ModuleInfo(Path(fixture), relpath, source)
+
+
+def _run_rule_module(rule, module: ModuleInfo):
+    return [
+        d for d in rule.check_module(module)
+        if not module.suppressed(rule.id, d.line)
+    ]
+
+
+# -- determinism -------------------------------------------------------------
+
+class TestDeterminismRule:
+    def test_bad_fixture_is_flagged(self):
+        module = _module("determinism_bad.py", "consensus/fixture.py")
+        diags = _run_rule_module(DeterminismRule(), module)
+        messages = "\n".join(d.message for d in diags)
+        assert len(diags) == 4
+        assert "wall-clock" in messages
+        assert "process-global RNG" in messages
+        assert "without a seed" in messages
+        assert "iteration over a set" in messages
+
+    def test_good_fixture_is_clean(self):
+        module = _module("determinism_good.py", "consensus/fixture.py")
+        assert _run_rule_module(DeterminismRule(), module) == []
+
+    def test_set_iteration_only_polices_event_paths(self):
+        # the same bad source outside consensus/network/faults loses only
+        # its set-iteration diagnostic; clocks and RNGs stay flagged
+        module = _module("determinism_bad.py", "query/fixture.py")
+        diags = _run_rule_module(DeterminismRule(), module)
+        assert len(diags) == 3
+        assert not any("iteration over a set" in d.message for d in diags)
+
+    def test_bench_and_clock_are_allowlisted(self):
+        rule = DeterminismRule()
+        assert not rule.wants(ModuleInfo(Path("x"), "bench/harness.py", ""))
+        assert not rule.wants(ModuleInfo(Path("x"), "common/clock.py", ""))
+        assert rule.wants(ModuleInfo(Path("x"), "common/config.py", ""))
+
+    def test_from_import_wall_clock_is_flagged(self):
+        source = (
+            "from time import perf_counter\n"
+            "def f():\n"
+            "    return perf_counter()\n"
+        )
+        module = ModuleInfo(Path("f.py"), "node/f.py", source)
+        diags = _run_rule_module(DeterminismRule(), module)
+        assert len(diags) == 1 and "wall-clock" in diags[0].message
+
+    def test_set_pop_is_flagged_on_event_paths(self):
+        source = (
+            "def f():\n"
+            "    pending = set()\n"
+            "    pending.add(1)\n"
+            "    return pending.pop()\n"
+        )
+        module = ModuleInfo(Path("f.py"), "network/f.py", source)
+        diags = _run_rule_module(DeterminismRule(), module)
+        assert len(diags) == 1 and "set.pop()" in diags[0].message
+
+
+# -- layering ----------------------------------------------------------------
+
+class TestLayeringRule:
+    def test_bad_tree_has_upward_and_cycle(self):
+        diags = run_analysis(FIXTURES / "layering_bad", ["layering"])
+        messages = "\n".join(d.message for d in diags)
+        assert "upward import" in messages
+        assert "package import cycle" in messages
+        upward = [d for d in diags if "upward import" in d.message]
+        assert upward[0].line == 1
+        assert "model" in upward[0].message and "node" in upward[0].message
+
+    def test_good_tree_is_clean(self):
+        assert run_analysis(FIXTURES / "layering_good", ["layering"]) == []
+
+    def test_reintroducing_model_mht_import_is_caught(self):
+        """Reverting the PR's layering fix must make the suite exit 1."""
+        source = "from ..mht.merkle import merkle_root_from_leaves\n"
+        module = ModuleInfo(
+            Path("src/repro/model/block.py"), "model/block.py", source
+        )
+        edges = module_edges(module)
+        assert ("model", "mht") in {(s, t) for s, t, _, _ in edges}
+        from tools.analysis import policy
+        assert policy.LAYER_OF["mht"] > policy.LAYER_OF["model"]
+
+    def test_relative_import_resolution(self):
+        source = (
+            "from ..common import errors\n"
+            "from ..common.errors import SebdbError\n"
+            "from . import base\n"
+            "import repro.network\n"
+        )
+        module = ModuleInfo(
+            Path("src/repro/consensus/pbft.py"), "consensus/pbft.py", source
+        )
+        targets = {(s, t) for s, t, _, _ in module_edges(module)}
+        assert ("consensus", "common") in targets
+        assert ("consensus", "network") in targets
+        # ``from . import base`` stays inside the package: no edge
+        assert not any(t == "consensus" for _, t in targets)
+
+
+# -- fault-path --------------------------------------------------------------
+
+class TestFaultPathRule:
+    def test_bad_fixture_is_flagged(self):
+        module = _module("fault_path_bad.py", "network/fixture.py")
+        diags = check_module_tree(module, SANCTIONED, FaultPathRule())
+        messages = "\n".join(d.message for d in diags)
+        assert len(diags) == 3
+        assert "bare except" in messages
+        assert "silently swallows" in messages
+        assert "raise ValueError" in messages
+
+    def test_good_fixture_is_clean(self):
+        module = _module("fault_path_good.py", "network/fixture.py")
+        assert check_module_tree(module, SANCTIONED, FaultPathRule()) == []
+
+    def test_scope_excludes_query_layer(self):
+        rule = FaultPathRule()
+        assert rule.wants(ModuleInfo(Path("x"), "consensus/pbft.py", ""))
+        assert rule.wants(ModuleInfo(Path("x"), "client/thin.py", ""))
+        assert not rule.wants(ModuleInfo(Path("x"), "query/engine.py", ""))
+        assert not rule.wants(ModuleInfo(Path("x"), "faults/checker.py", ""))
+
+
+# -- query-boundary ----------------------------------------------------------
+
+class TestQueryBoundaryRule:
+    def test_bad_fixture_is_flagged(self):
+        module = _module("query_boundary_bad.py", "query/fixture.py")
+        diags = _run_rule_module(QueryBoundaryRule(), module)
+        messages = "\n".join(d.message for d in diags)
+        assert len(diags) == 2
+        assert "read_transaction" in messages
+        assert "private BlockStore attribute" in messages
+
+    def test_good_fixture_is_clean(self):
+        module = _module("query_boundary_good.py", "query/fixture.py")
+        assert _run_rule_module(QueryBoundaryRule(), module) == []
+
+    def test_scope_is_query_only(self):
+        rule = QueryBoundaryRule()
+        assert rule.wants(ModuleInfo(Path("x"), "query/engine.py", ""))
+        assert not rule.wants(ModuleInfo(Path("x"), "storage/scan.py", ""))
+
+
+# -- diagnostics -------------------------------------------------------------
+
+def test_diagnostic_rendering():
+    diag = Diagnostic("src/repro/x.py", 7, "determinism", "boom")
+    assert diag.render() == "src/repro/x.py:7: determinism: boom"
+    assert diag.to_json() == {
+        "path": "src/repro/x.py", "line": 7,
+        "rule": "determinism", "message": "boom",
+    }
+
+
+def test_syntax_errors_become_parse_diagnostics(tmp_path):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "broken.py").write_text("def broken(:\n")
+    diags = run_analysis(tmp_path, ["query-boundary"])
+    assert len(diags) == 1
+    assert diags[0].rule == "parse"
+    assert "syntax error" in diags[0].message

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ConfigError
 from repro.consensus import (
     BYZ_EQUIVOCATE,
     BYZ_SILENT,
@@ -64,7 +65,7 @@ class TestBatchBuffer:
         assert buffer.epoch == epoch + 1
 
     def test_bad_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             BatchBuffer(0)
 
 

@@ -9,7 +9,7 @@ from repro.client import (
     prob_right_digest_wins,
     prob_wrong_digest_wins,
 )
-from repro.common.errors import VerificationError
+from repro.common.errors import ConfigError, VerificationError
 from repro.mht.vo import BlockVO, QueryVO, verify_query_vo
 from repro.node import SebdbNetwork
 from repro.node.auth import AuthQueryServer
@@ -212,7 +212,7 @@ class TestSamplingMath:
             assert digest_error_probability(0.3, m - 1, 10, 5) > 0.05
 
     def test_invalid_p_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             prob_wrong_digest_wins(1.5, 2)
 
     def test_m_larger_than_n_rejected(self):

@@ -1,0 +1,32 @@
+"""Pluggable static-analysis suite for the SEBDB reproduction.
+
+Usage::
+
+    python -m tools.analysis [--rule RULE ...] [--format text|json] [root]
+
+Rules live in :mod:`tools.analysis.rules` and register themselves into
+:data:`tools.analysis.core.REGISTRY`; repo-wide policy (layer bands,
+allowlists) lives in :mod:`tools.analysis.policy`.  See DESIGN.md §8.
+"""
+
+from .core import (  # noqa: F401
+    PARSE_RULE_ID,
+    REGISTRY,
+    Diagnostic,
+    ModuleInfo,
+    Project,
+    Rule,
+    register,
+    run_analysis,
+)
+
+__all__ = [
+    "PARSE_RULE_ID",
+    "REGISTRY",
+    "Diagnostic",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "register",
+    "run_analysis",
+]

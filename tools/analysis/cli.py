@@ -1,0 +1,82 @@
+"""Command line for the analysis suite (also the ``repro-lint`` script).
+
+Exit status: 0 clean, 1 when any diagnostic fired, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import REGISTRY, run_analysis
+
+#: repo root inferred from this file's location (tools/analysis/cli.py)
+DEFAULT_ROOT = Path(__file__).resolve().parents[2]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="SEBDB static analysis: determinism, layering, "
+        "fault-path discipline, query boundaries.",
+    )
+    parser.add_argument(
+        "root", nargs="?", type=Path, default=DEFAULT_ROOT,
+        help="repository root (default: this checkout)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE",
+        help="run only this rule (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from . import rules as _rules  # noqa: F401  (populate REGISTRY)
+
+    if args.list_rules:
+        for rule_id in sorted(REGISTRY):
+            print(f"{rule_id}: {REGISTRY[rule_id].description}")
+        return 0
+    if not (args.root / "src" / "repro").is_dir():
+        print(f"error: {args.root} does not look like the repo root "
+              f"(no src/repro)", file=sys.stderr)
+        return 2
+    try:
+        diagnostics = run_analysis(args.root, args.rules)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "root": str(args.root),
+                "rules": sorted(args.rules or REGISTRY),
+                "count": len(diagnostics),
+                "diagnostics": [d.to_json() for d in diagnostics],
+            },
+            indent=2,
+        ))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.render())
+        if diagnostics:
+            print(f"{len(diagnostics)} diagnostic(s)")
+        else:
+            print("analysis clean")
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Shared infrastructure for the SEBDB static-analysis suite.
+
+One AST parse per module, shared by every rule.  A rule is a class with
+an ``id``, a path ``scope`` (prefixes under ``src/repro``), optional
+``excludes`` (a per-rule allowlist of paths the rule never inspects) and
+two hooks:
+
+* :meth:`Rule.check_module` - called once per in-scope module with a
+  pre-parsed :class:`ModuleInfo`;
+* :meth:`Rule.check_project` - called once with the whole
+  :class:`Project`, for cross-module properties (the layering DAG).
+
+Diagnostics carry ``(path, line, rule, message)`` and render as
+``path:line: rule-id: message``.  A diagnostic is dropped when the
+offending line carries an inline suppression comment::
+
+    expr_that_violates()  # sebdb: allow[rule-id] justification...
+
+``allow[rule-a,rule-b]`` suppresses several rules, ``allow[*]`` all of
+them.  Suppressions are line-scoped on purpose: they must sit next to
+the code they excuse, where review sees them.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+#: package subtree every rule operates on, relative to the repo root
+SRC_PREFIX = Path("src") / "repro"
+
+_SUPPRESS_RE = re.compile(r"#\s*sebdb:\s*allow\[([\w*,\- ]+)\]")
+
+#: rule id used for files that do not parse (always on, never suppressed)
+PARSE_RULE_ID = "parse"
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which rule, and what is wrong."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class ModuleInfo:
+    """One parsed source module plus everything rules ask about it."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        #: display path, as emitted in diagnostics (relative to repo root)
+        self.path = path
+        #: posix path relative to ``src/repro`` ("consensus/pbft.py")
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.tree = None
+            self.syntax_error = exc
+        self.suppressions = self._parse_suppressions()
+
+    @property
+    def package(self) -> str:
+        """Top-level package under ``repro`` ("" for root modules)."""
+        parts = Path(self.relpath).parts
+        return parts[0] if len(parts) > 1 else ""
+
+    def _parse_suppressions(self) -> Dict[int, set]:
+        out: Dict[int, set] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                out.setdefault(lineno, set()).update(ids - {""})
+        return out
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        ids = self.suppressions.get(line)
+        return bool(ids) and (rule_id in ids or "*" in ids)
+
+
+class Project:
+    """Every module under ``<root>/src/repro``, parsed once."""
+
+    def __init__(self, root: Path, modules: Sequence[ModuleInfo]) -> None:
+        self.root = root
+        self.modules = list(modules)
+
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        src = root / SRC_PREFIX
+        modules = []
+        for path in sorted(src.rglob("*.py")):
+            relpath = path.relative_to(src).as_posix()
+            display = path.relative_to(root)
+            info = ModuleInfo(display, relpath, path.read_text())
+            modules.append(info)
+        return cls(root, modules)
+
+
+class Rule:
+    """Base class; subclasses register with :func:`register`."""
+
+    id: str = ""
+    description: str = ""
+    #: relpath prefixes under src/repro this rule inspects; () = everything
+    scope: Sequence[str] = ()
+    #: allowlist: relpath prefixes (or exact files) the rule skips
+    excludes: Sequence[str] = ()
+
+    def wants(self, module: ModuleInfo) -> bool:
+        rel = module.relpath
+        if any(rel == ex or rel.startswith(ex.rstrip("/") + "/") for ex in self.excludes):
+            return False
+        if not self.scope:
+            return True
+        return any(
+            rel == sc or rel.startswith(sc.rstrip("/") + "/") for sc in self.scope
+        )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        return ()
+
+    # -- helpers shared by concrete rules ---------------------------------
+
+    def diag(self, module: ModuleInfo, line: int, message: str) -> Diagnostic:
+        return Diagnostic(str(module.path), line, self.id, message)
+
+
+#: rule-id -> rule class; populated by :func:`register`
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    if not rule_cls.id:
+        raise ValueError(f"{rule_cls.__name__} has no id")
+    if rule_cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def run_analysis(
+    root: Path, rule_ids: Optional[Sequence[str]] = None
+) -> List[Diagnostic]:
+    """Run the selected rules (default: all) over ``<root>/src/repro``."""
+    from . import rules as _rules  # noqa: F401  (imports populate REGISTRY)
+
+    selected = list(rule_ids) if rule_ids else sorted(REGISTRY)
+    unknown = [rid for rid in selected if rid not in REGISTRY]
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(REGISTRY))}"
+        )
+    project = Project.load(root)
+    diagnostics: List[Diagnostic] = []
+    for module in project.modules:
+        if module.syntax_error is not None:
+            exc = module.syntax_error
+            diagnostics.append(
+                Diagnostic(
+                    str(module.path),
+                    exc.lineno or 1,
+                    PARSE_RULE_ID,
+                    f"syntax error: {exc.msg}",
+                )
+            )
+    instances = [REGISTRY[rid]() for rid in selected]
+    for rule in instances:
+        for module in project.modules:
+            if module.tree is None or not rule.wants(module):
+                continue
+            for diagnostic in rule.check_module(module):
+                if not module.suppressed(rule.id, diagnostic.line):
+                    diagnostics.append(diagnostic)
+        for diagnostic in rule.check_project(project):
+            by_path = {str(m.path): m for m in project.modules}
+            module = by_path.get(diagnostic.path)
+            if module is not None and module.suppressed(rule.id, diagnostic.line):
+                continue
+            diagnostics.append(diagnostic)
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.rule))
+    return diagnostics

@@ -1,0 +1,129 @@
+"""Repo-wide policy the rules enforce: layer bands and allowlists.
+
+This is the one file to edit when the package layout grows.  Keep the
+tables here in sync with DESIGN.md §8.
+"""
+
+from __future__ import annotations
+
+#: Layer bands, bottom-up.  An import must target the same band or a
+#: lower one; package-level cycles are rejected even inside a band.
+#: ``""`` is the repro package root (``cli.py``, ``__init__.py``,
+#: ``__main__.py``), which may import anything.
+LAYER_BANDS: tuple[frozenset, ...] = (
+    frozenset({"common"}),
+    frozenset({"model", "crypto", "sqlparser"}),
+    frozenset({"storage", "index", "mht"}),
+    frozenset({"query", "offchain"}),
+    frozenset({"consensus", "network"}),
+    frozenset({"node"}),
+    frozenset({"client", "baselines"}),
+    frozenset({"faults"}),
+    frozenset({"bench", "cli", ""}),
+)
+
+LAYER_OF: dict = {
+    package: band for band, packages in enumerate(LAYER_BANDS) for package in packages
+}
+
+# -- determinism rule --------------------------------------------------------
+
+#: paths (relative to src/repro) the determinism rule never inspects:
+#: the benchmark layer measures real wall-clock on purpose, and
+#: common/clock.py is the single sanctioned wrapper around it.
+DETERMINISM_EXCLUDES: tuple = ("bench", "common/clock.py")
+
+#: set/frozenset iteration is only policed on event-ordering paths
+SET_ITERATION_SCOPE: tuple = ("consensus", "network", "faults")
+
+#: wall-clock entry points (module attribute calls)
+WALL_CLOCK_ATTRS: frozenset = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: nondeterministic datetime constructors
+DATETIME_ATTRS: frozenset = frozenset({"now", "utcnow", "today"})
+
+#: module-level functions of ``random`` that use the shared global RNG
+GLOBAL_RANDOM_ATTRS: frozenset = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "seed",
+        "getrandbits",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "vonmisesvariate",
+        "randbytes",
+    }
+)
+
+#: entropy sources that can never be seeded
+ENTROPY_CALLS: frozenset = frozenset(
+    {("os", "urandom"), ("uuid", "uuid1"), ("uuid", "uuid4")}
+)
+
+# -- fault-path exception discipline ----------------------------------------
+
+FAULT_PATH_SCOPE: tuple = ("consensus", "network", "node", "client")
+
+#: builtins that must not be raised on faultable paths - callers catch
+#: :class:`repro.common.errors.SebdbError`, and anything outside that
+#: hierarchy sails straight past the retry/divergence machinery.
+BANNED_RAISES: frozenset = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "RuntimeError",
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "ArithmeticError",
+        "AttributeError",
+        "OSError",
+        "IOError",
+        "StopIteration",
+        "EOFError",
+    }
+)
+
+#: builtins that stay legal everywhere (contract stubs, invariants)
+ALLOWED_BUILTIN_RAISES: frozenset = frozenset(
+    {"NotImplementedError", "AssertionError"}
+)
+
+#: module (relative to src/repro) that defines the sanctioned hierarchy
+ERRORS_MODULE: str = "common/errors.py"
+
+# -- query boundary ----------------------------------------------------------
+
+QUERY_SCOPE: tuple = ("query",)
+
+#: methods that perform storage I/O and must be tracker-accounted
+IO_METHODS: frozenset = frozenset({"read_block", "read_transaction", "iter_blocks"})
+
+#: receiver names that identify the scan interface
+SCANNER_NAMES: frozenset = frozenset({"scanner", "_scanner"})
+
+#: receiver names that identify a block store
+STORE_NAMES: frozenset = frozenset({"store", "_store", "blockstore", "block_store"})

@@ -1,0 +1,5 @@
+"""Importing this package registers every built-in rule."""
+
+from . import determinism, fault_paths, layering, query_boundary
+
+__all__ = ["determinism", "fault_paths", "layering", "query_boundary"]

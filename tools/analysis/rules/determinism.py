@@ -1,0 +1,343 @@
+"""Rule ``determinism``: the simulation must replay bit-for-bit.
+
+Every experiment and chaos test relies on three pillars: seeded
+``random.Random`` instances, the simulated :class:`repro.common.clock.Clock`,
+and timestamp-ordered bus delivery.  This rule forbids the constructs
+that silently break them:
+
+* wall-clock reads - ``time.time()``, ``time.monotonic()``,
+  ``time.perf_counter()`` and friends, ``datetime.now()/utcnow()``,
+  ``date.today()`` (the sanctioned wrapper is ``common/clock.py``,
+  which is allowlisted, as is the whole ``bench/`` layer that measures
+  real wall-clock on purpose);
+* unseedable or unseeded entropy - ``os.urandom``, ``uuid.uuid1/4``,
+  the ``secrets`` module, ``random.SystemRandom``, ``random.Random()``
+  with no seed, and the module-level ``random.*`` functions that share
+  one hidden global RNG;
+* iteration over ``set``/``frozenset`` on event-ordering paths
+  (``consensus/``, ``network/``, ``faults/``) - set order depends on
+  the per-process hash seed, so a loop over one reorders protocol
+  events between runs.  Membership tests and ``sorted(...)`` stay fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from .. import policy
+from ..core import Diagnostic, ModuleInfo, Rule, register
+
+#: call wrappers that materialize iteration order from their argument
+#: (order-insensitive consumers - sorted, len, sum, min, max, any, all,
+#: set, frozenset - are deliberately not listed and never flagged)
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "iter", "enumerate", "reversed"}
+
+_SET_ANNOTATION_NAMES = {
+    "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+}
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    """``x: set[...]`` / ``Set[...]`` / ``typing.Set[...]`` etc."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].rsplit(".", 1)[-1].strip()
+        return head in _SET_ANNOTATION_NAMES
+    return False
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str], set_attrs: Set[str]) -> bool:
+    """Is ``node`` statically known to evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in {"set", "frozenset"}:
+            return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "self":
+            return node.attr in set_attrs
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # set algebra: s | t, s & t, s - t, s ^ t
+        return _is_set_expr(node.left, set_names, set_attrs) or _is_set_expr(
+            node.right, set_names, set_attrs
+        )
+    return False
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Aliases under which the interesting stdlib modules/names are bound."""
+
+    def __init__(self) -> None:
+        self.module_aliases: Dict[str, Set[str]] = {
+            "time": set(), "random": set(), "os": set(), "uuid": set(),
+            "secrets": set(), "datetime": set(),
+        }
+        #: local name -> (module, original name) for from-imports
+        self.from_imports: Dict[str, tuple] = {}
+        self.secret_import_lines: List[int] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            top = alias.name.split(".", 1)[0]
+            if top in self.module_aliases:
+                self.module_aliases[top].add(alias.asname or alias.name)
+            if top == "secrets":
+                self.secret_import_lines.append(node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = (node.module or "").split(".", 1)[0]
+        if module in self.module_aliases:
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = (module, alias.name)
+        if module == "secrets":
+            self.secret_import_lines.append(node.lineno)
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    description = (
+        "no wall-clock, unseeded or global RNGs, raw entropy, or set "
+        "iteration on event-ordering paths"
+    )
+    excludes = policy.DETERMINISM_EXCLUDES
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        tracker = _ImportTracker()
+        tracker.visit(module.tree)
+        out: List[Diagnostic] = []
+        for line in tracker.secret_import_lines:
+            out.append(
+                self.diag(module, line, "the secrets module is unseedable entropy; "
+                          "derive randomness from a seeded random.Random")
+            )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                out.extend(self._check_call(module, node, tracker))
+        if module.package in policy.SET_ITERATION_SCOPE:
+            out.extend(self._check_set_iteration(module))
+        return out
+
+    # -- wall clock / entropy ---------------------------------------------
+
+    def _check_call(
+        self, module: ModuleInfo, node: ast.Call, tracker: _ImportTracker
+    ) -> Iterable[Diagnostic]:
+        func = node.func
+        # module-attribute calls: time.time(), random.choice(), os.urandom()...
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            receiver, attr = func.value.id, func.attr
+            if receiver in tracker.module_aliases["time"] and attr in policy.WALL_CLOCK_ATTRS:
+                yield self.diag(
+                    module, node.lineno,
+                    f"wall-clock call time.{attr}(); use the simulated "
+                    f"Clock (common/clock.py) so runs replay bit-for-bit",
+                )
+                return
+            if receiver in tracker.module_aliases["random"]:
+                if attr in policy.GLOBAL_RANDOM_ATTRS:
+                    yield self.diag(
+                        module, node.lineno,
+                        f"random.{attr}() uses the hidden process-global RNG; "
+                        f"construct random.Random(seed) and thread it through",
+                    )
+                    return
+                if attr == "SystemRandom":
+                    yield self.diag(
+                        module, node.lineno,
+                        "random.SystemRandom is OS entropy and can never be "
+                        "seeded; use random.Random(seed)",
+                    )
+                    return
+                if attr == "Random" and not node.args and not node.keywords:
+                    yield self.diag(
+                        module, node.lineno,
+                        "random.Random() without a seed draws from OS entropy; "
+                        "pass an explicit seed",
+                    )
+                    return
+            for mod, name in policy.ENTROPY_CALLS:
+                if receiver in tracker.module_aliases[mod] and attr == name:
+                    yield self.diag(
+                        module, node.lineno,
+                        f"{mod}.{name}() is unseedable entropy; derive bytes "
+                        f"from a seeded random.Random instead",
+                    )
+                    return
+            if attr in policy.DATETIME_ATTRS and (
+                receiver in {"datetime", "date"}
+                or receiver in tracker.module_aliases["datetime"]
+            ):
+                yield self.diag(
+                    module, node.lineno,
+                    f"datetime wall-clock call .{attr}(); timestamps must "
+                    f"come from the simulated Clock",
+                )
+                return
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Attribute):
+            inner = func.value
+            if (
+                func.attr in policy.DATETIME_ATTRS
+                and inner.attr in {"datetime", "date"}
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id in tracker.module_aliases["datetime"]
+            ):
+                yield self.diag(
+                    module, node.lineno,
+                    f"datetime wall-clock call .{func.attr}(); timestamps must "
+                    f"come from the simulated Clock",
+                )
+                return
+        # bare names bound by from-imports: from time import perf_counter
+        if isinstance(func, ast.Name) and func.id in tracker.from_imports:
+            mod, original = tracker.from_imports[func.id]
+            if mod == "time" and original in policy.WALL_CLOCK_ATTRS:
+                yield self.diag(
+                    module, node.lineno,
+                    f"wall-clock call {original}() (from time); use the "
+                    f"simulated Clock (common/clock.py)",
+                )
+            elif mod == "random" and original in policy.GLOBAL_RANDOM_ATTRS:
+                yield self.diag(
+                    module, node.lineno,
+                    f"{original}() (from random) uses the hidden process-global "
+                    f"RNG; construct random.Random(seed)",
+                )
+            elif mod == "random" and original == "SystemRandom":
+                yield self.diag(
+                    module, node.lineno,
+                    "SystemRandom is OS entropy and can never be seeded",
+                )
+            elif mod == "random" and original == "Random" and not node.args and not node.keywords:
+                yield self.diag(
+                    module, node.lineno,
+                    "Random() without a seed draws from OS entropy; pass an "
+                    "explicit seed",
+                )
+            elif (mod, original) in policy.ENTROPY_CALLS:
+                yield self.diag(
+                    module, node.lineno,
+                    f"{original}() (from {mod}) is unseedable entropy",
+                )
+            elif mod == "datetime" and func.id in {"datetime", "date"}:
+                pass  # constructing datetime(2019, 1, 1) is deterministic
+
+    # -- set iteration on event paths -------------------------------------
+
+    def _check_set_iteration(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        class_set_attrs: Dict[ast.ClassDef, Set[str]] = {}
+        for cls in [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]:
+            attrs: Set[str] = set()
+            for node in ast.walk(cls):
+                if isinstance(node, ast.AnnAssign) and _annotation_is_set(node.annotation):
+                    target = node.target
+                    if isinstance(target, ast.Name):
+                        attrs.add(target.id)
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+            class_set_attrs[cls] = attrs
+
+        out: List[Diagnostic] = []
+        scopes: List[tuple] = [(module.tree, None)]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                owner = None
+                for cls, attrs in class_set_attrs.items():
+                    if any(item is node for item in ast.walk(cls)):
+                        owner = attrs
+                scopes.append((node, owner))
+
+        for scope, self_attrs in scopes:
+            out.extend(
+                self._scan_scope(module, scope, self_attrs or set())
+            )
+        return out
+
+    def _scan_scope(
+        self, module: ModuleInfo, scope: ast.AST, set_attrs: Set[str]
+    ) -> Iterable[Diagnostic]:
+        """One function body (or the module top level): infer then flag."""
+        # collect nodes of this scope only (do not descend into nested
+        # functions or classes - they are scanned as their own scope)
+        flat: List[ast.AST] = []
+        stack: List[ast.AST] = list(getattr(scope, "body", []))
+        while stack:
+            item = stack.pop()
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            flat.append(item)
+            for child in ast.iter_child_nodes(item):
+                stack.append(child)
+
+        set_names: Set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            arguments = scope.args
+            all_args = list(arguments.args) + list(arguments.kwonlyargs)
+            all_args += list(getattr(arguments, "posonlyargs", []))
+            for arg in all_args:
+                if _annotation_is_set(arg.annotation):
+                    set_names.add(arg.arg)
+        for item in flat:
+            if isinstance(item, ast.Assign) and _is_set_expr(item.value, set_names, set_attrs):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        set_names.add(target.id)
+            elif isinstance(item, ast.AnnAssign) and _annotation_is_set(item.annotation):
+                if isinstance(item.target, ast.Name):
+                    set_names.add(item.target.id)
+
+        def flag(expr: ast.expr, how: str):
+            if _is_set_expr(expr, set_names, set_attrs):
+                yield self.diag(
+                    module, expr.lineno,
+                    f"iteration over a set ({how}) on an event-ordering path; "
+                    f"set order varies with the hash seed - use sorted(...) or "
+                    f"an ordered container",
+                )
+
+        for item in flat:
+            if isinstance(item, (ast.For, ast.AsyncFor)):
+                yield from flag(item.iter, "for loop")
+            elif isinstance(item, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in item.generators:
+                    yield from flag(gen.iter, "comprehension")
+            elif isinstance(item, ast.Call):
+                func = item.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_WRAPPERS
+                    and item.args
+                ):
+                    yield from flag(item.args[0], f"{func.id}(...)")
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "pop"
+                    and not item.args
+                    and _is_set_expr(func.value, set_names, set_attrs)
+                ):
+                    yield self.diag(
+                        module, item.lineno,
+                        "set.pop() removes an arbitrary element on an "
+                        "event-ordering path; pop from a sorted or ordered "
+                        "container",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and item.args
+                ):
+                    yield from flag(item.args[0], "str.join(...)")

@@ -1,0 +1,142 @@
+"""Rule ``fault-path``: exception discipline on faultable paths.
+
+The chaos harness (PR 1-2) injects faults into ``consensus/``,
+``network/``, ``node/`` and ``client/``; everything above them recovers
+by catching :class:`repro.common.errors.SebdbError` subclasses
+(``RetryExhausted``, ``DivergenceError``, ``NetworkError``...).  Two
+things break that contract:
+
+* a bare ``except:`` (or an ``except Exception:`` whose body only
+  passes) swallows injected faults, turning a crash the invariant
+  checker would catch into silent divergence;
+* raising a builtin (``ValueError``, ``RuntimeError``...) on a
+  faultable path sails straight past every ``except SebdbError``
+  recovery handler.
+
+``raise`` of a name defined in ``repro/common/errors.py`` is fine, as
+are re-raises, ``NotImplementedError`` and ``AssertionError``.  Locally
+defined exception classes are accepted when they subclass a sanctioned
+name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from .. import policy
+from ..core import Diagnostic, ModuleInfo, Project, Rule, register
+
+
+def _errors_hierarchy(project: Project) -> Set[str]:
+    """Class names defined by ``repro/common/errors.py``."""
+    for module in project.modules:
+        if module.relpath == policy.ERRORS_MODULE and module.tree is not None:
+            return {
+                node.name
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.ClassDef)
+            }
+    return set()
+
+
+def _handler_only_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the body neither raises, logs, returns, nor records."""
+    for stmt in handler.body:
+        if not isinstance(stmt, (ast.Pass, ast.Continue)) and not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+        ):
+            return False
+    return True
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def check_module_tree(
+    module: ModuleInfo, sanctioned: Set[str], rule: Rule
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    # locally defined exception classes that extend a sanctioned base are
+    # themselves sanctioned
+    local_ok: Set[str] = set(sanctioned)
+    grew = True
+    classes = [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]
+    while grew:
+        grew = False
+        for cls in classes:
+            if cls.name in local_ok:
+                continue
+            bases = {
+                base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+                for base in cls.bases
+            }
+            if bases & local_ok:
+                local_ok.add(cls.name)
+                grew = True
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                out.append(rule.diag(
+                    module, node.lineno,
+                    "bare except: swallows injected faults and "
+                    "KeyboardInterrupt; catch a SebdbError subclass",
+                ))
+                continue
+            caught = node.type
+            names = set()
+            if isinstance(caught, ast.Name):
+                names = {caught.id}
+            elif isinstance(caught, ast.Tuple):
+                names = {
+                    el.id for el in caught.elts if isinstance(el, ast.Name)
+                }
+            if names & {"Exception", "BaseException"} and _handler_only_swallows(node):
+                out.append(rule.diag(
+                    module, node.lineno,
+                    "except Exception with a pass-only body silently swallows "
+                    "injected faults; handle, log, or re-raise",
+                ))
+        elif isinstance(node, ast.Raise):
+            name = _raised_name(node)
+            if name is None:
+                continue  # bare re-raise or raising a variable
+            if name in policy.ALLOWED_BUILTIN_RAISES or name in local_ok:
+                continue
+            if name in policy.BANNED_RAISES:
+                out.append(rule.diag(
+                    module, node.lineno,
+                    f"raise {name} on a faultable path; recovery handlers "
+                    f"catch SebdbError - raise a repro.common.errors "
+                    f"subclass instead",
+                ))
+    return out
+
+
+@register
+class FaultPathRule(Rule):
+    id = "fault-path"
+    description = (
+        "no bare/swallowed excepts; faultable paths raise "
+        "repro.common.errors subclasses"
+    )
+    scope = policy.FAULT_PATH_SCOPE
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        sanctioned = _errors_hierarchy(project)
+        out: List[Diagnostic] = []
+        for module in project.modules:
+            if module.tree is None or not self.wants(module):
+                continue
+            out.extend(check_module_tree(module, sanctioned, self))
+        return out

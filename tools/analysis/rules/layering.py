@@ -1,0 +1,169 @@
+"""Rule ``layering``: imports must follow the package DAG.
+
+The repo's layer bands, bottom-up (see ``policy.LAYER_BANDS`` and
+DESIGN.md §8)::
+
+    common
+    model / crypto / sqlparser
+    storage / index / mht
+    query / offchain
+    consensus / network
+    node
+    client / baselines
+    faults
+    bench / <package root>
+
+A module may import its own package, any lower band, or a sibling in
+the same band - but never upward, and the package-level import graph
+must stay acyclic even inside a band (``index -> mht`` is fine until
+``mht -> index`` appears).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .. import policy
+from ..core import Diagnostic, ModuleInfo, Project, Rule, register
+
+#: (source package, target package, display path, line)
+Edge = Tuple[str, str, str, int]
+
+
+def _module_package_path(module: ModuleInfo) -> List[str]:
+    """Package path of a module relative to the ``repro`` root."""
+    parts = list(PurePosixPath(module.relpath).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+        return parts  # the package itself
+    return parts[:-1]
+
+
+def module_edges(module: ModuleInfo) -> List[Edge]:
+    """Every repro-internal import edge declared by ``module``."""
+    source_pkg = module.package
+    pkg_path = _module_package_path(module)
+    edges: List[Edge] = []
+
+    def add(target: Optional[str], line: int) -> None:
+        if target is None or target == source_pkg:
+            return
+        edges.append((source_pkg, target, str(module.path), line))
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] != "repro":
+                    continue
+                add(parts[1] if len(parts) > 1 else "", node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            mod_parts = (node.module or "").split(".") if node.module else []
+            if node.level == 0:
+                if not mod_parts or mod_parts[0] != "repro":
+                    continue
+                resolved = mod_parts[1:]
+            else:
+                anchor = pkg_path[: len(pkg_path) - (node.level - 1)]
+                if node.level - 1 > len(pkg_path):
+                    continue  # import reaches above the package root
+                resolved = anchor + mod_parts
+            if resolved:
+                add(resolved[0], node.lineno)
+            else:
+                # ``from . import x`` at the repro root / ``from .. import x``:
+                # each alias names a top-level package
+                for alias in node.names:
+                    add(alias.name, node.lineno)
+    return edges
+
+
+def _find_cycle(graph: Dict[str, Set[str]]) -> Optional[List[str]]:
+    """One package-level cycle as ``[a, b, ..., a]``, or ``None``."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {pkg: WHITE for pkg in graph}
+    stack: List[str] = []
+
+    def dfs(pkg: str) -> Optional[List[str]]:
+        color[pkg] = GREY
+        stack.append(pkg)
+        for nxt in sorted(graph.get(pkg, ())):
+            if color.get(nxt, BLACK) == GREY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color.get(nxt, BLACK) == WHITE:
+                found = dfs(nxt)
+                if found:
+                    return found
+        stack.pop()
+        color[pkg] = BLACK
+        return None
+
+    for pkg in sorted(graph):
+        if color[pkg] == WHITE:
+            found = dfs(pkg)
+            if found:
+                return found
+    return None
+
+
+@register
+class LayeringRule(Rule):
+    id = "layering"
+    description = "imports follow the package DAG; no upward or cyclic imports"
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        band_names = [
+            "/".join(sorted(p for p in band if p) or ["<root>"])
+            for band in policy.LAYER_BANDS
+        ]
+        all_edges: List[Edge] = []
+        out: List[Diagnostic] = []
+        for module in project.modules:
+            if module.tree is None:
+                continue
+            all_edges.extend(module_edges(module))
+
+        for source, target, path, line in all_edges:
+            if source not in policy.LAYER_OF:
+                out.append(Diagnostic(
+                    path, line, self.id,
+                    f"package {source!r} is not in the layer map "
+                    f"(tools/analysis/policy.py); add it to a band",
+                ))
+                continue
+            if target not in policy.LAYER_OF:
+                out.append(Diagnostic(
+                    path, line, self.id,
+                    f"import of unmapped package {target!r}; add it to "
+                    f"the layer map (tools/analysis/policy.py)",
+                ))
+                continue
+            src_band, dst_band = policy.LAYER_OF[source], policy.LAYER_OF[target]
+            if dst_band > src_band:
+                out.append(Diagnostic(
+                    path, line, self.id,
+                    f"upward import: {source or '<root>'} "
+                    f"(band {band_names[src_band]}) must not import "
+                    f"{target or '<root>'} (band {band_names[dst_band]})",
+                ))
+
+        graph: Dict[str, Set[str]] = {}
+        edge_site: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        for source, target, path, line in all_edges:
+            if source == "" or target == "":
+                continue  # the repro root legitimately aggregates everything
+            graph.setdefault(source, set()).add(target)
+            graph.setdefault(target, set())
+            edge_site.setdefault((source, target), (path, line))
+        cycle = _find_cycle(graph)
+        if cycle:
+            closing = (cycle[-2], cycle[-1])
+            path, line = edge_site[closing]
+            out.append(Diagnostic(
+                path, line, self.id,
+                "package import cycle: " + " -> ".join(cycle)
+                + "; break the upward edge",
+            ))
+        return out

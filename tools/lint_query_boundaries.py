@@ -1,25 +1,14 @@
 #!/usr/bin/env python3
 """Boundary lint: the query layer must do I/O through the scan interface.
 
-Physical operators account every seek and page transfer to both the
-query's cost tracker and their own, which only works when all block and
-tuple reads flow through a :class:`repro.storage.scan.StoreScanner`
-(``self.scanner`` on leaf operators).  A direct ``store.read_block(...)``
-bypasses the per-operator trackers and silently breaks EXPLAIN ANALYZE's
-invariant that operator costs sum to the query total.
-
-Rules, applied to every module under ``src/repro/query``:
-
-1. ``.read_block(...)`` / ``.read_transaction(...)`` / ``.iter_blocks(...)``
-   may only be called on a scanner (a receiver named ``scanner`` or ending
-   in ``.scanner``).
-2. No access to private (``_``-prefixed) attributes of a block store (a
-   receiver named ``store``/``_store`` or ending in ``.store``/``._store``).
-
-Exit status 0 when clean; 1 with ``path:line: message`` diagnostics
-otherwise.  Usage::
+Thin shim over the ``query-boundary`` rule of :mod:`tools.analysis`
+(where the check now lives); kept so the PR-3 CLI, exit codes, and the
+``check_source``/``lint``/``main`` module API all keep working::
 
     python tools/lint_query_boundaries.py [root]
+
+Exit status 0 when clean; 1 with ``path:line: message`` diagnostics
+otherwise.  Run ``python -m tools.analysis`` for the full suite.
 """
 
 from __future__ import annotations
@@ -28,25 +17,15 @@ import ast
 import sys
 from pathlib import Path
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
+
+from tools.analysis.rules.query_boundary import QueryBoundaryRule, scan_tree  # noqa: E402
+
 QUERY_DIR = Path("src") / "repro" / "query"
 
-#: methods that perform storage I/O and must be tracker-accounted
-IO_METHODS = {"read_block", "read_transaction", "iter_blocks"}
-
-#: receiver names that identify the scan interface
-SCANNER_NAMES = {"scanner", "_scanner"}
-
-#: receiver names that identify a block store
-STORE_NAMES = {"store", "_store", "blockstore", "block_store"}
-
-
-def _terminal_name(node: ast.expr) -> str:
-    """The last identifier of a dotted receiver (``self.x.scanner`` -> ``scanner``)."""
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return ""
+_RULE_ID = QueryBoundaryRule.id
 
 
 def check_source(source: str, path: str) -> list[str]:
@@ -55,29 +34,10 @@ def check_source(source: str, path: str) -> list[str]:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
-    problems: list[str] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Attribute):
-            continue
-        receiver = _terminal_name(node.value)
-        if node.attr in IO_METHODS and receiver not in SCANNER_NAMES:
-            problems.append(
-                f"{path}:{node.lineno}: query code calls "
-                f".{node.attr}() on {receiver or 'an expression'!r} - "
-                f"route storage I/O through store.scanner(...) so "
-                f"per-operator cost trackers see it"
-            )
-        elif (
-            node.attr.startswith("_")
-            and not node.attr.startswith("__")
-            and receiver in STORE_NAMES
-        ):
-            problems.append(
-                f"{path}:{node.lineno}: query code touches private "
-                f"BlockStore attribute .{node.attr} - use the public "
-                f"scan/cost interface"
-            )
-    return problems
+    return [
+        f"{d.path}:{d.line}: {d.message}"
+        for d in scan_tree(tree, path, _RULE_ID)
+    ]
 
 
 def lint(root: Path) -> list[str]:
@@ -88,7 +48,7 @@ def lint(root: Path) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    root = Path(argv[1]) if len(argv) > 1 else _REPO_ROOT
     problems = lint(root)
     for problem in problems:
         print(problem)
