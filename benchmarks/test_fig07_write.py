@@ -10,7 +10,12 @@ import pytest
 
 from conftest import save_series
 from repro.bench.harness import fig7_write
-from repro.bench.write_bench import kafka_factory, run_closed_loop
+from repro.bench.write_bench import (
+    kafka_factory,
+    run_closed_loop,
+    stage_breakdown,
+)
+from repro.ledger import STAGES
 from repro.network import MessageBus
 
 CLIENTS = [40, 120, 240, 400]
@@ -53,3 +58,30 @@ def test_fig07_shapes(benchmark, series):
 
     sample = benchmark(one_round)
     assert sample.committed == 200
+
+
+def test_fig07_stage_breakdown():
+    """Fig 7 companion: where a committed batch's latency actually goes.
+
+    Runs the closed loop against a real full node so the ledger
+    pipeline's six stages do real work, then persists the per-stage
+    profile (validate / persist / apply dominate; notify is near-free).
+    """
+    profile = stage_breakdown(num_clients=20, txs_per_client=10,
+                              batch_txs=50)
+    series = {
+        "kafka": [(stage, profile[stage]["ms_per_call"])
+                  for stage in STAGES],
+    }
+    save_series("fig07_stage_breakdown",
+                "Fig 7c: write-path stage breakdown (ms per block)",
+                series, x_label="stage", y_label="ms_per_block")
+    # every stage ran once per committed block, over the whole workload
+    blocks = profile["persist"]["calls"]
+    assert blocks > 0
+    for stage in STAGES:
+        assert profile[stage]["calls"] == blocks, stage
+    assert profile["validate"]["txs"] == 200
+    assert profile["persist"]["txs"] == 200
+    # notify has no listeners attached in this run: bookkeeping only
+    assert profile["notify"]["txs"] == 0

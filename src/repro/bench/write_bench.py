@@ -120,3 +120,95 @@ def sweep_clients(
         engine = factory(bus)
         samples.append(run_closed_loop(bus, engine, clients, txs_per_client))
     return samples
+
+
+def stage_breakdown(
+    num_clients: int = 40,
+    txs_per_client: int = 20,
+    batch_txs: int = 50,
+    seed: int = 0,
+    verify_signatures: bool = False,
+) -> dict[str, dict[str, float]]:
+    """Profile the write path per pipeline stage (Fig 7's companion table).
+
+    The throughput sweeps attach counting sinks; this run instead wires a
+    real :class:`~repro.node.fullnode.FullNode` to the engine so every
+    delivered batch runs the full ledger pipeline - signature validation,
+    sequencing, packaging, the write-ahead persist and the catalog/index
+    apply.  Returns ``{stage: {calls, txs, wall_ms, ms_per_call}}`` in
+    canonical stage order.
+    """
+    from ..ledger import STAGES
+    from ..node.fullnode import FullNode
+
+    bus = MessageBus(seed=seed)
+    engine = KafkaOrderer(bus, batch_txs=batch_txs, timeout_ms=100.0)
+    node = FullNode(
+        "bench-0",
+        consensus=engine,
+        clock=bus.clock,
+        verify_signatures=verify_signatures,
+    )
+    node.create_table(
+        "CREATE donate (donor string, project string, amount decimal)"
+    )
+    bus.run_until_idle()
+    engine.flush()
+    bus.run_until_idle()
+    # profile only the client workload, not genesis/schema bootstrap
+    node.ledger.stats.reset()
+    run_closed_loop(bus, engine, num_clients, txs_per_client)
+    stats = node.ledger.stats
+    profile: dict[str, dict[str, float]] = {}
+    for name in STAGES:
+        stage = stats.stage(name)
+        profile[name] = {
+            "calls": float(stage.calls),
+            "txs": float(stage.txs),
+            "wall_ms": stage.wall_ms,
+            "ms_per_call": stage.ms_per_call(),
+        }
+    return profile
+
+
+def render_stage_table(profile: dict[str, dict[str, float]]) -> str:
+    """Render a :func:`stage_breakdown` profile as a TSV table."""
+    lines = ["stage\tcalls\ttxs\twall_ms\tms_per_block"]
+    for name, row in profile.items():
+        lines.append(
+            f"{name}\t{int(row['calls'])}\t{int(row['txs'])}\t"
+            f"{row['wall_ms']:.3f}\t{row['ms_per_call']:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="per-stage write-path breakdown (fig 7 companion)"
+    )
+    parser.add_argument("--clients", type=int, default=40)
+    parser.add_argument("--txs-per-client", type=int, default=20)
+    parser.add_argument("--batch-txs", type=int, default=50)
+    parser.add_argument("--verify-signatures", action="store_true")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the TSV here instead of stdout")
+    args = parser.parse_args(argv)
+    profile = stage_breakdown(
+        num_clients=args.clients,
+        txs_per_client=args.txs_per_client,
+        batch_txs=args.batch_txs,
+        verify_signatures=args.verify_signatures,
+    )
+    table = render_stage_table(profile)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(table + "\n")
+    else:
+        print(table)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -55,6 +55,10 @@ class StorageError(SebdbError):
     """Block store failure (corrupt segment, missing block, ...)."""
 
 
+class LedgerError(SebdbError):
+    """Write-path pipeline failure (commit-log corruption, torn append)."""
+
+
 class IndexError_(SebdbError):
     """Index maintenance or lookup failure.
 

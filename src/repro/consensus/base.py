@@ -32,6 +32,11 @@ ReplyCallback = Callable[[float], None]
 #: Called when the engine certifies a checkpoint (PBFT stable checkpoint).
 CheckpointCallback = Callable[["Checkpoint"], None]
 
+#: :meth:`ConsensusEngine.admit_submission` outcomes
+ADMIT_NEW = "new"          #: first sight of this nonce - order it
+ADMIT_REPLAYED = "replayed"  #: already committed - the re-ack was sent
+ADMIT_PENDING = "pending"    #: a copy is already in flight - swallowed
+
 
 @dataclasses.dataclass(frozen=True)
 class Checkpoint:
@@ -217,6 +222,65 @@ class ConsensusEngine(abc.ABC):
         self.stats = ConsensusStats()
         self._replicas: dict[str, CommitCallback] = {}
         self._checkpoint_listeners: dict[str, CheckpointCallback] = {}
+        #: set by :meth:`init_client_plumbing`
+        self.ledger: SubmissionLedger
+        self._acks: AckChannel
+
+    def init_client_plumbing(self, bus: MessageBus) -> None:
+        """Wire up the client-side state every engine shares: the
+        nonce-keyed :class:`SubmissionLedger` and the per-bus faultable
+        :class:`AckChannel`."""
+        self.ledger = SubmissionLedger()
+        self._acks = AckChannel.for_bus(bus)
+
+    def admit_submission(
+        self,
+        tx: Transaction,
+        on_reply: Optional[ReplyCallback],
+        ack_source: str,
+        ack_delay_ms: float,
+    ) -> str:
+        """Shared dedup-or-re-ack step every engine runs on a submission.
+
+        Returns :data:`ADMIT_NEW` when ``tx`` must be ordered,
+        :data:`ADMIT_REPLAYED` when it already committed (the recorded
+        commit time was re-acked from ``ack_source`` over the faultable
+        client link), or :data:`ADMIT_PENDING` when a copy is already in
+        flight (the callback was queued next to the original's).
+        """
+        if self.ledger.admit(tx, on_reply):
+            return ADMIT_NEW
+        self.stats.deduplicated += 1
+        replayed = self.ledger.replay_ack(tx)
+        if replayed is not None:
+            if on_reply is not None:
+                self._acks.deliver(ack_source, on_reply, replayed,
+                                   ack_delay_ms)
+            return ADMIT_REPLAYED
+        return ADMIT_PENDING
+
+    def finish_commit(
+        self,
+        entries: Sequence[tuple[Transaction, Optional[ReplyCallback]]],
+        ack_source: str,
+        commit_ms: float,
+        ack_delay_ms: float,
+    ) -> None:
+        """Shared commit tail: deliver the batch, then ack every waiter.
+
+        ``entries`` pairs each transaction with its directly-attached
+        reply callback (legacy, nonce-less submissions); nonce-carrying
+        transactions collect their callbacks from the submission ledger.
+        Acks travel from ``ack_source`` over the faultable client link.
+        """
+        self._deliver([tx for tx, _ in entries])
+        for tx, reply in entries:
+            callbacks = self.ledger.commit(tx, commit_ms)
+            if reply is not None:
+                callbacks = callbacks + [reply]
+            for callback in callbacks:
+                self._acks.deliver(ack_source, callback, commit_ms,
+                                   ack_delay_ms)
 
     def register_replica(self, replica_id: str, on_commit: CommitCallback) -> None:
         """Attach a replica; it will receive every committed batch."""

@@ -26,13 +26,7 @@ from typing import Any, Optional
 
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import (
-    AckChannel,
-    BatchBuffer,
-    ConsensusEngine,
-    ReplyCallback,
-    SubmissionLedger,
-)
+from .base import ADMIT_NEW, BatchBuffer, ConsensusEngine, ReplyCallback
 
 #: bus node id of the single broker (the crash target of chaos runs)
 BROKER_ID = "kafka-broker"
@@ -63,8 +57,7 @@ class KafkaOrderer(ConsensusEngine):
         self._per_block = per_block_cost_ms
         self._deliver_latency = deliver_latency_ms
         self.broker_id = broker_id
-        self.ledger = SubmissionLedger()
-        self._acks = AckChannel.for_bus(bus)
+        self.init_client_plumbing(bus)
         #: simulated time until which the single packager thread is busy
         self._busy_until = 0.0
         bus.register(broker_id, self._on_message)
@@ -95,16 +88,12 @@ class KafkaOrderer(ConsensusEngine):
     def _broker_receive(
         self, tx: Transaction, on_reply: Optional[ReplyCallback]
     ) -> None:
-        if not self.ledger.admit(tx, on_reply):
-            # a retry: either queue behind the pending original (admit
-            # recorded the callback) or re-ack the recorded commit
-            self.stats.deduplicated += 1
-            replayed = self.ledger.replay_ack(tx)
-            if replayed is not None and on_reply is not None:
-                # the re-ack travels the broker->client link and can be
-                # lost again - the retry loop, not a timer, is the net
-                self._acks.deliver(self.broker_id, on_reply, replayed,
-                                   self._deliver_latency)
+        # a retry either queues behind the pending original or is re-acked
+        # with the recorded commit time; the re-ack travels the broker->
+        # client link and can be lost again - the retry loop is the net
+        if self.admit_submission(
+            tx, on_reply, self.broker_id, self._deliver_latency
+        ) != ADMIT_NEW:
             return
         was_empty = len(self._buffer) == 0
         # nonce-carrying txs ack through the ledger; legacy ones keep the
@@ -133,18 +122,11 @@ class KafkaOrderer(ConsensusEngine):
         done_in = self._busy_until - now
 
         def finish() -> None:
-            txs = [tx for tx, _ in batch]
             self.stats.messages += len(self.replica_ids)
-            self._deliver(txs)
+            # acks are real broker->client messages: they drop while the
+            # broker is crashed and on lossy links
             commit_time = self._bus.clock.now_ms() + self._deliver_latency
-            for tx, on_reply in batch:
-                callbacks = self.ledger.commit(tx, commit_time)
-                if on_reply is not None:
-                    callbacks = callbacks + [on_reply]
-                for callback in callbacks:
-                    # acks are real broker->client messages: they drop
-                    # while the broker is crashed and on lossy links
-                    self._acks.deliver(self.broker_id, callback,
-                                       commit_time, self._deliver_latency)
+            self.finish_commit(batch, self.broker_id, commit_time,
+                               self._deliver_latency)
 
         self._bus.schedule(done_in, finish)

@@ -40,12 +40,12 @@ from ..common.hashing import sha256
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
 from .base import (
-    AckChannel,
+    ADMIT_NEW,
+    ADMIT_REPLAYED,
     BatchBuffer,
     Checkpoint,
     ConsensusEngine,
     ReplyCallback,
-    SubmissionLedger,
 )
 
 PRE_PREPARE = "pbft-pre-prepare"
@@ -651,8 +651,7 @@ class PBFTCluster(ConsensusEngine):
         self._buffer = BatchBuffer(batch_txs)
         self._timeout = timeout_ms
         self.replicas = [_Replica(self, i) for i in range(n)]
-        self.ledger = SubmissionLedger()
-        self._acks = AckChannel.for_bus(bus)
+        self.init_client_plumbing(bus)
         self._executed_digests: set[bytes] = set()
         #: hashes appended to the primary buffer or proposed - duplicates
         #: (retries and re-broadcast requests) are not buffered again
@@ -695,29 +694,62 @@ class PBFTCluster(ConsensusEngine):
         replica._state_req_cooldown_until = 0.0
         self.bus.schedule(0.0, replica.request_state_transfer)
 
+    def wipe(self, index: int) -> None:
+        """Erase replica ``index``'s in-memory protocol state.
+
+        Models a process restart that lost everything PBFT keeps in RAM:
+        view, sequence counters, per-sequence vote state, the execution
+        digest and the stable checkpoint.  The durable chain (the SEBDB
+        node's segment files and commit log) is NOT touched - pair this
+        with :meth:`reseed_replica` to prove the prefix back from a
+        persisted checkpoint certificate.
+        """
+        replica = self.replicas[index]
+        replica.view = 0
+        replica.next_seq = 0
+        replica.last_executed = -1
+        replica.states = {}
+        replica.view_change_votes = {}
+        replica.pending_requests = []
+        replica.exec_digest = b"\x00" * 32
+        replica.checkpoint_votes = {}
+        replica.stable_checkpoint = None
+        replica.sequences_skipped = 0
+        replica._state_req_cooldown_until = 0.0
+        replica._vc_cooldown_until = 0.0
+
+    def reseed_replica(self, index: int, proof: dict[str, Any]) -> bool:
+        """Install a persisted checkpoint certificate into a wiped replica.
+
+        ``proof`` is the ``{"seq", "digest", "votes"}`` mapping a SEBDB
+        node recovers from its durable commit log (see
+        :attr:`repro.node.FullNode.persisted_engine_checkpoint`).  The
+        certificate is validated exactly like one arriving by state
+        transfer - 2f+1 distinct replica votes - and on success the
+        replica jumps its protocol state to the certified sequence
+        without re-running the three-phase protocol.  Returns True when
+        the jump happened.
+        """
+        return self.replicas[index]._install_checkpoint(proof)
+
     # -- submission -------------------------------------------------------------
 
     def submit(
         self, tx: Transaction, on_reply: Optional[ReplyCallback] = None
     ) -> None:
         self.stats.submitted += 1
-        if not self.ledger.admit(tx, on_reply):
-            self.stats.deduplicated += 1
-            replayed = self.ledger.replay_ack(tx)
-            if replayed is not None:
-                # the transaction already committed; the current primary
-                # re-acks over its (faultable, possibly dead) client link
-                if on_reply is not None:
-                    self._acks.deliver(
-                        self._ack_source(), on_reply, replayed,
-                        self._submit_latency,
-                    )
-                return
-            # still pending: fall through and re-broadcast the REQUEST -
-            # the original may never have reached the primary, and the
-            # re-broadcast re-arms the backups' progress timers
-        elif tx.dedup_key() is None and on_reply is not None:
+        status = self.admit_submission(
+            tx, on_reply, self._ack_source(), self._submit_latency
+        )
+        if status == ADMIT_REPLAYED:
+            # already committed; the current primary re-acked over its
+            # (faultable, possibly dead) client link
+            return
+        if status == ADMIT_NEW and tx.dedup_key() is None and on_reply is not None:
             self._replies[tx.hash()] = on_reply
+        # ADMIT_PENDING falls through and re-broadcasts the REQUEST - the
+        # original may never have reached the primary, and the re-broadcast
+        # re-arms the backups' progress timers
 
         def arrive() -> None:
             # the client broadcasts its request so backups can monitor progress
@@ -842,16 +874,10 @@ class PBFTCluster(ConsensusEngine):
                 fresh.append(tx)
             if not fresh:
                 return
-            self._deliver(fresh)
-            now = self.bus.clock.now_ms()
-            for tx in fresh:
-                callbacks = self.ledger.commit(tx, now)
-                reply = self._replies.pop(tx.hash(), None)
-                if reply is not None:
-                    callbacks = callbacks + [reply]
-                for callback in callbacks:
-                    # the ack rides the executing replica's client link -
-                    # lossy, partitionable, and dead when that replica is
-                    self._acks.deliver(
-                        replica.node_id, callback, now, self._submit_latency
-                    )
+            # the acks ride the executing replica's client link - lossy,
+            # partitionable, and dead when that replica is
+            self.finish_commit(
+                [(tx, self._replies.pop(tx.hash(), None)) for tx in fresh],
+                replica.node_id, self.bus.clock.now_ms(),
+                self._submit_latency,
+            )

@@ -30,13 +30,7 @@ from typing import Any, Optional
 from ..common.errors import ConsensusError
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import (
-    AckChannel,
-    BatchBuffer,
-    ConsensusEngine,
-    ReplyCallback,
-    SubmissionLedger,
-)
+from .base import ADMIT_NEW, BatchBuffer, ConsensusEngine, ReplyCallback
 
 PROPOSE = "tm-propose"
 PREVOTE = "tm-prevote"
@@ -73,8 +67,7 @@ class TendermintEngine(ConsensusEngine):
         self._check_cost = check_tx_cost_ms
         self._deliver_cost = deliver_tx_cost_ms
         self._max_retransmits = max_retransmits
-        self.ledger = SubmissionLedger()
-        self._acks = AckChannel.for_bus(bus)
+        self.init_client_plumbing(bus)
         #: serial CheckTx lane of the entry validator
         self._check_busy_until = 0.0
         #: serial DeliverTx lane of the (simulated co-located) SEBDB node
@@ -110,14 +103,11 @@ class TendermintEngine(ConsensusEngine):
         self, tx: Transaction, on_reply: Optional[ReplyCallback]
     ) -> None:
         """Entry validator: dedup retries, then serial CheckTx."""
-        if not self.ledger.admit(tx, on_reply):
-            self.stats.deduplicated += 1
-            replayed = self.ledger.replay_ack(tx)
-            if replayed is not None and on_reply is not None:
-                # re-acks travel the entry-validator->client link, so a
-                # lossy or partitioned link keeps the retry loop honest
-                self._acks.deliver(ENTRY_ID, on_reply, replayed,
-                                   self._submit_latency)
+        # re-acks travel the entry-validator->client link, so a lossy or
+        # partitioned link keeps the retry loop honest
+        if self.admit_submission(
+            tx, on_reply, ENTRY_ID, self._submit_latency
+        ) != ADMIT_NEW:
             return
         now = self.bus.clock.now_ms()
         start = max(now, self._check_busy_until)
@@ -273,17 +263,10 @@ class TendermintEngine(ConsensusEngine):
         done_in = self._deliver_busy_until - now
 
         def finish() -> None:
-            self._deliver(txs)
-            commit_time = self.bus.clock.now_ms()
-            for tx, reply in zip(txs, replies):
-                callbacks = self.ledger.commit(tx, commit_time)
-                if reply is not None:
-                    callbacks = callbacks + [reply]
-                for callback in callbacks:
-                    # commit acks are real entry->client messages subject
-                    # to the same link faults as any other traffic
-                    self._acks.deliver(ENTRY_ID, callback, commit_time,
-                                       self._submit_latency)
+            # commit acks are real entry->client messages subject to the
+            # same link faults as any other traffic
+            self.finish_commit(list(zip(txs, replies)), ENTRY_ID,
+                               self.bus.clock.now_ms(), self._submit_latency)
             self._height += 1
             self._in_flight = False
 

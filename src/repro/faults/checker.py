@@ -120,6 +120,12 @@ class InvariantChecker:
                 report.violations.append(
                     f"{node.node_id} chain fails re-verification: {exc}"
                 )
+            log = getattr(node, "commit_log", None)
+            if log is not None and log.pending() is not None:
+                report.violations.append(
+                    f"{node.node_id} has an unresolved commit record: a "
+                    f"live node must have replayed or discarded it"
+                )
 
     # -- client-level invariants ---------------------------------------------
 

@@ -1,0 +1,322 @@
+"""The staged write path: one commit pipeline for every block.
+
+SEBDB's ordering/execution split (the ABCI-style application layer the
+paper's plug-in consensus implies): consensus totally orders batches,
+and this pipeline - alone - turns ordered input into chain state.  The
+lifecycle runs as six explicit, instrumented stages:
+
+1. **validate**  - signature checks, fronted by a verified-signature LRU
+   so retried/replayed transactions are not re-verified;
+2. **sequence**  - global tid assignment (deterministic across replicas);
+3. **package**   - deterministic block sealing (Merkle root, chaining);
+4. **persist**   - write-ahead commit record + segment append, so a
+   crash mid-append replays or discards deterministically on restart;
+5. **apply**     - catalog, indexes and MHTs observe the new block;
+6. **notify**    - block listeners (gossip announcers) hear about it.
+
+Every producer of blocks drives this one pipeline: consensus deliveries
+through :meth:`commit_batch`, catch-up/gossip adoption through
+:meth:`adopt_block`.  ``store.append_block`` outside this package is a
+layering violation the ``commit-path`` analysis rule rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..common.clock import Clock
+from ..common.errors import LedgerError, StorageError
+from ..common.lru import LRUCache
+from ..model.block import Block
+from ..model.catalog import Catalog
+from ..model.transaction import Transaction
+from ..storage.blockstore import BlockStore
+from ..storage.segment import BlockLocation
+from .commitlog import CheckpointRecord, CommitLog
+from .stats import LedgerStats
+
+#: fault modes :meth:`LedgerPipeline.crash_next_persist` accepts
+CRASH_TORN = "torn"
+CRASH_AFTER_APPEND = "after-append"
+
+
+class LedgerPipeline:
+    """Owns the block lifecycle from ordered batch to notified listeners."""
+
+    def __init__(
+        self,
+        store: BlockStore,
+        catalog: Catalog,
+        clock: Clock,
+        commit_log: Optional[CommitLog] = None,
+        verify_signatures: bool = False,
+        packager: str = "consensus",
+        sig_cache_entries: int = 4096,
+    ) -> None:
+        self._store = store
+        self._catalog = catalog
+        self._clock = clock
+        self.log = commit_log if commit_log is not None else CommitLog(None)
+        self.verify_signatures = verify_signatures
+        self.stats = LedgerStats()
+        self._packager = packager
+        self._next_tid = 0
+        self._rejected: list[Transaction] = []
+        self._block_listeners: list[Callable[[Block], None]] = []
+        #: positive signature verifications, keyed by transaction hash
+        self._sig_cache: LRUCache[bytes, bool] = LRUCache(
+            sig_cache_entries, size_of=lambda _: 1
+        )
+        #: store height through which apply has run on THIS pipeline object
+        #: (0 until bootstrap/rebuild; lets WAL replay tell an in-process
+        #: restart apart from a fresh process that rebuilds afterwards)
+        self._applied_height = 0
+        self._crash_persist: Optional[tuple[str, Optional[Callable[[], None]]]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bootstrap(self, genesis: Block) -> None:
+        """Commit the genesis block through persist + apply (fresh chain)."""
+        location = self._persist_block(genesis)
+        if location is None:
+            return
+        self._apply_block(genesis, location)
+        self._next_tid = len(genesis.transactions)
+
+    def rebuild_from_store(self) -> None:
+        """Re-derive catalog and tid counter from a recovered chain.
+
+        Index backfill is the :class:`~repro.index.manager.IndexManager`
+        constructor's own job, so only the catalog and the sequencer are
+        rebuilt here; the recovery reads do not count against the cost
+        model.
+        """
+        for block in self._store.iter_blocks():
+            self._catalog.apply_block(block)
+            if block.transactions:
+                self._next_tid = max(self._next_tid, block.last_tid + 1)
+        self._applied_height = self._store.height
+        self._store.cost.reset()
+
+    def resolve_wal(self) -> dict:
+        """Resolve a pending commit record left by a crash mid-persist.
+
+        A ``BEGIN`` without its ``COMMIT`` is resolved exactly one of two
+        ways: *replay* when the store recovered the block completely (the
+        append finished, only the commit mark is missing), or *discard*
+        when it did not (the torn tail past the last complete block is
+        truncated and the record aborted).  Idempotent when the log is
+        clean.
+        """
+        report = {"wal_replayed": 0, "wal_discarded": 0, "torn_bytes": 0}
+        pending = self.log.pending()
+        if pending is None:
+            return report
+        if self._store.height > pending.height:
+            if (self._store.header(pending.height).block_hash()
+                    != pending.block_hash):
+                raise LedgerError(
+                    f"pending commit record at height {pending.height} does "
+                    f"not match the recovered block"
+                )
+            self.log.commit(pending.height)
+            self.stats.wal_replayed += 1
+            report["wal_replayed"] = 1
+            # an in-process restart replays the apply/notify the crash cut
+            # short; a fresh process has applied nothing yet and rebuilds
+            # from the store right after this resolves
+            while 0 < self._applied_height < self._store.height:
+                height = self._applied_height
+                self._apply_block(
+                    self._store.read_block(height),
+                    self._store.location(height),
+                )
+        else:
+            removed = self._store.discard_torn_tail()
+            self.log.abort(pending.height)
+            self.stats.wal_discarded += 1
+            report["wal_discarded"] = 1
+            report["torn_bytes"] = removed
+        return report
+
+    # -- the commit path ---------------------------------------------------
+
+    def commit_batch(self, batch: Sequence[Transaction]) -> Optional[Block]:
+        """Deterministically turn a consensus-ordered batch into a block."""
+        accepted: list[Transaction] = []
+        with self.stats.timed("validate", len(batch)):
+            for tx in batch:
+                if self.verify_signatures and not self._signature_ok(tx):
+                    self._rejected.append(tx)
+                    self.stats.txs_rejected += 1
+                    continue
+                accepted.append(tx)
+        if not accepted:
+            return None
+        with self.stats.timed("sequence", len(accepted)):
+            sequenced = []
+            for tx in accepted:
+                sequenced.append(tx.with_tid(self._next_tid))
+                self._next_tid += 1
+        with self.stats.timed("package", len(sequenced)):
+            timestamp = max(
+                int(self._clock.now_ms()), max(tx.ts for tx in sequenced)
+            )
+            # the block must be byte-identical on every replica, so it
+            # carries no per-node identity: authenticity comes from
+            # consensus itself
+            block = Block.package(
+                prev_hash=self._store.tip_hash or b"\x00" * 32,
+                height=self._store.height,
+                timestamp=timestamp,
+                transactions=sequenced,
+                packager=self._packager,
+            )
+        location = self._persist_block(block)
+        if location is None:
+            return None  # simulated crash consumed the persist stage
+        self._apply_block(block, location)
+        with self.stats.timed("notify"):
+            for listener in self._block_listeners:
+                listener(block)
+        self.stats.blocks_committed += 1
+        self.stats.txs_committed += len(sequenced)
+        return block
+
+    def adopt_block(self, block: Block) -> None:
+        """Adopt a block produced elsewhere (sync / gossip catch-up).
+
+        Same persist and apply stages as a local commit; validate checks
+        chaining and the Merkle root instead of re-sequencing, and the
+        notify stage is skipped (an adopted block is never re-announced).
+        """
+        with self.stats.timed("validate", len(block.transactions)):
+            if block.header.height != self._store.height:
+                raise StorageError(
+                    f"cannot accept block {block.header.height} at height "
+                    f"{self._store.height}"
+                )
+            if (self._store.tip_hash is not None
+                    and block.header.prev_hash != self._store.tip_hash):
+                raise StorageError(
+                    f"block {block.header.height} does not chain to our tip"
+                )
+            if not block.verify_trans_root():
+                raise StorageError(
+                    f"block {block.header.height} has a corrupt transaction root"
+                )
+            if self.verify_signatures:
+                for tx in block.transactions:
+                    if tx.sig and not self._signature_ok(tx):
+                        raise StorageError(
+                            f"block {block.header.height} carries a "
+                            f"transaction with an invalid signature"
+                        )
+        location = self._persist_block(block)
+        if location is None:
+            return
+        self._apply_block(block, location)
+        self.stats.blocks_adopted += 1
+
+    # -- stages ------------------------------------------------------------
+
+    def _signature_ok(self, tx: Transaction) -> bool:
+        key = tx.hash()
+        if self._sig_cache.get(key) is not None:
+            self.stats.sig_cache_hits += 1
+            return True
+        self.stats.sig_checks += 1
+        if tx.verify_signature():
+            self._sig_cache.put(key, True)
+            return True
+        return False
+
+    def _persist_block(self, block: Block) -> Optional[BlockLocation]:
+        """Persist stage: intent record, segment append, commit record."""
+        with self.stats.timed("persist", len(block.transactions)):
+            data = block.to_bytes()
+            self.log.begin(block.header.height, block.block_hash(), len(data))
+            self.stats.wal_begun += 1
+            if self._crash_persist is not None:
+                mode, on_crash = self._crash_persist
+                self._crash_persist = None
+                if mode == CRASH_TORN:
+                    self._store.simulate_torn_append(
+                        data[: max(1, len(data) // 2)]
+                    )
+                else:
+                    self._store.append_block(block, notify=False)
+                if on_crash is not None:
+                    on_crash()
+                return None
+            location = self._store.append_block(block, notify=False)
+            self.log.commit(block.header.height)
+            self.stats.wal_committed += 1
+        return location
+
+    def _apply_block(self, block: Block, location: BlockLocation) -> None:
+        """Apply stage: catalog, then index/MHT maintenance listeners."""
+        with self.stats.timed("apply", len(block.transactions)):
+            self._catalog.apply_block(block)
+            self._store.notify_append_listeners(block, location)
+            if block.transactions:
+                self._next_tid = max(self._next_tid, block.last_tid + 1)
+        self._applied_height = block.header.height + 1
+
+    # -- durable engine checkpoints ----------------------------------------
+
+    def record_checkpoint(
+        self, seq: int, digest: bytes, votes: Sequence[str]
+    ) -> None:
+        """Persist a consensus checkpoint pinned to our chain position."""
+        if self._store.tip_hash is None:
+            return
+        self.log.record_checkpoint(
+            seq, digest, tuple(votes), self._store.height, self._store.tip_hash
+        )
+        self.stats.checkpoints_recorded += 1
+
+    @property
+    def chain_checkpoints(self) -> list[tuple[int, bytes]]:
+        """Durable (height, tip_hash) anchors, oldest first."""
+        return [(c.height, c.tip_hash) for c in self.log.checkpoints()]
+
+    @property
+    def latest_engine_checkpoint(self) -> Optional[CheckpointRecord]:
+        return self.log.latest_checkpoint()
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def next_tid(self) -> int:
+        return self._next_tid
+
+    @property
+    def rejected(self) -> list[Transaction]:
+        return list(self._rejected)
+
+    @property
+    def sig_cache(self) -> LRUCache[bytes, bool]:
+        return self._sig_cache
+
+    def add_block_listener(self, listener: Callable[[Block], None]) -> None:
+        self._block_listeners.append(listener)
+
+    # -- fault injection ---------------------------------------------------
+
+    def crash_next_persist(
+        self, mode: str = CRASH_TORN,
+        on_crash: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Arm a one-shot simulated crash inside the next persist stage.
+
+        ``torn`` writes the intent record plus half the block's bytes (a
+        power cut mid-``write``); ``after-append`` completes the segment
+        append but never writes the commit record.  ``on_crash`` runs at
+        the crash point (chaos harnesses pass ``node.crash``); the
+        pipeline then reports the persist as consumed instead of raising,
+        so consensus keeps delivering to the surviving replicas.
+        """
+        if mode not in (CRASH_TORN, CRASH_AFTER_APPEND):
+            raise LedgerError(f"unknown persist crash mode {mode!r}")
+        self._crash_persist = (mode, on_crash)

@@ -19,6 +19,7 @@ from ..common.errors import CatalogError, QueryError, StorageError
 from ..consensus.base import Checkpoint, ConsensusEngine, ReplyCallback
 from ..crypto.keys import KeyPair
 from ..index.manager import IndexManager
+from ..ledger import CRASH_TORN, CheckpointRecord, CommitLog, LedgerPipeline
 from ..model.block import Block
 from ..model.catalog import Catalog
 from ..model.genesis import make_genesis
@@ -52,9 +53,26 @@ class FullNode:
         self.config = config or SebdbConfig.in_memory()
         self.clock = clock or Clock()
         self.keypair = keypair or KeyPair.from_seed(node_id)
-        self.verify_signatures = verify_signatures
-        self.store = BlockStore(self.config)
+        #: the write-ahead commit log shares the chain's data directory
+        self.commit_log = CommitLog(self.config.data_dir)
+        # a persisted engine checkpoint lets segment recovery skip the
+        # Merkle recomputation over the quorum-certified prefix
+        self.store = BlockStore(
+            self.config, trusted_checkpoint=self.commit_log.trusted_anchor()
+        )
         self.catalog = Catalog()
+        #: the one write path: every block this node commits, adopts or
+        #: bootstraps goes through the staged ledger pipeline
+        self.ledger = LedgerPipeline(
+            self.store,
+            self.catalog,
+            self.clock,
+            commit_log=self.commit_log,
+            verify_signatures=verify_signatures,
+        )
+        # resolve a commit record torn by a crash mid-append BEFORE the
+        # indexes backfill, so they never observe an uncommitted block
+        self.ledger.resolve_wal()
         self.indexes = IndexManager(
             self.store,
             order=self.config.bptree_order,
@@ -64,38 +82,32 @@ class FullNode:
         self.access = access
         self.engine = QueryEngine(self.store, self.indexes, self.catalog, offchain)
         self._consensus = consensus
-        self._next_tid = 0
-        self._rejected: list[Transaction] = []
         #: True between :meth:`crash` and :meth:`restart`
         self.crashed = False
-        #: called with every locally packaged block (gossip announcers)
-        self._block_listeners: list[Callable[[Block], None]] = []
-        #: durable (height, tip_hash) pairs recorded at engine checkpoints;
-        #: restart re-verifies the chain only from the newest one
-        self._chain_checkpoints: list[tuple[int, bytes]] = []
         #: diagnostics of the most recent :meth:`restart`
         self.last_recovery: dict[str, Any] = {}
         if self.store.height > 0:
             # the store recovered an existing chain from its segment files:
             # rebuild the catalog and the tid counter instead of re-creating
             # a genesis block
-            for block in self.store.iter_blocks():
-                self.catalog.apply_block(block)
-                if block.transactions:
-                    self._next_tid = max(self._next_tid,
-                                         block.last_tid + 1)
-            self.store.cost.reset()
+            self.ledger.rebuild_from_store()
         else:
             if genesis is None:
                 genesis = make_genesis(timestamp=int(self.clock.now_ms()))
-            self.store.append_block(genesis)
-            self.catalog.apply_block(genesis)
-            self._next_tid = len(genesis.transactions)
+            self.ledger.bootstrap(genesis)
         if consensus is not None:
             consensus.register_replica(node_id, self.apply_batch)
             consensus.register_checkpoint_listener(
                 node_id, self._on_engine_checkpoint
             )
+
+    @property
+    def verify_signatures(self) -> bool:
+        return self.ledger.verify_signatures
+
+    @verify_signatures.setter
+    def verify_signatures(self, value: bool) -> None:
+        self.ledger.verify_signatures = value
 
     # -- write path -----------------------------------------------------------
 
@@ -159,41 +171,16 @@ class FullNode:
 
     def apply_batch(self, batch: Sequence[Transaction]) -> Optional[Block]:
         """Deterministically turn a committed batch into the next block."""
-        accepted: list[Transaction] = []
-        for tx in batch:
-            if self.verify_signatures and not tx.verify_signature():
-                self._rejected.append(tx)
-                continue
-            accepted.append(tx.with_tid(self._next_tid))
-            self._next_tid += 1
-        if not accepted:
-            return None
-        timestamp = max(
-            int(self.clock.now_ms()), max(tx.ts for tx in accepted)
-        )
-        # the block must be byte-identical on every replica, so it carries
-        # no per-node identity: authenticity comes from consensus itself
-        block = Block.package(
-            prev_hash=self.store.tip_hash or b"\x00" * 32,
-            height=self.store.height,
-            timestamp=timestamp,
-            transactions=accepted,
-            packager="consensus",
-        )
-        self.store.append_block(block)
-        self.catalog.apply_block(block)
-        for listener in self._block_listeners:
-            listener(block)
-        return block
+        return self.ledger.commit_batch(batch)
 
     @property
     def rejected_transactions(self) -> list[Transaction]:
         """Transactions dropped for invalid signatures."""
-        return list(self._rejected)
+        return self.ledger.rejected
 
     def add_block_listener(self, listener: Callable[[Block], None]) -> None:
         """Observe every block this node packages (gossip announce hook)."""
-        self._block_listeners.append(listener)
+        self.ledger.add_block_listener(listener)
 
     # -- engine checkpoints -----------------------------------------------------
 
@@ -202,16 +189,25 @@ class FullNode:
 
         Every registered node applied the same delivered batches when the
         quorum formed, so (height, tip_hash) is identical across live
-        nodes - a durable restart point that bounds how much chain a
-        recovery has to re-verify.
+        nodes.  The ledger writes the certificate (seq, digest, votes)
+        plus our chain position through the commit log, making it a
+        durable restart point: segment recovery skips Merkle work below
+        it, and a PBFT replica that lost its process state reseeds its
+        protocol state from it.
         """
-        if self.store.tip_hash is None:
-            return
-        self._chain_checkpoints.append((self.store.height, self.store.tip_hash))
+        self.ledger.record_checkpoint(
+            checkpoint.seq, checkpoint.digest, checkpoint.votes
+        )
 
     @property
     def chain_checkpoints(self) -> list[tuple[int, bytes]]:
-        return list(self._chain_checkpoints)
+        """Durable (height, tip_hash) anchors, oldest first."""
+        return self.ledger.chain_checkpoints
+
+    @property
+    def persisted_engine_checkpoint(self) -> Optional[CheckpointRecord]:
+        """The newest consensus checkpoint the commit log persisted."""
+        return self.ledger.latest_engine_checkpoint
 
     # -- crash / restart -------------------------------------------------------
 
@@ -229,6 +225,16 @@ class FullNode:
             self._consensus.unregister_replica(self.node_id)
             self._consensus.unregister_checkpoint_listener(self.node_id)
 
+    def crash_during_next_persist(self, mode: str = CRASH_TORN) -> None:
+        """Fault hook: crash-stop inside the next persist stage.
+
+        Arms the ledger's one-shot persist crash (``torn`` leaves half a
+        block in the segment, ``after-append`` a complete block without
+        its commit record) with :meth:`crash` as the crash point, so the
+        node drops out of consensus exactly as the power cut hits.
+        """
+        self.ledger.crash_next_persist(mode, on_crash=self.crash)
+
     def restart(self, peers: Sequence["FullNode"] = ()) -> int:
         """Recover from a crash and rejoin consensus.
 
@@ -242,6 +248,9 @@ class FullNode:
         """
         if not self.crashed:
             return 0
+        # first resolve a commit record the crash may have left pending
+        # (replay a complete append / truncate a torn one), then verify
+        wal = self.ledger.resolve_wal()
         verified = self.verify_local_chain()
         adopted = 0
         for peer in peers:
@@ -258,6 +267,8 @@ class FullNode:
             "verified": verified,
             "adopted": adopted,
             "from_checkpoint": verified < self.store.height - adopted,
+            "wal_replayed": wal["wal_replayed"],
+            "wal_discarded": wal["wal_discarded"],
         }
         return adopted
 
@@ -276,7 +287,7 @@ class FullNode:
         """
         start = 0
         if not full:
-            for height, tip_hash in reversed(self._chain_checkpoints):
+            for height, tip_hash in reversed(self.ledger.chain_checkpoints):
                 if height > self.store.height or height < 1:
                     continue
                 anchor = self.store.read_block(height - 1)
@@ -307,35 +318,11 @@ class FullNode:
     def accept_block(self, block: Block) -> None:
         """Adopt a block produced elsewhere (catch-up path).
 
-        Verifies height, hash chaining and the transaction Merkle root
-        before appending; used by :meth:`sync_from` and by gossip-driven
-        block propagation.
+        Runs the ledger pipeline's adoption path: validate (height, hash
+        chaining, transaction Merkle root), persist, apply.  Used by
+        :meth:`sync_from` and by gossip-driven block propagation.
         """
-        if block.header.height != self.store.height:
-            raise StorageError(
-                f"cannot accept block {block.header.height} at height "
-                f"{self.store.height}"
-            )
-        if (self.store.tip_hash is not None
-                and block.header.prev_hash != self.store.tip_hash):
-            raise StorageError(
-                f"block {block.header.height} does not chain to our tip"
-            )
-        if not block.verify_trans_root():
-            raise StorageError(
-                f"block {block.header.height} has a corrupt transaction root"
-            )
-        if self.verify_signatures:
-            for tx in block.transactions:
-                if tx.sig and not tx.verify_signature():
-                    raise StorageError(
-                        f"block {block.header.height} carries a transaction "
-                        f"with an invalid signature"
-                    )
-        self.store.append_block(block)
-        self.catalog.apply_block(block)
-        if block.transactions:
-            self._next_tid = max(self._next_tid, block.last_tid + 1)
+        self.ledger.adopt_block(block)
 
     def sync_from(self, peer: "FullNode") -> int:
         """Pull and verify every block we are missing from ``peer``.

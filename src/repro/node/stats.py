@@ -10,6 +10,8 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING
 
+from ..ledger import LedgerStats
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .fullnode import FullNode
 
@@ -38,6 +40,8 @@ class NodeStats:
     bytes_on_chain: int
     io_seeks: int
     io_page_transfers: int
+    #: the write path's per-stage counters (the ledger pipeline's view)
+    ledger: LedgerStats = dataclasses.field(default_factory=LedgerStats)
 
     def summary(self) -> str:
         """Human-readable rendering (used by the CLI's \\stats)."""
@@ -64,6 +68,7 @@ class NodeStats:
                 f"  {index.table}.{index.column} "
                 f"({index.kind}{auth}, {index.blocks_covered} block(s))"
             )
+        lines.extend(self.ledger.summary_lines())
         return "\n".join(lines)
 
 
@@ -116,4 +121,5 @@ def collect_stats(node: "FullNode") -> NodeStats:
         bytes_on_chain=bytes_on_chain,
         io_seeks=store.cost.seeks,
         io_page_transfers=store.cost.page_transfers,
+        ledger=node.ledger.stats,
     )

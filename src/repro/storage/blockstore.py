@@ -31,6 +31,7 @@ class BlockStore:
         self,
         config: Optional[SebdbConfig] = None,
         cost: Optional[CostModel] = None,
+        trusted_checkpoint: Optional[tuple[int, bytes]] = None,
     ) -> None:
         self.config = config or SebdbConfig.in_memory()
         self.cost = cost or CostModel()
@@ -51,10 +52,14 @@ class BlockStore:
             size_of=lambda t: t.size_bytes(),
         )
         self._listeners: list[Callable[[Block, BlockLocation], None]] = []
+        #: diagnostics of the most recent segment recovery
+        self.recovery_report: dict[str, object] = {}
         if self.config.data_dir is not None:
-            self._recover_from_segments()
+            self._recover_from_segments(trusted_checkpoint)
 
-    def _recover_from_segments(self) -> None:
+    def _recover_from_segments(
+        self, trusted_checkpoint: Optional[tuple[int, bytes]] = None
+    ) -> None:
         """Rebuild chain state by re-parsing existing on-disk segments.
 
         Blocks are self-delimiting (length-prefixed header, transaction
@@ -63,16 +68,45 @@ class BlockStore:
         transaction offsets.  Chaining and Merkle roots are re-verified;
         a torn tail (partial final write) stops recovery cleanly at the
         last complete block.
+
+        ``trusted_checkpoint`` is a durable ``(height, tip_hash)`` anchor
+        (the ledger's persisted engine checkpoint): blocks below it skip
+        the Merkle-root recomputation, because the prefix was quorum-
+        certified when the checkpoint was recorded.  If the recovered
+        chain does not reproduce the anchor hash, the whole store is
+        re-parsed with full verification - a corrupted store must never
+        hide behind a checkpoint.
         """
+        verify_below = 0
+        if trusted_checkpoint is not None:
+            verify_below = max(0, trusted_checkpoint[0])
+        skipped = self._parse_segments(verify_below)
+        fallback = False
+        if verify_below:
+            t_height, t_tip = trusted_checkpoint
+            anchored = (
+                self.height >= t_height
+                and self._headers[t_height - 1].block_hash() == t_tip
+            )
+            if not anchored:
+                fallback = True
+                self._reset_chain_state()
+                skipped = self._parse_segments(0)
+        self.recovery_report = {
+            "blocks": self.height,
+            "merkle_skipped": skipped,
+            "trusted_fallback": fallback,
+        }
+
+    def _parse_segments(self, verify_below: int) -> int:
+        """Sequentially parse every segment; returns Merkle checks skipped."""
         from ..common.codec import Reader
         from ..common.errors import CodecError
         from .segment import BlockLocation as _Loc
 
+        skipped = 0
         for segment in range(self._segments.segment_count):
-            path = self._segments._segment_path(segment)  # noqa: SLF001
-            if not path.exists():
-                continue
-            data = path.read_bytes()
+            data = self._segments.segment_payload(segment)
             offset = 0
             while offset < len(data):
                 reader = Reader(data, offset)
@@ -93,15 +127,17 @@ class BlockStore:
                         reader.read_raw(length)
                         tx_offsets.append((start - offset, length))
                 except CodecError:
-                    return  # torn tail: stop at the last complete block
+                    return skipped  # torn tail: stop at the last complete block
                 block = Block(header=header, transactions=tuple(txs))
                 if block.header.height != self.height:
-                    return
+                    return skipped
                 if (self._tip_hash is not None
                         and block.header.prev_hash != self._tip_hash):
-                    return
-                if not block.verify_trans_root():
-                    return
+                    return skipped
+                if block.header.height < verify_below:
+                    skipped += 1
+                elif not block.verify_trans_root():
+                    return skipped
                 length_total = reader.position - offset
                 self._locations.append(
                     _Loc(segment=segment, offset=offset, length=length_total)
@@ -110,6 +146,14 @@ class BlockStore:
                 self._headers.append(block.header)
                 self._tip_hash = block.block_hash()
                 offset = reader.position
+        return skipped
+
+    def _reset_chain_state(self) -> None:
+        self._locations = []
+        self._tx_offsets = []
+        self._headers = []
+        self._tip_hash = None
+        self.clear_caches()
 
     # -- chain state -------------------------------------------------------
 
@@ -146,8 +190,16 @@ class BlockStore:
 
     # -- writes ------------------------------------------------------------
 
-    def append_block(self, block: Block) -> BlockLocation:
-        """Append a sealed block; verifies chaining against the tip."""
+    def append_block(self, block: Block, *, notify: bool = True) -> BlockLocation:
+        """Append a sealed block; verifies chaining against the tip.
+
+        Only the ledger pipeline's persist stage may call this (enforced
+        by the ``commit-path`` analysis rule) - every other layer commits
+        through :class:`repro.ledger.LedgerPipeline`.  With
+        ``notify=False`` the append listeners (index/MHT maintenance) are
+        deferred; the pipeline fires them in its apply stage via
+        :meth:`notify_append_listeners`.
+        """
         if block.header.height != self.height:
             raise StorageError(
                 f"expected block height {self.height}, got {block.header.height}"
@@ -164,9 +216,38 @@ class BlockStore:
         self._tx_offsets.append(offsets)
         self._headers.append(block.header)
         self._tip_hash = block.block_hash()
+        if notify:
+            self.notify_append_listeners(block, location)
+        return location
+
+    def notify_append_listeners(self, block: Block, location: BlockLocation) -> None:
+        """Fire the append listeners for an already-persisted block."""
         for listener in self._listeners:
             listener(block, location)
-        return location
+
+    def simulate_torn_append(self, data: bytes) -> None:
+        """Fault hook: write raw bytes without admitting a block.
+
+        Models a crash mid-append - the bytes land in the active segment
+        but no chain state records them, exactly what a power cut between
+        the commit log's BEGIN and the completed segment write leaves
+        behind.  Only the fault-injection paths use this.
+        """
+        self._segments.append(data)
+
+    def discard_torn_tail(self) -> int:
+        """Truncate every segment byte past the last complete block.
+
+        Returns the number of bytes removed.  Called by the ledger's
+        write-ahead recovery when a pending commit record proves the
+        trailing bytes belong to a block that never committed.
+        """
+        if self._locations:
+            last = self._locations[-1]
+            return self._segments.truncate_after(
+                last.segment, last.offset + last.length
+            )
+        return self._segments.truncate_after(0, 0)
 
     # -- reads ---------------------------------------------------------------
 

@@ -64,6 +64,58 @@ class SegmentStore:
     def segment_count(self) -> int:
         return self._active + 1
 
+    def segment_payload(self, segment: int) -> bytes:
+        """Every byte currently stored in ``segment``.
+
+        The public accessor recovery scans use: a sequential re-parse of
+        each segment needs the raw payload including any torn tail, which
+        the location-addressed :meth:`read` cannot express.  A segment
+        that was never written reads back empty.
+        """
+        if self._dir is None:
+            if segment >= len(self._memory):
+                raise StorageError(f"no such segment {segment}")
+            return bytes(self._memory[segment])
+        path = self._segment_path(segment)
+        if not path.exists():
+            return b""
+        return path.read_bytes()
+
+    def truncate_after(self, segment: int, offset: int) -> int:
+        """Discard every byte past ``offset`` in ``segment`` and every
+        later segment; returns the number of bytes removed.
+
+        Only the write-path recovery may call this (discarding a torn
+        tail the commit log proves was never committed); stored blocks
+        themselves stay immutable.
+        """
+        removed = 0
+        if self._dir is None:
+            while len(self._memory) <= segment:
+                self._memory.append(bytearray())
+            for later in self._memory[segment + 1:]:
+                removed += len(later)
+            del self._memory[segment + 1:]
+            buf = self._memory[segment]
+            if len(buf) > offset:
+                removed += len(buf) - offset
+                del buf[offset:]
+        else:
+            for path in sorted(self._dir.glob("segment-*.dat")):
+                if int(path.stem.split("-")[1]) > segment:
+                    removed += path.stat().st_size
+                    path.unlink()
+            path = self._segment_path(segment)
+            if not path.exists():
+                path.touch()
+            elif path.stat().st_size > offset:
+                removed += path.stat().st_size - offset
+                with open(path, "r+b") as fh:
+                    fh.truncate(offset)
+        self._active = segment
+        self._active_offset = offset
+        return removed
+
     def append(self, data: bytes) -> BlockLocation:
         """Append ``data`` to the active segment, rolling over when full."""
         if not data:

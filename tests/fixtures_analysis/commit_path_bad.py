@@ -1,0 +1,10 @@
+"""Known-bad fixture for the ``commit-path`` rule: direct appends."""
+
+
+def sneak_a_block_in(store, block):
+    # consensus/node code committing around the ledger pipeline
+    return store.append_block(block)
+
+
+def sneak_without_notifying(self, block):
+    return self._store.append_block(block, notify=False)

@@ -1,0 +1,13 @@
+"""Known-good fixture for the ``commit-path`` rule: pipeline commits."""
+
+
+def commit_properly(ledger, batch):
+    return ledger.commit_batch(batch)
+
+
+def adopt_properly(ledger, block):
+    ledger.adopt_block(block)
+
+
+def reads_are_fine(store, height):
+    return store.read_block(height)

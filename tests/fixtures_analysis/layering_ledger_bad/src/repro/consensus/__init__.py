@@ -1,0 +1,1 @@
+from ..common import errors  # noqa: F401

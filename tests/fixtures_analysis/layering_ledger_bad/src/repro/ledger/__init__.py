@@ -1,0 +1,1 @@
+from ..consensus import base  # noqa: F401

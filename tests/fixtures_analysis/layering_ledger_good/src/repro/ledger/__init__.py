@@ -1,0 +1,1 @@
+from ..storage import blockstore  # noqa: F401

@@ -1,0 +1,1 @@
+from ..ledger import pipeline  # noqa: F401

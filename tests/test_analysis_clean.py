@@ -21,10 +21,12 @@ from tools.analysis.cli import main as cli_main  # noqa: E402
 from tools.analysis.core import ModuleInfo  # noqa: E402
 from tools.analysis.rules.determinism import DeterminismRule  # noqa: E402
 
-EXPECTED_RULES = {"determinism", "layering", "fault-path", "query-boundary"}
+EXPECTED_RULES = {
+    "determinism", "layering", "fault-path", "query-boundary", "commit-path",
+}
 
 
-def test_all_four_rules_are_registered():
+def test_all_rules_are_registered():
     import tools.analysis.rules  # noqa: F401
 
     assert EXPECTED_RULES <= set(REGISTRY)

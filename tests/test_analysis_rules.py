@@ -10,6 +10,7 @@ if str(REPO_ROOT) not in sys.path:
 
 from tools.analysis import run_analysis  # noqa: E402
 from tools.analysis.core import Diagnostic, ModuleInfo  # noqa: E402
+from tools.analysis.rules.commit_path import CommitPathRule  # noqa: E402
 from tools.analysis.rules.determinism import DeterminismRule  # noqa: E402
 from tools.analysis.rules.fault_paths import (  # noqa: E402
     FaultPathRule,
@@ -115,6 +116,26 @@ class TestLayeringRule:
         from tools.analysis import policy
         assert policy.LAYER_OF["mht"] > policy.LAYER_OF["model"]
 
+    def test_ledger_band_rejects_upward_consensus_import(self):
+        """The ledger package sits below consensus in the layer DAG."""
+        diags = run_analysis(FIXTURES / "layering_ledger_bad", ["layering"])
+        upward = [d for d in diags if "upward import" in d.message]
+        assert len(upward) == 1
+        assert "ledger" in upward[0].message
+        assert "consensus" in upward[0].message
+
+    def test_ledger_band_allows_node_and_storage_edges(self):
+        """node -> ledger and ledger -> storage are legal downward edges."""
+        assert run_analysis(
+            FIXTURES / "layering_ledger_good", ["layering"]
+        ) == []
+
+    def test_ledger_is_registered_in_the_layer_map(self):
+        from tools.analysis import policy
+        assert policy.LAYER_OF["ledger"] > policy.LAYER_OF["storage"]
+        assert policy.LAYER_OF["ledger"] < policy.LAYER_OF["consensus"]
+        assert policy.LAYER_OF["ledger"] < policy.LAYER_OF["node"]
+
     def test_relative_import_resolution(self):
         source = (
             "from ..common import errors\n"
@@ -175,6 +196,36 @@ class TestQueryBoundaryRule:
         rule = QueryBoundaryRule()
         assert rule.wants(ModuleInfo(Path("x"), "query/engine.py", ""))
         assert not rule.wants(ModuleInfo(Path("x"), "storage/scan.py", ""))
+
+
+# -- commit-path -------------------------------------------------------------
+
+class TestCommitPathRule:
+    def test_bad_fixture_is_flagged(self):
+        module = _module("commit_path_bad.py", "consensus/fixture.py")
+        diags = _run_rule_module(CommitPathRule(), module)
+        assert len(diags) == 2
+        assert all("append_block" in d.message for d in diags)
+        assert all("LedgerPipeline" in d.message for d in diags)
+
+    def test_good_fixture_is_clean(self):
+        module = _module("commit_path_good.py", "consensus/fixture.py")
+        assert _run_rule_module(CommitPathRule(), module) == []
+
+    def test_ledger_package_is_allowlisted(self):
+        rule = CommitPathRule()
+        assert not rule.wants(ModuleInfo(Path("x"), "ledger/pipeline.py", ""))
+        assert rule.wants(ModuleInfo(Path("x"), "node/fullnode.py", ""))
+        assert rule.wants(ModuleInfo(Path("x"), "consensus/kafka.py", ""))
+
+    def test_node_layer_append_is_caught(self):
+        """Reverting FullNode to direct appends must make the suite exit 1."""
+        source = "def apply(self, block):\n    self.store.append_block(block)\n"
+        module = ModuleInfo(
+            Path("src/repro/node/fullnode.py"), "node/fullnode.py", source
+        )
+        diags = _run_rule_module(CommitPathRule(), module)
+        assert len(diags) == 1 and diags[0].line == 2
 
 
 # -- diagnostics -------------------------------------------------------------

@@ -452,3 +452,120 @@ class TestNodeCrashRestart:
         net.commit()
         assert net.nodes[2].store.tip_hash == net.nodes[0].store.tip_hash
         assert InvariantChecker(net.nodes).check().ok
+
+
+class TestCrashMidAppendSoak:
+    """The ISSUE's durability scenario: the power cut lands *inside* the
+    persist stage, between the intent record and the commit record."""
+
+    @pytest.mark.parametrize("mode", ["torn", "after-append"])
+    def test_persist_crash_heals_on_restart(self, mode):
+        net = SebdbNetwork(num_nodes=4, consensus="kafka", seed=29,
+                           batch_txs=5, timeout_ms=40)
+        net.execute("CREATE t (v int)")
+        sub = ResilientSubmitter(net.consensus, net.bus, seed=29,
+                                 attempt_timeout_ms=300.0)
+        submit_over_time(net, sub, count=20, window_ms=800)
+        # arm the one-shot fault: node-3 loses power inside the persist
+        # stage of the next batch consensus delivers to it
+        net.bus.schedule(
+            200.0, lambda: net.nodes[3].crash_during_next_persist(mode)
+        )
+        drive(net, 3_000)
+        victim = net.nodes[3]
+        assert victim.crashed
+        # the crash left the intent record unresolved - exactly the state
+        # restart must repair before rejoining
+        assert victim.commit_log.pending() is not None
+        victim.restart(peers=net.nodes[:3])
+        recovery = victim.last_recovery
+        if mode == "torn":
+            assert recovery["wal_discarded"] == 1 and recovery["wal_replayed"] == 0
+        else:
+            assert recovery["wal_replayed"] == 1 and recovery["wal_discarded"] == 0
+        assert recovery["adopted"] > 0
+        assert victim.commit_log.pending() is None
+        drive(net, 1_000)
+        # safety contract holds: no torn block, no lost or duplicated ack
+        report = InvariantChecker(net.nodes, [sub]).check()
+        assert report.ok
+        assert report.acked == 20 and report.pending == 0
+        assert len({node.store.tip_hash for node in net.nodes}) == 1
+
+    def test_persist_crash_run_is_deterministic(self):
+        def run():
+            net = SebdbNetwork(num_nodes=4, consensus="kafka", seed=29,
+                               batch_txs=5, timeout_ms=40)
+            net.execute("CREATE t (v int)")
+            sub = ResilientSubmitter(net.consensus, net.bus, seed=29,
+                                     attempt_timeout_ms=300.0)
+            submit_over_time(net, sub, count=20, window_ms=800)
+            net.bus.schedule(
+                200.0,
+                lambda: net.nodes[3].crash_during_next_persist("torn"),
+            )
+            drive(net, 3_000)
+            net.nodes[3].restart(peers=net.nodes[:3])
+            drive(net, 1_000)
+            return tuple(node.store.tip_hash for node in net.nodes)
+
+        assert run() == run()
+
+
+class TestDurableCheckpointRecovery:
+    """ISSUE acceptance: a PBFT replica that loses its *process* state
+    proves its prefix back from the checkpoint certificate its co-located
+    node persisted through the commit log - no full re-verification, no
+    re-execution of covered sequences."""
+
+    def test_wiped_replica_reseeds_from_the_persisted_certificate(self):
+        net = SebdbNetwork(num_nodes=4, consensus="pbft", seed=31,
+                           batch_txs=2, timeout_ms=30)
+        net.consensus.checkpoint_interval = 3
+        net.execute("CREATE t (v int)")
+        sub = ResilientSubmitter(net.consensus, net.bus, seed=31,
+                                 attempt_timeout_ms=700.0, max_attempts=10)
+        submit_over_time(net, sub, count=12, window_ms=800)
+        drive(net, 4_000)
+        node = net.nodes[3]
+        # the engine's stable checkpoints were persisted, pinned to the
+        # chain position they certify
+        assert node.ledger.stats.checkpoints_recorded >= 1
+        certificate = node.persisted_engine_checkpoint
+        assert certificate is not None
+        assert len(certificate.votes) >= 3  # 2f+1 with n=4
+        # full process restart: the replica loses everything PBFT keeps
+        # in RAM; only the node's segments and commit log survive
+        node.crash()
+        net.consensus.crash(3)
+        net.consensus.wipe(3)
+        replica = net.consensus.replicas[3]
+        assert replica.last_executed == -1
+        assert replica.stable_checkpoint is None
+        # an under-voted certificate is refused ...
+        assert not net.consensus.reseed_replica(
+            3, {"seq": certificate.seq, "digest": certificate.digest,
+                "votes": ["pbft-0"]},
+        )
+        # ... the durable 2f+1 certificate is not: the replica jumps its
+        # protocol state to the certified sequence without re-running the
+        # three-phase protocol for any covered sequence
+        proof = {"seq": certificate.seq, "digest": certificate.digest,
+                 "votes": list(certificate.votes)}
+        assert net.consensus.reseed_replica(3, proof)
+        assert replica.last_executed == certificate.seq
+        assert replica.sequences_skipped == certificate.seq + 1
+        assert replica.stable_checkpoint is not None
+        # the node proves its chain prefix from the recorded anchor
+        # instead of re-verifying every Merkle root back to genesis
+        net.consensus.restart(3)
+        node.restart(peers=net.nodes[:3])
+        assert node.last_recovery["from_checkpoint"]
+        # and the deployment keeps committing with the reseeded replica
+        submit_over_time(net, sub, count=6, window_ms=400)
+        drive(net, 4_000)
+        report = InvariantChecker(net.nodes, [sub]).check()
+        assert report.ok
+        assert report.acked == 18 and report.pending == 0
+        assert len({n.store.tip_hash for n in net.nodes}) == 1
+        assert len({n.store.height for n in net.nodes}) == 1

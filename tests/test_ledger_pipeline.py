@@ -1,0 +1,342 @@
+"""Tests for the staged write path: pipeline stages, the write-ahead
+commit log, signature caching, and crash-mid-append recovery."""
+
+import pytest
+
+from repro.common.codec import Writer
+from repro.common.config import SebdbConfig
+from repro.common.errors import LedgerError, StorageError
+from repro.ledger import (
+    STAGES,
+    BeginRecord,
+    CheckpointRecord,
+    CommitLog,
+    CommitRecord,
+)
+from repro.model.transaction import Transaction
+from repro.node import FullNode
+from repro.node.stats import collect_stats
+
+
+def durable_config(tmp_path, **overrides):
+    return SebdbConfig.in_memory(data_dir=tmp_path, **overrides)
+
+
+# -- the commit log ----------------------------------------------------------
+
+class TestCommitLog:
+    def test_begin_commit_resolves_pending(self):
+        log = CommitLog(None)
+        log.begin(3, b"\x01" * 32, 100)
+        assert isinstance(log.pending(), BeginRecord)
+        assert log.pending().height == 3
+        log.commit(3)
+        assert log.pending() is None
+
+    def test_begin_abort_resolves_pending(self):
+        log = CommitLog(None)
+        log.begin(3, b"\x01" * 32, 100)
+        log.abort(3)
+        assert log.pending() is None
+        # the log accepts a fresh intent after the abort
+        log.begin(3, b"\x02" * 32, 90)
+        assert log.pending().block_hash == b"\x02" * 32
+
+    def test_begin_while_pending_is_refused(self):
+        log = CommitLog(None)
+        log.begin(3, b"\x01" * 32, 100)
+        with pytest.raises(LedgerError):
+            log.begin(4, b"\x02" * 32, 100)
+
+    def test_durable_reload_roundtrips_records(self, tmp_path):
+        log = CommitLog(tmp_path)
+        log.begin(0, b"\x0a" * 32, 64)
+        log.commit(0)
+        log.record_checkpoint(7, b"\x0b" * 32, ("pbft-0", "pbft-1", "pbft-2"),
+                              height=8, tip_hash=b"\x0c" * 32)
+        reloaded = CommitLog(tmp_path)
+        assert reloaded.records == log.records
+        assert reloaded.pending() is None
+        assert reloaded.trusted_anchor() == (8, b"\x0c" * 32)
+        cp = reloaded.latest_checkpoint()
+        assert isinstance(cp, CheckpointRecord)
+        assert cp.seq == 7 and cp.votes == ("pbft-0", "pbft-1", "pbft-2")
+
+    def test_torn_log_tail_is_dropped(self, tmp_path):
+        log = CommitLog(tmp_path)
+        log.begin(0, b"\x0a" * 32, 64)
+        log.commit(0)
+        # a crash mid-log-write: a length prefix promising 50 bytes
+        # followed by only two
+        writer = Writer()
+        writer.write_varint(50)
+        with open(tmp_path / "commit.log", "ab") as fh:
+            fh.write(writer.getvalue() + b"\x01\x02")
+        reloaded = CommitLog(tmp_path)
+        assert reloaded.torn_log_bytes > 0
+        assert len(reloaded) == 2
+        assert isinstance(reloaded.records[1], CommitRecord)
+        assert reloaded.pending() is None
+
+    def test_latest_checkpoint_wins(self):
+        log = CommitLog(None)
+        log.record_checkpoint(3, b"\x01" * 32, ("pbft-0",), 4, b"\x02" * 32)
+        log.record_checkpoint(7, b"\x03" * 32, ("pbft-1",), 8, b"\x04" * 32)
+        assert log.trusted_anchor() == (8, b"\x04" * 32)
+        assert [c.seq for c in log.checkpoints()] == [3, 7]
+
+
+# -- pipeline stages and counters --------------------------------------------
+
+class TestPipelineStages:
+    def test_standalone_commits_run_every_stage(self):
+        node = FullNode("n0")
+        node.create_table("CREATE t (a string)")
+        for i in range(3):
+            node.insert("t", (f"v{i}",))
+        stats = node.ledger.stats
+        # schema block + three inserts, each through all six stages
+        assert stats.blocks_committed == 4
+        assert stats.txs_committed == 4
+        for name in STAGES:
+            assert stats.stage(name).calls >= 4, name
+        # genesis runs persist/apply but not validate
+        assert stats.stage("persist").calls == stats.stage("validate").calls + 1
+        assert stats.wal_committed == stats.wal_begun == 5
+
+    def test_adoption_counts_separately(self):
+        source = FullNode("n0")
+        source.create_table("CREATE t (a string)")
+        source.insert("t", ("x",))
+        sink = FullNode("n1", genesis=source.store.read_block(0))
+        sink.sync_from(source)
+        stats = sink.ledger.stats
+        assert stats.blocks_adopted == 2
+        assert stats.blocks_committed == 0
+        assert stats.stage("notify").calls == 0  # adopted, never re-announced
+        assert sink.store.tip_hash == source.store.tip_hash
+
+    def test_stage_breakdown_covers_canonical_order(self):
+        node = FullNode("n0")
+        node.create_table("CREATE t (a string)")
+        breakdown = node.ledger.stats.stage_breakdown()
+        assert tuple(breakdown) == STAGES
+        assert all(ms >= 0.0 for ms in breakdown.values())
+
+    def test_node_stats_fold_in_the_ledger(self):
+        node = FullNode("n0")
+        node.create_table("CREATE t (a string)")
+        node.insert("t", ("x",))
+        summary = collect_stats(node).summary()
+        assert "write path:" in summary
+        assert "commit log:" in summary
+        for name in STAGES:
+            assert name in summary
+
+
+# -- validate stage: signatures ----------------------------------------------
+
+class TestSignatureValidation:
+    def test_verified_signature_cache_skips_rechecks(self, keypair):
+        node = FullNode("n0", verify_signatures=True)
+        node.create_table("CREATE donate (donor string, amount decimal)")
+        tx = Transaction.create("donate", ("Jack", 10.0), ts=1, keypair=keypair)
+        before = node.ledger.stats.sig_checks
+        node.apply_batch([tx, tx])
+        assert node.ledger.stats.sig_checks == before + 1
+        assert node.ledger.stats.sig_cache_hits == 1
+
+    def test_unsigned_transactions_are_rejected(self, keypair):
+        node = FullNode("n0", verify_signatures=True)
+        node.create_table("CREATE donate (donor string, amount decimal)")
+        good = Transaction.create("donate", ("Jack", 10.0), ts=1,
+                                  keypair=keypair)
+        bad = Transaction.create("donate", ("Eve", 10.0), ts=1, sender="eve")
+        height = node.store.height
+        block = node.apply_batch([bad, good])
+        assert block is not None and len(block.transactions) == 1
+        assert node.store.height == height + 1
+        assert node.ledger.stats.txs_rejected == 1
+        assert node.rejected_transactions == [bad]
+
+    def test_all_rejected_batch_produces_no_block(self):
+        node = FullNode("n0", verify_signatures=True)
+        node.create_table("CREATE donate (donor string, amount decimal)")
+        bad = Transaction.create("donate", ("Eve", 1.0), ts=1, sender="eve")
+        height = node.store.height
+        assert node.apply_batch([bad]) is None
+        assert node.store.height == height
+        assert node.ledger.stats.wal_begun == node.ledger.stats.wal_committed
+
+
+# -- durable engine checkpoints ----------------------------------------------
+
+class TestTrustedCheckpointRecovery:
+    def test_recovery_skips_merkle_work_below_the_anchor(self, tmp_path):
+        node = FullNode("n0", config=durable_config(tmp_path))
+        node.create_table("CREATE t (a string)")
+        for i in range(6):
+            node.insert("t", (f"v{i}",))
+        node.ledger.record_checkpoint(
+            seq=5, digest=b"\x0d" * 32, votes=("pbft-0", "pbft-1", "pbft-2")
+        )
+        height = node.store.height
+        del node
+
+        reopened = FullNode("n0", config=durable_config(tmp_path))
+        report = reopened.store.recovery_report
+        assert report["blocks"] == height
+        assert report["merkle_skipped"] == height
+        assert report["trusted_fallback"] is False
+        cp = reopened.persisted_engine_checkpoint
+        assert cp is not None and cp.seq == 5
+        assert cp.votes == ("pbft-0", "pbft-1", "pbft-2")
+        assert len(reopened.query("SELECT * FROM t")) == 6
+
+    def test_mismatched_anchor_falls_back_to_full_reverify(self, tmp_path):
+        node = FullNode("n0", config=durable_config(tmp_path))
+        node.create_table("CREATE t (a string)")
+        node.insert("t", ("x",))
+        # a checkpoint whose tip hash does not match the stored chain: the
+        # store must refuse the fast path rather than trust a bad anchor
+        node.commit_log.record_checkpoint(
+            5, b"\x0e" * 32, ("pbft-0", "pbft-1", "pbft-2"),
+            height=node.store.height, tip_hash=b"\x11" * 32,
+        )
+        height = node.store.height
+        del node
+
+        reopened = FullNode("n0", config=durable_config(tmp_path))
+        report = reopened.store.recovery_report
+        assert report["trusted_fallback"] is True
+        assert report["merkle_skipped"] == 0
+        assert report["blocks"] == height
+        reopened.verify_local_chain(full=True)
+
+    def test_checkpointed_verify_starts_at_the_anchor(self):
+        node = FullNode("n0")
+        node.create_table("CREATE t (a string)")
+        for i in range(4):
+            node.insert("t", (f"v{i}",))
+        node.ledger.record_checkpoint(3, b"\x0f" * 32, ("pbft-0",))
+        anchored_height = node.store.height
+        node.insert("t", ("after",))
+        # only the suffix past the anchor needs re-verification
+        assert node.verify_local_chain() == node.store.height - anchored_height + 1
+        assert node.verify_local_chain(full=True) == node.store.height
+
+
+# -- crash mid-append ---------------------------------------------------------
+
+class TestCrashMidAppend:
+    def _seed(self, tmp_path):
+        node = FullNode("n0", config=durable_config(tmp_path))
+        node.create_table("CREATE t (a string)")
+        node.insert("t", ("committed",))
+        return node
+
+    def test_torn_append_is_discarded_on_restart(self, tmp_path):
+        node = self._seed(tmp_path)
+        height = node.store.height
+        node.crash_during_next_persist("torn")
+        node.insert("t", ("lost",))
+        assert node.crashed
+        assert node.commit_log.pending() is not None
+
+        node.restart()
+        assert node.last_recovery["wal_discarded"] == 1
+        assert node.last_recovery["wal_replayed"] == 0
+        assert node.store.height == height
+        assert node.commit_log.pending() is None
+        node.verify_local_chain(full=True)
+        # the torn write is gone; the client retries and the chain moves on
+        node.insert("t", ("retried",))
+        values = {tx.values[0] for tx in node.query("SELECT * FROM t").transactions}
+        assert values == {"committed", "retried"}
+
+    def test_completed_append_is_replayed_on_restart(self, tmp_path):
+        node = self._seed(tmp_path)
+        height = node.store.height
+        node.crash_during_next_persist("after-append")
+        node.insert("t", ("replayed",))
+        assert node.crashed
+
+        node.restart()
+        assert node.last_recovery["wal_replayed"] == 1
+        assert node.last_recovery["wal_discarded"] == 0
+        assert node.store.height == height + 1
+        assert node.commit_log.pending() is None
+        node.verify_local_chain(full=True)
+        values = {tx.values[0] for tx in node.query("SELECT * FROM t").transactions}
+        assert values == {"committed", "replayed"}
+
+    def test_torn_append_is_discarded_by_a_fresh_process(self, tmp_path):
+        node = self._seed(tmp_path)
+        height = node.store.height
+        node.crash_during_next_persist("torn")
+        node.insert("t", ("lost",))
+        del node
+
+        reopened = FullNode("n0", config=durable_config(tmp_path))
+        assert reopened.store.height == height
+        assert reopened.ledger.stats.wal_discarded == 1
+        assert reopened.commit_log.pending() is None
+        reopened.verify_local_chain(full=True)
+        assert len(reopened.query("SELECT * FROM t")) == 1
+
+    def test_completed_append_is_replayed_by_a_fresh_process(self, tmp_path):
+        node = self._seed(tmp_path)
+        height = node.store.height
+        node.crash_during_next_persist("after-append")
+        node.insert("t", ("replayed",))
+        del node
+
+        reopened = FullNode("n0", config=durable_config(tmp_path))
+        assert reopened.store.height == height + 1
+        assert reopened.ledger.stats.wal_replayed == 1
+        assert reopened.commit_log.pending() is None
+        reopened.verify_local_chain(full=True)
+        values = {
+            tx.values[0] for tx in reopened.query("SELECT * FROM t").transactions
+        }
+        assert values == {"committed", "replayed"}
+
+    def test_replay_refuses_a_mismatched_block(self, tmp_path):
+        node = self._seed(tmp_path)
+        node.crash_during_next_persist("after-append")
+        node.insert("t", ("replayed",))
+        # corrupt the intent record's hash: replay must refuse, not guess
+        pending = node.commit_log.pending()
+        node.commit_log._records[-1] = BeginRecord(
+            height=pending.height, block_hash=b"\x66" * 32,
+            length=pending.length,
+        )
+        with pytest.raises(LedgerError):
+            node.ledger.resolve_wal()
+
+    def test_unknown_crash_mode_is_refused(self):
+        node = FullNode("n0")
+        with pytest.raises(LedgerError):
+            node.crash_during_next_persist("meteor-strike")
+
+
+# -- adoption guards stay intact ----------------------------------------------
+
+class TestAdoptionGuards:
+    def test_forked_block_is_refused(self):
+        a = FullNode("a")
+        a.create_table("CREATE t (a string)")
+        a.insert("t", ("x",))
+        b = FullNode("b", genesis=a.store.read_block(0))
+        b.create_table("CREATE u (a string)")
+        # same height, different parent: a fork, not a catch-up
+        with pytest.raises(StorageError, match="does not chain"):
+            b.accept_block(a.store.read_block(2))
+
+    def test_height_gap_is_refused(self):
+        a = FullNode("a")
+        a.create_table("CREATE t (a string)")
+        a.insert("t", ("x",))
+        b = FullNode("b", genesis=a.store.read_block(0))
+        with pytest.raises(StorageError, match="cannot accept block"):
+            b.accept_block(a.store.read_block(2))

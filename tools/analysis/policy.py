@@ -14,7 +14,7 @@ LAYER_BANDS: tuple[frozenset, ...] = (
     frozenset({"common"}),
     frozenset({"model", "crypto", "sqlparser"}),
     frozenset({"storage", "index", "mht"}),
-    frozenset({"query", "offchain"}),
+    frozenset({"query", "offchain", "ledger"}),
     frozenset({"consensus", "network"}),
     frozenset({"node"}),
     frozenset({"client", "baselines"}),
@@ -83,7 +83,7 @@ ENTROPY_CALLS: frozenset = frozenset(
 
 # -- fault-path exception discipline ----------------------------------------
 
-FAULT_PATH_SCOPE: tuple = ("consensus", "network", "node", "client")
+FAULT_PATH_SCOPE: tuple = ("consensus", "network", "node", "client", "ledger")
 
 #: builtins that must not be raised on faultable paths - callers catch
 #: :class:`repro.common.errors.SebdbError`, and anything outside that
@@ -127,3 +127,13 @@ SCANNER_NAMES: frozenset = frozenset({"scanner", "_scanner"})
 
 #: receiver names that identify a block store
 STORE_NAMES: frozenset = frozenset({"store", "_store", "blockstore", "block_store"})
+
+# -- commit path -------------------------------------------------------------
+
+#: the only package allowed to call ``append_block`` on a store: the
+#: ledger pipeline's persist stage.  Everything else commits through
+#: :class:`repro.ledger.LedgerPipeline`.
+COMMIT_PATH_ALLOWED: tuple = ("ledger/",)
+
+#: store methods that admit a block into the chain
+COMMIT_METHODS: frozenset = frozenset({"append_block"})

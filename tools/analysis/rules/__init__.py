@@ -1,5 +1,11 @@
 """Importing this package registers every built-in rule."""
 
-from . import determinism, fault_paths, layering, query_boundary
+from . import commit_path, determinism, fault_paths, layering, query_boundary
 
-__all__ = ["determinism", "fault_paths", "layering", "query_boundary"]
+__all__ = [
+    "commit_path",
+    "determinism",
+    "fault_paths",
+    "layering",
+    "query_boundary",
+]

@@ -1,0 +1,49 @@
+"""Rule ``commit-path``: exactly one path admits blocks into the chain.
+
+The ledger pipeline's persist stage is the only code allowed to call
+``append_block`` on a block store.  Every other layer - consensus
+deliveries, node bootstrap, gossip adoption, sync catch-up, benchmarks -
+commits through :class:`repro.ledger.LedgerPipeline`, which brackets the
+segment append with write-ahead BEGIN/COMMIT records and fires the apply
+and notify stages.  A direct ``store.append_block(...)`` elsewhere
+bypasses the commit log (a crash there leaves an unresolvable torn
+tail), skips signature validation, and desynchronizes the catalog,
+indexes and stage counters.
+
+The allowlist lives in :data:`tools.analysis.policy.COMMIT_PATH_ALLOWED`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .. import policy
+from ..core import Diagnostic, ModuleInfo, Rule, register
+
+
+def scan_tree(tree: ast.AST, path: str, rule_id: str) -> List[Diagnostic]:
+    """All commit-path violations in one parsed module."""
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if node.attr in policy.COMMIT_METHODS:
+            out.append(Diagnostic(
+                path, node.lineno, rule_id,
+                f"direct .{node.attr}() call outside the ledger package - "
+                f"every block commits through "
+                f"repro.ledger.LedgerPipeline so the write-ahead commit "
+                f"record brackets the segment append",
+            ))
+    return out
+
+
+@register
+class CommitPathRule(Rule):
+    id = "commit-path"
+    description = "only the ledger pipeline appends blocks to a store"
+    excludes = policy.COMMIT_PATH_ALLOWED
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        return scan_tree(module.tree, str(module.path), self.id)
