@@ -16,6 +16,12 @@ from .generator import (
     spread_counts,
 )
 from .chaos_bench import ChaosSample, run_lossy_load, sweep_loss_rates
+from .failover_bench import (
+    FailoverSample,
+    render_failover_table,
+    run_leader_crash,
+    sweep_election_timeouts,
+)
 from .metrics import QueryMeasurement, ThroughputSample
 from .schema import (
     DISTRIBUTE,
@@ -40,6 +46,7 @@ __all__ = [
     "DISTRIBUTE",
     "DONATE",
     "Dataset",
+    "FailoverSample",
     "GAUSSIAN",
     "OFFCHAIN_TABLES",
     "ONCHAIN_SCHEMAS",
@@ -67,12 +74,15 @@ __all__ = [
     "create_standard_indexes",
     "kafka_factory",
     "print_table",
+    "render_failover_table",
     "run_closed_loop",
+    "run_leader_crash",
     "run_lossy_load",
     "run_query",
     "sebdb_row",
     "spread_counts",
     "sweep_clients",
+    "sweep_election_timeouts",
     "sweep_loss_rates",
     "tendermint_factory",
 ]

@@ -7,6 +7,7 @@ from .base import (
     ConsensusStats,
     SubmissionLedger,
 )
+from .broker import ORDERER_ID, BrokerCluster, BrokerNode
 from .kafka import BROKER_ID, KafkaOrderer
 from .pbft import BYZ_EQUIVOCATE, BYZ_SILENT, PBFTCluster
 from .tendermint import TendermintEngine
@@ -16,10 +17,13 @@ __all__ = [
     "BYZ_EQUIVOCATE",
     "BYZ_SILENT",
     "BatchBuffer",
+    "BrokerCluster",
+    "BrokerNode",
     "CommitCallback",
     "ConsensusEngine",
     "ConsensusStats",
     "KafkaOrderer",
+    "ORDERER_ID",
     "PBFTCluster",
     "SubmissionLedger",
     "TendermintEngine",

@@ -71,6 +71,13 @@ class ConsensusStats:
     checkpoints: int = 0
     #: state transfers completed by lagging replicas
     state_transfers: int = 0
+    #: state transfers whose payloads were bulk-fetched off the gossip
+    #: mesh instead of shipped inline (certificate-plus-manifest path)
+    bulk_transfers: int = 0
+    #: broker-cluster leader elections won (one count per new leader)
+    elections: int = 0
+    #: submissions that reached a non-leader broker and were redirected
+    redirects: int = 0
 
     def reset(self) -> None:
         self.submitted = 0
@@ -81,6 +88,9 @@ class ConsensusStats:
         self.view_changes = 0
         self.checkpoints = 0
         self.state_transfers = 0
+        self.bulk_transfers = 0
+        self.elections = 0
+        self.redirects = 0
 
 
 class AckChannel:

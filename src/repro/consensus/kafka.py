@@ -1,23 +1,28 @@
-"""Kafka-style ordering service.
+"""Kafka-style ordering service: the client-facing orderer facade.
 
 Models the crash-fault-tolerant ordering pipeline the paper benchmarks in
-Fig 7: clients publish transactions to a *transaction topic* on a single
-broker; one packager thread consumes the topic, cutting a block whenever
-either the batch size (200 txs) or the timeout (200 ms) is reached, and
-delivers the block to every peer.
+Fig 7: clients publish transactions to a *transaction topic*; a packager
+consumes the topic, cutting a block whenever either the batch size (200
+txs) or the timeout (200 ms) is reached, and delivers the block to every
+peer.
 
 The packager being a single thread is what caps throughput ("it comes to
 a threshold at 400 clients for a single thread is responsible for
-packaging and appending block to disk") - we model it with an explicit
-busy-until horizon: work requests queue behind one another, so per-tx
-processing cost bounds sustained throughput, and queueing delay shows up
-in client response times exactly as in the figure.
+packaging and appending block to disk") - the broker models it with an
+explicit busy-until horizon: work requests queue behind one another, so
+per-tx processing cost bounds sustained throughput, and queueing delay
+shows up in client response times exactly as in the figure.
 
-The broker is a real bus endpoint (``kafka-broker``): submissions travel
-over a faultable link, so chaos schedules can crash the broker's node,
-partition it, or drop/duplicate the submit traffic.  Nonce-carrying
-retries are deduplicated through a :class:`SubmissionLedger` - a retry of
-a committed transaction is re-acked, never re-ordered.
+The broker side lives in :mod:`repro.consensus.broker`: one or more real
+bus endpoints (``kafka-broker``, ``kafka-broker-1``, ...) forming a
+replicated cluster with leader election and ISR-quorum replication, so
+chaos schedules can crash the leader, partition followers, or drop and
+duplicate any of the traffic.  This module is the thin orderer facade
+clients talk to: it publishes submissions to the current leader (fanning
+a *note* to every other broker so the cluster learns of demand even when
+the leader is gone), tracks redirect replies to re-resolve leadership,
+and dedups nonce-carrying retries through a :class:`SubmissionLedger` -
+a retry of a committed transaction is re-acked, never re-ordered.
 """
 
 from __future__ import annotations
@@ -26,16 +31,29 @@ from typing import Any, Optional
 
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
-from .base import ADMIT_NEW, BatchBuffer, ConsensusEngine, ReplyCallback
+from .base import ConsensusEngine, ReplyCallback
+from .broker import (
+    BROKER_ID,
+    LEADER,
+    NOT_LEADER,
+    NOTE,
+    ORDERER_ID,
+    SUBMIT,
+    BrokerCluster,
+)
 
-#: bus node id of the single broker (the crash target of chaos runs)
-BROKER_ID = "kafka-broker"
-
-SUBMIT = "kafka-submit"
+__all__ = ["BROKER_ID", "ORDERER_ID", "SUBMIT", "KafkaOrderer"]
 
 
 class KafkaOrderer(ConsensusEngine):
-    """Single-broker ordering service with a serial packager."""
+    """Ordering service backed by a replicated broker cluster.
+
+    With the default ``num_brokers=1`` this is the paper's single-broker
+    pipeline, byte-for-byte: one bus endpoint, no election or replication
+    traffic, the same serial-packager timing.  With more brokers the
+    cluster elects a leader per epoch and the facade follows it through
+    NOT_LEADER/LEADER redirects.
+    """
 
     def __init__(
         self,
@@ -47,86 +65,107 @@ class KafkaOrderer(ConsensusEngine):
         per_block_cost_ms: float = 5.0,
         deliver_latency_ms: float = 1.0,
         broker_id: str = BROKER_ID,
+        num_brokers: int = 1,
+        election_timeout_ms: float = 300.0,
+        max_election_attempts: int = 8,
     ) -> None:
         super().__init__()
         self._bus = bus
-        self._buffer = BatchBuffer(batch_txs)
-        self._timeout = timeout_ms
         self._submit_latency = submit_latency_ms
-        self._per_tx = per_tx_cost_ms
-        self._per_block = per_block_cost_ms
-        self._deliver_latency = deliver_latency_ms
         self.broker_id = broker_id
         self.init_client_plumbing(bus)
-        #: simulated time until which the single packager thread is busy
-        self._busy_until = 0.0
-        bus.register(broker_id, self._on_message)
+        self.cluster = BrokerCluster(
+            self, bus,
+            num_brokers=num_brokers,
+            batch_txs=batch_txs,
+            timeout_ms=timeout_ms,
+            submit_latency_ms=submit_latency_ms,
+            per_tx_cost_ms=per_tx_cost_ms,
+            per_block_cost_ms=per_block_cost_ms,
+            deliver_latency_ms=deliver_latency_ms,
+            broker_id=broker_id,
+            election_timeout_ms=election_timeout_ms,
+            max_election_attempts=max_election_attempts,
+        )
+        #: where the next submission is published; redirects update it
+        self._leader_hint = broker_id
+        self._hint_epoch = 0
+        if num_brokers > 1:
+            # the facade's own endpoint only exists in clustered mode so
+            # single-broker deployments keep the exact legacy topology
+            bus.register(ORDERER_ID, self._on_meta)
+
+    # -- cluster accessors --------------------------------------------------------
+
+    @property
+    def broker_ids(self) -> list[str]:
+        return list(self.cluster.broker_ids)
+
+    @property
+    def leader_id(self) -> Optional[str]:
+        """The live broker currently claiming leadership (None mid-election)."""
+        leader = self.cluster.acting_leader()
+        return None if leader is None else leader.node_id
+
+    @property
+    def leader_hint(self) -> str:
+        return self._leader_hint
+
+    def crash_broker(self, node_id: str) -> None:
+        self.cluster.crash_broker(node_id)
+
+    def restart_broker(self, node_id: str) -> None:
+        self.cluster.restart_broker(node_id)
 
     # -- client side ----------------------------------------------------------
 
     def submit(
         self, tx: Transaction, on_reply: Optional[ReplyCallback] = None
     ) -> None:
-        """Publish a transaction to the broker's topic (a lossy link!)."""
+        """Publish a transaction to the leader's topic (a lossy link!).
+
+        In clustered mode every other broker receives a *note* carrying
+        the same submission: notes are how followers detect a dead leader
+        (unserved demand) and how a successor re-proposes submissions the
+        deposed leader took down with it.
+        """
         self.stats.submitted += 1
+        note_id = self.cluster.next_note()
+        hint = self._leader_hint
         self.stats.messages += 1
         self._bus.send(
-            "client", self.broker_id,
-            {"kind": SUBMIT, "tx": tx, "on_reply": on_reply},
+            "client", hint,
+            {"kind": SUBMIT, "tx": tx, "on_reply": on_reply, "note": note_id},
             delay_ms=self._submit_latency, fifo=True,
         )
+        for other in self.broker_ids:
+            if other == hint:
+                continue
+            self.stats.messages += 1
+            self._bus.send(
+                "client", other,
+                {"kind": NOTE, "tx": tx, "on_reply": on_reply,
+                 "note": note_id},
+                delay_ms=self._submit_latency,
+            )
 
     def flush(self) -> None:
-        self._cut(self._buffer.take_all())
+        self.cluster.flush()
 
-    # -- broker side -------------------------------------------------------------
+    # -- leader re-resolution -----------------------------------------------------
 
-    def _on_message(self, src: str, message: Any) -> None:
-        if isinstance(message, dict) and message.get("kind") == SUBMIT:
-            self._broker_receive(message["tx"], message.get("on_reply"))
-
-    def _broker_receive(
-        self, tx: Transaction, on_reply: Optional[ReplyCallback]
-    ) -> None:
-        # a retry either queues behind the pending original or is re-acked
-        # with the recorded commit time; the re-ack travels the broker->
-        # client link and can be lost again - the retry loop is the net
-        if self.admit_submission(
-            tx, on_reply, self.broker_id, self._deliver_latency
-        ) != ADMIT_NEW:
+    def _on_meta(self, src: str, message: Any) -> None:
+        """Track LEADER announcements and NOT_LEADER redirects."""
+        if not isinstance(message, dict):
             return
-        was_empty = len(self._buffer) == 0
-        # nonce-carrying txs ack through the ledger; legacy ones keep the
-        # callback attached to the buffer entry
-        self._buffer.append(tx, None if tx.dedup_key() else on_reply)
-        full = self._buffer.take_full()
-        if full is not None:
-            self._cut(full)
-        elif was_empty:
-            epoch = self._buffer.epoch
-            self._bus.schedule(self._timeout, lambda: self._on_timeout(epoch))
-
-    def _on_timeout(self, epoch: int) -> None:
-        # only fire if the buffer has not been cut since the timer was armed
-        if self._buffer.epoch == epoch and len(self._buffer):
-            self._cut(self._buffer.take_all())
-
-    def _cut(self, batch: list[tuple[Transaction, Optional[ReplyCallback]]]) -> None:
-        """Queue the batch behind the single packager thread."""
-        if not batch:
+        if message.get("kind") not in (LEADER, NOT_LEADER):
             return
-        now = self._bus.clock.now_ms()
-        work = self._per_block + self._per_tx * len(batch)
-        start = max(now, self._busy_until)
-        self._busy_until = start + work
-        done_in = self._busy_until - now
-
-        def finish() -> None:
-            self.stats.messages += len(self.replica_ids)
-            # acks are real broker->client messages: they drop while the
-            # broker is crashed and on lossy links
-            commit_time = self._bus.clock.now_ms() + self._deliver_latency
-            self.finish_commit(batch, self.broker_id, commit_time,
-                               self._deliver_latency)
-
-        self._bus.schedule(done_in, finish)
+        epoch = message.get("epoch")
+        leader = message.get("leader")
+        if not isinstance(epoch, int) or not isinstance(leader, str):
+            return
+        if leader not in self.cluster.broker_ids:
+            return
+        if epoch >= self._hint_epoch:
+            self._hint_epoch = epoch
+            self._leader_hint = leader

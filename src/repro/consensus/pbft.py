@@ -23,7 +23,11 @@ the basic protocol:
   certificate.  A replica that rejoins far behind (long partition,
   crash) sends STATE-REQ and installs a peer's certified checkpoint plus
   the committed tail, skipping the three-phase protocol for every
-  covered sequence instead of waiting for new-view re-proposals.
+  covered sequence instead of waiting for new-view re-proposals.  When
+  the tail exceeds ``state_tail_limit`` the responder ships only the
+  certificate plus a ``(seq, digest)`` **manifest** - bulk payloads
+  travel over the gossip mesh (see :mod:`repro.node.observer`), and the
+  manifest digests pin what the lagging replica may accept.
 
 This is the BFT plug-in of SEBDB's consensus layer (Example 4 of the
 paper runs four full nodes under PBFT) and the adversary model behind the
@@ -104,6 +108,9 @@ class _Replica:
         self.stable_checkpoint: Optional[Checkpoint] = None
         #: sequences adopted from a transferred checkpoint, not re-executed
         self.sequences_skipped = 0
+        #: seq -> certified batch digest from a bulk-transfer manifest;
+        #: inline tail entries must match before they are accepted
+        self.state_manifest: dict[int, bytes] = {}
         #: simulated time before which we will not re-broadcast STATE-REQ
         self._state_req_cooldown_until = 0.0
         #: progress timers do not initiate another view change before this:
@@ -513,6 +520,10 @@ class _Replica:
             self.sequences_skipped += checkpoint.seq - self.last_executed
             self.last_executed = checkpoint.seq
             self.exec_digest = checkpoint.digest
+            self.state_manifest = {
+                s: d for s, d in self.state_manifest.items()
+                if s > checkpoint.seq
+            }
             self.cluster.stats.state_transfers += 1
             self.request_state_transfer()
             self.try_execute()  # sequences past the jump may be committed
@@ -548,15 +559,24 @@ class _Replica:
             if state is None or not state.executed or state.batch is None:
                 break  # only a contiguous committed prefix is transferable
             tail.append((seq, state.batch))
-        response: dict[str, Any] = {"kind": STATE_RESP, "tail": tail}
+        response: dict[str, Any] = {"kind": STATE_RESP}
+        if len(tail) > self.cluster.state_tail_limit:
+            # the requester is too far behind for an inline tail: hand it
+            # the digest manifest instead and let the payloads travel over
+            # the gossip mesh; the manifest pins what it may accept
+            response["manifest"] = [
+                (seq, self.states[seq].digest) for seq, _batch in tail
+            ]
+        elif tail:
+            response["tail"] = tail
         if checkpoint is not None and checkpoint.seq > have:
             response["checkpoint"] = {
                 "seq": checkpoint.seq,
                 "digest": checkpoint.digest,
                 "votes": list(checkpoint.votes),
             }
-        if not tail and "checkpoint" not in response:
-            return
+        if len(response) == 1:
+            return  # nothing but the kind marker - no useful payload
         self.cluster.stats.messages += 1
         self.cluster.bus.send(self.node_id, src, response)
 
@@ -565,16 +585,30 @@ class _Replica:
         proof = message.get("checkpoint")
         if proof is not None and self._install_checkpoint(proof):
             progressed = True
+        manifest = message.get("manifest")
+        if manifest:
+            fresh = False
+            for seq, digest in manifest:
+                if seq > self.last_executed and seq not in self.state_manifest:
+                    self.state_manifest[seq] = digest
+                    fresh = True
+            if fresh:
+                self.cluster.stats.bulk_transfers += 1
         for seq, batch in message.get("tail", ()):
             if seq != self.last_executed + 1:
                 continue  # stale, duplicated, or out-of-order tail entry
+            digest = _batch_digest(batch)
+            expected = self.state_manifest.get(seq)
+            if expected is not None and digest != expected:
+                continue  # does not match the certified manifest digest
             state = self.state(seq)
             state.batch = batch
-            state.digest = _batch_digest(batch)
+            state.digest = digest
             state.prepared = True
             state.committed = True
             state.executed = True
             self.last_executed = seq
+            self.state_manifest.pop(seq, None)
             self.exec_digest = sha256(self.exec_digest + state.digest)
             self.cluster.on_replica_executed(self, seq, batch)
             self._maybe_emit_checkpoint(seq)
@@ -606,6 +640,9 @@ class _Replica:
         self.last_executed = seq
         self.exec_digest = digest
         self.states = {s: st for s, st in self.states.items() if s > seq}
+        self.state_manifest = {
+            s: d for s, d in self.state_manifest.items() if s > seq
+        }
         checkpoint = Checkpoint(seq=seq, digest=digest,
                                 votes=tuple(sorted(voters)))
         self.stable_checkpoint = checkpoint
@@ -630,12 +667,15 @@ class PBFTCluster(ConsensusEngine):
         checkpoint_interval: int = 32,
         view_change_timeout_ms: Optional[float] = None,
         max_view_change_attempts: int = 8,
+        state_tail_limit: int = 64,
     ) -> None:
         super().__init__()
         if n < 1:
             raise ConsensusError("PBFT needs at least one replica")
         if checkpoint_interval < 1:
             raise ConsensusError("checkpoint_interval must be positive")
+        if state_tail_limit < 1:
+            raise ConsensusError("state_tail_limit must be positive")
         self.bus = bus
         self.n = n
         self.f = (n - 1) // 3
@@ -647,6 +687,10 @@ class PBFTCluster(ConsensusEngine):
         )
         self.max_view_change_attempts = max_view_change_attempts
         self.checkpoint_interval = checkpoint_interval
+        #: longest committed tail a STATE-RESP ships inline; beyond this
+        #: the responder sends a digest manifest and the payloads move in
+        #: bulk over the gossip mesh
+        self.state_tail_limit = state_tail_limit
         self._submit_latency = submit_latency_ms
         self._buffer = BatchBuffer(batch_txs)
         self._timeout = timeout_ms
@@ -715,6 +759,7 @@ class PBFTCluster(ConsensusEngine):
         replica.checkpoint_votes = {}
         replica.stable_checkpoint = None
         replica.sequences_skipped = 0
+        replica.state_manifest = {}
         replica._state_req_cooldown_until = 0.0
         replica._vc_cooldown_until = 0.0
 

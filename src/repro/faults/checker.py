@@ -13,6 +13,17 @@ DESIGN.md §6):
   with a typed error (:class:`TimeoutError_` / :class:`RetryExhausted`),
   never silently dropped.
 
+When the run used a replicated ordering-broker cluster, pass the engine
+so the broker-level contract is audited too:
+
+* **No double-ordered batch** - the delivery log is one strictly
+  increasing, gap-free sequence (a batch acked by a deposed leader was
+  never re-ordered by its successor);
+* **No unresolved election** - the live brokers at the highest epoch
+  agree on exactly one leader;
+* **Converged ISR** - every live broker's replicated log is a prefix of
+  the acting leader's log.
+
 :class:`InvariantChecker` evaluates all of these and either returns an
 :class:`InvariantReport` or raises
 :class:`~repro.common.errors.DivergenceError` listing each violation.
@@ -60,11 +71,13 @@ class InvariantChecker:
         self,
         nodes: Sequence[FullNode],
         submitters: Sequence[ResilientSubmitter] = (),
+        engine: Optional[object] = None,
     ) -> None:
         if not nodes:
             raise ValueError("need at least one node to check")
         self.nodes = list(nodes)
         self.submitters = list(submitters)
+        self.engine = engine
 
     def check(self, raise_on_violation: bool = True) -> InvariantReport:
         report = InvariantReport()
@@ -77,6 +90,9 @@ class InvariantChecker:
             self._check_agreement(live, report)
             self._check_integrity(live, report)
             self._check_submissions(live[0], report)
+        cluster = getattr(self.engine, "cluster", None)
+        if cluster is not None:
+            self._check_broker_cluster(cluster, report)
         if raise_on_violation and report.violations:
             raise DivergenceError(
                 "safety violated after chaos run:\n  - "
@@ -126,6 +142,55 @@ class InvariantChecker:
                     f"{node.node_id} has an unresolved commit record: a "
                     f"live node must have replayed or discarded it"
                 )
+
+    # -- broker-cluster invariants --------------------------------------------
+
+    def _check_broker_cluster(self, cluster, report: InvariantReport) -> None:
+        # no double-ordered batch: the delivery log is one strictly
+        # increasing, gap-free sequence
+        seqs = [seq for seq, _epoch, _digest in cluster.delivery_log]
+        if seqs != list(range(len(seqs))):
+            report.violations.append(
+                f"broker delivery log is not a gap-free sequence: {seqs}"
+            )
+        live = [b for b in cluster.brokers if not b.crashed]
+        if not live:
+            return
+        # no unresolved election: the live brokers at the highest epoch
+        # agree on exactly one leader
+        top_epoch = max(b.epoch for b in live)
+        front = [b for b in live if b.epoch == top_epoch]
+        leaders = sorted({b.leader for b in front if b.leader is not None})
+        if len(leaders) != 1:
+            report.violations.append(
+                f"unresolved election at epoch {top_epoch}: "
+                f"leaders seen {leaders}"
+            )
+            return
+        acting = cluster.acting_leader()
+        if acting is None:
+            report.violations.append(
+                f"no live broker claims leadership for epoch {top_epoch}"
+            )
+            return
+        # converged ISR: every live broker's log is a prefix of the
+        # acting leader's log
+        for broker in live:
+            if broker is acting:
+                continue
+            if len(broker.log) > len(acting.log):
+                report.violations.append(
+                    f"{broker.node_id} holds {len(broker.log)} entries, "
+                    f"more than leader {acting.node_id}'s {len(acting.log)}"
+                )
+                continue
+            for index, entry in enumerate(broker.log):
+                if not entry.same_as(acting.log[index]):
+                    report.violations.append(
+                        f"{broker.node_id} log diverges from leader "
+                        f"{acting.node_id} at entry {index}"
+                    )
+                    break
 
     # -- client-level invariants ---------------------------------------------
 

@@ -110,6 +110,9 @@ class ChaosController:
         if index is not None:
             self.engine.crash(index)  # type: ignore[union-attr]
             return
+        if self._is_broker(node_id):
+            self.engine.crash_broker(node_id)  # type: ignore[union-attr]
+            return
         self.bus.fail(node_id)
 
     def _restart(self, node_id: str) -> None:
@@ -131,7 +134,17 @@ class ChaosController:
         if index is not None:
             self.engine.restart(index)  # type: ignore[union-attr]
             return
+        if self._is_broker(node_id):
+            self.engine.restart_broker(node_id)  # type: ignore[union-attr]
+            return
         self.bus.heal(node_id)
+
+    def _is_broker(self, node_id: str) -> bool:
+        """True for an ordering-broker bus id owned by the engine."""
+        return (
+            hasattr(self.engine, "crash_broker")
+            and node_id in getattr(self.engine, "broker_ids", ())
+        )
 
     def _gossips_of(self, node_id: str) -> list[BlockGossip]:
         return [g for g in self.gossips if g.node.node_id == node_id]

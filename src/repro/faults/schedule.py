@@ -145,6 +145,35 @@ class FaultSchedule:
             self.restart(start + downtime_ms, node)
         return self
 
+    def leader_failover(
+        self, at_ms: float, broker: str, downtime_ms: float
+    ) -> "FaultSchedule":
+        """Crash an ordering broker and bring it back ``downtime_ms`` later.
+
+        Aimed at the broker-cluster leader this forces an epoch-based
+        election mid-stream; the restarted broker rejoins as a follower
+        and resyncs its log from the new leader.
+        """
+        self.crash(at_ms, broker)
+        self.restart(at_ms + downtime_ms, broker)
+        return self
+
+    def broker_election_storm(
+        self,
+        at_ms: float,
+        brokers: Sequence[str],
+        gap_ms: float,
+        downtime_ms: float,
+    ) -> "FaultSchedule":
+        """Crash successive broker leaders so elections chain.
+
+        The broker-cluster mirror of :meth:`cascading_crashes` against
+        PBFT primaries: with ``gap_ms`` < ``downtime_ms`` the freshly
+        elected leader dies while its predecessor is still down, so the
+        cluster must escalate through multiple epochs to regain a quorum.
+        """
+        return self.cascading_crashes(at_ms, brokers, gap_ms, downtime_ms)
+
     def byzantine(
         self, at_ms: float, replica: int, mode: str = "silent"
     ) -> "FaultSchedule":

@@ -72,6 +72,9 @@ class LedgerPipeline:
         #: restart apart from a fresh process that rebuilds afterwards)
         self._applied_height = 0
         self._crash_persist: Optional[tuple[str, Optional[Callable[[], None]]]] = None
+        #: height -> certified block hash; bulk-transferred blocks adopted
+        #: at an anchored height must hash to exactly this value
+        self._anchors: dict[int, bytes] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -205,6 +208,14 @@ class LedgerPipeline:
                 raise StorageError(
                     f"block {block.header.height} has a corrupt transaction root"
                 )
+            anchor = self._anchors.get(block.header.height)
+            if anchor is not None:
+                self.stats.anchor_checks += 1
+                if block.header.block_hash() != anchor:
+                    raise StorageError(
+                        f"block {block.header.height} does not match the "
+                        f"certified adoption anchor"
+                    )
             if self.verify_signatures:
                 for tx in block.transactions:
                     if tx.sig and not self._signature_ok(tx):
@@ -280,6 +291,28 @@ class LedgerPipeline:
     def chain_checkpoints(self) -> list[tuple[int, bytes]]:
         """Durable (height, tip_hash) anchors, oldest first."""
         return [(c.height, c.tip_hash) for c in self.log.checkpoints()]
+
+    def add_adoption_anchor(self, height: int, block_hash: bytes) -> None:
+        """Pin the block hash a bulk transfer must produce at ``height``.
+
+        Anchors come from quorum-certified manifests (PBFT bulk state
+        transfer): a gossip-fetched block adopted at an anchored height
+        is rejected with :class:`StorageError` unless its hash matches,
+        so a corrupted or equivocated payload can never extend the chain
+        past a certified prefix.
+        """
+        if height < 0:
+            raise LedgerError(f"anchor height cannot be negative: {height}")
+        if not isinstance(block_hash, bytes) or len(block_hash) != 32:
+            raise LedgerError("anchor hash must be a 32-byte digest")
+        known = self._anchors.get(height)
+        if known is not None and known != block_hash:
+            raise LedgerError(
+                f"conflicting adoption anchor for height {height}"
+            )
+        if known is None:
+            self._anchors[height] = block_hash
+            self.stats.anchors_trusted += 1
 
     @property
     def latest_engine_checkpoint(self) -> Optional[CheckpointRecord]:

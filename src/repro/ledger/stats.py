@@ -59,6 +59,10 @@ class LedgerStats:
     wal_discarded: int = 0
     #: durable engine checkpoints recorded through the commit log
     checkpoints_recorded: int = 0
+    #: certified adoption anchors installed for bulk state transfer
+    anchors_trusted: int = 0
+    #: adopted blocks that were verified against an adoption anchor
+    anchor_checks: int = 0
 
     def stage(self, name: str) -> StageStats:
         return self.stages[name]
@@ -96,6 +100,8 @@ class LedgerStats:
         self.wal_replayed = 0
         self.wal_discarded = 0
         self.checkpoints_recorded = 0
+        self.anchors_trusted = 0
+        self.anchor_checks = 0
 
     def summary_lines(self) -> list[str]:
         """Human-readable rendering (folded into the CLI's \\stats)."""
@@ -107,6 +113,8 @@ class LedgerStats:
             f"commit log:   {self.wal_committed}/{self.wal_begun} records, "
             f"{self.wal_replayed} replayed, {self.wal_discarded} discarded, "
             f"{self.checkpoints_recorded} checkpoints",
+            f"anchors:      {self.anchors_trusted} trusted, "
+            f"{self.anchor_checks} adoption checks",
             "stages:",
         ]
         for name in STAGES:

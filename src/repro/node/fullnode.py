@@ -324,6 +324,43 @@ class FullNode:
         """
         self.ledger.adopt_block(block)
 
+    def adopt_certified_anchor(
+        self, record: dict[str, Any], quorum: int
+    ) -> bool:
+        """Trust a bulk-transfer anchor backed by a consensus certificate.
+
+        ``record`` is a ``{"height", "tip_hash", "votes"}`` mapping -
+        e.g. a peer's persisted engine checkpoint (see
+        :attr:`persisted_engine_checkpoint`) relayed during gossip-backed
+        state transfer.  The vote set must carry at least ``quorum``
+        distinct members; on success the certified chain position is
+        pinned in the ledger pipeline, so every gossip-fetched block
+        adopted at the anchored height is verified against the certified
+        hash before it can extend the chain.  Returns True when the
+        anchor was installed, False when we are already caught up.
+        """
+        height = record.get("height")
+        tip_hash = record.get("tip_hash")
+        if not isinstance(height, int) or height < 1:
+            raise StorageError("anchor certificate carries no usable height")
+        if not isinstance(tip_hash, bytes):
+            raise StorageError("anchor certificate carries no tip hash")
+        voters = {
+            voter for voter in record.get("votes", ())
+            if isinstance(voter, str)
+        }
+        if len(voters) < quorum:
+            raise StorageError(
+                f"anchor certificate carries {len(voters)} distinct "
+                f"vote(s), quorum is {quorum}"
+            )
+        if height <= self.store.height:
+            return False  # already at or past the certified position
+        # chain_checkpoints record (height, tip_hash) with tip_hash the
+        # hash of the block at height-1
+        self.ledger.add_adoption_anchor(height - 1, tip_hash)
+        return True
+
     def sync_from(self, peer: "FullNode") -> int:
         """Pull and verify every block we are missing from ``peer``.
 

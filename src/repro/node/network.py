@@ -48,6 +48,7 @@ class SebdbNetwork:
         verify_signatures: bool = False,
         batch_txs: Optional[int] = None,
         timeout_ms: Optional[float] = None,
+        num_brokers: int = 1,
     ) -> None:
         if num_nodes < 1:
             raise ConfigError("need at least one node")
@@ -61,7 +62,10 @@ class SebdbNetwork:
         if consensus is None:
             self.consensus = None
         elif consensus == "kafka":
-            self.consensus = KafkaOrderer(self.bus, batch_txs=batch, timeout_ms=timeout)
+            self.consensus = KafkaOrderer(
+                self.bus, batch_txs=batch, timeout_ms=timeout,
+                num_brokers=num_brokers,
+            )
         elif consensus == "pbft":
             self.consensus = PBFTCluster(
                 self.bus, n=num_nodes, batch_txs=batch, timeout_ms=timeout

@@ -55,7 +55,7 @@ class BlockGossip:
     def _validate_rumor(rumor_id: str, payload: bytes) -> bool:
         """Reject corrupted block rumors before they enter the rumor store.
 
-        A stored rumor is advertised in anti-entropy ``have`` lists, so
+        A stored rumor is covered by the anti-entropy watermark, so
         storing a corrupted payload would permanently shadow the clean
         copy.  Non-block rumors pass through untouched.
         """

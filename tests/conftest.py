@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -32,6 +33,19 @@ DISTRIBUTE = TableSchema.create(
     [("project", "string"), ("donor", "string"), ("organization", "string"),
      ("donee", "string"), ("amount", "decimal")],
 )
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize chaos soaks over a seed matrix.
+
+    The default matrix keeps local runs fast; CI's chaos job widens it
+    via ``SEBDB_SOAK_SEEDS`` (comma-separated ints) without touching the
+    tests themselves.
+    """
+    if "soak_seed" in metafunc.fixturenames:
+        raw = os.environ.get("SEBDB_SOAK_SEEDS", "11,29")
+        seeds = [int(part) for part in raw.split(",") if part.strip()]
+        metafunc.parametrize("soak_seed", seeds)
 
 
 @pytest.fixture(scope="session")

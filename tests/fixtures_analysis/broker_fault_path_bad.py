@@ -1,0 +1,27 @@
+"""Known-bad broker fault-path fixture: all four handlers are flagged.
+
+Each one is a failure mode the replicated broker must never ship: a
+swallowed replication error hides a shrinking ISR, and a builtin raise
+on the submit path sails past the client's typed retry machinery.
+"""
+
+
+def replicate(bus, peer, entries):
+    try:
+        bus.send(peer, entries)
+    except:  # BAD: bare except hides a crashed ISR member
+        pass
+
+
+def count_vote(votes, src):
+    try:
+        votes.add(src)
+    except Exception:  # BAD: pass-only body swallows the election error
+        pass
+
+
+def submit(tx, leader):
+    if leader is None:
+        raise ValueError("no leader")  # BAD: builtin on the submit path
+    if tx is None:
+        raise KeyError("tx")  # BAD: builtin on the submit path

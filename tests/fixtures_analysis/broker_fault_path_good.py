@@ -1,0 +1,35 @@
+"""Known-good broker fault-path fixture: zero diagnostics expected.
+
+Mirrors the replicated ordering broker's failure-handling idiom
+(``repro/consensus/broker.py``): crashed-peer sends are caught typed,
+stale-epoch traffic raises a local subclass of a sanctioned error, and
+configuration problems surface as ``ConfigError``.
+"""
+
+
+class StaleEpochError(NetworkError):  # local subclass of a sanctioned base
+    pass
+
+
+def replicate(bus, peer, entries, dropped):
+    try:
+        bus.send(peer, entries)
+    except NetworkError as exc:  # crashed peer: typed, handled, counted
+        dropped.append(exc)
+        return False
+    return True
+
+
+def forward_to_leader(bus, leader, message):
+    try:
+        bus.send(leader, message)
+    except Exception:
+        raise  # re-raising is fine
+
+
+def validate_cluster(num_brokers, epoch, local_epoch):
+    if num_brokers < 1:
+        raise ConfigError("a cluster needs at least one broker")
+    if epoch < local_epoch:
+        raise StaleEpochError("append from a deposed leader")
+    raise NotImplementedError  # contract stubs stay legal

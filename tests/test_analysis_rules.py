@@ -177,6 +177,45 @@ class TestFaultPathRule:
         assert not rule.wants(ModuleInfo(Path("x"), "faults/checker.py", ""))
 
 
+class TestBrokerModuleCoverage:
+    """The replicated ordering broker sits inside both analysis scopes:
+    the consensus layering band and the fault-path exception rules."""
+
+    def test_broker_is_in_fault_path_scope(self):
+        rule = FaultPathRule()
+        assert rule.wants(ModuleInfo(Path("x"), "consensus/broker.py", ""))
+
+    def test_bad_broker_fixture_is_flagged(self):
+        module = _module("broker_fault_path_bad.py", "consensus/broker.py")
+        diags = check_module_tree(module, SANCTIONED, FaultPathRule())
+        messages = "\n".join(d.message for d in diags)
+        assert len(diags) == 4
+        assert "bare except" in messages
+        assert "silently swallows" in messages
+        assert "raise ValueError" in messages
+        assert "raise KeyError" in messages
+
+    def test_good_broker_fixture_is_clean(self):
+        module = _module("broker_fault_path_good.py", "consensus/broker.py")
+        assert check_module_tree(module, SANCTIONED, FaultPathRule()) == []
+
+    def test_real_broker_module_stays_inside_its_band(self):
+        """Every import edge of the shipped broker module points at the
+        consensus band or a lower one - no upward edges."""
+        from tools.analysis import policy
+
+        path = REPO_ROOT / "src" / "repro" / "consensus" / "broker.py"
+        module = ModuleInfo(path, "consensus/broker.py", path.read_text())
+        edges = module_edges(module)
+        assert edges, "broker.py must import through the analysed graph"
+        band = policy.LAYER_OF["consensus"]
+        for source, target, line, _name in edges:
+            assert source == "consensus"
+            assert policy.LAYER_OF[target] <= band, (
+                f"upward import of {target!r} at broker.py:{line}"
+            )
+
+
 # -- query-boundary ----------------------------------------------------------
 
 class TestQueryBoundaryRule:

@@ -1,0 +1,379 @@
+"""Gossip-backed bulk state transfer tests.
+
+Covers the ISSUE's second tentpole leg plus its gossip satellites:
+
+* ``GossipNode._handle`` survives malformed / corrupted messages
+  (counted in ``dropped_malformed``, never raised);
+* anti-entropy advertises a height watermark + recent-ids digest, not an
+  O(chain-length) ``have`` list, and replies stream in bounded chunks;
+* beyond ``state_tail_limit`` a PBFT STATE-RESP carries only the 2f+1
+  checkpoint certificate plus a ``(seq, digest)`` manifest - a member
+  rejoining after a long partition fetches payloads over the gossip
+  mesh and verifies them against the certified adoption anchor before
+  the ledger applies them.
+"""
+
+import pytest
+
+from repro import (
+    InvariantChecker,
+    ResilientSubmitter,
+    SebdbNetwork,
+)
+from repro.common.errors import LedgerError, StorageError
+from repro.consensus.pbft import PBFTCluster, _batch_digest
+from repro.model.transaction import Transaction
+from repro.network import GossipNode, MessageBus
+from repro.node.observer import BlockGossip
+
+
+def make_tx(i: int) -> Transaction:
+    return Transaction.create("t", (f"v{i}",), ts=i, sender="c")
+
+
+class TestMalformedGossip:
+    def test_malformed_messages_are_dropped_and_counted(self):
+        bus = MessageBus(seed=1)
+        a = GossipNode("a", bus)
+        b = GossipNode("b", bus)
+        garbage = [
+            "not-a-dict",
+            42,
+            {"no": "kind"},
+            {"kind": "no-such-kind"},
+            {"kind": "gossip-push"},                       # no rumor_id
+            {"kind": "gossip-push", "rumor_id": 7, "payload": 1},
+            {"kind": "gossip-pull"},                       # no watermark
+            {"kind": "gossip-pull", "prefixes": "x", "plain": [], "limit": 4},
+            {"kind": "gossip-pull", "prefixes": {}, "plain": [], "limit": 0},
+            {"kind": "gossip-pull",
+             "prefixes": {"p": {"floor": "x", "contig": 1, "recent": []}},
+             "plain": [], "limit": 4},
+            {"kind": "gossip-pull-reply", "rumors": ["not", "a", "dict"]},
+            {"kind": "gossip-pull-reply", "rumors": {3: "bad-key"}},
+        ]
+        for message in garbage:
+            bus.send("b", "a", message)
+        bus.run_until_idle()
+        assert a.dropped_malformed == len(garbage)
+        # the node is still fully functional afterwards
+        b.publish("rumor", 1)
+        bus.run_until_idle()
+        assert a.knows("rumor")
+        assert b.dropped_malformed == 0
+
+
+class TestWatermarkAntiEntropy:
+    def test_watermark_summary_shape(self):
+        bus = MessageBus(seed=2)
+        node = GossipNode("w", bus)
+        for seq in (0, 1, 2, 3, 7, 9):
+            node.publish(f"blk-{seq}", seq)
+        node.publish("hello", "plain payload")
+        bus.run_until_idle()
+        marks = node._watermarks()
+        assert marks == {
+            "blk-": {"floor": 0, "contig": 3, "recent": [7, 9]},
+        }
+        assert node._plain_ids() == ["hello"]
+
+    def test_pull_carries_watermark_not_id_list(self):
+        bus = MessageBus(seed=3)
+        donor = GossipNode("donor", bus)
+        for i in range(50):
+            donor.publish(f"block-{i:06d}", i)
+        bus.run_until_idle()
+        pulls = []
+        bus.register("sink", lambda s, m: pulls.append(m))
+        fresh = GossipNode("fresh", bus)
+        for i in range(40):  # 0..39 contiguous: summarised by two ints
+            fresh.publish(f"block-{i:06d}", i)
+        bus.run_until_idle()
+        fresh.anti_entropy("sink")
+        bus.run_until_idle()
+        (pull,) = [m for m in pulls if m.get("kind") == "gossip-pull"]
+        assert "have" not in pull
+        assert pull["prefixes"]["block-"]["floor"] == 0
+        assert pull["prefixes"]["block-"]["contig"] == 39
+        assert pull["prefixes"]["block-"]["recent"] == []
+
+    def test_chunked_pull_recovers_everything(self):
+        bus = MessageBus(seed=4)
+        donor = GossipNode("donor", bus, pull_chunk=16)
+        for i in range(100):
+            donor.publish(f"block-{i:06d}", i)
+        bus.run_until_idle()
+        fresh = GossipNode("fresh", bus, pull_chunk=16)
+        fresh.anti_entropy("donor")
+        bus.run_until_idle()
+        # every chunk arrived and triggered the next pull until dry
+        assert all(fresh.knows(f"block-{i:06d}") for i in range(100))
+
+    def test_no_progress_stops_the_pull_loop(self):
+        """A peer replying ``more: True`` forever without fresh rumors
+        must not trap the requester in a request loop."""
+        bus = MessageBus(seed=5)
+        pulls = []
+
+        def evil(src, message):
+            if message.get("kind") == "gossip-pull":
+                pulls.append(message)
+                bus.send("evil", src, {
+                    "kind": "gossip-pull-reply", "rumors": {}, "more": True,
+                })
+
+        bus.register("evil", evil)
+        fresh = GossipNode("fresh", bus)
+        fresh.anti_entropy("evil")
+        bus.run_until_idle()
+        assert len(pulls) == 1
+
+
+class TestManifestStateResp:
+    def run_cluster(self, tail_limit):
+        bus = MessageBus(seed=6)
+        cluster = PBFTCluster(bus, n=4, batch_txs=1, timeout_ms=20,
+                              state_tail_limit=tail_limit,
+                              checkpoint_interval=100)
+        chains = []
+        cluster.register_replica("node0", chains.append)
+        for i in range(10):
+            cluster.submit(make_tx(i))
+        bus.run_until_idle()
+        return bus, cluster
+
+    def test_long_tail_becomes_manifest(self):
+        bus, cluster = self.run_cluster(tail_limit=2)
+        replica = cluster.replicas[0]
+        assert replica.last_executed >= 5
+        probe = []
+        bus.register("probe", lambda s, m: probe.append(m))
+        replica.on_state_req("probe", {"have": -1})
+        bus.run_until_idle()
+        (resp,) = probe
+        # beyond the threshold: digests only, no inline payloads
+        assert "tail" not in resp
+        assert len(resp["manifest"]) == replica.last_executed + 1
+        assert all(isinstance(seq, int) for seq, _d in resp["manifest"])
+
+    def test_short_tail_stays_inline(self):
+        bus, cluster = self.run_cluster(tail_limit=2)
+        replica = cluster.replicas[0]
+        probe = []
+        bus.register("probe", lambda s, m: probe.append(m))
+        replica.on_state_req("probe", {"have": replica.last_executed - 1})
+        bus.run_until_idle()
+        (resp,) = probe
+        assert "manifest" not in resp
+        assert len(resp["tail"]) == 1
+
+    def test_manifest_pins_inline_entries(self):
+        bus = MessageBus(seed=7)
+        cluster = PBFTCluster(bus, n=4, batch_txs=1, timeout_ms=20)
+        replica = cluster.replicas[3]
+        good_batch = [make_tx(1)]
+        replica.on_state_resp(
+            "pbft-0", {"manifest": [(0, _batch_digest(good_batch))]}
+        )
+        assert cluster.stats.bulk_transfers == 1
+        # an inline entry that contradicts the certified digest is refused
+        replica.on_state_resp("pbft-0", {"tail": [(0, [make_tx(99)])]})
+        assert replica.last_executed == -1
+        # the matching payload is accepted and clears the manifest slot
+        replica.on_state_resp("pbft-0", {"tail": [(0, good_batch)]})
+        assert replica.last_executed == 0
+        assert 0 not in replica.state_manifest
+
+
+class TestAdoptionAnchors:
+    @staticmethod
+    def grow_chain(seed, values):
+        net = SebdbNetwork(num_nodes=1, consensus=None, seed=seed)
+        net.execute("CREATE t (v int)")
+        for value in values:
+            net.execute(f"INSERT INTO t VALUES ({value})")
+            net.commit()
+        return net
+
+    def test_anchored_adoption_accepts_the_certified_chain(self):
+        source = self.grow_chain(1, [10, 11])
+        follower = SebdbNetwork(num_nodes=1, consensus=None, seed=1).nodes[0]
+        tip_height = source.nodes[0].store.height
+        record = {
+            "height": tip_height,
+            "tip_hash": source.nodes[0].store.tip_hash,
+            "votes": ("pbft-0", "pbft-1", "pbft-2"),
+        }
+        assert follower.adopt_certified_anchor(record, quorum=3)
+        assert follower.ledger.stats.anchors_trusted == 1
+        for height in range(follower.store.height, tip_height):
+            follower.accept_block(source.nodes[0].store.read_block(height))
+        assert follower.ledger.stats.anchor_checks == 1
+        assert follower.store.tip_hash == source.nodes[0].store.tip_hash
+
+    def test_anchored_adoption_rejects_a_forked_chain(self):
+        source = self.grow_chain(1, [10, 11])
+        forked = self.grow_chain(1, [95, 96])  # same heights, other payload
+        follower = SebdbNetwork(num_nodes=1, consensus=None, seed=1).nodes[0]
+        record = {
+            "height": source.nodes[0].store.height,
+            "tip_hash": source.nodes[0].store.tip_hash,
+            "votes": ("pbft-0", "pbft-1", "pbft-2"),
+        }
+        assert follower.adopt_certified_anchor(record, quorum=3)
+        with pytest.raises(StorageError, match="adoption anchor"):
+            for height in range(
+                follower.store.height, forked.nodes[0].store.height
+            ):
+                follower.accept_block(forked.nodes[0].store.read_block(height))
+
+    def test_certificate_validation(self):
+        source = self.grow_chain(2, [5])
+        node = SebdbNetwork(num_nodes=1, consensus=None, seed=2).nodes[0]
+        tip = source.nodes[0].store.tip_hash
+        height = source.nodes[0].store.height
+        # under-voted certificates are refused
+        with pytest.raises(StorageError, match="quorum"):
+            node.adopt_certified_anchor(
+                {"height": height, "tip_hash": tip, "votes": ("pbft-0",)},
+                quorum=3,
+            )
+        # duplicate voters do not reach quorum either
+        with pytest.raises(StorageError, match="quorum"):
+            node.adopt_certified_anchor(
+                {"height": height, "tip_hash": tip,
+                 "votes": ("pbft-0", "pbft-0", "pbft-0")},
+                quorum=3,
+            )
+        with pytest.raises(StorageError, match="height"):
+            node.adopt_certified_anchor(
+                {"height": -3, "tip_hash": tip, "votes": ("a", "b", "c")},
+                quorum=3,
+            )
+        # already caught up: nothing to anchor
+        assert not node.adopt_certified_anchor(
+            {"height": node.store.height, "tip_hash": tip,
+             "votes": ("a", "b", "c")},
+            quorum=3,
+        )
+        # conflicting anchors for one height are a hard error
+        node.ledger.add_adoption_anchor(7, b"\x01" * 32)
+        node.ledger.add_adoption_anchor(7, b"\x01" * 32)  # idempotent
+        with pytest.raises(LedgerError, match="conflicting"):
+            node.ledger.add_adoption_anchor(7, b"\x02" * 32)
+        assert node.ledger.stats.anchors_trusted == 1
+
+
+def submit_wave(net, sub, count, window_ms, base):
+    for i in range(count):
+        at = (i * window_ms) / count
+
+        def fire(i=i):
+            tx = Transaction.create(
+                "t", (base + i,), ts=int(net.bus.clock.now_ms()), sender="c",
+            )
+            sub.submit(tx)
+
+        net.bus.schedule(at, fire)
+
+
+def drive(net, total_ms, step_ms=200.0):
+    steps = int(total_ms / step_ms) + 1
+    for _ in range(steps):
+        net.bus.run_for(step_ms)
+        net.consensus.flush()
+    net.bus.run_until_idle()
+    net.consensus.flush()
+    net.bus.run_until_idle()
+
+
+def bulk_state_transfer_soak(seed):
+    """ISSUE acceptance: a member rejoining after a long partition gets a
+    certificate + manifest (no inline tail beyond the threshold) and
+    fetches the payloads over the gossip mesh, each block verified
+    against the certified anchor before the ledger applies it."""
+    net = SebdbNetwork(num_nodes=4, consensus="pbft", seed=seed,
+                       batch_txs=2, timeout_ms=30)
+    net.consensus.request_timeout_ms = 600.0
+    net.consensus.checkpoint_interval = 6
+    net.consensus.state_tail_limit = 1
+    meshes = [
+        BlockGossip(node, net.bus, seed=seed + i, announce_commits=True)
+        for i, node in enumerate(net.nodes)
+    ]
+    net.execute("CREATE t (v int)")
+    sub = ResilientSubmitter(net.consensus, net.bus, seed=seed,
+                             attempt_timeout_ms=700.0, max_attempts=10)
+    # wave 1: everyone commits together
+    submit_wave(net, sub, count=8, window_ms=500, base=0)
+    drive(net, 2_000)
+    # the long partition: pbft-3 and its co-located node drop off
+    others = ["pbft-0", "pbft-1", "pbft-2"]
+    net.bus.partition(others, ["pbft-3"])
+    net.nodes[3].crash()
+    net.bus.fail("node-3")
+    net.bus.fail(meshes[3].gossip.node_id)
+    # wave 2: committed far behind pbft-3's back (many intervals)
+    submit_wave(net, sub, count=30, window_ms=2_000, base=100)
+    drive(net, 5_000)
+    behind = net.nodes[3].store.height
+    ahead = net.nodes[0].store.height
+    assert ahead - behind > net.consensus.state_tail_limit
+    # heal; the node first recovers its chain over the gossip mesh,
+    # verified against a 2f+1 certificate, before rejoining consensus
+    net.bus.heal_partition(others, ["pbft-3"])
+    net.bus.heal("node-3")
+    net.bus.heal(meshes[3].gossip.node_id)
+    certificate = net.nodes[0].persisted_engine_checkpoint
+    assert certificate is not None and len(certificate.votes) >= 3
+    record = {
+        "height": certificate.height,
+        "tip_hash": certificate.tip_hash,
+        "votes": certificate.votes,
+    }
+    assert net.nodes[3].adopt_certified_anchor(record, quorum=3)
+    for mesh in meshes[:3]:
+        meshes[3].anti_entropy(mesh)
+    net.bus.run_until_idle()
+    # the gossip fetch closed the gap - only then rejoin consensus
+    assert net.nodes[3].store.height == net.nodes[0].store.height
+    net.nodes[3].restart(peers=())
+    # wave 3: drives pbft-3's STATE-REQ; with the tail over the threshold
+    # the responses are certificate + manifest, never bulk inline
+    submit_wave(net, sub, count=12, window_ms=800, base=200)
+    drive(net, 10_000)
+    report = InvariantChecker(net.nodes, [sub]).check()
+    return net, report
+
+
+class TestBulkStateTransferSoak:
+    def test_member_rejoins_via_gossip_payloads(self, soak_seed):
+        net, report = bulk_state_transfer_soak(soak_seed)
+        assert report.ok
+        assert report.acked == 50 and report.pending == 0
+        stats = net.consensus.stats
+        # the lagging member received at least one manifest STATE-RESP
+        # (certificate + digests, no inline tail beyond the threshold)
+        assert stats.bulk_transfers >= 1
+        replica = net.consensus.replicas[3]
+        # it jumped via certificates instead of re-executing every seq
+        assert replica.sequences_skipped > 0
+        assert replica.stable_checkpoint is not None
+        # payloads came over the gossip mesh, checked against the anchor
+        ledger = net.nodes[3].ledger
+        assert ledger.stats.anchors_trusted == 1
+        assert ledger.stats.anchor_checks >= 1
+        assert ledger.stats.blocks_adopted > 0
+        # byte-identical chains, including the rejoined node
+        assert len({n.store.tip_hash for n in net.nodes}) == 1
+        assert len({n.store.height for n in net.nodes}) == 1
+
+    def test_soak_is_deterministic(self):
+        net_a, _ = bulk_state_transfer_soak(11)
+        net_b, _ = bulk_state_transfer_soak(11)
+        assert (tuple(n.store.tip_hash for n in net_a.nodes)
+                == tuple(n.store.tip_hash for n in net_b.nodes))
+        assert (net_a.consensus.stats.bulk_transfers
+                == net_b.consensus.stats.bulk_transfers)
+        assert (net_a.consensus.stats.state_transfers
+                == net_b.consensus.stats.state_transfers)
