@@ -9,22 +9,26 @@ transactions per simulated second and the per-transaction response time.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional, Sequence
 
 from ..consensus.base import ConsensusEngine
 from ..consensus.kafka import KafkaOrderer
 from ..consensus.tendermint import TendermintEngine
+from ..crypto.keys import KeyPair
 from ..model.transaction import Transaction
 from ..network.bus import MessageBus
 from .metrics import ThroughputSample
 
 
-def _make_tx(client: int, seq: int, now_ms: float) -> Transaction:
+def _make_tx(
+    client: int, seq: int, now_ms: float, keypair: Optional[KeyPair] = None
+) -> Transaction:
     return Transaction.create(
         "donate",
         (f"donor{client}", "education", float(seq)),
         ts=int(now_ms) + 1,
-        sender=f"client{client}",
+        keypair=keypair,
+        sender=None if keypair is not None else f"client{client}",
     )
 
 
@@ -33,8 +37,14 @@ def run_closed_loop(
     engine: ConsensusEngine,
     num_clients: int,
     txs_per_client: int = 100,
+    keypairs: Sequence[KeyPair] = (),
 ) -> ThroughputSample:
-    """Drive ``num_clients`` synchronous clients to completion."""
+    """Drive ``num_clients`` synchronous clients to completion.
+
+    ``keypairs`` turns on a signed workload: client ``i`` signs every
+    transaction with ``keypairs[i]`` (signature-heavy write path, as the
+    parallel-validate benchmark needs).
+    """
     latencies: list[float] = []
     outstanding = {"count": num_clients * txs_per_client}
     t_start = bus.clock.now_ms()
@@ -43,7 +53,8 @@ def run_closed_loop(
         if remaining <= 0:
             return
         sent_at = bus.clock.now_ms()
-        tx = _make_tx(client, remaining, sent_at)
+        keypair = keypairs[client] if keypairs else None
+        tx = _make_tx(client, remaining, sent_at, keypair)
 
         def on_reply(commit_ms: float) -> None:
             latencies.append(bus.clock.now_ms() - sent_at)
@@ -128,6 +139,7 @@ def stage_breakdown(
     batch_txs: int = 50,
     seed: int = 0,
     verify_signatures: bool = False,
+    workers: int = 1,
 ) -> dict[str, dict[str, float]]:
     """Profile the write path per pipeline stage (Fig 7's companion table).
 
@@ -135,7 +147,11 @@ def stage_breakdown(
     real :class:`~repro.node.fullnode.FullNode` to the engine so every
     delivered batch runs the full ledger pipeline - signature validation,
     sequencing, packaging, the write-ahead persist and the catalog/index
-    apply.  Returns ``{stage: {calls, txs, wall_ms, ms_per_call}}`` in
+    apply.  ``verify_signatures`` switches to a signed workload (every
+    client gets a deterministic keypair) and ``workers`` sizes the
+    pipeline's validate/apply worker pool, so the parallel-execution
+    speedup is measurable as the validate+apply wall-ms ratio between
+    runs.  Returns ``{stage: {calls, txs, wall_ms, ms_per_call}}`` in
     canonical stage order.
     """
     from ..ledger import STAGES
@@ -148,6 +164,7 @@ def stage_breakdown(
         consensus=engine,
         clock=bus.clock,
         verify_signatures=verify_signatures,
+        workers=workers,
     )
     node.create_table(
         "CREATE donate (donor string, project string, amount decimal)"
@@ -155,10 +172,16 @@ def stage_breakdown(
     bus.run_until_idle()
     engine.flush()
     bus.run_until_idle()
+    keypairs = (
+        [KeyPair.from_seed(f"bench-client-{i}") for i in range(num_clients)]
+        if verify_signatures
+        else []
+    )
     # profile only the client workload, not genesis/schema bootstrap
     node.ledger.stats.reset()
-    run_closed_loop(bus, engine, num_clients, txs_per_client)
+    run_closed_loop(bus, engine, num_clients, txs_per_client, keypairs)
     stats = node.ledger.stats
+    node.close()
     profile: dict[str, dict[str, float]] = {}
     for name in STAGES:
         stage = stats.stage(name)
@@ -192,6 +215,8 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
     parser.add_argument("--txs-per-client", type=int, default=20)
     parser.add_argument("--batch-txs", type=int, default=50)
     parser.add_argument("--verify-signatures", action="store_true")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="validate/apply worker pool size")
     parser.add_argument("--out", type=str, default=None,
                         help="write the TSV here instead of stdout")
     args = parser.parse_args(argv)
@@ -200,6 +225,7 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
         txs_per_client=args.txs_per_client,
         batch_txs=args.batch_txs,
         verify_signatures=args.verify_signatures,
+        workers=args.workers,
     )
     table = render_stage_table(profile)
     if args.out:

@@ -52,6 +52,10 @@ class SebdbConfig:
         ``"block"`` caches whole recently-read blocks, ``"transaction"``
         caches individual recently-read tuples (Fig 22 compares the two),
         ``"none"`` disables caching.
+    pipeline_workers:
+        Worker threads for the ledger pipeline's validate and apply
+        stages; 1 (the default) runs every stage inline with no pool.
+        Any value produces byte-identical blocks and state.
     """
 
     data_dir: Path | None = None
@@ -64,6 +68,7 @@ class SebdbConfig:
     histogram_depth: int = 100
     cache_bytes: int = 64 * 1024 * 1024
     cache_mode: str = "transaction"
+    pipeline_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.segment_file_size <= 0:
@@ -78,6 +83,8 @@ class SebdbConfig:
             raise ConfigError("bptree_order must be at least 3")
         if self.histogram_depth < 1:
             raise ConfigError("histogram_depth must be at least 1")
+        if self.pipeline_workers < 1:
+            raise ConfigError("pipeline_workers must be at least 1")
         if self.cache_mode not in ("block", "transaction", "none"):
             raise ConfigError(
                 f"cache_mode must be 'block', 'transaction' or 'none', "

@@ -1,11 +1,22 @@
 """Pure-Python Schnorr signatures over secp256k1 and key management."""
 
-from .group import GENERATOR, IDENTITY, Point, is_on_curve, point_add, scalar_mul
+from .batch import BatchItem, BatchVerification, verify_batch
+from .group import (
+    GENERATOR,
+    IDENTITY,
+    Point,
+    is_on_curve,
+    multi_scalar_mul,
+    point_add,
+    scalar_mul,
+)
 from .keys import ADDRESS_LENGTH, KeyPair, address_of
 from .schnorr import SIGNATURE_SIZE, sign, verify
 
 __all__ = [
     "ADDRESS_LENGTH",
+    "BatchItem",
+    "BatchVerification",
     "GENERATOR",
     "IDENTITY",
     "KeyPair",
@@ -13,8 +24,10 @@ __all__ = [
     "SIGNATURE_SIZE",
     "address_of",
     "is_on_curve",
+    "multi_scalar_mul",
     "point_add",
     "scalar_mul",
     "sign",
     "verify",
+    "verify_batch",
 ]

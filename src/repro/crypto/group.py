@@ -13,7 +13,7 @@ and must not be used outside this reproduction.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from typing import NamedTuple, Optional, Sequence
 
 from ..common.errors import SignatureError
 
@@ -77,17 +77,145 @@ def point_neg(point: Point) -> Point:
     return Point(point.x, (-point.y) % P)
 
 
+# -- Jacobian-coordinate fast path -------------------------------------------
+#
+# Affine point_add pays one modular inversion (a full pow(x, P-2, P))
+# per addition, which made every scalar multiplication cost hundreds of
+# inversions.  Scalar and multi-scalar multiplication therefore run on
+# Jacobian triples (X, Y, Z) ~ (X/Z^2, Y/Z^3) internally - a handful of
+# modular multiplications per step and exactly ONE inversion at the end.
+# The public API still speaks affine :class:`Point` and produces
+# bit-identical results.
+
+#: Jacobian identity (any triple with Z == 0)
+_JAC_IDENTITY = (0, 1, 0)
+
+
+def _jac_from(point: Point) -> tuple[int, int, int]:
+    if point.is_identity:
+        return _JAC_IDENTITY
+    assert point.x is not None and point.y is not None
+    return (point.x, point.y, 1)
+
+
+def _jac_to_affine(p: tuple[int, int, int]) -> Point:
+    x, y, z = p
+    if z == 0:
+        return IDENTITY
+    z_inv = pow(z, P - 2, P)
+    z_inv2 = z_inv * z_inv % P
+    return Point(x * z_inv2 % P, y * z_inv2 * z_inv % P)
+
+
+def _jac_double(p: tuple[int, int, int]) -> tuple[int, int, int]:
+    x1, y1, z1 = p
+    if z1 == 0 or y1 == 0:
+        return _JAC_IDENTITY
+    a = x1 * x1 % P
+    b = y1 * y1 % P
+    c = b * b % P
+    d = 2 * ((x1 + b) * (x1 + b) - a - c) % P
+    e = 3 * a % P
+    f = e * e % P
+    x3 = (f - 2 * d) % P
+    y3 = (e * (d - x3) - 8 * c) % P
+    z3 = 2 * y1 * z1 % P
+    return (x3, y3, z3)
+
+
+def _jac_add(
+    p: tuple[int, int, int], q: tuple[int, int, int]
+) -> tuple[int, int, int]:
+    if p[2] == 0:
+        return q
+    if q[2] == 0:
+        return p
+    x1, y1, z1 = p
+    x2, y2, z2 = q
+    z1z1 = z1 * z1 % P
+    z2z2 = z2 * z2 % P
+    u1 = x1 * z2z2 % P
+    u2 = x2 * z1z1 % P
+    s1 = y1 * z2 * z2z2 % P
+    s2 = y2 * z1 * z1z1 % P
+    if u1 == u2:
+        if s1 != s2:
+            return _JAC_IDENTITY
+        return _jac_double(p)
+    h = (u2 - u1) % P
+    i = 4 * h * h % P
+    j = h * i % P
+    r = 2 * (s2 - s1) % P
+    v = u1 * i % P
+    x3 = (r * r - j - 2 * v) % P
+    y3 = (r * (v - x3) - 2 * s1 * j) % P
+    z3 = ((z1 + z2) * (z1 + z2) - z1z1 - z2z2) % P * h % P
+    return (x3, y3, z3)
+
+
 def scalar_mul(k: int, point: Point = GENERATOR) -> Point:
     """Double-and-add scalar multiplication ``k * point``."""
     k %= N
-    result = IDENTITY
-    addend = point
+    if k == 0 or point.is_identity:
+        return IDENTITY
+    result = _JAC_IDENTITY
+    addend = _jac_from(point)
     while k:
         if k & 1:
-            result = point_add(result, addend)
-        addend = point_add(addend, addend)
+            result = _jac_add(result, addend)
+        addend = _jac_double(addend)
         k >>= 1
-    return result
+    return _jac_to_affine(result)
+
+
+def multi_scalar_mul(terms: Sequence[tuple[int, Point]]) -> Point:
+    """``sum(k_i * P_i)`` via Pippenger's bucket method.
+
+    A length-n multi-scalar multiplication costs roughly
+    ``(bits / log2 n) * (n + 2^window)`` point additions instead of the
+    ``O(bits * n)`` of n independent double-and-add runs, which is what
+    makes batch signature verification cheaper than verifying each
+    signature alone.  Exact over any scalar widths (mixed 128-bit
+    randomizer and 256-bit coefficient terms are fine); falls back to
+    plain :func:`scalar_mul` for tiny inputs where bucketing cannot win.
+    """
+    reduced = [(k % N, p) for k, p in terms if k % N and not p.is_identity]
+    if not reduced:
+        return IDENTITY
+    if len(reduced) <= 2:
+        acc = IDENTITY
+        for k, p in reduced:
+            acc = point_add(acc, scalar_mul(k, p))
+        return acc
+    window = min(12, max(2, len(reduced).bit_length() - 1))
+    max_bits = max(k.bit_length() for k, _ in reduced)
+    num_windows = (max_bits + window - 1) // window
+    mask = (1 << window) - 1
+    jac_points = [_jac_from(p) for _, p in reduced]
+    result = _JAC_IDENTITY
+    for w in range(num_windows - 1, -1, -1):
+        if result[2]:
+            for _ in range(window):
+                result = _jac_double(result)
+        buckets: list[Optional[tuple[int, int, int]]] = [None] * mask
+        shift = w * window
+        for (k, _), jac in zip(reduced, jac_points):
+            digit = (k >> shift) & mask
+            if digit:
+                held = buckets[digit - 1]
+                buckets[digit - 1] = jac if held is None else _jac_add(held, jac)
+        # fold buckets highest-first: sum(digit * bucket[digit]) with one
+        # running partial sum instead of a scalar_mul per bucket
+        running = _JAC_IDENTITY
+        acc = _JAC_IDENTITY
+        for index in range(mask - 1, -1, -1):
+            bucket = buckets[index]
+            if bucket is not None:
+                running = _jac_add(running, bucket)
+            if running[2]:
+                acc = _jac_add(acc, running)
+        result = _jac_add(result, acc)
+    return _jac_to_affine(result)
 
 
 def serialize_point(point: Point) -> bytes:

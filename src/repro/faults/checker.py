@@ -136,6 +136,16 @@ class InvariantChecker:
                 report.violations.append(
                     f"{node.node_id} chain fails re-verification: {exc}"
                 )
+            # header timestamps must never regress across heights (the
+            # pipeline clamps to the parent header when packaging)
+            for height in range(1, node.store.height):
+                if (node.store.header(height).timestamp
+                        < node.store.header(height - 1).timestamp):
+                    report.violations.append(
+                        f"{node.node_id} header timestamp regresses at "
+                        f"height {height}"
+                    )
+                    break
             log = getattr(node, "commit_log", None)
             if log is not None and log.pending() is not None:
                 report.violations.append(

@@ -13,6 +13,7 @@ from .commitlog import (
     CommitRecord,
 )
 from .pipeline import CRASH_AFTER_APPEND, CRASH_TORN, LedgerPipeline
+from .schedule import ExecutionPlan, TxEffect, plan_waves, prepare_effect, write_key
 from .stats import STAGES, LedgerStats, StageStats
 
 __all__ = [
@@ -23,8 +24,13 @@ __all__ = [
     "CommitRecord",
     "CRASH_AFTER_APPEND",
     "CRASH_TORN",
+    "ExecutionPlan",
     "LedgerPipeline",
     "LedgerStats",
     "StageStats",
     "STAGES",
+    "TxEffect",
+    "plan_waves",
+    "prepare_effect",
+    "write_key",
 ]

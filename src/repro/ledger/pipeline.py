@@ -22,22 +22,31 @@ layering violation the ``commit-path`` analysis rule rejects.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import collections
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
 
 from ..common.clock import Clock
-from ..common.errors import LedgerError, StorageError
+from ..common.errors import ConfigError, LedgerError, StorageError
 from ..common.lru import LRUCache
+from ..crypto.batch import verify_batch
+from ..crypto.keys import address_of
 from ..model.block import Block
 from ..model.catalog import Catalog
 from ..model.transaction import Transaction
 from ..storage.blockstore import BlockStore
 from ..storage.segment import BlockLocation
 from .commitlog import CheckpointRecord, CommitLog
+from .schedule import TxEffect, plan_waves, prepare_effect
 from .stats import LedgerStats
 
 #: fault modes :meth:`LedgerPipeline.crash_next_persist` accepts
 CRASH_TORN = "torn"
 CRASH_AFTER_APPEND = "after-append"
+
+#: never split a signature batch into chunks smaller than this - the
+#: aggregate check amortizes better than the pool parallelizes
+_MIN_CHUNK_ITEMS = 8
 
 
 class LedgerPipeline:
@@ -52,7 +61,16 @@ class LedgerPipeline:
         verify_signatures: bool = False,
         packager: str = "consensus",
         sig_cache_entries: int = 4096,
+        workers: int = 1,
+        batch_verify: Optional[bool] = None,
+        rejected_cap: int = 256,
     ) -> None:
+        if workers < 1:
+            raise ConfigError(f"pipeline workers must be >= 1, got {workers}")
+        if rejected_cap < 1:
+            raise ConfigError(
+                f"rejected-transaction cap must be >= 1, got {rejected_cap}"
+            )
         self._store = store
         self._catalog = catalog
         self._clock = clock
@@ -61,7 +79,20 @@ class LedgerPipeline:
         self.stats = LedgerStats()
         self._packager = packager
         self._next_tid = 0
-        self._rejected: list[Transaction] = []
+        #: most recent rejections only - a peer spraying garbage must not
+        #: grow node memory without bound (drops are counted in stats)
+        self._rejected: collections.deque[Transaction] = collections.deque(
+            maxlen=rejected_cap
+        )
+        #: validate/apply concurrency; 1 = run inline, no pool is created
+        self.workers = workers
+        #: aggregate (random-linear-combination) Schnorr verification -
+        #: by default the worker pool drives it, so a single-worker
+        #: pipeline keeps the per-signature serial path bit-for-bit
+        self.batch_verify = (
+            batch_verify if batch_verify is not None else workers > 1
+        )
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._block_listeners: list[Callable[[Block], None]] = []
         #: positive signature verifications, keyed by transaction hash
         self._sig_cache: LRUCache[bytes, bool] = LRUCache(
@@ -148,10 +179,13 @@ class LedgerPipeline:
         """Deterministically turn a consensus-ordered batch into a block."""
         accepted: list[Transaction] = []
         with self.stats.timed("validate", len(batch)):
-            for tx in batch:
-                if self.verify_signatures and not self._signature_ok(tx):
-                    self._rejected.append(tx)
-                    self.stats.txs_rejected += 1
+            if self.verify_signatures:
+                flags = self._verify_signatures(list(batch))
+            else:
+                flags = [True] * len(batch)
+            for tx, ok in zip(batch, flags):
+                if not ok:
+                    self._reject(tx)
                     continue
                 accepted.append(tx)
         if not accepted:
@@ -162,8 +196,18 @@ class LedgerPipeline:
                 sequenced.append(tx.with_tid(self._next_tid))
                 self._next_tid += 1
         with self.stats.timed("package", len(sequenced)):
+            # clamp to the parent header so block timestamps never regress
+            # across heights, whatever a replica's clock or a stale client
+            # timestamp claims (verify_local_chain rejects regressions)
+            prev_ts = (
+                self._store.header(self._store.height - 1).timestamp
+                if self._store.height
+                else 0
+            )
             timestamp = max(
-                int(self._clock.now_ms()), max(tx.ts for tx in sequenced)
+                int(self._clock.now_ms()),
+                max(tx.ts for tx in sequenced),
+                prev_ts,
             )
             # the block must be byte-identical on every replica, so it
             # carries no per-node identity: authenticity comes from
@@ -208,6 +252,14 @@ class LedgerPipeline:
                 raise StorageError(
                     f"block {block.header.height} has a corrupt transaction root"
                 )
+            if self._store.height:
+                prev_ts = self._store.header(self._store.height - 1).timestamp
+                if block.header.timestamp < prev_ts:
+                    raise StorageError(
+                        f"block {block.header.height} timestamp "
+                        f"{block.header.timestamp} regresses below its "
+                        f"parent's {prev_ts}"
+                    )
             anchor = self._anchors.get(block.header.height)
             if anchor is not None:
                 self.stats.anchor_checks += 1
@@ -217,12 +269,12 @@ class LedgerPipeline:
                         f"certified adoption anchor"
                     )
             if self.verify_signatures:
-                for tx in block.transactions:
-                    if tx.sig and not self._signature_ok(tx):
-                        raise StorageError(
-                            f"block {block.header.height} carries a "
-                            f"transaction with an invalid signature"
-                        )
+                signed = [tx for tx in block.transactions if tx.sig]
+                if signed and not all(self._verify_signatures(signed)):
+                    raise StorageError(
+                        f"block {block.header.height} carries a "
+                        f"transaction with an invalid signature"
+                    )
         location = self._persist_block(block)
         if location is None:
             return
@@ -231,16 +283,92 @@ class LedgerPipeline:
 
     # -- stages ------------------------------------------------------------
 
-    def _signature_ok(self, tx: Transaction) -> bool:
-        key = tx.hash()
-        if self._sig_cache.get(key) is not None:
-            self.stats.sig_cache_hits += 1
-            return True
-        self.stats.sig_checks += 1
-        if tx.verify_signature():
-            self._sig_cache.put(key, True)
-            return True
-        return False
+    def _reject(self, tx: Transaction) -> None:
+        if len(self._rejected) == self._rejected.maxlen:
+            self.stats.rejected_dropped += 1
+        self._rejected.append(tx)
+        self.stats.txs_rejected += 1
+
+    def _pool(self) -> ThreadPoolExecutor:
+        """The shared worker pool, created on first use (workers > 1)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="sebdb-ledger"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; the pipeline stays usable)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _verify_signatures(self, txs: Sequence[Transaction]) -> List[bool]:
+        """Validate-stage signature check for a whole batch.
+
+        Cache-aware (the verified-signature LRU answers with the *stored*
+        verdict, never a blanket yes), deduplicated within the batch, and
+        batched: cache misses go through the aggregate Schnorr check
+        (:func:`repro.crypto.batch.verify_batch`), split into contiguous
+        chunks across the worker pool when the batch is big enough.  The
+        result is aligned with ``txs`` and agrees exactly with calling
+        ``tx.verify_signature()`` on each transaction.
+        """
+        results: list[Optional[bool]] = [None] * len(txs)
+        keys = [tx.hash() for tx in txs]
+        #: tx hash -> index of the first occurrence still being verified
+        pending_by_key: dict[bytes, int] = {}
+        #: (duplicate index, first-occurrence index) to patch at the end
+        duplicates: list[tuple[int, int]] = []
+        pending: list[int] = []
+        for index, tx in enumerate(txs):
+            first = pending_by_key.get(keys[index])
+            if first is not None:
+                self.stats.sig_cache_hits += 1
+                duplicates.append((index, first))
+                continue
+            cached = self._sig_cache.get(keys[index])
+            if cached is not None:
+                self.stats.sig_cache_hits += 1
+                results[index] = cached
+                continue
+            self.stats.sig_checks += 1
+            # structural screening mirrors Transaction.verify_signature
+            if (not tx.sig or not tx.pubkey
+                    or address_of(tx.pubkey) != tx.senid):
+                results[index] = False
+                continue
+            pending_by_key[keys[index]] = index
+            pending.append(index)
+        if pending:
+            if self.batch_verify:
+                flags = self._batch_verify([txs[i] for i in pending])
+            else:
+                flags = [txs[i].verify_signature() for i in pending]
+            for index, ok in zip(pending, flags):
+                results[index] = ok
+                if ok:
+                    self._sig_cache.put(keys[index], True)
+        for index, first in duplicates:
+            results[index] = results[first]
+        return [bool(entry) for entry in results]
+
+    def _batch_verify(self, txs: Sequence[Transaction]) -> List[bool]:
+        """Aggregate-verify ``txs``, chunked across the worker pool."""
+        items = [(tx.pubkey, tx.signing_payload(), tx.sig) for tx in txs]
+        chunks = max(1, min(self.workers, len(items) // _MIN_CHUNK_ITEMS))
+        if chunks <= 1:
+            outcomes = [verify_batch(items)]
+        else:
+            size = (len(items) + chunks - 1) // chunks
+            spans = [items[i:i + size] for i in range(0, len(items), size)]
+            # map() yields results in submission order: deterministic
+            outcomes = list(self._pool().map(verify_batch, spans))
+        self.stats.validate_chunks += len(outcomes)
+        for outcome in outcomes:
+            self.stats.sig_aggregate_checks += outcome.aggregate_checks
+            self.stats.sig_single_checks += outcome.single_checks
+        return [flag for outcome in outcomes for flag in outcome.valid]
 
     def _persist_block(self, block: Block) -> Optional[BlockLocation]:
         """Persist stage: intent record, segment append, commit record."""
@@ -266,13 +394,43 @@ class LedgerPipeline:
         return location
 
     def _apply_block(self, block: Block, location: BlockLocation) -> None:
-        """Apply stage: catalog, then index/MHT maintenance listeners."""
+        """Apply stage: execute transactions, then maintenance listeners.
+
+        Execution is dependency-scheduled: :func:`plan_waves` groups the
+        block's transactions into waves of ``(table, primary key)``
+        independent writes, workers prepare each wave's effects
+        concurrently, and the effects commit strictly in tid order - so
+        the resulting catalog/index state is identical for any worker
+        count (the fuzz-equivalence suite holds this to byte equality).
+        """
         with self.stats.timed("apply", len(block.transactions)):
-            self._catalog.apply_block(block)
+            for effect in self._execute_transactions(block):
+                if effect.schema is not None:
+                    self._catalog.apply_schema(effect.schema)
             self._store.notify_append_listeners(block, location)
             if block.transactions:
                 self._next_tid = max(self._next_tid, block.last_tid + 1)
         self._applied_height = block.header.height + 1
+
+    def _execute_transactions(self, block: Block) -> List[TxEffect]:
+        """Prepare every transaction's effect, wave-parallel, tid-ordered."""
+        txs = block.transactions
+        if not txs:
+            return []
+        plan = plan_waves(txs)
+        self.stats.apply_waves += len(plan.waves)
+        self.stats.apply_conflicts += plan.conflicts
+        effects: list[Optional[TxEffect]] = [None] * len(txs)
+        for wave in plan.waves:
+            if self.workers > 1 and len(wave) > 1:
+                computed = list(self._pool().map(
+                    prepare_effect, wave, [txs[i] for i in wave]
+                ))
+            else:
+                computed = [prepare_effect(i, txs[i]) for i in wave]
+            for effect in computed:
+                effects[effect.position] = effect
+        return [effect for effect in effects if effect is not None]
 
     # -- durable engine checkpoints ----------------------------------------
 

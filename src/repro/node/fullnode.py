@@ -48,6 +48,7 @@ class FullNode:
         verify_signatures: bool = False,
         genesis: Optional[Block] = None,
         access: Optional[AccessController] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.node_id = node_id
         self.config = config or SebdbConfig.in_memory()
@@ -69,6 +70,10 @@ class FullNode:
             self.clock,
             commit_log=self.commit_log,
             verify_signatures=verify_signatures,
+            workers=(
+                workers if workers is not None
+                else self.config.pipeline_workers
+            ),
         )
         # resolve a commit record torn by a crash mid-append BEFORE the
         # indexes backfill, so they never observe an uncommitted block
@@ -181,6 +186,10 @@ class FullNode:
     def add_block_listener(self, listener: Callable[[Block], None]) -> None:
         """Observe every block this node packages (gossip announce hook)."""
         self.ledger.add_block_listener(listener)
+
+    def close(self) -> None:
+        """Release pooled resources (the ledger's worker threads)."""
+        self.ledger.close()
 
     # -- engine checkpoints -----------------------------------------------------
 
@@ -309,6 +318,13 @@ class FullNode:
                     f"block {block.header.height} has a corrupt "
                     f"transaction root"
                 )
+            if height > 0:
+                prev_ts = self.store.header(height - 1).timestamp
+                if block.header.timestamp < prev_ts:
+                    raise StorageError(
+                        f"block {block.header.height} timestamp regresses "
+                        f"below its parent's"
+                    )
             prev_hash = block.block_hash()
             count += 1
         return count

@@ -1,0 +1,121 @@
+"""Tests for the batched (random-linear-combination) Schnorr verifier."""
+
+import random
+
+from repro.crypto import KeyPair, multi_scalar_mul, verify, verify_batch
+from repro.crypto.batch import derive_seed
+from repro.crypto.group import GENERATOR, IDENTITY, N, point_add, scalar_mul
+
+
+def make_items(count, signers=4, tag=""):
+    """``count`` valid (public_key, message, signature) triples."""
+    items = []
+    for i in range(count):
+        kp = KeyPair.from_seed(f"batch{tag}-{i % signers}")
+        msg = f"message-{tag}-{i}".encode()
+        items.append((kp.public_key, msg, kp.sign(msg)))
+    return items
+
+
+class TestMultiScalarMul:
+    def test_matches_naive_sum(self):
+        rng = random.Random(5)
+        points = [scalar_mul(rng.getrandbits(200)) for _ in range(7)]
+        terms = [(rng.getrandbits(130), p) for p in points]
+        naive = IDENTITY
+        for k, p in terms:
+            naive = point_add(naive, scalar_mul(k, p))
+        assert multi_scalar_mul(terms) == naive
+
+    def test_empty_and_zero_terms(self):
+        assert multi_scalar_mul([]) == IDENTITY
+        assert multi_scalar_mul([(0, GENERATOR), (N, GENERATOR)]) == IDENTITY
+        assert multi_scalar_mul([(7, IDENTITY)]) == IDENTITY
+
+    def test_single_term(self):
+        assert multi_scalar_mul([(12345, GENERATOR)]) == scalar_mul(12345)
+
+    def test_cancellation(self):
+        terms = [(5, GENERATOR), (N - 5, GENERATOR)]
+        assert multi_scalar_mul(terms) == IDENTITY
+
+    def test_mixed_scalar_widths(self):
+        rng = random.Random(9)
+        points = [scalar_mul(rng.getrandbits(180)) for _ in range(5)]
+        terms = [
+            (rng.getrandbits(128) if i % 2 else rng.getrandbits(256), p)
+            for i, p in enumerate(points)
+        ]
+        naive = IDENTITY
+        for k, p in terms:
+            naive = point_add(naive, scalar_mul(k, p))
+        assert multi_scalar_mul(terms) == naive
+
+
+class TestVerifyBatch:
+    def test_all_valid_is_one_aggregate(self):
+        outcome = verify_batch(make_items(12))
+        assert outcome.all_valid
+        assert outcome.valid == [True] * 12
+        assert outcome.aggregate_checks == 1
+        assert outcome.single_checks == 0
+
+    def test_empty_batch(self):
+        outcome = verify_batch([])
+        assert outcome.valid == []
+        assert outcome.all_valid
+
+    def test_single_item_batch(self):
+        items = make_items(1)
+        assert verify_batch(items).valid == [True]
+        pk, _msg, sig = items[0]
+        assert verify_batch([(pk, b"other message", sig)]).valid == [False]
+
+    def test_forgeries_pinpointed_exactly(self):
+        items = make_items(16, tag="forge")
+        attacker = KeyPair.from_seed("attacker")
+        # a signature from the wrong key, and a swapped message
+        items[3] = (items[3][0], items[3][1], attacker.sign(items[3][1]))
+        items[11] = (items[11][0], b"swapped", items[11][2])
+        outcome = verify_batch(items)
+        expected = [verify(pk, m, s) for pk, m, s in items]
+        assert outcome.valid == expected
+        assert not outcome.valid[3]
+        assert not outcome.valid[11]
+        assert sum(outcome.valid) == 14
+        assert outcome.aggregate_checks > 1  # bisection ran
+
+    def test_malformed_items_isolated(self):
+        items = make_items(6, tag="malformed")
+        items[0] = (items[0][0], items[0][1], b"short")
+        items[2] = (b"\x00" * 33, items[2][1], items[2][2])  # identity key
+        items[4] = (b"junkkey", items[4][1], items[4][2])
+        outcome = verify_batch(items)
+        expected = [verify(pk, m, s) for pk, m, s in items]
+        assert outcome.valid == expected
+        assert outcome.valid == [False, True, False, True, False, True]
+
+    def test_agrees_with_serial_verify_fuzz(self):
+        rng = random.Random(77)
+        for trial in range(3):
+            items = make_items(8, tag=f"fuzz{trial}")
+            for _ in range(rng.randrange(1, 4)):
+                victim = rng.randrange(len(items))
+                pk, msg, sig = items[victim]
+                mutated = bytearray(sig)
+                mutated[rng.randrange(len(sig))] ^= 1 << rng.randrange(8)
+                items[victim] = (pk, msg, bytes(mutated))
+            expected = [verify(pk, m, s) for pk, m, s in items]
+            assert verify_batch(items).valid == expected
+
+    def test_deterministic_outcome(self):
+        items = make_items(10, tag="det")
+        seed = derive_seed(items)
+        first = verify_batch(items, seed=seed)
+        second = verify_batch(items, seed=seed)
+        assert first.valid == second.valid
+        assert first.aggregate_checks == second.aggregate_checks
+        assert first.single_checks == second.single_checks
+        # the content-derived seed is itself stable
+        assert derive_seed(items) == seed
+        assert verify_batch(items).valid == first.valid

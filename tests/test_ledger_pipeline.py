@@ -1,21 +1,29 @@
 """Tests for the staged write path: pipeline stages, the write-ahead
 commit log, signature caching, and crash-mid-append recovery."""
 
+import dataclasses
+
 import pytest
 
+from repro.common.clock import Clock
 from repro.common.codec import Writer
 from repro.common.config import SebdbConfig
-from repro.common.errors import LedgerError, StorageError
+from repro.common.errors import ConfigError, LedgerError, StorageError
+from repro.faults.checker import InvariantChecker
 from repro.ledger import (
     STAGES,
     BeginRecord,
     CheckpointRecord,
     CommitLog,
     CommitRecord,
+    LedgerPipeline,
 )
+from repro.model.block import Block
+from repro.model.catalog import Catalog
 from repro.model.transaction import Transaction
 from repro.node import FullNode
 from repro.node.stats import collect_stats
+from repro.storage.blockstore import BlockStore
 
 
 def durable_config(tmp_path, **overrides):
@@ -167,6 +175,116 @@ class TestSignatureValidation:
         assert node.apply_batch([bad]) is None
         assert node.store.height == height
         assert node.ledger.stats.wal_begun == node.ledger.stats.wal_committed
+
+
+# -- validate stage: the honest cache and the bounded reject buffer ----------
+
+class TestSignatureCacheHonesty:
+    def test_cached_negative_verdict_still_rejects(self, keypair):
+        node = FullNode("n0", verify_signatures=True)
+        node.create_table("CREATE donate (donor string, amount decimal)")
+        tx = Transaction.create("donate", ("Jack", 10.0), ts=1, keypair=keypair)
+        # a poisoned cache entry: the stored verdict must be honored, not
+        # flattened into "any cached entry means valid"
+        node.ledger.sig_cache.put(tx.hash(), False)
+        assert node.apply_batch([tx]) is None
+        assert node.rejected_transactions == [tx]
+        assert node.ledger.stats.sig_cache_hits == 1
+
+    def test_invalid_signatures_are_never_cached_as_valid(self, keypair):
+        node = FullNode("n0", verify_signatures=True)
+        node.create_table("CREATE donate (donor string, amount decimal)")
+        bad = Transaction.create("donate", ("Eve", 1.0), ts=1, sender="eve")
+        node.apply_batch([bad])
+        assert node.ledger.sig_cache.get(bad.hash()) is None
+        # a retry re-checks and is rejected again, not cache-admitted
+        node.apply_batch([bad])
+        assert node.ledger.stats.txs_rejected == 2
+
+
+class TestBoundedRejectBuffer:
+    def _pipeline(self, cap):
+        return LedgerPipeline(
+            BlockStore(), Catalog(), Clock(), verify_signatures=True,
+            rejected_cap=cap,
+        )
+
+    def test_rejections_beyond_the_cap_are_dropped(self):
+        pipeline = self._pipeline(cap=4)
+        bad = [
+            Transaction.create("t", (f"v{i}",), ts=1, sender=f"eve{i}")
+            for i in range(10)
+        ]
+        assert pipeline.commit_batch(bad) is None
+        assert pipeline.stats.txs_rejected == 10
+        assert pipeline.stats.rejected_dropped == 6
+        # the buffer keeps the newest rejections
+        assert pipeline.rejected == bad[-4:]
+
+    def test_buffer_under_the_cap_keeps_everything(self):
+        pipeline = self._pipeline(cap=8)
+        bad = [
+            Transaction.create("t", (f"v{i}",), ts=1, sender=f"eve{i}")
+            for i in range(3)
+        ]
+        pipeline.commit_batch(bad)
+        assert pipeline.rejected == bad
+        assert pipeline.stats.rejected_dropped == 0
+
+    def test_invalid_caps_are_refused(self):
+        with pytest.raises(ConfigError):
+            self._pipeline(cap=0)
+        with pytest.raises(ConfigError):
+            LedgerPipeline(BlockStore(), Catalog(), Clock(), workers=0)
+        with pytest.raises(ConfigError):
+            SebdbConfig.in_memory(pipeline_workers=0)
+
+
+# -- package stage: header timestamps never regress ---------------------------
+
+class TestTimestampMonotonicity:
+    def test_package_clamps_to_the_parent_header(self):
+        node = FullNode("n0")
+        node.create_table("CREATE t (a string)")
+        node.insert("t", ("early",), ts=500)
+        high = node.store.header(node.store.height - 1).timestamp
+        assert high >= 500
+        # a later batch whose transactions claim an older time: the block
+        # timestamp must clamp to the parent, not regress
+        node.insert("t", ("late",), ts=5)
+        assert node.store.header(node.store.height - 1).timestamp >= high
+        node.verify_local_chain(full=True)
+
+    def test_adoption_refuses_a_regressing_header(self):
+        node = FullNode("n0")
+        node.create_table("CREATE t (a string)")
+        node.insert("t", ("x",), ts=500)
+        tx = Transaction.create("t", ("y",), ts=1, sender="peer").with_tid(
+            node.ledger.next_tid
+        )
+        stale = Block.package(
+            prev_hash=node.store.tip_hash,
+            height=node.store.height,
+            timestamp=10,  # far behind the adopted tip's 500+
+            transactions=[tx],
+        )
+        with pytest.raises(StorageError, match="regresses"):
+            node.accept_block(stale)
+
+    def test_chain_verification_catches_tampered_headers(self):
+        node = FullNode("n0")
+        node.create_table("CREATE t (a string)")
+        node.insert("t", ("x",), ts=500)
+        node.insert("t", ("y",), ts=600)
+        # inflate a middle header: its successor now appears to regress
+        middle = node.store.height - 2
+        node.store._headers[middle] = dataclasses.replace(
+            node.store._headers[middle], timestamp=10**9
+        )
+        with pytest.raises(StorageError, match="regresses"):
+            node.verify_local_chain(full=True)
+        report = InvariantChecker([node]).check(raise_on_violation=False)
+        assert any("timestamp regresses" in v for v in report.violations)
 
 
 # -- durable engine checkpoints ----------------------------------------------

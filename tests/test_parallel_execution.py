@@ -1,0 +1,207 @@
+"""Fuzz-equivalence: parallel execution must equal serial, byte for byte.
+
+The ledger pipeline's dependency-scheduled validate/apply promises that
+any worker count produces the same chain: identical block bytes, Merkle
+roots, rejections, catalog and index state.  These tests hold it to that
+over random batches with deliberately conflicting ``(table, primary
+key)`` writes, forged signatures, schema barriers, and a crash mid
+persist.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.common.config import SebdbConfig
+from repro.crypto import KeyPair
+from repro.ledger import CRASH_AFTER_APPEND, CRASH_TORN, plan_waves, write_key
+from repro.model import TableSchema, make_genesis
+from repro.model.transaction import Transaction, schema_sync_transaction
+from repro.node.fullnode import FullNode
+from tests.conftest import DONATE, TRANSFER
+
+KEYPAIRS = [KeyPair.from_seed(f"fuzz-client-{i}") for i in range(4)]
+FORGER = KeyPair.from_seed("fuzz-forger")
+
+
+def build_node(workers, data_dir=None, name=None):
+    return FullNode(
+        name or f"w{workers}",
+        config=SebdbConfig.in_memory(data_dir=data_dir),
+        verify_signatures=True,
+        genesis=make_genesis(0, [DONATE, TRANSFER]),
+        workers=workers,
+    )
+
+
+def make_batches(seed, num_batches=5, batch_size=14):
+    """Random signed batches with conflicting writes and bad signatures."""
+    rng = random.Random(seed)
+    batches = []
+    for b in range(num_batches):
+        batch = []
+        for i in range(batch_size):
+            kp = KEYPAIRS[rng.randrange(len(KEYPAIRS))]
+            roll = rng.random()
+            if roll < 0.08:
+                # schema barrier: orders against the whole block
+                schema = TableSchema.create(
+                    f"extra{b}_{i}", [("k", "string"), ("v", "decimal")]
+                )
+                tx = schema_sync_transaction(
+                    schema, ts=rng.randrange(1, 500), keypair=kp
+                )
+            elif roll < 0.55:
+                # 3 donors over 14 txs: plenty of same-cell conflicts
+                tx = Transaction.create(
+                    "donate",
+                    (f"d{rng.randrange(3)}", "edu",
+                     float(rng.randrange(1, 100))),
+                    ts=rng.randrange(1, 500), keypair=kp,
+                )
+            else:
+                tx = Transaction.create(
+                    "transfer",
+                    (f"p{rng.randrange(3)}", f"d{rng.randrange(3)}",
+                     "org1", float(rng.randrange(1, 100))),
+                    ts=rng.randrange(1, 500), keypair=kp,
+                )
+            if rng.random() < 0.15:
+                # forged: right structure, wrong signer
+                tx = dataclasses.replace(
+                    tx, sig=FORGER.sign(tx.signing_payload())
+                )
+            batch.append(tx)
+        batches.append(batch)
+    return batches
+
+
+def assert_same_chain(node, reference):
+    assert node.store.height == reference.store.height
+    for height in range(reference.store.height):
+        assert (node.store.read_block(height).to_bytes()
+                == reference.store.read_block(height).to_bytes()), height
+    assert node.ledger.next_tid == reference.ledger.next_tid
+    assert node.catalog.table_names == reference.catalog.table_names
+
+
+class TestPlanWaves:
+    def test_independent_txs_share_one_wave(self):
+        txs = [
+            Transaction.create("donate", (f"d{i}", "edu", 1.0), ts=1,
+                               sender=f"s{i}")
+            for i in range(5)
+        ]
+        plan = plan_waves(txs)
+        assert plan.waves == ((0, 1, 2, 3, 4),)
+        assert plan.conflicts == 0
+        assert plan.width == 5
+
+    def test_same_cell_writes_serialize(self):
+        txs = [
+            Transaction.create("donate", ("d0", "edu", float(i)), ts=1,
+                               sender=f"s{i}")
+            for i in range(3)
+        ]
+        plan = plan_waves(txs)
+        assert plan.waves == ((0,), (1,), (2,))
+        assert plan.conflicts == 2
+
+    def test_schema_tx_is_a_barrier(self):
+        schema = TableSchema.create("t", [("a", "string")])
+        txs = [
+            Transaction.create("donate", ("d0", "edu", 1.0), ts=1, sender="a"),
+            schema_sync_transaction(schema, ts=1),
+            Transaction.create("donate", ("d1", "edu", 1.0), ts=1, sender="b"),
+        ]
+        plan = plan_waves(txs)
+        assert plan.waves == ((0,), (1,), (2,))
+
+    def test_plan_is_a_partition_and_respects_dependencies(self):
+        for batch in make_batches(seed=31, num_batches=3):
+            plan = plan_waves(batch)
+            seen = [p for wave in plan.waves for p in wave]
+            assert sorted(seen) == list(range(len(batch)))
+            wave_of = {p: w for w, wave in enumerate(plan.waves)
+                       for p in wave}
+            last = {}
+            barrier = None
+            for position, tx in enumerate(batch):
+                if tx.tname == "__schema__":
+                    if position:
+                        assert wave_of[position] > max(
+                            wave_of[p] for p in range(position)
+                        )
+                    barrier = position
+                    continue
+                prev = last.get(write_key(tx))
+                if prev is not None:
+                    assert wave_of[position] > wave_of[prev]
+                if barrier is not None:
+                    assert wave_of[position] > wave_of[barrier]
+                last[write_key(tx)] = position
+
+
+class TestWorkerEquivalence:
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_worker_counts_are_byte_identical(self, seed):
+        batches = make_batches(seed)
+        reference = build_node(1)
+        for batch in batches:
+            reference.apply_batch(batch)
+        assert reference.rejected_transactions  # forgeries were caught
+        for workers in (2, 4):
+            node = build_node(workers)
+            for batch in batches:
+                node.apply_batch(batch)
+            assert_same_chain(node, reference)
+            assert ([tx.hash() for tx in node.rejected_transactions]
+                    == [tx.hash() for tx in reference.rejected_transactions])
+            assert (node.query("SELECT * FROM donate").rows
+                    == reference.query("SELECT * FROM donate").rows)
+            assert node.ledger.stats.apply_conflicts > 0
+            node.close()
+        reference.close()
+
+    def test_adoption_is_equivalent_too(self):
+        batches = make_batches(seed=23)
+        producer = build_node(1)
+        for batch in batches:
+            producer.apply_batch(batch)
+        follower = build_node(4, name="follower")
+        follower.sync_from(producer)
+        assert_same_chain(follower, producer)
+        follower.close()
+        producer.close()
+
+
+class TestCrashEquivalence:
+    @pytest.mark.parametrize("mode", [CRASH_TORN, CRASH_AFTER_APPEND])
+    def test_crash_mid_persist_recovers_to_serial_state(self, mode, tmp_path):
+        batches = make_batches(seed=5)
+        reference = build_node(1)
+        for batch in batches:
+            reference.apply_batch(batch)
+
+        node = build_node(4, data_dir=tmp_path, name="crashy")
+        crash_at = len(batches) // 2
+        for batch in batches[:crash_at]:
+            node.apply_batch(batch)
+        node.crash_during_next_persist(mode)
+        assert node.apply_batch(batches[crash_at]) is None
+        node.close()
+        del node
+
+        # fresh process on the same data dir: the constructor resolves the
+        # pending commit record (replay / truncate) and rebuilds state
+        recovered = build_node(4, data_dir=tmp_path, name="crashy")
+        assert recovered.commit_log.pending() is None
+        if mode == CRASH_TORN:
+            # the torn block never durably committed: consensus redelivers
+            recovered.apply_batch(batches[crash_at])
+        for batch in batches[crash_at + 1:]:
+            recovered.apply_batch(batch)
+        assert_same_chain(recovered, reference)
+        recovered.close()
+        reference.close()

@@ -34,7 +34,7 @@ LAYER_OF: dict = {
 DETERMINISM_EXCLUDES: tuple = ("bench", "common/clock.py")
 
 #: set/frozenset iteration is only policed on event-ordering paths
-SET_ITERATION_SCOPE: tuple = ("consensus", "network", "faults")
+SET_ITERATION_SCOPE: tuple = ("consensus", "network", "faults", "ledger")
 
 #: wall-clock entry points (module attribute calls)
 WALL_CLOCK_ATTRS: frozenset = frozenset(
