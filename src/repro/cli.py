@@ -23,6 +23,7 @@ from .common.config import SebdbConfig
 from .common.errors import SebdbError
 from .node.fullnode import FullNode
 from .query.result import QueryResult
+from .shard.node import ShardedNode
 
 
 def format_table(columns: Sequence[str], rows: Sequence[Sequence[Any]],
@@ -70,9 +71,10 @@ def render_result(result: Optional[QueryResult]) -> str:
 
 
 class Shell:
-    """Dispatches SQL statements and meta commands against one node."""
+    """Dispatches SQL statements and meta commands against one node
+    (a plain :class:`FullNode` or a :class:`ShardedNode`)."""
 
-    def __init__(self, node: FullNode) -> None:
+    def __init__(self, node: "FullNode | ShardedNode") -> None:
         self.node = node
 
     def run_line(self, line: str) -> str:
@@ -106,8 +108,27 @@ class Shell:
         if command == "\\stats":
             from .node.stats import collect_stats
 
+            if isinstance(self.node, ShardedNode):
+                return "\n\n".join(
+                    f"[shard {sid}]\n"
+                    + collect_stats(self.node.shards[sid]).summary()
+                    for sid in sorted(self.node.shards)
+                )
             return collect_stats(self.node).summary()
+        if command == "\\shards":
+            if not isinstance(self.node, ShardedNode):
+                return "(unsharded node - run with --num-shards N)"
+            lines = []
+            for sid in sorted(self.node.shards):
+                store = self.node.shards[sid].store
+                tip = store.tip_hash.hex()[:16] if store.tip_hash else "-"
+                lines.append(
+                    f"shard {sid}: height={store.height} tip={tip}..."
+                )
+            return "\n".join(lines)
         if command == "\\chain":
+            if isinstance(self.node, ShardedNode):
+                return self._meta("\\shards")
             store = self.node.store
             tip = store.tip_hash.hex()[:16] if store.tip_hash else "-"
             return (
@@ -122,16 +143,21 @@ class Shell:
             return (
                 "statements: CREATE / INSERT / SELECT / TRACE / GET BLOCK\n"
                 "            EXPLAIN [ANALYZE] <select|trace|get block>\n"
-                "meta: \\tables \\indexes \\chain \\stats "
+                "meta: \\tables \\indexes \\chain \\shards \\stats "
                 "\\explain <select> \\quit"
             )
         return f"unknown meta command {command!r} (try \\help)"
 
 
-def build_node(data_dir: Optional[str]) -> FullNode:
+def build_node(
+    data_dir: Optional[str], num_shards: int = 1
+) -> "FullNode | ShardedNode":
     config = SebdbConfig.in_memory(
-        data_dir=Path(data_dir) if data_dir else None
+        data_dir=Path(data_dir) if data_dir else None,
+        num_shards=num_shards,
     )
+    if num_shards > 1:
+        return ShardedNode("cli", config=config)
     return FullNode("cli", config=config)
 
 
@@ -141,10 +167,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--data-dir", default=None,
                         help="durable ledger directory (default: in-memory)")
+    parser.add_argument("--num-shards", type=int, default=1,
+                        help="partition tables over N independent ledger "
+                             "pipelines (default: 1, unsharded)")
     parser.add_argument("-c", "--command", action="append", default=[],
                         help="execute a statement and exit (repeatable)")
     args = parser.parse_args(argv)
-    node = build_node(args.data_dir)
+    node = build_node(args.data_dir, args.num_shards)
     shell = Shell(node)
     if args.command:
         for statement in args.command:

@@ -56,6 +56,17 @@ class SebdbConfig:
         Worker threads for the ledger pipeline's validate and apply
         stages; 1 (the default) runs every stage inline with no pool.
         Any value produces byte-identical blocks and state.
+    num_shards:
+        Number of independent ledger shards.  1 (the default) keeps the
+        single-chain topology; ``N > 1`` partitions tables across N
+        pipelines, each with its own orderer and segment store (see
+        ``repro.shard``).
+    shard_placement:
+        Optional per-table placement overrides.  A table mapped to an
+        ``int`` is pinned to that shard; a table mapped to a sorted
+        tuple of split points is range-partitioned on its leading key
+        (bucket ``bisect(splits, key)``, shard ``bucket % num_shards``).
+        Tables not listed hash on their name.
     """
 
     data_dir: Path | None = None
@@ -69,6 +80,8 @@ class SebdbConfig:
     cache_bytes: int = 64 * 1024 * 1024
     cache_mode: str = "transaction"
     pipeline_workers: int = 1
+    num_shards: int = 1
+    shard_placement: dict[str, int | tuple] | None = None
 
     def __post_init__(self) -> None:
         if self.segment_file_size <= 0:
@@ -85,6 +98,31 @@ class SebdbConfig:
             raise ConfigError("histogram_depth must be at least 1")
         if self.pipeline_workers < 1:
             raise ConfigError("pipeline_workers must be at least 1")
+        if self.num_shards < 1:
+            raise ConfigError("num_shards must be at least 1")
+        if self.shard_placement is not None:
+            for table, policy in self.shard_placement.items():
+                if isinstance(policy, int):
+                    if not 0 <= policy < self.num_shards:
+                        raise ConfigError(
+                            f"shard_placement pins {table!r} to shard "
+                            f"{policy}, outside 0..{self.num_shards - 1}"
+                        )
+                elif isinstance(policy, tuple):
+                    try:
+                        ordered = list(policy) == sorted(policy)
+                    except TypeError:
+                        ordered = False
+                    if not ordered:
+                        raise ConfigError(
+                            f"shard_placement range splits for {table!r} "
+                            f"must be a sorted tuple of comparable values"
+                        )
+                else:
+                    raise ConfigError(
+                        f"shard_placement for {table!r} must be an int "
+                        f"(pinned shard) or a sorted tuple of split points"
+                    )
         if self.cache_mode not in ("block", "transaction", "none"):
             raise ConfigError(
                 f"cache_mode must be 'block', 'transaction' or 'none', "

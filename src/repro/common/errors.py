@@ -59,6 +59,10 @@ class LedgerError(SebdbError):
     """Write-path pipeline failure (commit-log corruption, torn append)."""
 
 
+class ShardError(SebdbError):
+    """Sharded-topology failure (routing, cross-shard commit, placement)."""
+
+
 class IndexError_(SebdbError):
     """Index maintenance or lookup failure.
 

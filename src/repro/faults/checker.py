@@ -24,6 +24,16 @@ so the broker-level contract is audited too:
 * **Converged ISR** - every live broker's replicated log is a prefix of
   the acting leader's log.
 
+When the deployment is sharded, pass the :class:`ShardedNode` set via
+``sharded`` so the cross-shard commit contract is audited too:
+
+* **Atomic outcome** - for every cross-shard transaction, all
+  participant shards record the *same* outcome, a committed outcome is
+  backed by the coordinator's commit decision, and every committed
+  participant's slice is actually on that shard's chain;
+* **No in-doubt survivors** - a live (recovered) node holds no PREPARE
+  without a resolving OUTCOME.
+
 :class:`InvariantChecker` evaluates all of these and either returns an
 :class:`InvariantReport` or raises
 :class:`~repro.common.errors.DivergenceError` listing each violation.
@@ -33,11 +43,15 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..client.submitter import ACKED, FAILED, PENDING, ResilientSubmitter
 from ..common.errors import DivergenceError, StorageError
+from ..model.transaction import Transaction
 from ..node.fullnode import FullNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..shard.node import ShardedNode
 
 
 @dataclasses.dataclass
@@ -64,35 +78,58 @@ class InvariantReport:
         )
 
 
+def _slice_on_chain(shard: FullNode, prepare: object) -> bool:
+    """Is every transaction of a prepared slice on the shard's chain?
+
+    Committed copies carry pipeline-assigned tids, so presence is judged
+    on signing payloads (tid- and signature-independent).
+    """
+    targets = {
+        Transaction.from_bytes(chunk).signing_payload()
+        for chunk in prepare.payload  # type: ignore[attr-defined]
+    }
+    found: set[bytes] = set()
+    for height in range(shard.store.height):
+        for tx in shard.store.read_block(height).transactions:
+            payload = tx.signing_payload()
+            if payload in targets:
+                found.add(payload)
+    return len(found) == len(targets)
+
+
 class InvariantChecker:
     """Asserts chain-level and client-level safety after a chaos run."""
 
     def __init__(
         self,
-        nodes: Sequence[FullNode],
+        nodes: Sequence[FullNode] = (),
         submitters: Sequence[ResilientSubmitter] = (),
         engine: Optional[object] = None,
+        sharded: Sequence["ShardedNode"] = (),
     ) -> None:
-        if not nodes:
+        if not nodes and not sharded:
             raise ValueError("need at least one node to check")
         self.nodes = list(nodes)
         self.submitters = list(submitters)
         self.engine = engine
+        self.sharded = list(sharded)
 
     def check(self, raise_on_violation: bool = True) -> InvariantReport:
         report = InvariantReport()
         live = [node for node in self.nodes if not node.crashed]
         for node in self.nodes:
             report.heights[node.node_id] = node.store.height
-        if not live:
+        if self.nodes and not live:
             report.violations.append("no live nodes left to check")
-        else:
+        elif live:
             self._check_agreement(live, report)
             self._check_integrity(live, report)
             self._check_submissions(live[0], report)
         cluster = getattr(self.engine, "cluster", None)
         if cluster is not None:
             self._check_broker_cluster(cluster, report)
+        for node in self.sharded:
+            self._check_sharded(node, report)
         if raise_on_violation and report.violations:
             raise DivergenceError(
                 "safety violated after chaos run:\n  - "
@@ -201,6 +238,76 @@ class InvariantChecker:
                         f"{acting.node_id} at entry {index}"
                     )
                     break
+
+    # -- cross-shard commit invariants ----------------------------------------
+
+    def _check_sharded(
+        self, node: "ShardedNode", report: InvariantReport
+    ) -> None:
+        """Audit one sharded deployment's 2PC journals against its chains."""
+        report.heights[node.node_id] = sum(
+            node.shards[sid].store.height for sid in sorted(node.shards)
+        )
+        if node.crashed:
+            return
+        # per-shard chain integrity, end to end
+        for sid in sorted(node.shards):
+            shard = node.shards[sid]
+            try:
+                shard.verify_local_chain(full=True)
+            except StorageError as exc:
+                report.violations.append(
+                    f"{shard.node_id} chain fails re-verification: {exc}"
+                )
+        # a live node must have resolved every prepare it ever journaled,
+        # and all participants of one xid must agree on the outcome
+        outcomes: dict[bytes, dict[int, bool]] = {}
+        prepared: dict[bytes, dict[int, object]] = {}
+        for sid in sorted(node.shards):
+            log = node.shards[sid].commit_log
+            for record in log.prepares():
+                prepared.setdefault(record.xid, {})[sid] = record
+                outcome = log.outcome_for(record.xid)
+                if outcome is None:
+                    report.violations.append(
+                        f"{node.shards[sid].node_id} holds an in-doubt "
+                        f"PREPARE {record.xid.hex()[:12]} - a live node "
+                        f"must have resolved it on restart"
+                    )
+                    continue
+                outcomes.setdefault(record.xid, {})[sid] = outcome.committed
+        for xid in sorted(outcomes):
+            by_shard = outcomes[xid]
+            verdicts = sorted({*by_shard.values()})
+            if len(verdicts) > 1:
+                report.violations.append(
+                    f"cross-shard tx {xid.hex()[:12]} has disagreeing "
+                    f"outcomes: {by_shard}"
+                )
+                continue
+            committed = verdicts[0]
+            any_prepare = prepared[xid][sorted(by_shard)[0]]
+            coordinator = any_prepare.coordinator
+            decision = None
+            if coordinator in node.shards:
+                decision = node.shards[coordinator].commit_log.decision_for(xid)
+            if committed:
+                if decision is None or not decision.commit:
+                    report.violations.append(
+                        f"cross-shard tx {xid.hex()[:12]} committed without "
+                        f"a commit decision on coordinator shard {coordinator}"
+                    )
+                for sid in sorted(by_shard):
+                    if not _slice_on_chain(node.shards[sid], prepared[xid][sid]):
+                        report.violations.append(
+                            f"cross-shard tx {xid.hex()[:12]} committed but "
+                            f"its slice is missing from shard {sid}'s chain"
+                        )
+            elif decision is not None and decision.commit:
+                report.violations.append(
+                    f"cross-shard tx {xid.hex()[:12]} was decided commit "
+                    f"but participants recorded an abort"
+                )
 
     # -- client-level invariants ---------------------------------------------
 

@@ -2,7 +2,8 @@
 
 Consensus orders; this package commits.  See :mod:`repro.ledger.pipeline`
 for the stage contract and :mod:`repro.ledger.commitlog` for the durable
-commit/checkpoint records.
+commit/checkpoint records (including the 2PC PREPARE/DECISION/OUTCOME
+records the sharded cross-shard commit journals).
 """
 
 from .commitlog import (
@@ -11,9 +12,21 @@ from .commitlog import (
     CheckpointRecord,
     CommitLog,
     CommitRecord,
+    DecisionRecord,
+    OutcomeRecord,
+    PrepareRecord,
 )
 from .pipeline import CRASH_AFTER_APPEND, CRASH_TORN, LedgerPipeline
-from .schedule import ExecutionPlan, TxEffect, plan_waves, prepare_effect, write_key
+from .schedule import (
+    DELETE_TNAME,
+    UPDATE_TNAME,
+    ExecutionPlan,
+    TxEffect,
+    plan_waves,
+    prepare_effect,
+    write_key,
+    write_keys,
+)
 from .stats import STAGES, LedgerStats, StageStats
 
 __all__ = [
@@ -24,13 +37,19 @@ __all__ = [
     "CommitRecord",
     "CRASH_AFTER_APPEND",
     "CRASH_TORN",
+    "DecisionRecord",
+    "DELETE_TNAME",
     "ExecutionPlan",
     "LedgerPipeline",
     "LedgerStats",
+    "OutcomeRecord",
+    "PrepareRecord",
     "StageStats",
     "STAGES",
     "TxEffect",
+    "UPDATE_TNAME",
     "plan_waves",
     "prepare_effect",
     "write_key",
+    "write_keys",
 ]

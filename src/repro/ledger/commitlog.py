@@ -36,6 +36,9 @@ _KIND_BEGIN = 1
 _KIND_COMMIT = 2
 _KIND_ABORT = 3
 _KIND_CHECKPOINT = 4
+_KIND_PREPARE = 5
+_KIND_DECISION = 6
+_KIND_OUTCOME = 7
 
 LOG_NAME = "commit.log"
 
@@ -80,7 +83,52 @@ class CheckpointRecord:
     tip_hash: bytes
 
 
-LogRecord = Union[BeginRecord, CommitRecord, AbortRecord, CheckpointRecord]
+@dataclasses.dataclass(frozen=True)
+class PrepareRecord:
+    """A shard's vote to commit its slice of a cross-shard transaction.
+
+    Written by a 2PC participant *before* the coordinator decides.
+    ``payload`` carries the participant's encoded transactions so
+    recovery can replay the slice without re-contacting the client;
+    ``height`` pins the shard's chain height at prepare time, letting
+    recovery detect a slice that was already applied (crash after the
+    block append but before the OUTCOME record).
+    """
+
+    xid: bytes
+    shard: int
+    coordinator: int
+    participants: tuple[int, ...]
+    payload: tuple[bytes, ...]
+    height: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DecisionRecord:
+    """The coordinator's global verdict for a cross-shard transaction.
+
+    Only ever written to the *coordinator shard's* log; its presence
+    with ``commit=True`` is the commit point of the whole transaction.
+    Recovery on any participant resolves an in-doubt PREPARE by looking
+    this record up - absent means presumed abort.
+    """
+
+    xid: bytes
+    commit: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class OutcomeRecord:
+    """A participant finished acting on the decision (applied or aborted)."""
+
+    xid: bytes
+    committed: bool
+
+
+LogRecord = Union[
+    BeginRecord, CommitRecord, AbortRecord, CheckpointRecord,
+    PrepareRecord, DecisionRecord, OutcomeRecord,
+]
 
 
 def _encode(record: LogRecord) -> bytes:
@@ -105,6 +153,26 @@ def _encode(record: LogRecord) -> bytes:
             writer.write_str(vote)
         writer.write_varint(record.height)
         writer.write_bytes(record.tip_hash)
+    elif isinstance(record, PrepareRecord):
+        writer.write_varint(_KIND_PREPARE)
+        writer.write_bytes(record.xid)
+        writer.write_varint(record.shard)
+        writer.write_varint(record.coordinator)
+        writer.write_varint(len(record.participants))
+        for participant in record.participants:
+            writer.write_varint(participant)
+        writer.write_varint(len(record.payload))
+        for chunk in record.payload:
+            writer.write_bytes(chunk)
+        writer.write_varint(record.height)
+    elif isinstance(record, DecisionRecord):
+        writer.write_varint(_KIND_DECISION)
+        writer.write_bytes(record.xid)
+        writer.write_varint(1 if record.commit else 0)
+    elif isinstance(record, OutcomeRecord):
+        writer.write_varint(_KIND_OUTCOME)
+        writer.write_bytes(record.xid)
+        writer.write_varint(1 if record.committed else 0)
     else:  # pragma: no cover - exhaustive over LogRecord
         raise LedgerError(f"unknown record type {type(record).__name__}")
     return writer.getvalue()
@@ -133,6 +201,29 @@ def _decode(payload: bytes) -> LogRecord:
             votes=votes,
             height=reader.read_varint(),
             tip_hash=reader.read_bytes(),
+        )
+    if kind == _KIND_PREPARE:
+        xid = reader.read_bytes()
+        shard = reader.read_varint()
+        coordinator = reader.read_varint()
+        participants = tuple(
+            reader.read_varint() for _ in range(reader.read_varint())
+        )
+        payload = tuple(
+            reader.read_bytes() for _ in range(reader.read_varint())
+        )
+        return PrepareRecord(
+            xid=xid, shard=shard, coordinator=coordinator,
+            participants=participants, payload=payload,
+            height=reader.read_varint(),
+        )
+    if kind == _KIND_DECISION:
+        return DecisionRecord(
+            xid=reader.read_bytes(), commit=bool(reader.read_varint())
+        )
+    if kind == _KIND_OUTCOME:
+        return OutcomeRecord(
+            xid=reader.read_bytes(), committed=bool(reader.read_varint())
         )
     raise LedgerError(f"unknown commit-log record kind {kind}")
 
@@ -194,6 +285,30 @@ class CommitLog:
             height=height, tip_hash=tip_hash,
         ))
 
+    def prepare(
+        self, xid: bytes, shard: int, coordinator: int,
+        participants: tuple[int, ...], payload: tuple[bytes, ...],
+        height: int,
+    ) -> None:
+        """Journal this shard's PREPARE vote for a cross-shard commit."""
+        self._append(PrepareRecord(
+            xid=xid, shard=shard, coordinator=coordinator,
+            participants=tuple(participants), payload=tuple(payload),
+            height=height,
+        ))
+
+    def decide(self, xid: bytes, commit: bool) -> None:
+        """Journal the coordinator's global decision (the commit point)."""
+        if self.decision_for(xid) is not None:
+            raise LedgerError(
+                f"duplicate 2PC decision for xid {xid.hex()[:12]}"
+            )
+        self._append(DecisionRecord(xid=xid, commit=commit))
+
+    def outcome(self, xid: bytes, committed: bool) -> None:
+        """Journal that this participant finished acting on the decision."""
+        self._append(OutcomeRecord(xid=xid, committed=committed))
+
     # -- reads -------------------------------------------------------------
 
     @property
@@ -222,6 +337,31 @@ class CommitLog:
             if isinstance(record, CheckpointRecord):
                 return record
         return None
+
+    def prepares(self) -> list[PrepareRecord]:
+        return [r for r in self._records if isinstance(r, PrepareRecord)]
+
+    def decision_for(self, xid: bytes) -> Optional[DecisionRecord]:
+        for record in self._records:
+            if isinstance(record, DecisionRecord) and record.xid == xid:
+                return record
+        return None
+
+    def outcome_for(self, xid: bytes) -> Optional[OutcomeRecord]:
+        for record in self._records:
+            if isinstance(record, OutcomeRecord) and record.xid == xid:
+                return record
+        return None
+
+    def outcomes(self) -> list[OutcomeRecord]:
+        return [r for r in self._records if isinstance(r, OutcomeRecord)]
+
+    def in_doubt(self) -> list[PrepareRecord]:
+        """PREPARE records with no OUTCOME - unresolved after a crash."""
+        resolved = {r.xid for r in self._records
+                    if isinstance(r, OutcomeRecord)}
+        return [r for r in self._records
+                if isinstance(r, PrepareRecord) and r.xid not in resolved]
 
     def trusted_anchor(self) -> Optional[tuple[int, bytes]]:
         """Newest checkpointed ``(height, tip_hash)`` - recovery's anchor."""

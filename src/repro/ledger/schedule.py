@@ -38,9 +38,17 @@ from ..model.transaction import (
 #: the cell a transaction writes: (table name, primary key value)
 WriteKey = Tuple[str, Any]
 
+#: system table names carrying update/delete intents: the transaction's
+#: values lead with ``(target_table, target_key, ...)`` so the scheduler
+#: can conflict them against the cell they mutate rather than treating
+#: them as writes to a synthetic "__update__" table
+UPDATE_TNAME = "__update__"
+DELETE_TNAME = "__delete__"
+_MUTATION_TNAMES = (UPDATE_TNAME, DELETE_TNAME)
+
 
 def write_key(tx: Transaction) -> WriteKey:
-    """The ``(table, primary key)`` cell ``tx`` writes.
+    """The primary ``(table, primary key)`` cell ``tx`` writes.
 
     SEBDB transactions are inserts into their declared table; the first
     application-level attribute acts as the row's primary key (the
@@ -48,9 +56,28 @@ def write_key(tx: Transaction) -> WriteKey:
     with no application values degenerates to its sender id, so retried
     system traffic still serializes per sender.
     """
+    return write_keys(tx)[0]
+
+
+def write_keys(tx: Transaction) -> Tuple[WriteKey, ...]:
+    """Every ``(table, primary key)`` cell ``tx`` writes.
+
+    Inserts write one cell in their own table.  Update/delete intents
+    (``__update__``/``__delete__`` transactions whose values lead with
+    the target table and key) write the *target* cell - so an update of
+    ``donate`` row ``d0`` conflicts with an insert of ``donate`` row
+    ``d0``, instead of serializing behind the schema barrier or landing
+    in a phantom system table.  A malformed mutation (fewer than two
+    values) degenerates to the sender id, staying safe by serializing
+    per sender.
+    """
+    if tx.tname in _MUTATION_TNAMES:
+        if len(tx.values) >= 2:
+            return ((str(tx.values[0]), tx.values[1]),)
+        return ((tx.tname, tx.senid),)
     if tx.values:
-        return (tx.tname, tx.values[0])
-    return (tx.tname, tx.senid)
+        return ((tx.tname, tx.values[0]),)
+    return ((tx.tname, tx.senid),)
 
 
 def is_barrier(tx: Transaction) -> bool:
@@ -94,11 +121,14 @@ def plan_waves(transactions: Sequence[Transaction]) -> ExecutionPlan:
             barrier_wave = wave
         else:
             wave = barrier_wave + 1
-            previous = last_writer.get(write_key(tx))
-            if previous is not None:
-                conflicts += 1
-                wave = max(wave, previous + 1)
-            last_writer[write_key(tx)] = wave
+            keys = write_keys(tx)
+            for key in keys:
+                previous = last_writer.get(key)
+                if previous is not None:
+                    conflicts += 1
+                    wave = max(wave, previous + 1)
+            for key in keys:
+                last_writer[key] = wave
         while len(waves) <= wave:
             waves.append([])
         waves[wave].append(position)
@@ -113,18 +143,21 @@ class TxEffect:
 
     Workers produce effects concurrently (a pure function of the
     transaction); the committing thread folds them into catalog and
-    index state strictly in tid order.  Today's transactions are inserts,
-    so the only stateful effect is a parsed schema registration - richer
-    state machines (updates, deletes) slot their write sets in here.
+    index state strictly in tid order.  The stateful effects are a
+    parsed schema registration (``__schema__``) and the write set
+    (``write_keys``) the scheduler conflicted on - update/delete
+    intents carry the target cell they mutate.
     """
 
     position: int
     #: parsed schema carried by a ``__schema__`` transaction
     schema: Optional[TableSchema] = None
+    #: the cells this transaction writes (empty for schema barriers)
+    write_keys: Tuple[WriteKey, ...] = ()
 
 
 def prepare_effect(position: int, tx: Transaction) -> TxEffect:
     """Execute one transaction up to (but not including) its commit."""
     if tx.tname == SCHEMA_TNAME:
         return TxEffect(position=position, schema=schema_from_sync_transaction(tx))
-    return TxEffect(position=position)
+    return TxEffect(position=position, write_keys=write_keys(tx))

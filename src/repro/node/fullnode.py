@@ -188,7 +188,11 @@ class FullNode:
         self.ledger.add_block_listener(listener)
 
     def close(self) -> None:
-        """Release pooled resources (the ledger's worker threads)."""
+        """Release pooled resources (the ledger's worker threads).
+
+        Idempotent: closing twice, or closing after :meth:`crash` (which
+        already shut the worker pool down), is a no-op.
+        """
         self.ledger.close()
 
     # -- engine checkpoints -----------------------------------------------------
@@ -233,6 +237,10 @@ class FullNode:
         if self._consensus is not None:
             self._consensus.unregister_replica(self.node_id)
             self._consensus.unregister_checkpoint_listener(self.node_id)
+        # a crashed process takes its worker threads with it: shut the
+        # ledger pool down so simulated crashes leak nothing (restart
+        # lazily re-creates it on the next parallel batch)
+        self.ledger.close()
 
     def crash_during_next_persist(self, mode: str = CRASH_TORN) -> None:
         """Fault hook: crash-stop inside the next persist stage.

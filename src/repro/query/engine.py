@@ -58,6 +58,11 @@ class QueryEngine:
         self._offchain = offchain
         self._planner = Planner(store, indexes, catalog, offchain)
 
+    @property
+    def planner(self) -> Planner:
+        """This engine's planner (sharded fan-out builds per-shard subplans)."""
+        return self._planner
+
     # -- public API -------------------------------------------------------------
 
     def execute(

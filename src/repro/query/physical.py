@@ -24,6 +24,7 @@ Element types flowing between operators:
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import time
 from typing import Any, Callable, Iterator, Optional, Sequence
 
@@ -530,6 +531,102 @@ class Aggregate(PhysicalOperator):
         _columns, rows = aggregate_rows(self._stmt, self._schema, txs)
         for values in rows:
             yield None, values
+
+
+class _Reversed:
+    """Inverts comparisons so a min-heap merges in descending order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+_EXHAUSTED = object()
+
+
+class ShardMerge(PhysicalOperator):
+    """Merge the per-shard subplans of a fanned-out statement.
+
+    Two modes, both streaming:
+
+    * **concat** (``key_index is None``): pull each shard's subtree to
+      exhaustion in shard order - the lazy union for unordered scans,
+      TRACE output, and aggregate inputs;
+    * **ordered** (``key_index`` set): incremental ``heapq`` k-way merge
+      over the shards' individually sorted Row streams, pulling exactly
+      one row per shard ahead of the output.  A downstream ``Limit k``
+      therefore costs each shard at most ``k + 1`` rows - the ordered
+      LIMIT laziness of the single-chain plan survives the fan-out.
+
+    NULL placement matches :class:`Sort`: NULLs last ascending, first
+    descending.  Ties break on shard position, so the merge is a
+    deterministic function of the per-shard streams.
+    """
+
+    name = "ShardMerge"
+
+    def __init__(
+        self,
+        children: Sequence[PhysicalOperator],
+        shard_ids: Sequence[int],
+        key_index: Optional[int] = None,
+        column: str = "",
+        descending: bool = False,
+    ) -> None:
+        require(len(children) == len(shard_ids),
+                "ShardMerge needs one subplan per shard")
+        require(len(children) > 0, "ShardMerge needs at least one shard")
+        super().__init__(children)
+        self._shard_ids = tuple(shard_ids)
+        self._key_index = key_index
+        self._column = column
+        self._descending = descending
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return self._shard_ids
+
+    def describe(self) -> str:
+        shards = ",".join(str(s) for s in self._shard_ids)
+        if self._key_index is None:
+            return f"shards=[{shards}]"
+        order = "DESC" if self._descending else "ASC"
+        return f"shards=[{shards}], ordered on {self._column} {order}"
+
+    def _key(self, item: Row) -> tuple:
+        value = item[1][self._key_index]
+        if self._descending:
+            if value is None:
+                return (0, 0)
+            return (1, _Reversed(value))
+        if value is None:
+            return (1, 0)
+        return (0, value)
+
+    def _rows(self) -> Iterator[Any]:
+        if self._key_index is None:
+            for child in self.children:
+                yield from self._pull(child)
+            return
+        iterators = [self._pull(child) for child in self.children]
+        heap: list[tuple[tuple, int, Any]] = []
+        for position, iterator in enumerate(iterators):
+            item = next(iterator, _EXHAUSTED)
+            if item is not _EXHAUSTED:
+                heapq.heappush(heap, (self._key(item), position, item))
+        while heap:
+            _key, position, item = heapq.heappop(heap)
+            yield item
+            item = next(iterators[position], _EXHAUSTED)
+            if item is not _EXHAUSTED:
+                heapq.heappush(heap, (self._key(item), position, item))
 
 
 # -- off-chain access -------------------------------------------------------

@@ -38,7 +38,7 @@ from ..offchain.adapter import OffChainDatabase
 from ..sqlparser import nodes
 from ..sqlparser.nodes import predicate_text
 from ..storage.blockstore import BlockStore
-from ..storage.costmodel import CostTracker
+from ..storage.costmodel import CostSnapshot, CostTracker
 from . import physical as phys
 from .aggregates import aggregate_columns, resolve_order_index
 from .operators import (
@@ -389,6 +389,39 @@ def build_onoff_join_leaf(
     return join, method
 
 
+class FanoutTracker:
+    """Query-scoped cost view over a fanned-out (multi-shard) plan.
+
+    Each shard's subplan charges its own tracker, created from that
+    shard's cost model; this object sums them so ``result.cost`` keeps
+    meaning "the I/O this query incurred" across the fan-out while the
+    per-shard trackers keep the disjoint attribution EXPLAIN shows.
+    """
+
+    def __init__(self, parts: Sequence[CostTracker]) -> None:
+        self.parts = tuple(parts)
+
+    @property
+    def seeks(self) -> int:
+        return sum(part.seeks for part in self.parts)
+
+    @property
+    def page_transfers(self) -> int:
+        return sum(part.page_transfers for part in self.parts)
+
+    def elapsed_ms(self) -> float:
+        return sum(part.elapsed_ms() for part in self.parts)
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(
+            seeks=self.seeks,
+            page_transfers=self.page_transfers,
+            bytes_read=sum(part.bytes_read for part in self.parts),
+            bytes_written=sum(part.bytes_written for part in self.parts),
+            elapsed_ms=self.elapsed_ms(),
+        )
+
+
 @dataclasses.dataclass
 class PhysicalPlan:
     """A compiled read statement: operator tree plus result metadata."""
@@ -396,8 +429,9 @@ class PhysicalPlan:
     root: phys.PhysicalOperator
     columns: tuple[str, ...]
     access_path: str
-    #: query-scoped cost tracker every leaf operator charges
-    tracker: CostTracker
+    #: query-scoped cost tracker every leaf operator charges (a
+    #: :class:`FanoutTracker` when the plan spans shards)
+    tracker: CostTracker | FanoutTracker
     statement: nodes.Statement
     choice: Optional[PathChoice] = None
     #: the BlockLookup leaf (GET BLOCK only), to recover ``result.block``
@@ -532,18 +566,24 @@ class Planner:
             return self._plan_select_join(stmt, method)
         raise QueryError("SELECT supports one table or one two-table join")
 
-    def _plan_select_onchain(
+    def select_input(
         self,
         stmt: nodes.Select,
         table: nodes.TableRef,
         method: Optional[AccessPath],
-    ) -> PhysicalPlan:
+        tracker: Optional[CostTracker] = None,
+    ) -> tuple[phys.PhysicalOperator, TableSchema, PathChoice]:
+        """Access-path leaf plus residual filter: one chain's tx stream.
+
+        The building block shared by the single-chain select plan and the
+        sharded fan-out (:func:`plan_sharded_select`, which calls this
+        once per shard and merges the streams).
+        """
         schema = self._catalog.get(table.name)
         constraints = extract_constraints(stmt.where)
         choice = choose_access_path(
             self._store, self._indexes, schema.name, constraints, forced=method
         )
-        tracker = self._store.cost.tracker()
         root: phys.PhysicalOperator = build_select_leaf(
             self._store, self._indexes, schema, choice, stmt.window, tracker
         )
@@ -553,6 +593,16 @@ class Planner:
                 _tx_accept(stmt.where, schema),
                 predicate_text(stmt.where),
             )
+        return root, schema, choice
+
+    def _plan_select_onchain(
+        self,
+        stmt: nodes.Select,
+        table: nodes.TableRef,
+        method: Optional[AccessPath],
+    ) -> PhysicalPlan:
+        tracker = self._store.cost.tracker()
+        root, schema, choice = self.select_input(stmt, table, method, tracker)
         if stmt.has_aggregates or stmt.group_by is not None:
             columns = aggregate_columns(stmt)
             root = phys.Aggregate(root, stmt, schema)
@@ -843,3 +893,117 @@ class Planner:
                 "this node has no off-chain database attached"
             )
         return self._offchain
+
+
+# -- sharded fan-out plans ---------------------------------------------------
+#
+# A statement that genuinely spans shards compiles to one subplan per
+# shard (each built by that shard's own Planner against its own store,
+# indexes and scoped tracker) under a single ShardMerge.  The routing
+# decision - which shards, and whether to fan out at all - belongs to
+# the ShardRouter (repro.shard.routing); these functions only assemble
+# the plan for the shards they are handed.
+
+
+def plan_sharded_select(
+    shard_planners: Sequence[tuple[int, Planner]],
+    stmt: nodes.Select,
+    method: Optional[AccessPath] = None,
+) -> PhysicalPlan:
+    """Fan a single-table SELECT out over shards and merge the streams.
+
+    Ordered statements sort per shard and k-way merge (ShardMerge's
+    ordered mode), so a downstream LIMIT still stops per-shard I/O after
+    at most ``limit + 1`` rows each; a LIMIT additionally pushes into
+    each shard below the merge (the global top-k is a subset of the
+    per-shard top-k's) unless DISTINCT intervenes.  Aggregates pull the
+    concatenated transaction streams through one blocking Aggregate.
+    """
+    if len(stmt.tables) != 1 or stmt.tables[0].source != "onchain":
+        raise QueryError(
+            "sharded fan-out supports single on-chain tables"
+        )
+    table = stmt.tables[0]
+    shard_ids = [sid for sid, _planner in shard_planners]
+    trackers: list[CostTracker] = []
+    inputs: list[phys.PhysicalOperator] = []
+    choices: list[PathChoice] = []
+    schema: Optional[TableSchema] = None
+    for _sid, planner in shard_planners:
+        tracker = planner._store.cost.tracker()  # noqa: SLF001 - same module
+        trackers.append(tracker)
+        root, schema, choice = planner.select_input(stmt, table, method, tracker)
+        inputs.append(root)
+        choices.append(choice)
+    assert schema is not None
+    if stmt.has_aggregates or stmt.group_by is not None:
+        columns = aggregate_columns(stmt)
+        root = phys.Aggregate(
+            phys.ShardMerge(inputs, shard_ids), stmt, schema
+        )
+        if stmt.distinct:
+            root = phys.Distinct(root)
+        if stmt.order_by is not None:
+            key = resolve_order_index(columns, stmt.order_by.column)
+            root = phys.Sort(
+                root, key, str(stmt.order_by.column), stmt.order_by.descending
+            )
+        if stmt.limit is not None:
+            root = phys.Limit(root, stmt.limit)
+            root.est_rows = stmt.limit
+    else:
+        columns = projected_columns(schema, stmt.projection)
+        subplans: list[phys.PhysicalOperator] = [
+            phys.Project(part, schema, stmt.projection) for part in inputs
+        ]
+        if stmt.order_by is not None:
+            key = resolve_order_index(columns, stmt.order_by.column)
+            column = str(stmt.order_by.column)
+            descending = stmt.order_by.descending
+            subplans = [
+                phys.Sort(sub, key, column, descending) for sub in subplans
+            ]
+            if stmt.limit is not None and not stmt.distinct:
+                subplans = [phys.Limit(sub, stmt.limit) for sub in subplans]
+            root = phys.ShardMerge(
+                subplans, shard_ids,
+                key_index=key, column=column, descending=descending,
+            )
+        else:
+            root = phys.ShardMerge(subplans, shard_ids)
+        if stmt.distinct:
+            root = phys.Distinct(root)
+        if stmt.limit is not None:
+            root = phys.Limit(root, stmt.limit)
+            root.est_rows = stmt.limit
+    return PhysicalPlan(
+        root=root, columns=columns, access_path="shard-merge",
+        tracker=FanoutTracker(trackers), statement=stmt,
+        choice=choices[0] if choices else None,
+    )
+
+
+def plan_sharded_trace(
+    shard_planners: Sequence[tuple[int, Planner]],
+    stmt: nodes.Trace,
+    method: Optional[AccessPath] = None,
+) -> PhysicalPlan:
+    """TRACE across every shard: per-shard Algorithm-1 leaves, concatenated."""
+    shard_ids = [sid for sid, _planner in shard_planners]
+    trackers: list[CostTracker] = []
+    leaves: list[phys.PhysicalOperator] = []
+    for _sid, planner in shard_planners:
+        tracker = planner._store.cost.tracker()  # noqa: SLF001 - same module
+        trackers.append(tracker)
+        leaf, _used = build_trace_leaf(
+            planner._store, planner._indexes,  # noqa: SLF001 - same module
+            stmt.operator, stmt.operation, stmt.window, method,
+            tracker=tracker,
+        )
+        leaves.append(leaf)
+    root = phys.TraceRows(phys.ShardMerge(leaves, shard_ids))
+    return PhysicalPlan(
+        root=root, columns=phys.TraceRows.COLUMNS,
+        access_path="shard-merge", tracker=FanoutTracker(trackers),
+        statement=stmt,
+    )

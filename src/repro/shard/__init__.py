@@ -1,0 +1,39 @@
+"""Partitioned ledger pipelines: SEBDB's horizontal write scaling.
+
+One chain is the throughput ceiling (every write funnels through a
+single orderer and one staged pipeline); this package partitions tables
+across N independent shards, each owning its own
+:class:`~repro.ledger.pipeline.LedgerPipeline`, orderer and segment
+store under a per-shard directory.
+
+* :mod:`repro.shard.routing` - deterministic table/key -> shard mapping
+  (hash of the table name, optional pinned or key-range placement);
+* :mod:`repro.shard.twophase` - the cross-shard atomic commit protocol,
+  journaled as PREPARE / DECISION / OUTCOME records in each shard's
+  existing commit log (presumed abort; deterministic recovery);
+* :mod:`repro.shard.node` - :class:`ShardedNode`, a facade presenting
+  the :class:`~repro.node.fullnode.FullNode` API over the shard set so
+  the CLI, clients, benches and the chaos harness keep working.
+"""
+
+from .node import ShardedNode
+from .routing import ShardRouter
+from .twophase import (
+    CRASH_AFTER_DECISION,
+    CRASH_AFTER_PREPARE,
+    CRASH_MID_OUTCOME,
+    cross_shard_xid,
+    resolve_in_doubt,
+    run_cross_shard_commit,
+)
+
+__all__ = [
+    "CRASH_AFTER_DECISION",
+    "CRASH_AFTER_PREPARE",
+    "CRASH_MID_OUTCOME",
+    "ShardRouter",
+    "ShardedNode",
+    "cross_shard_xid",
+    "resolve_in_doubt",
+    "run_cross_shard_commit",
+]

@@ -1,0 +1,179 @@
+"""Logged two-phase commit for cross-shard transactions.
+
+A multi-table transaction whose writes span shards must commit on all of
+them or none.  The protocol journals everything in each shard's existing
+:class:`~repro.ledger.commitlog.CommitLog` (so crash recovery falls out
+of the PR-5 torn-log machinery - a record torn mid-write is dropped on
+load, which reads as "never written"):
+
+1. **vote**: every participant checks its slice (tables known, valid
+   signatures when verification is on) - a NO anywhere aborts;
+2. **PREPARE**: each participant journals ``PrepareRecord(xid, shard,
+   coordinator, participants, payload, height)`` - the payload carries
+   the slice's encoded transactions so recovery can replay without the
+   client, and ``height`` pins the chain position for idempotency;
+3. **DECISION**: the *coordinator* (lowest participating shard id)
+   journals ``DecisionRecord(xid, commit)``.  This single record is the
+   commit point of the whole transaction;
+4. **apply + OUTCOME**: each participant commits its slice through its
+   ledger pipeline (one block per shard) and journals
+   ``OutcomeRecord(xid, committed)``.
+
+Recovery is *presumed abort*: an in-doubt PREPARE (no OUTCOME) looks up
+the coordinator's decision - present-and-commit means replay (skipping
+slices the chain already holds, detected by signing payload, which is
+tid-independent), anything else means abort.  Both paths are
+deterministic functions of the logs, so every restart of every replica
+resolves identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
+
+from ..common.errors import ShardError
+from ..model.transaction import SCHEMA_TNAME, Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..node.fullnode import FullNode
+
+#: crash points :func:`run_cross_shard_commit` can simulate
+CRASH_AFTER_PREPARE = "after-prepare"
+CRASH_AFTER_DECISION = "after-decision"
+CRASH_MID_OUTCOME = "mid-outcome"
+
+CrashHook = tuple[str, Callable[[], None]]
+
+#: (shard id, that shard's slice of the transaction), ascending shard id
+Groups = Sequence[tuple[int, Sequence[Transaction]]]
+
+
+def cross_shard_xid(groups: Groups) -> bytes:
+    """Deterministic cross-shard transaction id: a digest over every
+    participating shard id and transaction hash, in submission order."""
+    digest = hashlib.sha256()
+    for shard_id, txs in groups:
+        digest.update(shard_id.to_bytes(4, "big"))
+        for tx in txs:
+            digest.update(tx.hash())
+    return digest.digest()
+
+
+def _participant_votes_yes(shard: "FullNode", txs: Sequence[Transaction]) -> bool:
+    """Phase-1 vote: can this shard commit its slice?"""
+    for tx in txs:
+        if tx.tname == SCHEMA_TNAME:
+            return False
+        if tx.tname not in shard.catalog:
+            return False
+        if shard.verify_signatures and not tx.verify_signature():
+            return False
+    return True
+
+
+def run_cross_shard_commit(
+    shards: Mapping[int, "FullNode"],
+    groups: Groups,
+    crash: Optional[CrashHook] = None,
+) -> Optional[bytes]:
+    """Drive one cross-shard transaction through logged 2PC.
+
+    Returns the xid when the transaction committed on every shard,
+    ``None`` when it aborted (a participant voted no), and ``None``
+    after a simulated ``crash`` fired (the caller's recovery path then
+    finishes the protocol from the logs).
+    """
+    if len(groups) < 2:
+        raise ShardError(
+            "cross-shard commit needs at least two participating shards"
+        )
+    participants = tuple(shard_id for shard_id, _txs in groups)
+    coordinator = min(participants)
+    xid = cross_shard_xid(groups)
+
+    # phase 1: vote, then journal a PREPARE per yes-voting participant
+    votes_yes = all(
+        _participant_votes_yes(shards[shard_id], txs)
+        for shard_id, txs in groups
+    )
+    if not votes_yes:
+        shards[coordinator].commit_log.decide(xid, False)
+        return None
+    for shard_id, txs in groups:
+        shard = shards[shard_id]
+        shard.commit_log.prepare(
+            xid, shard_id, coordinator, participants,
+            tuple(tx.to_bytes() for tx in txs), shard.store.height,
+        )
+    if crash is not None and crash[0] == CRASH_AFTER_PREPARE:
+        crash[1]()
+        return None
+
+    # the commit point: one record on the coordinator
+    shards[coordinator].commit_log.decide(xid, True)
+    if crash is not None and crash[0] == CRASH_AFTER_DECISION:
+        crash[1]()
+        return None
+
+    # phase 2: apply each slice, then mark the participant done
+    for index, (shard_id, txs) in enumerate(groups):
+        if crash is not None and crash[0] == CRASH_MID_OUTCOME and index == 1:
+            crash[1]()
+            return None
+        shards[shard_id].apply_batch(list(txs))
+        shards[shard_id].commit_log.outcome(xid, True)
+    return xid
+
+
+def _slice_already_applied(
+    shard: "FullNode", prepare_height: int, txs: Sequence[Transaction]
+) -> bool:
+    """Did the crash hit after this slice's block was appended?
+
+    Committed transactions carry pipeline-assigned tids, so the replay
+    check compares signing payloads (tid- and signature-independent)
+    over the blocks appended since the PREPARE was journaled.
+    """
+    targets = {tx.signing_payload() for tx in txs}
+    for height in range(prepare_height, shard.store.height):
+        block = shard.store.read_block(height)
+        for committed in block.transactions:
+            if committed.signing_payload() in targets:
+                return True
+    return False
+
+
+def resolve_in_doubt(shards: Mapping[int, "FullNode"]) -> dict[str, int]:
+    """Finish every interrupted cross-shard commit, deterministically.
+
+    For each shard's in-doubt PREPARE (no OUTCOME): commit-decided
+    transactions are replayed through the shard's pipeline unless their
+    block already landed; everything else - no decision record, an
+    abort decision, or a coordinator whose log never recorded one - is
+    presumed aborted.  Idempotent: a clean log resolves to no work.
+    """
+    report = {"replayed": 0, "already_applied": 0, "aborted": 0}
+    for shard_id in sorted(shards):
+        shard = shards[shard_id]
+        for record in shard.commit_log.in_doubt():
+            coordinator = shards.get(record.coordinator)
+            if coordinator is None:
+                raise ShardError(
+                    f"in-doubt prepare names unknown coordinator shard "
+                    f"{record.coordinator}"
+                )
+            decision = coordinator.commit_log.decision_for(record.xid)
+            if decision is not None and decision.commit:
+                txs = [Transaction.from_bytes(chunk)
+                       for chunk in record.payload]
+                if _slice_already_applied(shard, record.height, txs):
+                    report["already_applied"] += 1
+                else:
+                    shard.apply_batch(txs)
+                    report["replayed"] += 1
+                shard.commit_log.outcome(record.xid, True)
+            else:
+                shard.commit_log.outcome(record.xid, False)
+                report["aborted"] += 1
+    return report

@@ -17,7 +17,7 @@ LAYER_BANDS: tuple[frozenset, ...] = (
     frozenset({"query", "offchain", "ledger"}),
     frozenset({"consensus", "network"}),
     frozenset({"node"}),
-    frozenset({"client", "baselines"}),
+    frozenset({"client", "baselines", "shard"}),
     frozenset({"faults"}),
     frozenset({"bench", "cli", ""}),
 )
@@ -34,7 +34,7 @@ LAYER_OF: dict = {
 DETERMINISM_EXCLUDES: tuple = ("bench", "common/clock.py")
 
 #: set/frozenset iteration is only policed on event-ordering paths
-SET_ITERATION_SCOPE: tuple = ("consensus", "network", "faults", "ledger")
+SET_ITERATION_SCOPE: tuple = ("consensus", "network", "faults", "ledger", "shard")
 
 #: wall-clock entry points (module attribute calls)
 WALL_CLOCK_ATTRS: frozenset = frozenset(
@@ -83,7 +83,9 @@ ENTROPY_CALLS: frozenset = frozenset(
 
 # -- fault-path exception discipline ----------------------------------------
 
-FAULT_PATH_SCOPE: tuple = ("consensus", "network", "node", "client", "ledger")
+FAULT_PATH_SCOPE: tuple = (
+    "consensus", "network", "node", "client", "ledger", "shard"
+)
 
 #: builtins that must not be raised on faultable paths - callers catch
 #: :class:`repro.common.errors.SebdbError`, and anything outside that
