@@ -23,6 +23,7 @@ layering violation the ``commit-path`` analysis rule rejects.
 from __future__ import annotations
 
 import collections
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
@@ -93,6 +94,10 @@ class LedgerPipeline:
             batch_verify if batch_verify is not None else workers > 1
         )
         self._executor: Optional[ThreadPoolExecutor] = None
+        #: serializes pool creation against close(); without it a close()
+        #: racing _pool() can observe the pre-assignment executor and leak
+        #: its threads (shutdown happens on the swapped-out pool only)
+        self._pool_lock = threading.Lock()
         self._block_listeners: list[Callable[[Block], None]] = []
         #: positive signature verifications, keyed by transaction hash
         self._sig_cache: LRUCache[bytes, bool] = LRUCache(
@@ -291,17 +296,42 @@ class LedgerPipeline:
 
     def _pool(self) -> ThreadPoolExecutor:
         """The shared worker pool, created on first use (workers > 1)."""
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="sebdb-ledger"
-            )
-        return self._executor
+        with self._pool_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="sebdb-ledger"
+                )
+            return self._executor
+
+    def _pool_map(self, fn, *iterables) -> list:
+        """``Executor.map`` with a serial inline fallback.
+
+        A ``close()`` racing an in-flight commit can shut the pool down
+        between the ``_pool()`` lookup and the dispatch; the executor
+        then raises ``RuntimeError("cannot schedule new futures after
+        shutdown")``.  The fallback computes the identical
+        submission-ordered result inline instead of recreating a pool,
+        so racing closers never leave an orphaned executor behind.
+        """
+        try:
+            return list(self._pool().map(fn, *iterables))
+        except RuntimeError:
+            return [fn(*args) for args in zip(*iterables)]
 
     def close(self) -> None:
-        """Release the worker pool (idempotent; the pipeline stays usable)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        """Release the worker pool (idempotent; the pipeline stays usable).
+
+        Safe against concurrent close() calls and against commits in
+        flight: the executor is detached under the lock, so exactly one
+        closer shuts each pool down, and submitters either reuse the
+        detached pool before shutdown (their tasks drain: shutdown waits)
+        or fall back to inline execution via :meth:`_pool_map`.
+        """
+        with self._pool_lock:
+            executor = self._executor
             self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def _verify_signatures(self, txs: Sequence[Transaction]) -> List[bool]:
         """Validate-stage signature check for a whole batch.
@@ -363,7 +393,7 @@ class LedgerPipeline:
             size = (len(items) + chunks - 1) // chunks
             spans = [items[i:i + size] for i in range(0, len(items), size)]
             # map() yields results in submission order: deterministic
-            outcomes = list(self._pool().map(verify_batch, spans))
+            outcomes = self._pool_map(verify_batch, spans)
         self.stats.validate_chunks += len(outcomes)
         for outcome in outcomes:
             self.stats.sig_aggregate_checks += outcome.aggregate_checks
@@ -423,9 +453,9 @@ class LedgerPipeline:
         effects: list[Optional[TxEffect]] = [None] * len(txs)
         for wave in plan.waves:
             if self.workers > 1 and len(wave) > 1:
-                computed = list(self._pool().map(
+                computed = self._pool_map(
                     prepare_effect, wave, [txs[i] for i in wave]
-                ))
+                )
             else:
                 computed = [prepare_effect(i, txs[i]) for i in wave]
             for effect in computed:

@@ -1,0 +1,29 @@
+"""Seeded violation: a helper TWO call hops from the worker entry point
+mutates unguarded shared state.
+
+``run`` hands ``_work`` to ``submit`` (hop 0: the entry point);
+``_work`` calls ``_bump`` (hop 1); ``_bump`` writes ``self.committed``
+with no lock (the flagged line).  A per-module rule can never see this:
+the write sits in a function nothing marks as threaded.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self.committed = 0
+        self._executor = ThreadPoolExecutor(max_workers=2)
+
+    def run(self, batches):
+        for batch in batches:
+            self._executor.submit(self._work, batch)
+
+    def _work(self, batch):
+        self._bump(len(batch))
+
+    def _bump(self, n):
+        self.committed += n
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)

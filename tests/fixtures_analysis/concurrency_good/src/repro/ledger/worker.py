@@ -1,0 +1,34 @@
+"""Clean twin of ``concurrency_bad``: the same two-hop shape, with the
+shared-state write lock-guarded, worker-local state untouched by the
+rule, and the coordinator-side write outside any worker-reachable
+function."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self.committed = 0
+        self.submitted = 0
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(max_workers=2)
+
+    def run(self, batches):
+        for batch in batches:
+            # coordinator-thread write: not worker-reachable, never flagged
+            self.submitted += 1
+            self._executor.submit(self._work, batch)
+
+    def _work(self, batch):
+        total = 0  # worker-local variable: fine
+        for item in batch:
+            total += 1
+        self._bump(total)
+
+    def _bump(self, n):
+        with self._lock:
+            self.committed += n
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)

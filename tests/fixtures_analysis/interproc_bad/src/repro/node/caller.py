@@ -1,0 +1,10 @@
+"""Seeded violation: an in-scope module reaching wall-clock *through*
+an excluded helper chain (caller -> measure -> tick -> perf_counter).
+The per-module determinism pass sees nothing here; only the
+interprocedural escalation reports it, at this call site."""
+
+from ..bench.meter import measure
+
+
+def latency_probe() -> float:
+    return measure()

@@ -1,0 +1,13 @@
+"""Seeded violation: an executor stored on ``self`` with no reachable
+shutdown path - ``Runner`` has no close/shutdown/stop method at all, so
+the pool's threads leak when the object is dropped."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Runner:
+    def __init__(self) -> None:
+        self._executor = ThreadPoolExecutor(max_workers=2)
+
+    def run(self, fn):
+        return self._executor.submit(fn).result()

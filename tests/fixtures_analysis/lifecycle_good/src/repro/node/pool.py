@@ -1,0 +1,42 @@
+"""Clean twin of ``lifecycle_bad``: every construction shape the rule
+accepts - a self-attribute released through an alias in ``close()``, a
+local released in-function, a context manager, a joined thread, and a
+construction returned to the caller (ownership handed off)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Runner:
+    def __init__(self) -> None:
+        self._executor = ThreadPoolExecutor(max_workers=2)
+
+    def run(self, fn):
+        return self._executor.submit(fn).result()
+
+    def close(self) -> None:
+        executor = self._executor
+        executor.shutdown(wait=True)
+
+
+def run_once(fn):
+    pool = ThreadPoolExecutor(max_workers=1)
+    try:
+        return pool.submit(fn).result()
+    finally:
+        pool.shutdown(wait=True)
+
+
+def run_scoped(fn):
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        return pool.submit(fn).result()
+
+
+def run_thread(fn):
+    worker = threading.Thread(target=fn)
+    worker.start()
+    worker.join()
+
+
+def make_pool():
+    return ThreadPoolExecutor(max_workers=2)

@@ -2,6 +2,7 @@
 commit log, signature caching, and crash-mid-append recovery."""
 
 import dataclasses
+import threading
 
 import pytest
 
@@ -458,3 +459,117 @@ class TestAdoptionGuards:
         b = FullNode("b", genesis=a.store.read_block(0))
         with pytest.raises(StorageError, match="cannot accept block"):
             b.accept_block(a.store.read_block(2))
+
+
+# -- worker-pool shutdown races -----------------------------------------------
+
+def _ledger_threads() -> set[str]:
+    return {
+        t.name for t in threading.enumerate()
+        if t.name.startswith("sebdb-ledger")
+    }
+
+
+class TestPoolShutdownRace:
+    """close() vs in-flight submits: idempotent, no orphaned executors."""
+
+    def _pipeline(self, workers: int = 4) -> LedgerPipeline:
+        return LedgerPipeline(BlockStore(), Catalog(), Clock(), workers=workers)
+
+    def test_double_close_is_idempotent(self):
+        before = _ledger_threads()
+        pipeline = self._pipeline()
+        pipeline._pool()  # force lazy pool creation
+        pipeline.close()
+        pipeline.close()
+        assert pipeline._executor is None
+        assert _ledger_threads() <= before
+
+    def test_pool_map_falls_back_inline_after_a_racing_shutdown(self):
+        """The exact interleaving the fix targets: a closer shuts the
+        executor down between another thread's pool lookup and its
+        dispatch.  The dispatch must complete inline with the identical
+        submission-ordered result — and must NOT resurrect a pool the
+        closer would never see."""
+        pipeline = self._pipeline()
+        executor = pipeline._pool()
+        executor.shutdown(wait=True)  # simulate close() winning the race
+        result = pipeline._pool_map(lambda x: x * x, range(6))
+        assert result == [x * x for x in range(6)]
+        assert pipeline._executor is executor  # fallback recreated nothing
+        pipeline.close()
+        assert pipeline._executor is None
+
+    def test_closers_racing_dispatchers_leave_no_threads(self):
+        before = _ledger_threads()
+        pipeline = self._pipeline()
+        errors: list = []
+        stop = threading.Event()
+
+        def dispatcher():
+            expected = [x + 1 for x in range(8)]
+            while not stop.is_set():
+                try:
+                    got = pipeline._pool_map(lambda x: x + 1, range(8))
+                    if got != expected:
+                        errors.append(("order", got))
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(("raised", repr(exc)))
+                    return
+
+        def closer():
+            while not stop.is_set():
+                try:
+                    pipeline.close()
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(("close raised", repr(exc)))
+                    return
+
+        threads = (
+            [threading.Thread(target=dispatcher) for _ in range(3)]
+            + [threading.Thread(target=closer) for _ in range(2)]
+        )
+        for t in threads:
+            t.start()
+        for _ in range(200):
+            if errors:
+                break
+            pipeline._pool_map(lambda x: x, range(4))
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
+        pipeline.close()
+        assert _ledger_threads() <= before
+
+    def test_commits_racing_close_stay_correct(self):
+        """End to end: real commits while another thread hammers close().
+        Every batch must land, the chain must verify, and the final close
+        must leave no worker threads."""
+        before = _ledger_threads()
+        node = FullNode("race", workers=4)
+        node.create_table("CREATE t (a string)")
+        stop = threading.Event()
+
+        def closer():
+            while not stop.is_set():
+                node.ledger.close()
+
+        thread = threading.Thread(target=closer)
+        thread.start()
+        try:
+            for round_no in range(30):
+                batch = [
+                    Transaction.create("t", (f"r{round_no}-{i}",), ts=round_no)
+                    for i in range(8)
+                ]
+                assert node.apply_batch(batch) is not None
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert node.query("SELECT COUNT(*) FROM t").rows[0][0] == 240
+        node.verify_local_chain(full=True)
+        node.close()
+        assert _ledger_threads() <= before

@@ -463,6 +463,44 @@ class TestLifecycle:
         node.close()  # idempotent
         assert _ledger_threads() <= before
 
+    def test_concurrent_closers_racing_commits_are_safe(self):
+        """Regression for the double-close race: closers hammering every
+        shard's pool while commits are in flight must never raise and
+        must leave no worker threads behind."""
+        before = _ledger_threads()
+        node = make_node(3, placement={"t": (10, 20)}, workers=4)
+        node.create_table("CREATE TABLE t (k INT, v STRING)")
+        errors: list = []
+        stop = threading.Event()
+
+        def closer():
+            while not stop.is_set():
+                try:
+                    node.close()
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(repr(exc))
+                    return
+
+        closers = [threading.Thread(target=closer) for _ in range(3)]
+        for t in closers:
+            t.start()
+        try:
+            for round_no in range(20):
+                node.apply_batch(
+                    [tx_for("t", k, f"r{round_no}") for k in range(12)]
+                )
+        finally:
+            stop.set()
+            for t in closers:
+                t.join(timeout=30)
+        assert not any(t.is_alive() for t in closers)
+        assert errors == []
+        total = node.query("SELECT COUNT(*) FROM t").rows[0][0]
+        assert total == 20 * 12
+        node.verify_local_chain(full=True)
+        node.close()
+        assert _ledger_threads() <= before
+
     def test_crash_shuts_worker_pools_down(self):
         before = _ledger_threads()
         node = make_node(2, workers=4)

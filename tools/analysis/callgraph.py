@@ -1,0 +1,803 @@
+"""Whole-program symbol table and conservative call graph.
+
+PR 4's rules were per-module and syntactic: they could flag a
+``time.time()`` they could *see*, but not one hidden behind a helper,
+and they had no notion of "code reachable from a worker thread".  This
+module lifts the suite to whole-program analysis:
+
+* :class:`SymbolTable` - every function, method, nested function and
+  lambda in the project, plus per-module import maps (``repro``-internal
+  imports resolve to the defining module), per-class method tables with
+  project-local MRO, and light type inference (``self.x = Cls(...)``
+  assignments, parameter/attribute annotations, constructor calls bound
+  to locals, return annotations);
+* :class:`CallGraph` - a conservative over-approximation of "who may
+  call whom": direct calls, ``self.method()`` resolved through the
+  enclosing class's MRO, module-qualified calls, attribute calls typed
+  through the inference above, property accesses, and *reference* edges
+  for callables passed as arguments (``pool.map(fn, ...)`` marks ``fn``
+  reachable even though nothing calls it by name here).
+
+Resolution limits (documented, deliberate): dynamic dispatch through
+``getattr``, callables stored in containers, monkey-patching and
+``**kwargs`` forwarding are invisible; a method call on a receiver whose
+type cannot be inferred produces no edge.  Rules built on the graph are
+therefore *may-miss* on exotic call shapes but never crash on them, and
+the repo's own idioms (plain classes, explicit imports, executor pools)
+all resolve.
+
+Build once per run via :attr:`tools.analysis.core.Project.graph`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+#: pseudo-function holding a module's top-level statements
+MODULE_SCOPE = "<module>"
+
+#: AST nodes that open a new lexical scope (never descended into when
+#: collecting the nodes that belong to an enclosing function)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+#: import target: ("module", relpath) or ("name", relpath, original-name)
+ImportTarget = Tuple
+
+#: a receiver type: a project class, an external dotted name, or a module
+_TypeInfo = Union["ClassInfo", str, Tuple[str, str]]
+
+
+def own_scope_nodes(node: ast.AST) -> Iterator[ast.AST]:
+    """Every AST node lexically inside ``node``'s own scope.
+
+    Nested functions, lambdas and classes are their own scopes and are
+    *not* descended into (the scope-opening node itself is yielded, so
+    callers can still see that a nested def exists).
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        roots: List[ast.AST] = list(node.body)
+    elif isinstance(node, ast.Lambda):
+        roots = [node.body]
+    elif isinstance(node, ast.Module):
+        roots = list(node.body)
+    else:
+        roots = list(ast.iter_child_nodes(node))
+    stack = list(reversed(roots))
+    while stack:
+        item = stack.pop()
+        yield item
+        if isinstance(item, _SCOPE_NODES):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(item))))
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One project class: methods, bases, and inferred attribute types."""
+
+    relpath: str
+    name: str
+    node: ast.ClassDef
+    #: base-class names as written (``Base``, ``mod.Base`` -> ``Base``)
+    bases: List[str] = dataclasses.field(default_factory=list)
+    #: method name -> function qualname
+    methods: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: ``self.attr`` -> inferred type (ClassInfo or external dotted name)
+    attr_types: Dict[str, _TypeInfo] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function-like scope (function, method, lambda, module body)."""
+
+    qualname: str
+    relpath: str
+    name: str
+    node: ast.AST
+    #: owning class, when the function is a method
+    cls: Optional[ClassInfo] = None
+    #: parameter names (including self)
+    params: List[str] = dataclasses.field(default_factory=list)
+    #: parameter name -> annotated type
+    param_types: Dict[str, _TypeInfo] = dataclasses.field(default_factory=dict)
+    #: local name -> qualname of a nested def / bound lambda
+    local_funcs: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: local name -> inferred type from ``x = Cls(...)``
+    var_types: Dict[str, _TypeInfo] = dataclasses.field(default_factory=dict)
+    #: names declared ``global`` inside this function
+    globals_declared: Set[str] = dataclasses.field(default_factory=set)
+    #: names assigned locally (plain ``x = ...`` / loop targets)
+    assigned: Set[str] = dataclasses.field(default_factory=set)
+    #: lexically enclosing function (closures resolve through it)
+    parent: Optional[str] = None
+    #: decorator names as written (``property``, ``staticmethod``...)
+    decorators: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def is_property(self) -> bool:
+        return any(d in ("property", "cached_property") for d in self.decorators)
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class CallEdge:
+    """One resolved edge: ``caller`` may transfer control to ``callee``."""
+
+    caller: str
+    callee: str
+    line: int
+    #: "call" direct invocation, "ref" callable passed as a value,
+    #: "prop" property access
+    kind: str
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _base_name(node: ast.expr) -> str:
+    """``Base`` / ``mod.Base`` / ``Generic[T]`` -> the class-ish name."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _annotation_names(node: Optional[ast.expr]) -> List[str]:
+    """Candidate class names inside an annotation, outermost first.
+
+    ``Optional[ThreadPoolExecutor]`` -> ["Optional", "ThreadPoolExecutor"];
+    string annotations are parsed (``"Clock"`` -> ["Clock"]).
+    """
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return []
+    names: List[str] = []
+    for item in ast.walk(node):
+        if isinstance(item, ast.Name):
+            names.append(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.append(item.attr)
+    return names
+
+
+class SymbolTable:
+    """Every function and class in the project, with import resolution."""
+
+    def __init__(self) -> None:
+        #: function qualname -> FunctionInfo
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: (relpath, name) -> qualname of a module-level function
+        self.module_funcs: Dict[Tuple[str, str], str] = {}
+        #: (relpath, class name) -> ClassInfo
+        self.classes: Dict[Tuple[str, str], ClassInfo] = {}
+        #: relpath -> {local name -> ImportTarget} for project imports
+        self.imports: Dict[str, Dict[str, ImportTarget]] = {}
+        #: relpath -> {local name -> dotted external name}
+        self.external_imports: Dict[str, Dict[str, str]] = {}
+        #: relpath -> names assigned at module top level
+        self.module_globals: Dict[str, Set[str]] = {}
+        #: every loaded module relpath (for import resolution)
+        self.relpaths: Set[str] = set()
+
+    # -- lookups -----------------------------------------------------------
+
+    def functions_in(self, relpath: str) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if f.relpath == relpath]
+
+    def class_of(self, relpath: str, name: str) -> Optional[ClassInfo]:
+        return self.classes.get((relpath, name))
+
+    def resolve_method(self, cls: ClassInfo, method: str) -> Optional[str]:
+        """Method lookup through the project-local MRO (cycle-safe)."""
+        seen: Set[Tuple[str, str]] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            key = (current.relpath, current.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            if method in current.methods:
+                return current.methods[method]
+            for base in current.bases:
+                resolved = self.resolve_class_name(current.relpath, base)
+                if isinstance(resolved, ClassInfo):
+                    stack.append(resolved)
+        return None
+
+    def resolve_class_name(
+        self, relpath: str, name: str
+    ) -> Optional[_TypeInfo]:
+        """A class name as visible from ``relpath``: local, imported, or
+        external (returned as its dotted name)."""
+        local = self.classes.get((relpath, name))
+        if local is not None:
+            return local
+        target = self.imports.get(relpath, {}).get(name)
+        if target is not None and target[0] == "name":
+            imported = self.classes.get((target[1], target[2]))
+            if imported is not None:
+                return imported
+            # re-exported through an __init__: chase one hop
+            hop = self.imports.get(target[1], {}).get(target[2])
+            if hop is not None and hop[0] == "name":
+                return self.classes.get((hop[1], hop[2]))
+        external = self.external_imports.get(relpath, {}).get(name)
+        if external is not None:
+            return external
+        return None
+
+    def resolve_imported_function(
+        self, relpath: str, name: str
+    ) -> Optional[str]:
+        """A function name bound by a project-internal import."""
+        target = self.imports.get(relpath, {}).get(name)
+        if target is None:
+            return None
+        if target[0] == "name":
+            qual = self.module_funcs.get((target[1], target[2]))
+            if qual is not None:
+                return qual
+            hop = self.imports.get(target[1], {}).get(target[2])
+            if hop is not None and hop[0] == "name":
+                return self.module_funcs.get((hop[1], hop[2]))
+        return None
+
+
+def _resolve_module_path(
+    parts: Sequence[str], relpaths: Set[str]
+) -> Optional[str]:
+    """Dotted module parts (relative to a tree root) -> loaded relpath."""
+    if not parts:
+        return None
+    as_file = "/".join(parts) + ".py"
+    if as_file in relpaths:
+        return as_file
+    as_pkg = "/".join(parts) + "/__init__.py"
+    if as_pkg in relpaths:
+        return as_pkg
+    return None
+
+
+class _ModuleIndexer:
+    """First pass over one module: symbols, imports, type hints."""
+
+    def __init__(self, table: SymbolTable, module) -> None:
+        self.table = table
+        self.module = module
+        self.relpath = module.relpath
+        #: package directory parts this module's relative imports anchor at
+        parts = self.relpath.split("/")
+        self.pkg_parts = parts[:-1] if parts[-1] != "__init__.py" else parts[:-1]
+
+    # -- imports -----------------------------------------------------------
+
+    def _record_import_module(self, dotted: str, asname: Optional[str]) -> None:
+        parts = dotted.split(".")
+        local = asname or parts[0]
+        if parts[0] == "repro":
+            rel = _resolve_module_path(parts[1:], self.table.relpaths)
+            if rel is not None and asname is not None:
+                self.table.imports[self.relpath][local] = ("module", rel)
+        elif parts[0] == "tools":
+            rel = _resolve_module_path(parts, self.table.relpaths)
+            if rel is not None and asname is not None:
+                self.table.imports[self.relpath][local] = ("module", rel)
+        else:
+            self.table.external_imports[self.relpath][local] = dotted
+
+    def _record_import_from(self, node: ast.ImportFrom) -> None:
+        mod_parts = node.module.split(".") if node.module else []
+        if node.level:
+            if node.level - 1 > len(self.pkg_parts):
+                return
+            anchor = self.pkg_parts[: len(self.pkg_parts) - (node.level - 1)]
+            base = anchor + mod_parts
+        elif mod_parts and mod_parts[0] == "repro":
+            base = mod_parts[1:]
+        elif mod_parts and mod_parts[0] == "tools":
+            base = mod_parts
+        else:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                dotted = ".".join(mod_parts + [alias.name])
+                self.table.external_imports[self.relpath][local] = dotted
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            as_module = _resolve_module_path(
+                base + [alias.name], self.table.relpaths
+            )
+            if as_module is not None:
+                self.table.imports[self.relpath][local] = ("module", as_module)
+                continue
+            owner = _resolve_module_path(base, self.table.relpaths)
+            if owner is not None:
+                self.table.imports[self.relpath][local] = (
+                    "name", owner, alias.name
+                )
+
+    # -- symbols -----------------------------------------------------------
+
+    def index(self) -> None:
+        self.table.relpaths.add(self.relpath)
+        self.table.imports.setdefault(self.relpath, {})
+        self.table.external_imports.setdefault(self.relpath, {})
+        tree = self.module.tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._record_import_module(alias.name, alias.asname)
+            elif isinstance(node, ast.ImportFrom):
+                self._record_import_from(node)
+        self.table.module_globals[self.relpath] = {
+            target.id
+            for stmt in tree.body
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign))
+            for target in (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            if isinstance(target, ast.Name)
+        }
+        module_fn = self._add_function(
+            MODULE_SCOPE, tree, cls=None, parent=None, prefix=""
+        )
+        self._walk_scope(tree, owner=module_fn, cls=None, prefix="")
+
+    def _qualname(self, prefix: str, name: str) -> str:
+        dotted = f"{prefix}.{name}" if prefix else name
+        return f"{self.relpath}::{dotted}"
+
+    def _add_function(
+        self,
+        name: str,
+        node: ast.AST,
+        cls: Optional[ClassInfo],
+        parent: Optional[str],
+        prefix: str,
+    ) -> FunctionInfo:
+        info = FunctionInfo(
+            qualname=self._qualname(prefix, name),
+            relpath=self.relpath,
+            name=name,
+            node=node,
+            cls=cls,
+            parent=parent,
+        )
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.decorators = [
+                _decorator_name(d) for d in node.decorator_list
+            ]
+            args = node.args
+            every = (
+                list(getattr(args, "posonlyargs", []))
+                + list(args.args) + list(args.kwonlyargs)
+            )
+            for arg in every:
+                info.params.append(arg.arg)
+                for candidate in _annotation_names(arg.annotation):
+                    resolved = self.table.resolve_class_name(
+                        self.relpath, candidate
+                    )
+                    if resolved is not None:
+                        info.param_types[arg.arg] = resolved
+                        break
+            for extra in (args.vararg, args.kwarg):
+                if extra is not None:
+                    info.params.append(extra.arg)
+        elif isinstance(node, ast.Lambda):
+            args = node.args
+            info.params = [a.arg for a in args.args + args.kwonlyargs]
+        self.table.functions[info.qualname] = info
+        if cls is None and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and parent == f"{self.relpath}::{MODULE_SCOPE}":
+            self.table.module_funcs[(self.relpath, name)] = info.qualname
+        return info
+
+    def _walk_scope(
+        self,
+        scope_node: ast.AST,
+        owner: FunctionInfo,
+        cls: Optional[ClassInfo],
+        prefix: str,
+    ) -> None:
+        """Register defs/lambdas in one scope, then recurse into them."""
+        lambda_names: Dict[int, str] = {}
+        for node in own_scope_nodes(scope_node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        lambda_names[id(node.value)] = target.id
+        for node in own_scope_nodes(scope_node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._add_function(
+                    node.name, node, cls=cls, parent=owner.qualname,
+                    prefix=prefix,
+                )
+                if cls is not None:
+                    # first def wins: a @prop.setter re-def keeps the getter
+                    cls.methods.setdefault(node.name, info.qualname)
+                owner.local_funcs[node.name] = info.qualname
+                self._walk_scope(
+                    node, owner=info, cls=None,
+                    prefix=f"{prefix}.{node.name}.<locals>".lstrip("."),
+                )
+            elif isinstance(node, ast.Lambda):
+                # line *and* column: two lambdas on one line (including one
+                # nested in the other) must not collide into one symbol
+                marker = f"<lambda@{node.lineno}:{node.col_offset}>"
+                info = self._add_function(
+                    marker, node, cls=None,
+                    parent=owner.qualname, prefix=prefix,
+                )
+                bound = lambda_names.get(id(node))
+                if bound:
+                    owner.local_funcs[bound] = info.qualname
+                self._walk_scope(
+                    node, owner=info, cls=None,
+                    prefix=f"{prefix}.{marker}.<locals>".lstrip("."),
+                )
+            elif isinstance(node, ast.ClassDef):
+                if cls is None and owner.name == MODULE_SCOPE:
+                    self._index_class(node)
+                # nested classes: methods still become symbols
+                elif cls is None:
+                    self._index_class(node, prefix=prefix)
+        self._collect_bindings(scope_node, owner)
+
+    def _index_class(self, node: ast.ClassDef, prefix: str = "") -> None:
+        cls = ClassInfo(
+            relpath=self.relpath,
+            name=node.name,
+            node=node,
+            bases=[b for b in (_base_name(base) for base in node.bases) if b],
+        )
+        self.table.classes[(self.relpath, node.name)] = cls
+        class_prefix = f"{prefix}.{node.name}".lstrip(".") if prefix else node.name
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._add_function(
+                    item.name, item, cls=cls,
+                    parent=f"{self.relpath}::{MODULE_SCOPE}",
+                    prefix=class_prefix,
+                )
+                cls.methods.setdefault(item.name, info.qualname)
+                self._walk_scope(
+                    item, owner=info, cls=None,
+                    prefix=f"{class_prefix}.{item.name}.<locals>",
+                )
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                self._note_attr_annotation(cls, item.target.id, item.annotation)
+        # ``self.x = ...`` / ``self.x: T`` sites inside every method
+        for item in ast.walk(node):
+            if isinstance(item, ast.AnnAssign) and self._is_self_attr(item.target):
+                self._note_attr_annotation(cls, item.target.attr, item.annotation)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if self._is_self_attr(target):
+                        inferred = self._infer_ctor_type(item.value)
+                        if inferred is not None:
+                            cls.attr_types.setdefault(target.attr, inferred)
+
+    @staticmethod
+    def _is_self_attr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    def _note_attr_annotation(
+        self, cls: ClassInfo, attr: str, annotation: Optional[ast.expr]
+    ) -> None:
+        for candidate in _annotation_names(annotation):
+            resolved = self.table.resolve_class_name(self.relpath, candidate)
+            if resolved is not None and not (
+                isinstance(resolved, str)
+                and resolved.split(".")[-1] in ("Optional", "Union", "List",
+                                                "Dict", "Tuple", "Sequence")
+            ):
+                cls.attr_types.setdefault(attr, resolved)
+                return
+
+    def _infer_ctor_type(self, value: ast.expr) -> Optional[_TypeInfo]:
+        """``Cls(...)`` on the right-hand side -> the constructed type."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None or not name[:1].isupper():
+            return None
+        return self.table.resolve_class_name(self.relpath, name)
+
+    def _collect_bindings(self, scope_node: ast.AST, owner: FunctionInfo) -> None:
+        for node in own_scope_nodes(scope_node):
+            if isinstance(node, ast.Global):
+                owner.globals_declared.update(node.names)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            owner.assigned.add(leaf.id)
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    inferred = self._infer_ctor_type(node.value)
+                    if inferred is not None:
+                        owner.var_types[node.targets[0].id] = inferred
+                    elif self._is_self_attr(node.value) and owner.cls is not None:
+                        aliased = owner.cls.attr_types.get(node.value.attr)
+                        if aliased is not None:
+                            owner.var_types[node.targets[0].id] = aliased
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                owner.assigned.add(node.target.id)
+                for candidate in _annotation_names(node.annotation):
+                    resolved = self.table.resolve_class_name(
+                        self.relpath, candidate
+                    )
+                    if resolved is not None:
+                        owner.var_types.setdefault(node.target.id, resolved)
+                        break
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for leaf in ast.walk(node.target):
+                    if isinstance(leaf, ast.Name):
+                        owner.assigned.add(leaf.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for leaf in ast.walk(item.optional_vars):
+                            if isinstance(leaf, ast.Name):
+                                owner.assigned.add(leaf.id)
+
+
+class CallGraph:
+    """The project-wide conservative call graph (built by :func:`build`)."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: Dict[str, List[CallEdge]] = {}
+        self._reverse: Optional[Dict[str, List[CallEdge]]] = None
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, qualname: str) -> List[CallEdge]:
+        return self.edges.get(qualname, [])
+
+    def reverse_edges(self) -> Dict[str, List[CallEdge]]:
+        if self._reverse is None:
+            reverse: Dict[str, List[CallEdge]] = {}
+            for edges in self.edges.values():
+                for edge in edges:
+                    reverse.setdefault(edge.callee, []).append(edge)
+            self._reverse = reverse
+        return self._reverse
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Every function transitively reachable from ``roots`` (incl.)."""
+        seen: Set[str] = set()
+        queue = deque(r for r in roots if r in self.table.functions)
+        seen.update(queue)
+        while queue:
+            current = queue.popleft()
+            for edge in self.edges.get(current, ()):
+                if edge.callee not in seen:
+                    seen.add(edge.callee)
+                    queue.append(edge.callee)
+        return seen
+
+    def path(self, root: str, target: str) -> List[str]:
+        """One shortest qualname chain root -> target ([] when unreachable)."""
+        if root == target:
+            return [root]
+        parents: Dict[str, str] = {root: ""}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            for edge in self.edges.get(current, ()):
+                if edge.callee in parents:
+                    continue
+                parents[edge.callee] = current
+                if edge.callee == target:
+                    chain = [target]
+                    while chain[-1] != root:
+                        chain.append(parents[chain[-1]])
+                    return list(reversed(chain))
+                queue.append(edge.callee)
+        return []
+
+    # -- resolution (shared with the rules) --------------------------------
+
+    def infer_type(
+        self, fn: FunctionInfo, expr: ast.expr
+    ) -> Optional[_TypeInfo]:
+        """Static type of a receiver expression inside ``fn``, if known."""
+        table = self.table
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and fn.cls is not None:
+                return fn.cls
+            if expr.id in fn.var_types:
+                return fn.var_types[expr.id]
+            if expr.id in fn.param_types:
+                return fn.param_types[expr.id]
+            resolved = table.resolve_class_name(fn.relpath, expr.id)
+            if resolved is not None:
+                return resolved
+            target = table.imports.get(fn.relpath, {}).get(expr.id)
+            if target is not None and target[0] == "module":
+                return ("module", target[1])
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self.infer_type(fn, expr.value)
+            if isinstance(base, ClassInfo):
+                return base.attr_types.get(expr.attr)
+            if isinstance(base, tuple) and base[0] == "module":
+                cls = table.classes.get((base[1], expr.attr))
+                if cls is not None:
+                    return cls
+            return None
+        if isinstance(expr, ast.Call):
+            targets = self.resolve_callable(fn, expr.func)
+            if len(targets) == 1:
+                callee = table.functions.get(targets[0])
+                if callee is not None and isinstance(
+                    callee.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    for candidate in _annotation_names(callee.node.returns):
+                        resolved = table.resolve_class_name(
+                            callee.relpath, candidate
+                        )
+                        if resolved is not None:
+                            return resolved
+            return None
+        return None
+
+    def resolve_callable(
+        self, fn: FunctionInfo, expr: ast.expr
+    ) -> List[str]:
+        """Function symbols a callable expression inside ``fn`` may denote."""
+        table = self.table
+        if isinstance(expr, ast.Lambda):
+            # lambdas are registered under their enclosing prefix; match on
+            # the line:column marker, which is unique within a module
+            marker = f"<lambda@{expr.lineno}:{expr.col_offset}>"
+            return [
+                q for q, f in table.functions.items()
+                if f.relpath == fn.relpath and f.name == marker
+            ]
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            # closures: this scope, then lexically enclosing scopes (the
+            # seen-set guards against any qualname collision cycling)
+            scope: Optional[FunctionInfo] = fn
+            seen_scopes: Set[str] = set()
+            while scope is not None and scope.qualname not in seen_scopes:
+                seen_scopes.add(scope.qualname)
+                if name in scope.local_funcs:
+                    return [scope.local_funcs[name]]
+                scope = (
+                    table.functions.get(scope.parent)
+                    if scope.parent else None
+                )
+            qual = table.module_funcs.get((fn.relpath, name))
+            if qual is not None:
+                return [qual]
+            imported = table.resolve_imported_function(fn.relpath, name)
+            if imported is not None:
+                return [imported]
+            cls = table.resolve_class_name(fn.relpath, name)
+            if isinstance(cls, ClassInfo):
+                ctor = table.resolve_method(cls, "__init__")
+                return [ctor] if ctor else []
+            return []
+        if isinstance(expr, ast.Attribute):
+            receiver = self.infer_type(fn, expr.value)
+            if isinstance(receiver, ClassInfo):
+                qual = table.resolve_method(receiver, expr.attr)
+                return [qual] if qual else []
+            if isinstance(receiver, tuple) and receiver[0] == "module":
+                qual = table.module_funcs.get((receiver[1], expr.attr))
+                if qual is not None:
+                    return [qual]
+                cls = table.classes.get((receiver[1], expr.attr))
+                if cls is not None:
+                    ctor = table.resolve_method(cls, "__init__")
+                    return [ctor] if ctor else []
+            return []
+        return []
+
+    def resolve_external(self, fn: FunctionInfo, expr: ast.expr) -> str:
+        """Dotted external name a callable denotes ("" when not external).
+
+        ``ThreadPoolExecutor`` imported from ``concurrent.futures`` ->
+        ``concurrent.futures.ThreadPoolExecutor``; ``threading.Thread``
+        through a module alias -> ``threading.Thread``.
+        """
+        table = self.table
+        if isinstance(expr, ast.Name):
+            return table.external_imports.get(fn.relpath, {}).get(expr.id, "")
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            module = table.external_imports.get(fn.relpath, {}).get(
+                expr.value.id, ""
+            )
+            if module:
+                return f"{module}.{expr.attr}"
+        return ""
+
+
+def build(project) -> CallGraph:
+    """Index every module, then resolve every call/reference edge."""
+    table = SymbolTable()
+    indexers = []
+    for module in project.modules:
+        if module.tree is None:
+            continue
+        table.relpaths.add(module.relpath)
+    for module in project.modules:
+        if module.tree is None:
+            continue
+        indexer = _ModuleIndexer(table, module)
+        indexer.index()
+        indexers.append(indexer)
+    graph = CallGraph(table)
+    for fn in list(table.functions.values()):
+        edges: List[CallEdge] = []
+        for node in own_scope_nodes(fn.node):
+            if isinstance(node, ast.Call):
+                for target in graph.resolve_callable(fn, node.func):
+                    edges.append(CallEdge(fn.qualname, target, node.lineno, "call"))
+                for value in list(node.args) + [k.value for k in node.keywords]:
+                    if isinstance(value, (ast.Name, ast.Attribute, ast.Lambda)):
+                        for target in graph.resolve_callable(fn, value):
+                            edges.append(
+                                CallEdge(fn.qualname, target, node.lineno, "ref")
+                            )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and fn.cls is not None
+            ):
+                qual = table.resolve_method(fn.cls, node.attr)
+                if qual is not None and table.functions[qual].is_property:
+                    edges.append(CallEdge(fn.qualname, qual, node.lineno, "prop"))
+        if edges:
+            # dedupe while keeping first-occurrence order
+            seen: Set[Tuple[str, int, str]] = set()
+            unique = []
+            for edge in edges:
+                key = (edge.callee, edge.line, edge.kind)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(edge)
+            graph.edges[fn.qualname] = unique
+    return graph

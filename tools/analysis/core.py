@@ -2,23 +2,32 @@
 
 One AST parse per module, shared by every rule.  A rule is a class with
 an ``id``, a path ``scope`` (prefixes under ``src/repro``), optional
-``excludes`` (a per-rule allowlist of paths the rule never inspects) and
-two hooks:
+``excludes`` (a per-rule allowlist of paths the rule never inspects),
+the source ``trees`` it covers (``src`` and/or ``tools`` — the analyzers
+are subject to their own checks) and two hooks:
 
 * :meth:`Rule.check_module` - called once per in-scope module with a
   pre-parsed :class:`ModuleInfo`;
 * :meth:`Rule.check_project` - called once with the whole
-  :class:`Project`, for cross-module properties (the layering DAG).
+  :class:`Project`, for cross-module properties (the layering DAG, the
+  call-graph rules).
+
+Whole-program rules reach the project-wide symbol table and
+conservative call graph through :attr:`Project.graph`; it is built
+lazily, once per run, by :mod:`tools.analysis.callgraph`.
 
 Diagnostics carry ``(path, line, rule, message)`` and render as
 ``path:line: rule-id: message``.  A diagnostic is dropped when the
 offending line carries an inline suppression comment::
 
-    expr_that_violates()  # sebdb: allow[rule-id] justification...
+    expr_that_violates()  # sebdb: allow[<rule>] justification...
 
 ``allow[rule-a,rule-b]`` suppresses several rules, ``allow[*]`` all of
 them.  Suppressions are line-scoped on purpose: they must sit next to
-the code they excuse, where review sees them.
+the code they excuse, where review sees them.  They are also required
+to stay *load-bearing*: a suppression naming a rule that ran but did
+not fire on its line is itself reported (``unused-suppression``), so a
+stale allowlist entry cannot silently outlive the violation it excused.
 """
 
 from __future__ import annotations
@@ -27,15 +36,21 @@ import ast
 import dataclasses
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Type
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 #: package subtree every rule operates on, relative to the repo root
 SRC_PREFIX = Path("src") / "repro"
+
+#: secondary tree: the analyzers and lint helpers themselves
+TOOLS_PREFIX = Path("tools")
 
 _SUPPRESS_RE = re.compile(r"#\s*sebdb:\s*allow\[([\w*,\- ]+)\]")
 
 #: rule id used for files that do not parse (always on, never suppressed)
 PARSE_RULE_ID = "parse"
+
+#: rule id for suppressions that no longer suppress anything
+UNUSED_SUPPRESSION_RULE_ID = "unused-suppression"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,11 +72,16 @@ class Diagnostic:
 class ModuleInfo:
     """One parsed source module plus everything rules ask about it."""
 
-    def __init__(self, path: Path, relpath: str, source: str) -> None:
+    def __init__(
+        self, path: Path, relpath: str, source: str, tree_label: str = "src"
+    ) -> None:
         #: display path, as emitted in diagnostics (relative to repo root)
         self.path = path
-        #: posix path relative to ``src/repro`` ("consensus/pbft.py")
+        #: posix path relative to its tree root: ``consensus/pbft.py`` for
+        #: the src tree, ``tools/analysis/core.py`` for the tools tree
         self.relpath = relpath
+        #: which source tree the module came from ("src" or "tools")
+        self.tree_label = tree_label
         self.source = source
         self.lines = source.splitlines()
         self.syntax_error: Optional[SyntaxError] = None
@@ -93,22 +113,46 @@ class ModuleInfo:
 
 
 class Project:
-    """Every module under ``<root>/src/repro``, parsed once."""
+    """Every module under ``<root>/src/repro`` plus ``<root>/tools``."""
 
     def __init__(self, root: Path, modules: Sequence[ModuleInfo]) -> None:
         self.root = root
         self.modules = list(modules)
+        self._graph = None
 
     @classmethod
     def load(cls, root: Path) -> "Project":
-        src = root / SRC_PREFIX
         modules = []
-        for path in sorted(src.rglob("*.py")):
-            relpath = path.relative_to(src).as_posix()
-            display = path.relative_to(root)
-            info = ModuleInfo(display, relpath, path.read_text())
-            modules.append(info)
+        src = root / SRC_PREFIX
+        if src.is_dir():
+            for path in sorted(src.rglob("*.py")):
+                relpath = path.relative_to(src).as_posix()
+                display = path.relative_to(root)
+                modules.append(ModuleInfo(display, relpath, path.read_text()))
+        tools = root / TOOLS_PREFIX
+        if tools.is_dir():
+            for path in sorted(tools.rglob("*.py")):
+                relpath = path.relative_to(root).as_posix()
+                display = path.relative_to(root)
+                modules.append(
+                    ModuleInfo(display, relpath, path.read_text(), "tools")
+                )
         return cls(root, modules)
+
+    @property
+    def graph(self):
+        """The whole-program call graph, built lazily once per run."""
+        if self._graph is None:
+            from . import callgraph
+
+            self._graph = callgraph.build(self)
+        return self._graph
+
+    def module_for_relpath(self, relpath: str) -> Optional[ModuleInfo]:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
 
 
 class Rule:
@@ -120,10 +164,18 @@ class Rule:
     scope: Sequence[str] = ()
     #: allowlist: relpath prefixes (or exact files) the rule skips
     excludes: Sequence[str] = ()
+    #: source trees the rule covers; most rules reason about repro-internal
+    #: layering/semantics and stay on "src"
+    trees: Sequence[str] = ("src",)
 
-    def wants(self, module: ModuleInfo) -> bool:
+    def wants(self, module: ModuleInfo, strict: bool = False) -> bool:
+        if module.tree_label not in self.trees:
+            return False
         rel = module.relpath
-        if any(rel == ex or rel.startswith(ex.rstrip("/") + "/") for ex in self.excludes):
+        if not strict and any(
+            rel == ex or rel.startswith(ex.rstrip("/") + "/")
+            for ex in self.excludes
+        ):
             return False
         if not self.scope:
             return True
@@ -156,10 +208,54 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
     return rule_cls
 
 
-def run_analysis(
-    root: Path, rule_ids: Optional[Sequence[str]] = None
+def _unused_suppressions(
+    project: Project,
+    executed: Set[str],
+    full_run: bool,
+    used: Set[Tuple[str, int]],
 ) -> List[Diagnostic]:
-    """Run the selected rules (default: all) over ``<root>/src/repro``."""
+    """Suppressions whose named rules ran but fired nothing on their line.
+
+    A line is "used" as soon as *any* diagnostic was absorbed there, so
+    ``allow[a,b]`` stays valid while either rule still fires.  ``allow[*]``
+    is only judged on full-registry runs (a partial run cannot prove it
+    dead), and ids outside ``executed`` are never judged.
+    """
+    out: List[Diagnostic] = []
+    for module in project.modules:
+        for line, ids in sorted(module.suppressions.items()):
+            named = ids & executed
+            judged = bool(named) or ("*" in ids and full_run)
+            if not judged or (str(module.path), line) in used:
+                continue
+            label = ", ".join(sorted(ids))
+            out.append(
+                Diagnostic(
+                    str(module.path),
+                    line,
+                    UNUSED_SUPPRESSION_RULE_ID,
+                    f"suppression allow[{label}] no longer matches any "
+                    f"diagnostic on this line; the violation it excused is "
+                    f"gone - delete the comment (stale allowlist entries "
+                    f"hide future regressions)",
+                )
+            )
+    return out
+
+
+def run_analysis(
+    root: Path,
+    rule_ids: Optional[Sequence[str]] = None,
+    strict: bool = False,
+) -> List[Diagnostic]:
+    """Run the selected rules (default: all) over ``root``'s trees.
+
+    ``strict`` makes :meth:`Rule.check_module` ignore per-rule
+    ``excludes`` so allowlisted paths are inspected too (the ratchet's
+    view of the world); line suppressions still apply — they are
+    individually reviewed — and unused-suppression reporting is skipped
+    because excluded-path hits would mark extra lines used.
+    """
     from . import rules as _rules  # noqa: F401  (imports populate REGISTRY)
 
     selected = list(rule_ids) if rule_ids else sorted(REGISTRY)
@@ -171,6 +267,9 @@ def run_analysis(
         )
     project = Project.load(root)
     diagnostics: List[Diagnostic] = []
+    #: (display path, line) pairs where a suppression absorbed a finding
+    used_suppressions: Set[Tuple[str, int]] = set()
+    by_path = {str(m.path): m for m in project.modules}
     for module in project.modules:
         if module.syntax_error is not None:
             exc = module.syntax_error
@@ -185,16 +284,24 @@ def run_analysis(
     instances = [REGISTRY[rid]() for rid in selected]
     for rule in instances:
         for module in project.modules:
-            if module.tree is None or not rule.wants(module):
+            if module.tree is None or not rule.wants(module, strict=strict):
                 continue
             for diagnostic in rule.check_module(module):
-                if not module.suppressed(rule.id, diagnostic.line):
+                if module.suppressed(rule.id, diagnostic.line):
+                    used_suppressions.add((diagnostic.path, diagnostic.line))
+                else:
                     diagnostics.append(diagnostic)
         for diagnostic in rule.check_project(project):
-            by_path = {str(m.path): m for m in project.modules}
             module = by_path.get(diagnostic.path)
             if module is not None and module.suppressed(rule.id, diagnostic.line):
+                used_suppressions.add((diagnostic.path, diagnostic.line))
                 continue
             diagnostics.append(diagnostic)
+    if not strict:
+        executed = set(selected)
+        full_run = executed == set(REGISTRY)
+        diagnostics.extend(
+            _unused_suppressions(project, executed, full_run, used_suppressions)
+        )
     diagnostics.sort(key=lambda d: (d.path, d.line, d.rule))
     return diagnostics

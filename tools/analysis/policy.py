@@ -130,6 +130,66 @@ SCANNER_NAMES: frozenset = frozenset({"scanner", "_scanner"})
 #: receiver names that identify a block store
 STORE_NAMES: frozenset = frozenset({"store", "_store", "blockstore", "block_store"})
 
+# -- concurrency (call-graph) ------------------------------------------------
+
+#: packages whose modules are scanned for worker spawn sites
+CONCURRENCY_SCOPE: tuple = ("ledger", "shard", "node")
+
+#: attribute calls whose first positional argument becomes a worker
+#: entry point.  ``_pool_map`` is the pipeline's own serial-fallback
+#: wrapper around ``Executor.map`` - callables handed to it run on the
+#: pool exactly like a direct ``map``.
+WORKER_SPAWN_METHODS: frozenset = frozenset({"submit", "map", "_pool_map"})
+
+#: external classes whose ``target=`` keyword becomes a worker entry
+THREAD_CLASSES: frozenset = frozenset({"threading.Thread", "Thread"})
+
+#: a ``with``-statement guard whose receiver name contains this token
+#: (case-insensitive) counts as a lock and exempts the writes under it
+LOCK_NAME_TOKEN: str = "lock"
+
+#: function qualnames allowed to write shared state from worker-reachable
+#: code (sanctioned commit points).  Prefer a line suppression with a
+#: justification next to the write; reserve this table for whole
+#: functions that *are* the synchronization point.
+CONCURRENCY_ALLOWED_WRITERS: frozenset = frozenset()
+
+# -- lifecycle (call-graph) --------------------------------------------------
+
+#: packages whose modules are scanned for resource constructions
+LIFECYCLE_SCOPE: tuple = (
+    "ledger", "shard", "node", "network", "consensus", "storage"
+)
+
+#: external classes whose instances hold OS threads and must be released
+POOLED_RESOURCE_CLASSES: frozenset = frozenset(
+    {
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "threading.Thread",
+    }
+)
+
+#: methods that release a pooled resource when called on it
+RELEASE_METHOD_NAMES: frozenset = frozenset(
+    {"close", "shutdown", "stop", "join", "terminate", "cancel", "__exit__"}
+)
+
+#: method names that count as a teardown entry point on the owning class
+#: (``crash`` is the fault-injection teardown on FullNode)
+RELEASE_ENTRY_METHODS: frozenset = frozenset(
+    {"close", "shutdown", "stop", "__exit__", "__del__", "crash"}
+)
+
+# -- determinism, interprocedural --------------------------------------------
+
+#: excluded modules that are *sanctioned sinks*: calls into them never
+#: taint in-scope callers (common/clock.py is the one blessed wrapper
+#: around wall-clock time).  ``bench`` is excluded but NOT sanctioned,
+#: so a src-tree module calling through a bench helper into
+#: ``time.time()`` is reported at the in-scope call site.
+DETERMINISM_SANCTIONED_SINKS: tuple = ("common/clock.py",)
+
 # -- commit path -------------------------------------------------------------
 
 #: the only package allowed to call ``append_block`` on a store: the

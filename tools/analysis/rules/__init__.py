@@ -1,11 +1,21 @@
 """Importing this package registers every built-in rule."""
 
-from . import commit_path, determinism, fault_paths, layering, query_boundary
+from . import (
+    commit_path,
+    concurrency,
+    determinism,
+    fault_paths,
+    layering,
+    lifecycle,
+    query_boundary,
+)
 
 __all__ = [
     "commit_path",
+    "concurrency",
     "determinism",
     "fault_paths",
     "layering",
+    "lifecycle",
     "query_boundary",
 ]

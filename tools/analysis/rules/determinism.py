@@ -18,6 +18,17 @@ that silently break them:
   (``consensus/``, ``network/``, ``faults/``) - set order depends on
   the per-process hash seed, so a loop over one reorders protocol
   events between runs.  Membership tests and ``sorted(...)`` stay fine.
+
+The per-module pass is syntactic; :meth:`DeterminismRule.check_project`
+adds the interprocedural escalation on top of the whole-program call
+graph: direct nondeterminism hits inside *excluded* modules (``bench``)
+are turned into taint, propagated backward through excluded helpers,
+and any in-scope function calling into a tainted helper is reported at
+its own call site with the full helper chain in the message.  Calls
+into :data:`tools.analysis.policy.DETERMINISM_SANCTIONED_SINKS`
+(``common/clock.py``) never taint - that wrapper is the sanctioned way
+to touch wall-clock.  The rule also covers the ``tools`` tree: the
+analyzers pass their own checks.
 """
 
 from __future__ import annotations
@@ -26,7 +37,8 @@ import ast
 from typing import Dict, Iterable, List, Optional, Set
 
 from .. import policy
-from ..core import Diagnostic, ModuleInfo, Rule, register
+from ..callgraph import own_scope_nodes
+from ..core import Diagnostic, ModuleInfo, Project, Rule, register
 
 #: call wrappers that materialize iteration order from their argument
 #: (order-insensitive consumers - sorted, len, sum, min, max, any, all,
@@ -111,6 +123,8 @@ class DeterminismRule(Rule):
         "iteration on event-ordering paths"
     )
     excludes = policy.DETERMINISM_EXCLUDES
+    #: the analyzers are subject to their own determinism discipline
+    trees = ("src", "tools")
 
     def check_module(self, module: ModuleInfo) -> Iterable[Diagnostic]:
         tracker = _ImportTracker()
@@ -127,6 +141,80 @@ class DeterminismRule(Rule):
         if module.package in policy.SET_ITERATION_SCOPE:
             out.extend(self._check_set_iteration(module))
         return out
+
+    # -- interprocedural escalation ---------------------------------------
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        """Report in-scope callers that reach nondeterminism through
+        excluded helpers, with the helper chain in the message."""
+        graph = project.graph
+        table = graph.table
+        excluded = {
+            m.relpath: m
+            for m in project.modules
+            if m.tree is not None
+            and m.tree_label == "src"
+            and not self.wants(m)
+            and m.relpath not in policy.DETERMINISM_SANCTIONED_SINKS
+        }
+        #: tainted helper qualname -> human chain ending at the primitive
+        tainted: Dict[str, str] = {}
+        for relpath, module in excluded.items():
+            tracker = _ImportTracker()
+            tracker.visit(module.tree)
+            for fn in table.functions_in(relpath):
+                for node in own_scope_nodes(fn.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    for hit in self._check_call(module, node, tracker):
+                        if module.suppressed(self.id, hit.line):
+                            continue
+                        primitive = hit.message.split(";", 1)[0]
+                        tainted.setdefault(
+                            fn.qualname,
+                            f"{fn.name}() [{hit.path}:{hit.line}: {primitive}]",
+                        )
+        # backward propagation through excluded helpers (shortest chains
+        # first: BFS over the reverse call graph)
+        frontier = list(tainted)
+        while frontier:
+            next_frontier: List[str] = []
+            for callee in frontier:
+                for edge in graph.reverse_edges().get(callee, ()):
+                    caller = table.functions.get(edge.caller)
+                    if (
+                        caller is None
+                        or caller.relpath not in excluded
+                        or edge.caller in tainted
+                    ):
+                        continue
+                    tainted[edge.caller] = (
+                        f"{caller.name}() -> {tainted[callee]}"
+                    )
+                    next_frontier.append(edge.caller)
+            frontier = next_frontier
+        if not tainted:
+            return
+        reported: Set[tuple] = set()
+        for module in project.modules:
+            if module.tree is None or not self.wants(module):
+                continue
+            for fn in table.functions_in(module.relpath):
+                for edge in graph.callees(fn.qualname):
+                    chain = tainted.get(edge.callee)
+                    if chain is None:
+                        continue
+                    key = (str(module.path), edge.line)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield self.diag(
+                        module, edge.line,
+                        f"reaches nondeterminism through an excluded "
+                        f"helper: {chain}; route timing through "
+                        f"common/clock.py or keep bench-only helpers off "
+                        f"deterministic paths",
+                    )
 
     # -- wall clock / entropy ---------------------------------------------
 

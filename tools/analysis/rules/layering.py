@@ -121,7 +121,7 @@ class LayeringRule(Rule):
         all_edges: List[Edge] = []
         out: List[Diagnostic] = []
         for module in project.modules:
-            if module.tree is None:
+            if module.tree is None or module.tree_label not in self.trees:
                 continue
             all_edges.extend(module_edges(module))
 
