@@ -139,11 +139,19 @@ class Shell:
         if command == "\\explain":
             plan = self.node.engine.explain(argument)
             return "\n".join(f"{k}: {v}" for k, v in plan.items())
+        if command == "\\analyze":
+            refreshed = self.node.refresh_statistics()
+            if not refreshed:
+                return "(no continuous layered indexes to analyze)"
+            return "\n".join(
+                f"{name}: histogram rebuilt from {count} value(s)"
+                for name, count in sorted(refreshed.items())
+            )
         if command == "\\help":
             return (
                 "statements: CREATE / INSERT / SELECT / TRACE / GET BLOCK\n"
                 "            EXPLAIN [ANALYZE] <select|trace|get block>\n"
-                "meta: \\tables \\indexes \\chain \\shards \\stats "
+                "meta: \\tables \\indexes \\analyze \\chain \\shards \\stats "
                 "\\explain <select> \\quit"
             )
         return f"unknown meta command {command!r} (try \\help)"

@@ -105,6 +105,11 @@ class LayeredIndex:
         kind = "continuous" if self.continuous else "discrete"
         return f"<LayeredIndex {self.column} ({kind}) blocks={self._num_blocks}>"
 
+    @property
+    def extractor(self) -> Extractor:
+        """The key extractor (statistics refresh re-samples through it)."""
+        return self._extract
+
     # -- maintenance -----------------------------------------------------------
 
     def add_block(self, block: Block) -> None:
@@ -135,6 +140,29 @@ class LayeredIndex:
                 self._value_bitmaps.setdefault(value, Bitmap()).set(bid)
             self._block_values[bid] = values
         self._trees[bid] = self._tree_factory(pairs, block)
+
+    def refresh_histogram(self, histogram: EqualDepthHistogram) -> None:
+        """Swap in a freshly sampled histogram and rebucket level 1.
+
+        Bucket bounds move, so every block's bucket bitmap is recomputed
+        - from the level-2 trees' sorted keys, no block-store I/O.  The
+        trees and the discrete value bitmaps are untouched: only the
+        histogram's view of the value distribution goes stale, never the
+        per-block structures.
+        """
+        if not self.continuous:
+            raise IndexError_(
+                f"layered index on discrete column {self.column!r} has no "
+                f"histogram to refresh"
+            )
+        self.histogram = histogram
+        self._bucket_bits = {}
+        for bid, tree in self._trees.items():
+            bits = 0
+            for key, _position in tree.range(None, None):
+                bits |= 1 << histogram.bucket_of(key)
+            if bits:
+                self._bucket_bits[bid] = bits
 
     # -- level-1 filtering -------------------------------------------------------
 

@@ -155,10 +155,32 @@ class IndexManager:
         self._layered[key] = index
         return index
 
-    def _sample_histogram(self, extractor: Callable[[Transaction], Any]) -> EqualDepthHistogram:
-        """Sample historical transactions for the equal-depth histogram."""
+    def _sample_histogram(
+        self,
+        extractor: Callable[[Transaction], Any],
+        newest_first: bool = False,
+    ) -> EqualDepthHistogram:
+        """Sample historical transactions for the equal-depth histogram.
+
+        At creation time the sample walks the chain from genesis (cheap,
+        and any slice is representative of a fresh chain).  A *refresh*
+        samples newest-first instead: the cap would otherwise pin the
+        sample to the oldest blocks forever, which is exactly the
+        staleness ``\\analyze`` exists to fix.
+        """
+        sample = self._sample_values(extractor, newest_first)
+        return EqualDepthHistogram.from_sample(sample, self._histogram_depth)
+
+    def _sample_values(
+        self,
+        extractor: Callable[[Transaction], Any],
+        newest_first: bool = False,
+    ) -> list[Any]:
         sample: list[Any] = []
-        for height in range(self._store.height):
+        heights = range(self._store.height)
+        if newest_first:
+            heights = range(self._store.height - 1, -1, -1)
+        for height in heights:
             block = self._store.read_block(height)
             for tx in block.transactions:
                 value = extractor(tx)
@@ -166,7 +188,31 @@ class IndexManager:
                     sample.append(value)
             if len(sample) >= _HISTOGRAM_SAMPLE_CAP:
                 break
-        return EqualDepthHistogram.from_sample(sample, self._histogram_depth)
+        return sample
+
+    def refresh_statistics(self) -> dict[str, int]:
+        """Rebuild every continuous layered index's equal-depth histogram
+        from current chain data (newest blocks first, same sample cap).
+
+        Estimates drive plan choice (eq. 3's p comes from histogram
+        bucket coverage), so after heavy writes that shift a column's
+        distribution the planner mis-costs until this runs - the CLI
+        exposes it as ``\\analyze``.  Returns ``column -> sample size``
+        for each refreshed index.
+        """
+        refreshed: dict[str, int] = {}
+        for (table, column), index in sorted(
+            self._layered.items(), key=lambda kv: (kv[0][0] or "", kv[0][1])
+        ):
+            if not index.continuous:
+                continue  # discrete indexes estimate from value bitmaps
+            sample = self._sample_values(index.extractor, newest_first=True)
+            index.refresh_histogram(
+                EqualDepthHistogram.from_sample(sample, self._histogram_depth)
+            )
+            name = f"{table}.{column}" if table else column
+            refreshed[name] = len(sample)
+        return refreshed
 
     # -- lookup ---------------------------------------------------------------------
 

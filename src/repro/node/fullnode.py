@@ -454,6 +454,14 @@ class FullNode:
             column, table=table, schema=schema, authenticated=authenticated
         )
 
+    def refresh_statistics(self) -> dict[str, int]:
+        """Re-sample histograms for every continuous layered index.
+
+        Exposed in the CLI as ``\\analyze``.  Returns column -> sample
+        size for each refreshed index.
+        """
+        return self.indexes.refresh_statistics()
+
 
 def _tables_of(statement: nodes.Statement) -> list[str]:
     if isinstance(statement, nodes.Explain):

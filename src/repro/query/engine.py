@@ -25,6 +25,7 @@ from ..offchain.adapter import OffChainDatabase
 from ..sqlparser import nodes
 from ..sqlparser.parser import bind, parse
 from ..storage.blockstore import BlockStore
+from .optimizer import Optimizer
 from .plan import AccessPath, PhysicalPlan, Planner, choose_access_path
 from .result import QueryResult
 
@@ -57,11 +58,17 @@ class QueryEngine:
         self._catalog = catalog
         self._offchain = offchain
         self._planner = Planner(store, indexes, catalog, offchain)
+        self._optimizer = Optimizer(self._planner)
 
     @property
     def planner(self) -> Planner:
         """This engine's planner (sharded fan-out builds per-shard subplans)."""
         return self._planner
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The plan-space search over this engine's planner."""
+        return self._optimizer
 
     # -- public API -------------------------------------------------------------
 
@@ -99,7 +106,7 @@ class QueryEngine:
             statement, (nodes.Select, nodes.Trace, nodes.GetBlock)
         ):
             raise QueryError(f"unsupported statement {type(statement).__name__}")
-        plan = self._planner.plan(statement, resolved)
+        plan = self._optimizer.plan(statement, resolved)
         return self._run(plan, stream)
 
     def plan(
@@ -115,7 +122,7 @@ class QueryEngine:
             statement = bind(statement, tuple(params))
         if isinstance(statement, nodes.Explain):
             statement = statement.statement
-        return self._planner.plan(statement, _resolve_method(method))
+        return self._optimizer.plan(statement, _resolve_method(method))
 
     def explain(
         self, statement: Union[str, nodes.Statement],
@@ -183,7 +190,7 @@ class QueryEngine:
     def _execute_explain(
         self, stmt: nodes.Explain, method: Optional[AccessPath]
     ) -> QueryResult:
-        plan = self._planner.plan(stmt.statement, method)
+        plan = self._optimizer.plan(stmt.statement, method)
         if stmt.analyze:
             # run the statement to completion, then annotate the tree
             for _ in plan.root.execute():

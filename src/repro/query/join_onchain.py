@@ -12,9 +12,10 @@ Three strategies:
   read from disk.
 
 This module is a functional facade kept for benchmarks and direct
-callers; the join algorithms are the fused join operators in
-:mod:`repro.query.physical`, built by
-:func:`repro.query.plan.build_onchain_join_leaf`.
+callers: it binds its arguments into the logical IR (an
+:class:`repro.query.logical.LJoin` over two scan nodes) and compiles the
+fused join leaf through the same builder the optimizer uses
+(:func:`repro.query.plan.build_join_source`).
 """
 
 from __future__ import annotations
@@ -26,7 +27,8 @@ from ..model.schema import TableSchema
 from ..model.transaction import Transaction
 from ..sqlparser.nodes import TimeWindow
 from ..storage.blockstore import BlockStore
-from .plan import AccessPath, build_onchain_join_leaf
+from .logical import LJoin, scan_node
+from .plan import AccessPath, JoinDecision, build_join_source
 
 JoinRow = tuple[Transaction, Transaction]
 
@@ -42,7 +44,14 @@ def join_onchain(
     method: Optional[AccessPath] = None,
 ) -> list[JoinRow]:
     """Equi-join two on-chain tables on the given columns."""
-    join, _method = build_onchain_join_leaf(
-        store, indexes, left, right, left_column, right_column, window, method
+    ljoin = LJoin(
+        kind="onchain",
+        left=scan_node(left, None, window),
+        right=scan_node(right, None, window),
+        left_column=left_column,
+        right_column=right_column,
+    )
+    join, _method = build_join_source(
+        store, indexes, None, ljoin, JoinDecision(method=method)
     )
     return list(join.execute())

@@ -12,9 +12,10 @@ the on-chain table:
   against the sorted off-chain rows via the second-level tree.
 
 This module is a functional facade kept for benchmarks and direct
-callers; the join algorithms are the fused join operators in
-:mod:`repro.query.physical`, built by
-:func:`repro.query.plan.build_onoff_join_leaf`.
+callers: it binds its arguments into the logical IR (an
+:class:`repro.query.logical.LJoin` whose right side is an off-chain scan)
+and compiles the fused join leaf through the same builder the optimizer
+uses (:func:`repro.query.plan.build_join_source`).
 """
 
 from __future__ import annotations
@@ -25,9 +26,11 @@ from ..index.manager import IndexManager
 from ..model.schema import TableSchema
 from ..model.transaction import Transaction
 from ..offchain.adapter import OffChainDatabase
+from ..sqlparser import nodes
 from ..sqlparser.nodes import TimeWindow
 from ..storage.blockstore import BlockStore
-from .plan import AccessPath, build_onoff_join_leaf
+from .logical import LJoin, LOffScan, scan_node
+from .plan import AccessPath, JoinDecision, build_join_source
 
 OffRow = tuple[Any, ...]
 OnOffRow = tuple[Transaction, OffRow]
@@ -45,8 +48,18 @@ def join_onoff(
     method: Optional[AccessPath] = None,
 ) -> list[OnOffRow]:
     """Join an on-chain table with a local off-chain table."""
-    join, _method = build_onoff_join_leaf(
-        store, indexes, offchain, onchain, on_column, off_table, off_column,
-        window, method,
+    ljoin = LJoin(
+        kind="onoff",
+        left=scan_node(onchain, None, window),
+        right=LOffScan(
+            table=nodes.TableRef(off_table, source="offchain"),
+            columns=tuple(offchain.columns(off_table)),
+            predicate=None,
+        ),
+        left_column=on_column,
+        right_column=off_column,
+    )
+    join, _method = build_join_source(
+        store, indexes, offchain, ljoin, JoinDecision(method=method)
     )
     return list(join.execute())

@@ -1,0 +1,24 @@
+"""Plan-space search over the logical IR.
+
+The binder (:mod:`repro.query.logical`) says *what* a statement means;
+the builder (:mod:`repro.query.plan`) compiles an (IR, decision) pair
+into streaming operators.  This package sits between the two: it
+enumerates the decision space - access path per conjunct, join method
+and hash build side, shard fan-out shape - costs every candidate with
+the section IV-B model plus the join/sort extensions, and hands the
+cheapest to the builder.  EXPLAIN surfaces the whole ranked list as a
+candidate waterfall; ``Optimizer.force`` builds any enumerated
+candidate, the oracle the fuzz-equivalence suite drives.
+"""
+
+from .candidates import Candidate
+from .core import Optimizer
+from .sharded import plan_sharded_select, plan_sharded_trace, rank_sharded_select
+
+__all__ = [
+    "Candidate",
+    "Optimizer",
+    "plan_sharded_select",
+    "plan_sharded_trace",
+    "rank_sharded_select",
+]

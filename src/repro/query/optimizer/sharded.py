@@ -1,0 +1,218 @@
+"""Costed fan-out choices for sharded SELECTs.
+
+The shard coordinator used to special-case routing: prune shards by the
+partition key, then fan out with one hard-coded plan shape.  Here those
+become enumerated candidates like any other decision:
+
+* **per-shard-best** (the chosen default) - every shard picks its own
+  cheapest access path, ordered statements sort per shard and k-way
+  merge (ShardMerge's ordered mode, the pushdown);
+* **uniform scan / bitmap / layered** - force one access path on every
+  shard, what the per-method benchmark figures measure (layered only
+  enumerated when every shard can serve it);
+* **all-shards** - skip partition pruning entirely (only enumerated when
+  pruning actually narrowed the set; its cost shows what pruning saved);
+* **global-sort** - for ordered statements, concatenate the unsorted
+  shard streams and sort once above the merge instead of pushing sorts
+  down (byte-identical output: the ordered merge breaks ties on shard
+  position, exactly a stable sort over the shard-ordered concat).
+
+Cost of a fan-out candidate is the sum of its per-shard leaf estimates
+(eqs 1-3) plus the sort terms on whichever side of the merge sorts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...sqlparser import nodes
+from .. import plan as planmod
+from ..logical import LScan
+from ..plan import AccessPath, PathChoice, PhysicalPlan, Planner, rank_access_paths
+from .candidates import Candidate, attach
+
+ShardPlanners = Sequence[tuple[int, Planner]]
+
+
+def _shard_rankings(
+    shard_planners: ShardPlanners, stmt: nodes.Select
+) -> list[list[PathChoice]]:
+    """Per-shard access-path rankings for the statement's single table."""
+    rankings: list[list[PathChoice]] = []
+    for _sid, planner in shard_planners:
+        lplan = planner.lower(stmt)
+        scan = lplan.unwrap_source()
+        assert isinstance(scan, LScan)
+        rankings.append(rank_access_paths(
+            planner.store, planner.indexes, scan.schema.name,
+            dict(scan.constraints),
+        ))
+    return rankings
+
+
+def _path_cost(
+    rankings: list[list[PathChoice]], path: Optional[AccessPath]
+) -> Optional[tuple[float, int, int]]:
+    """(total ms, total est rows, total seeks) of a uniform path across
+    shards - or of each shard's cheapest when ``path`` is None.  Returns
+    None when some shard cannot serve the path (layered without a usable
+    index)."""
+    total_ms = 0.0
+    total_rows = 0
+    total_seeks = 0
+    for ranked in rankings:
+        if path is None:
+            choice: Optional[PathChoice] = ranked[0]
+        else:
+            choice = next((c for c in ranked if c.path is path), None)
+        if choice is None:
+            return None
+        total_ms += choice.est_cost_ms
+        total_rows += choice.est_rows
+        total_seeks += choice.est_seeks
+    return total_ms, total_rows, total_seeks
+
+
+def _est_output_rows(
+    shard_planners: ShardPlanners, stmt: nodes.Select, est_rows: int
+) -> int:
+    """Rows crossing the merge: the constraint estimate when one exists,
+    else every shard's full table."""
+    if est_rows:
+        return est_rows
+    table = stmt.tables[0].name
+    return sum(
+        planner.indexes.table_index.tuple_count(table)
+        for _sid, planner in shard_planners
+    )
+
+
+def rank_sharded_select(
+    shard_planners: ShardPlanners,
+    stmt: nodes.Select,
+    method: Optional[AccessPath] = None,
+    unpruned: Optional[ShardPlanners] = None,
+) -> list[Candidate]:
+    """Enumerate the fan-out plan space, chosen candidate first.
+
+    ``shard_planners`` is the (possibly pruned) shard set the router
+    selected; ``unpruned`` - when pruning narrowed it - is the full
+    shard set for the table, enumerated as the no-pruning alternative.
+    A forced ``method`` pins the uniform candidate for that path, the
+    legacy benchmark semantics.
+    """
+    rankings = _shard_rankings(shard_planners, stmt)
+    cost_model = shard_planners[0][1].store.cost
+    ordered = stmt.order_by is not None
+
+    def sort_overhead(rows: int, pushdown: bool) -> float:
+        if not ordered:
+            return 0.0
+        if pushdown:
+            # each shard sorts its own slice; assume an even spread
+            per_shard = max(1, rows // max(len(shard_planners), 1))
+            return sum(
+                cost_model.estimate_sort(per_shard) for _ in shard_planners
+            )
+        return cost_model.estimate_sort(rows)
+
+    candidates: list[Candidate] = []
+
+    def fanout_candidate(
+        label: str,
+        path: Optional[AccessPath],
+        *,
+        planners: ShardPlanners = shard_planners,
+        ranked: Optional[list[list[PathChoice]]] = None,
+        ordered_strategy: str = "pushdown",
+        detail: str = "",
+    ) -> Optional[Candidate]:
+        costs = _path_cost(ranked if ranked is not None else rankings, path)
+        if costs is None:
+            return None
+        total_ms, total_rows, total_seeks = costs
+        out_rows = _est_output_rows(planners, stmt, total_rows)
+        total_ms += sort_overhead(out_rows, ordered_strategy == "pushdown")
+        return Candidate(
+            label=label,
+            kind="fanout",
+            est_cost_ms=total_ms,
+            est_rows=total_rows,
+            est_seeks=total_seeks,
+            build=lambda: planmod.plan_sharded_select(
+                planners, stmt, path, ordered_strategy=ordered_strategy
+            ),
+            detail=detail,
+        )
+
+    if method is not None:
+        chosen = fanout_candidate(
+            f"fanout:uniform({method.value})", method,
+            detail="forced method on every shard",
+        )
+        if chosen is None:
+            # forced layered without a usable index on some shard: keep
+            # the legacy ValueError-at-build semantics
+            chosen = Candidate(
+                label=f"fanout:uniform({method.value})",
+                kind="fanout",
+                est_cost_ms=float("inf"),
+                build=lambda: planmod.plan_sharded_select(
+                    shard_planners, stmt, method
+                ),
+                detail="forced method unavailable on some shard",
+            )
+        candidates.append(chosen)
+    else:
+        chosen = fanout_candidate(
+            "fanout:per-shard-best", None,
+            detail=f"{len(shard_planners)} shard(s), each picks its "
+            f"cheapest path",
+        )
+        assert chosen is not None
+        candidates.append(chosen)
+        for path in (AccessPath.SCAN, AccessPath.BITMAP, AccessPath.LAYERED):
+            uniform = fanout_candidate(f"fanout:uniform({path.value})", path)
+            if uniform is not None:
+                candidates.append(uniform)
+    if ordered and not (stmt.has_aggregates or stmt.group_by is not None):
+        alt = fanout_candidate(
+            "fanout:global-sort", method,
+            ordered_strategy="global",
+            detail="one blocking sort above the merge instead of "
+            "per-shard sorts",
+        )
+        if alt is not None:
+            candidates.append(alt)
+    if unpruned is not None and len(unpruned) > len(shard_planners):
+        all_rankings = _shard_rankings(unpruned, stmt)
+        alt = fanout_candidate(
+            f"fanout:all-shards({len(unpruned)})", None,
+            planners=unpruned, ranked=all_rankings,
+            detail="partition pruning disabled",
+        )
+        if alt is not None:
+            candidates.append(alt)
+    head, tail = candidates[0], candidates[1:]
+    tail.sort(key=lambda c: (c.est_cost_ms, c.label))
+    return [head] + tail
+
+
+def plan_sharded_select(
+    shard_planners: ShardPlanners,
+    stmt: nodes.Select,
+    method: Optional[AccessPath] = None,
+    unpruned: Optional[ShardPlanners] = None,
+) -> PhysicalPlan:
+    """The costed fan-out: build the chosen candidate, waterfall attached."""
+    ranked = rank_sharded_select(shard_planners, stmt, method, unpruned)
+    return attach(ranked[0].build(), ranked)
+
+
+def plan_sharded_trace(
+    shard_planners: ShardPlanners,
+    stmt: nodes.Trace,
+    method: Optional[AccessPath] = None,
+) -> PhysicalPlan:
+    """TRACE fan-out (no plan freedom beyond the per-shard method)."""
+    return planmod.plan_sharded_trace(shard_planners, stmt, method)

@@ -697,6 +697,7 @@ class HashJoin(_LeafOperator):
         left_accept: Optional[Callable[[Transaction], bool]] = None,
         right_accept: Optional[Callable[[Transaction], bool]] = None,
         pushed: str = "",
+        build_side: str = "right",
     ) -> None:
         super().__init__(store, tracker)
         self._candidate = candidate
@@ -708,13 +709,27 @@ class HashJoin(_LeafOperator):
         self._left_accept = left_accept
         self._right_accept = right_accept
         self._pushed = pushed
+        if build_side not in ("left", "right"):
+            raise ValueError(f"unknown hash build side {build_side!r}")
+        self._build_side = build_side
 
     def describe(self) -> str:
         base = (f"{self._left.name} x {self._right.name}, "
                 f"blocks={len(self._candidate)}")
+        if self._build_side != "right":
+            base += f", build={self._build_side}"
         return base + (f", pushed: {self._pushed}" if self._pushed else "")
 
     def _rows(self) -> Iterator[tuple[Transaction, Transaction]]:
+        # one table builds the hash index, the other probes; output stays
+        # (left, right) oriented either way, so the build side is purely a
+        # memory/CPU choice the optimizer costs (smaller side builds)
+        build_on_left = self._build_side == "left"
+        build_name = self._left.name if build_on_left else self._right.name
+        build_key = self._left_key if build_on_left else self._right_key
+        probe_key = self._right_key if build_on_left else self._left_key
+        build_accept = self._left_accept if build_on_left else self._right_accept
+        probe_accept = self._right_accept if build_on_left else self._left_accept
         build: dict[Any, list[Transaction]] = {}
         probes: list[Transaction] = []
         for bid in self._candidate:
@@ -722,22 +737,25 @@ class HashJoin(_LeafOperator):
             for tx in block.transactions:
                 if not in_window(tx, self._window):
                     continue
-                if tx.tname == self._right.name:
-                    if self._right_accept is not None and not self._right_accept(tx):
+                if tx.tname == build_name:
+                    if build_accept is not None and not build_accept(tx):
                         continue
-                    key = tx.row()[self._right_key]
+                    key = tx.row()[build_key]
                     if key is not None:
                         build.setdefault(key, []).append(tx)
-                elif tx.tname == self._left.name:
-                    if self._left_accept is not None and not self._left_accept(tx):
+                elif tx.tname in (self._left.name, self._right.name):
+                    if probe_accept is not None and not probe_accept(tx):
                         continue
                     probes.append(tx)
         for tx in probes:
-            key = tx.row()[self._left_key]
+            key = tx.row()[probe_key]
             if key is None:
                 continue
             for match in build.get(key, ()):
-                yield tx, match
+                if build_on_left:
+                    yield match, tx
+                else:
+                    yield tx, match
 
 
 class MergeJoin(_LeafOperator):
@@ -1024,6 +1042,10 @@ def render_plan(root: PhysicalOperator, analyze: bool = False) -> list[str]:
                 parts.append(f"seeks={stats.seeks}")
                 parts.append(f"pages={stats.page_transfers}")
                 parts.append(f"io_ms={stats.modelled_ms:.3f}")
+            if op.est_cost_ms:
+                parts.append(f"est_ms={op.est_cost_ms:.3f}")
+                drift = (stats.modelled_ms - op.est_cost_ms) / op.est_cost_ms
+                parts.append(f"drift={drift * 100.0:+.1f}%")
             parts.append(f"wall_ms={stats.wall_ms:.3f}")
             head += "  (" + " ".join(parts) + ")"
         else:

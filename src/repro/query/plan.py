@@ -1,16 +1,23 @@
-"""Access-path selection and physical plan construction.
+"""Physical plan construction over the logical IR, plus access-path ranking.
 
 Implements the cost comparison of section IV-B: a scan pays eq. (1), the
 table-level bitmap pays eq. (2) over the k blocks holding the table, and
 the layered index pays eq. (3) - one random I/O per matching tuple.  The
 planner estimates p (matching tuples) from the layered index's histogram
-(continuous) or distinct-value bitmaps (discrete) and picks the cheapest
-path; benchmarks override the choice explicitly to reproduce the paper's
-per-method curves.
+(continuous) or distinct-value bitmaps (discrete); benchmarks override the
+choice explicitly to reproduce the paper's per-method curves.
 
-:class:`Planner` then compiles every read statement into a tree of
-streaming operators (:mod:`repro.query.physical`).  Pushdowns are explicit
-plan rewrites made here:
+Since the optimizer refactor this module is the *builder* half of the
+read path: the binder (:mod:`repro.query.logical`) lowers statements into
+the logical IR, :class:`Planner` compiles IR + a *decision* (access path,
+join method, hash build side) into a tree of streaming operators
+(:mod:`repro.query.physical`), and the plan-space search lives in
+:mod:`repro.query.optimizer`.  ``Planner.plan`` keeps the legacy greedy
+defaults (per-leaf cheapest path, Algorithm-2/3 structural join rule) for
+direct callers; the engine routes through the optimizer, which enumerates
+decisions and picks the cheapest whole plan.
+
+Pushdowns are explicit plan rewrites made here:
 
 * LIMIT caps upstream iteration through generator laziness - it is only
   separated from the access path by streaming operators when no ORDER BY
@@ -25,7 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from ..common.errors import CatalogError, QueryError
 from ..index.bitmap import Bitmap
@@ -41,16 +48,55 @@ from ..storage.blockstore import BlockStore
 from ..storage.costmodel import CostSnapshot, CostTracker
 from . import physical as phys
 from .aggregates import aggregate_columns, resolve_order_index
+from .logical import (
+    LAggregate,
+    LBlockLookup,
+    LDistinct,
+    LFilter,
+    LJoin,
+    LLimit,
+    LOffScan,
+    LProject,
+    LScan,
+    LSort,
+    LTrace,
+    LogicalPlan,
+    align_join_columns,
+    lower,
+)
 from .operators import (
     RangeConstraint,
-    extract_constraints,
     pair_matches,
     predicate_matches,
     projected_columns,
     pseudo_schema,
     pseudo_tx,
-    resolve_join_side,
 )
+
+__all__ = [
+    "AccessPath",
+    "CandidateInfo",
+    "FanoutTracker",
+    "JoinDecision",
+    "PathChoice",
+    "PhysicalPlan",
+    "Planner",
+    "SelectDecision",
+    "TraceDecision",
+    "align_join_columns",
+    "avg_block_size",
+    "build_onchain_join_leaf",
+    "build_onoff_join_leaf",
+    "build_select_leaf",
+    "build_trace_leaf",
+    "choose_access_path",
+    "estimate_matching_tuples",
+    "plan_sharded_select",
+    "plan_sharded_trace",
+    "rank_access_paths",
+    "resolve_join_projection",
+    "window_bitmap",
+]
 
 
 class AccessPath(enum.Enum):
@@ -70,6 +116,9 @@ class PathChoice:
     constraint: Optional[RangeConstraint] = None
     est_cost_ms: float = 0.0
     est_rows: int = 0
+    #: modelled seek count (n for scan, k for bitmap, p for layered) -
+    #: the documented tie-breaker when costs are equal
+    est_seeks: int = 0
 
 
 def estimate_matching_tuples(
@@ -90,26 +139,59 @@ def estimate_matching_tuples(
     return max(1, table_tuples * len(candidates) // total_blocks)
 
 
-def choose_access_path(
+#: Stable order among paths whose cost AND seek count tie: layered first
+#: (it reads only matching tuples), then scan, then bitmap - chosen so a
+#: bitmap covering the whole chain (k == n) never displaces the plain
+#: scan it is identical to.
+_PATH_TIE_ORDER = {AccessPath.LAYERED: 0, AccessPath.SCAN: 1, AccessPath.BITMAP: 2}
+
+
+def path_rank_key(choice: PathChoice) -> tuple:
+    """Deterministic, documented ranking of access-path alternatives.
+
+    1. modelled cost (eqs 1-3);
+    2. modelled seeks - on equal cost, prefer the path that touches the
+       disk fewer times (seeks dominate the model, so fewer seeks means
+       the estimate is less sensitive to a mis-guessed block size);
+    3. a fixed path order (layered, scan, bitmap);
+    4. the index column name, so two equally selective layered indexes
+       rank identically on every run.
+    """
+    return (
+        choice.est_cost_ms,
+        choice.est_seeks,
+        _PATH_TIE_ORDER[choice.path],
+        choice.index.column if choice.index is not None else "",
+    )
+
+
+def rank_access_paths(
     store: BlockStore,
     indexes: IndexManager,
     table: str,
     constraints: dict[str, RangeConstraint],
-    forced: Optional[AccessPath] = None,
-) -> PathChoice:
-    """Pick scan / bitmap / layered for a single-table select."""
+) -> list[PathChoice]:
+    """Every applicable access path for a single-table select, cheapest
+    first under :func:`path_rank_key` (one layered entry per usable
+    constrained index - the per-conjunct enumeration)."""
     n = store.height
-    avg_block = _avg_block_size(store)
+    avg_block = avg_block_size(store)
     cost = store.cost
-    scan_ms = cost.estimate_scan(n, avg_block)
-    if forced is AccessPath.SCAN:
-        return PathChoice(AccessPath.SCAN, est_cost_ms=scan_ms)
+    choices = [
+        PathChoice(
+            AccessPath.SCAN,
+            est_cost_ms=cost.estimate_scan(n, avg_block),
+            est_seeks=n,
+        )
+    ]
     k = len(indexes.table_index.blocks_for_table(table))
-    bitmap_ms = cost.estimate_bitmap(k, avg_block)
-    if forced is AccessPath.BITMAP:
-        return PathChoice(AccessPath.BITMAP, est_cost_ms=bitmap_ms)
-    # find a usable layered index among the constrained columns
-    best: Optional[PathChoice] = None
+    choices.append(
+        PathChoice(
+            AccessPath.BITMAP,
+            est_cost_ms=cost.estimate_bitmap(k, avg_block),
+            est_seeks=k,
+        )
+    )
     table_tuples = indexes.table_index.tuple_count(table)
     for column, constraint in constraints.items():
         index = indexes.layered(column, table)
@@ -118,31 +200,48 @@ def choose_access_path(
         if constraint.low is None and constraint.high is None:
             continue
         est_rows = estimate_matching_tuples(index, constraint, table_tuples)
-        layered_ms = cost.estimate_layered(est_rows)
-        choice = PathChoice(
-            AccessPath.LAYERED,
-            index=index,
-            constraint=constraint,
-            est_cost_ms=layered_ms,
-            est_rows=est_rows,
-        )
-        if best is None or choice.est_cost_ms < best.est_cost_ms:
-            best = choice
-    if forced is AccessPath.LAYERED:
-        if best is None:
-            raise ValueError(
-                f"no layered index usable for table {table!r} with the given "
-                f"predicate - create one before forcing the layered path"
+        choices.append(
+            PathChoice(
+                AccessPath.LAYERED,
+                index=index,
+                constraint=constraint,
+                est_cost_ms=cost.estimate_layered(est_rows),
+                est_rows=est_rows,
+                est_seeks=est_rows,
             )
-        return best
-    if best is not None and best.est_cost_ms <= min(scan_ms, bitmap_ms):
-        return best
-    if bitmap_ms <= scan_ms and k < n:
-        return PathChoice(AccessPath.BITMAP, est_cost_ms=bitmap_ms)
-    return PathChoice(AccessPath.SCAN, est_cost_ms=scan_ms)
+        )
+    choices.sort(key=path_rank_key)
+    return choices
 
 
-def _avg_block_size(store: BlockStore) -> int:
+def choose_access_path(
+    store: BlockStore,
+    indexes: IndexManager,
+    table: str,
+    constraints: dict[str, RangeConstraint],
+    forced: Optional[AccessPath] = None,
+) -> PathChoice:
+    """Pick scan / bitmap / layered for a single-table select.
+
+    The unforced choice is the head of :func:`rank_access_paths`; ties
+    are broken deterministically by modelled seeks (documented on
+    :func:`path_rank_key`), never by enumeration order.
+    """
+    ranked = rank_access_paths(store, indexes, table, constraints)
+    if forced is None:
+        return ranked[0]
+    for choice in ranked:
+        if choice.path is forced:
+            return choice
+    # scan and bitmap are always enumerated; only layered can be missing
+    raise ValueError(
+        f"no layered index usable for table {table!r} with the given "
+        f"predicate - create one before forcing the layered path"
+    )
+
+
+def avg_block_size(store: BlockStore) -> int:
+    """Average packaged-block size f, sampled from the newest 16 blocks."""
     if store.height == 0:
         return 0
     sample = min(store.height, 16)
@@ -271,6 +370,7 @@ def build_onchain_join_leaf(
     left_accept: Optional[Callable[[Transaction], bool]] = None,
     right_accept: Optional[Callable[[Transaction], bool]] = None,
     pushed: str = "",
+    build_side: str = "right",
 ) -> tuple[phys.PhysicalOperator, AccessPath]:
     """The fused on-chain join operator (Algorithm 2 / hash baselines)."""
     if method is None:
@@ -312,7 +412,7 @@ def build_onchain_join_leaf(
             )
         join = phys.HashJoin(
             store, tracker, candidate, left, right, left_col, right_col,
-            window, left_accept, right_accept, pushed,
+            window, left_accept, right_accept, pushed, build_side,
         )
     return join, method
 
@@ -389,6 +489,127 @@ def build_onoff_join_leaf(
     return join, method
 
 
+# -- decisions ----------------------------------------------------------------
+#
+# A decision is the physical half of a plan: the logical IR says *what*,
+# the decision says *how*.  ``Planner.build`` compiles (IR, decision)
+# pairs; ``Planner.default_decision`` reproduces the legacy greedy
+# behavior, and the optimizer enumerates alternatives.
+
+
+@dataclasses.dataclass
+class SelectDecision:
+    """Access path for a single-table select."""
+
+    choice: PathChoice
+
+
+@dataclasses.dataclass
+class JoinDecision:
+    """Join method (hash via scan/bitmap, merge via layered) plus the
+    hash build side (``"left"``/``"right"``; merge ignores it)."""
+
+    method: Optional[AccessPath] = None
+    build_side: str = "right"
+
+
+@dataclasses.dataclass
+class TraceDecision:
+    """TRACE strategy; ``use_operation_index=False`` is the SI* variant."""
+
+    method: Optional[AccessPath] = None
+    use_operation_index: bool = True
+
+
+Decision = Union[SelectDecision, JoinDecision, TraceDecision, None]
+
+
+def _tx_accept(
+    predicate: nodes.Predicate, schema: TableSchema
+) -> Callable[[Transaction], bool]:
+    return lambda tx: predicate_matches(tx, predicate, schema)
+
+
+def build_scan_source(
+    store: BlockStore,
+    indexes: IndexManager,
+    source: Union[LScan, LFilter],
+    choice: PathChoice,
+    tracker: Optional[CostTracker] = None,
+) -> phys.PhysicalOperator:
+    """Access-path leaf plus residual filter for an on-chain scan source."""
+    scan = source.child if isinstance(source, LFilter) else source
+    assert isinstance(scan, LScan)
+    root: phys.PhysicalOperator = build_select_leaf(
+        store, indexes, scan.schema, choice, scan.window, tracker
+    )
+    if scan.predicate is not None:
+        root = phys.Filter(
+            root,
+            _tx_accept(scan.predicate, scan.schema),
+            predicate_text(scan.predicate),
+        )
+    return root
+
+
+def build_trace_source(
+    store: BlockStore,
+    indexes: IndexManager,
+    trace: LTrace,
+    decision: Optional[TraceDecision] = None,
+    tracker: Optional[CostTracker] = None,
+) -> tuple[phys.PhysicalOperator, AccessPath]:
+    """The Algorithm-1 leaf for a lowered TRACE node."""
+    decision = decision or TraceDecision()
+    return build_trace_leaf(
+        store, indexes, trace.operator, trace.operation, trace.window,
+        decision.method, decision.use_operation_index, tracker,
+    )
+
+
+def build_join_source(
+    store: BlockStore,
+    indexes: IndexManager,
+    offchain: Optional[OffChainDatabase],
+    join: LJoin,
+    decision: Optional[JoinDecision] = None,
+    tracker: Optional[CostTracker] = None,
+) -> tuple[phys.PhysicalOperator, AccessPath]:
+    """The fused join leaf for a lowered LJoin (intake filters included)."""
+    decision = decision or JoinDecision()
+    left = join.left
+    left_accept = (
+        _tx_accept(left.predicate, left.schema)
+        if left.predicate is not None else None
+    )
+    if join.kind == "onchain":
+        right = join.right
+        assert isinstance(right, LScan)
+        right_accept = (
+            _tx_accept(right.predicate, right.schema)
+            if right.predicate is not None else None
+        )
+        pushed = " AND ".join(
+            predicate_text(p)
+            for p in (left.predicate, right.predicate) if p is not None
+        )
+        return build_onchain_join_leaf(
+            store, indexes, left.schema, right.schema,
+            join.left_column, join.right_column, left.window,
+            decision.method, tracker, left_accept, right_accept, pushed,
+            decision.build_side,
+        )
+    assert isinstance(join.right, LOffScan)
+    if offchain is None:
+        raise CatalogError("this node has no off-chain database attached")
+    pushed = predicate_text(left.predicate) if left.predicate is not None else ""
+    return build_onoff_join_leaf(
+        store, indexes, offchain, left.schema, join.left_column,
+        join.right.table.name, join.right_column, left.window,
+        decision.method, tracker, left_accept, pushed,
+    )
+
+
 class FanoutTracker:
     """Query-scoped cost view over a fanned-out (multi-shard) plan.
 
@@ -423,6 +644,18 @@ class FanoutTracker:
 
 
 @dataclasses.dataclass
+class CandidateInfo:
+    """One row of the EXPLAIN candidate waterfall (a costed alternative
+    the optimizer enumerated; the chosen one ranks first)."""
+
+    label: str
+    est_cost_ms: float
+    est_rows: int = 0
+    est_seeks: int = 0
+    chosen: bool = False
+
+
+@dataclasses.dataclass
 class PhysicalPlan:
     """A compiled read statement: operator tree plus result metadata."""
 
@@ -436,9 +669,37 @@ class PhysicalPlan:
     choice: Optional[PathChoice] = None
     #: the BlockLookup leaf (GET BLOCK only), to recover ``result.block``
     block_op: Optional[phys.BlockLookup] = None
+    #: the optimizer's cost-ranked candidate waterfall (chosen plan
+    #: first); empty when the plan was built without the optimizer
+    candidates: list[CandidateInfo] = dataclasses.field(default_factory=list)
 
     def render(self, analyze: bool = False) -> list[str]:
-        return phys.render_plan(self.root, analyze)
+        lines = phys.render_plan(self.root, analyze)
+        if self.candidates:
+            lines.append(
+                f"Candidates ({len(self.candidates)} enumerated, cost-ranked):"
+            )
+            actual_ms = self.operator_cost()[2] if analyze else 0.0
+            for rank, info in enumerate(self.candidates, start=1):
+                marker = "*" if info.chosen else " "
+                line = (
+                    f"  {marker} {rank}. {info.label}"
+                    f"  est_ms={info.est_cost_ms:.3f}"
+                )
+                if info.est_rows:
+                    line += f" est_rows={info.est_rows}"
+                if info.est_seeks:
+                    line += f" est_seeks={info.est_seeks}"
+                if analyze and info.chosen:
+                    line += f"  act_ms={actual_ms:.3f}"
+                    if info.est_cost_ms > 0:
+                        drift = (
+                            (actual_ms - info.est_cost_ms)
+                            / info.est_cost_ms * 100.0
+                        )
+                        line += f" drift={drift:+.1f}%"
+                lines.append(line)
+        return lines
 
     def operators(self) -> list[phys.PhysicalOperator]:
         return [op for _depth, op in self.root.walk()]
@@ -446,22 +707,6 @@ class PhysicalPlan:
     def operator_cost(self) -> tuple[int, int, float]:
         """(seeks, page transfers, modelled ms) summed over all operators."""
         return self.root.total_cost()
-
-
-def align_join_columns(
-    stmt: nodes.Select,
-    left_ref: nodes.TableRef,
-    right_ref: nodes.TableRef,
-) -> tuple[str, str]:
-    """Return (left table's join column, right table's join column)."""
-    assert stmt.join_on is not None
-    a, b = stmt.join_on
-    names = {left_ref.effective_name: "left", right_ref.effective_name: "right"}
-    side_a = names.get(a.table or "", None)
-    side_b = names.get(b.table or "", None)
-    if side_a == "right" or side_b == "left":
-        a, b = b, a
-    return a.column, b.column
 
 
 def resolve_join_projection(
@@ -496,32 +741,8 @@ def resolve_join_projection(
     return tuple(out_columns), indices
 
 
-def _predicate_side(
-    predicate: nodes.Predicate, left: TableSchema, right: TableSchema
-) -> str:
-    """Which join side an entire predicate subtree can be evaluated on."""
-    if isinstance(predicate, (nodes.Comparison, nodes.Between)):
-        return resolve_join_side(predicate.column, left, right)
-    sides = {_predicate_side(p, left, right) for p in predicate.parts}
-    if sides == {"left"}:
-        return "left"
-    if sides == {"right"}:
-        return "right"
-    return "residual"
-
-
-def _and_of(parts: list[nodes.Predicate]) -> nodes.Predicate:
-    return parts[0] if len(parts) == 1 else nodes.And(tuple(parts))
-
-
-def _tx_accept(
-    predicate: nodes.Predicate, schema: TableSchema
-) -> Callable[[Transaction], bool]:
-    return lambda tx: predicate_matches(tx, predicate, schema)
-
-
 class Planner:
-    """Compiles read statements into streaming physical plans."""
+    """Compiles the logical IR (plus a decision) into physical plans."""
 
     def __init__(
         self,
@@ -535,21 +756,80 @@ class Planner:
         self._catalog = catalog
         self._offchain = offchain
 
-    # -- entry point -------------------------------------------------------
+    # -- component access (the optimizer enumerates over these) ------------
+
+    @property
+    def store(self) -> BlockStore:
+        return self._store
+
+    @property
+    def indexes(self) -> IndexManager:
+        return self._indexes
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def offchain(self) -> Optional[OffChainDatabase]:
+        return self._offchain
+
+    # -- entry points ------------------------------------------------------
+
+    def lower(self, statement: nodes.Statement) -> LogicalPlan:
+        """Bind a read statement into the logical IR."""
+        return lower(statement, self._catalog, self._offchain)
 
     def plan(
         self,
         statement: nodes.Statement,
         method: Optional[AccessPath] = None,
     ) -> PhysicalPlan:
-        if isinstance(statement, nodes.Select):
-            return self.plan_select(statement, method)
-        if isinstance(statement, nodes.Trace):
-            return self.plan_trace(statement, method)
-        if isinstance(statement, nodes.GetBlock):
-            return self.plan_get_block(statement)
+        """Lower + build with the legacy greedy defaults (per-leaf
+        cheapest path; structural join/trace rules).  The engine goes
+        through :class:`repro.query.optimizer.Optimizer` instead, which
+        enumerates whole-plan alternatives."""
+        lplan = self.lower(statement)
+        return self.build(lplan, self.default_decision(lplan, method))
+
+    def default_decision(
+        self, lplan: LogicalPlan, method: Optional[AccessPath] = None
+    ) -> Decision:
+        """The pre-optimizer greedy decision for a lowered statement."""
+        source = lplan.unwrap_source()
+        if isinstance(source, LScan):
+            return SelectDecision(choose_access_path(
+                self._store, self._indexes, source.schema.name,
+                dict(source.constraints), forced=method,
+            ))
+        if isinstance(source, LJoin):
+            return JoinDecision(method=method)
+        if isinstance(source, LTrace):
+            return TraceDecision(method=method)
+        return None
+
+    def build(
+        self,
+        lplan: LogicalPlan,
+        decision: Decision = None,
+    ) -> PhysicalPlan:
+        """Compile a lowered statement plus a decision into operators."""
+        source = lplan.unwrap_source()
+        if isinstance(source, LScan):
+            assert isinstance(decision, (SelectDecision, type(None)))
+            return self._build_select(lplan, decision)
+        if isinstance(source, LJoin):
+            assert isinstance(decision, (JoinDecision, type(None)))
+            return self._build_join(lplan, decision)
+        if isinstance(source, LOffScan):
+            return self._build_offchain(lplan)
+        if isinstance(source, LTrace):
+            assert isinstance(decision, (TraceDecision, type(None)))
+            return self._build_trace(lplan, decision)
+        if isinstance(source, LBlockLookup):
+            return self._build_get_block(lplan)
         raise QueryError(
-            f"cannot plan statement {type(statement).__name__}"
+            f"cannot build source {type(source).__name__}"
         )
 
     # -- SELECT ------------------------------------------------------------
@@ -557,14 +837,7 @@ class Planner:
     def plan_select(
         self, stmt: nodes.Select, method: Optional[AccessPath] = None
     ) -> PhysicalPlan:
-        if len(stmt.tables) == 1:
-            table = stmt.tables[0]
-            if table.source == "offchain":
-                return self._plan_select_offchain(stmt, table)
-            return self._plan_select_onchain(stmt, table, method)
-        if len(stmt.tables) == 2:
-            return self._plan_select_join(stmt, method)
-        raise QueryError("SELECT supports one table or one two-table join")
+        return self.plan(stmt, method)
 
     def select_input(
         self,
@@ -579,244 +852,177 @@ class Planner:
         sharded fan-out (:func:`plan_sharded_select`, which calls this
         once per shard and merges the streams).
         """
-        schema = self._catalog.get(table.name)
-        constraints = extract_constraints(stmt.where)
+        lplan = self.lower(stmt)
+        source = lplan.unwrap_source()
+        assert isinstance(source, LScan)
         choice = choose_access_path(
-            self._store, self._indexes, schema.name, constraints, forced=method
+            self._store, self._indexes, source.schema.name,
+            dict(source.constraints), forced=method,
         )
-        root: phys.PhysicalOperator = build_select_leaf(
-            self._store, self._indexes, schema, choice, stmt.window, tracker
+        root = build_scan_source(
+            self._store, self._indexes, lplan.source, choice, tracker
         )
-        if stmt.where is not None:
-            root = phys.Filter(
-                root,
-                _tx_accept(stmt.where, schema),
-                predicate_text(stmt.where),
-            )
-        return root, schema, choice
+        return root, source.schema, choice
 
-    def _plan_select_onchain(
-        self,
-        stmt: nodes.Select,
-        table: nodes.TableRef,
-        method: Optional[AccessPath],
+    def _build_select(
+        self, lplan: LogicalPlan, decision: Optional[SelectDecision]
     ) -> PhysicalPlan:
+        stmt = lplan.statement
+        assert isinstance(stmt, nodes.Select)
+        scan = lplan.unwrap_source()
+        assert isinstance(scan, LScan)
+        choice = (
+            decision.choice if decision is not None
+            else choose_access_path(
+                self._store, self._indexes, scan.schema.name,
+                dict(scan.constraints),
+            )
+        )
         tracker = self._store.cost.tracker()
-        root, schema, choice = self.select_input(stmt, table, method, tracker)
-        if stmt.has_aggregates or stmt.group_by is not None:
+        root = build_scan_source(
+            self._store, self._indexes, lplan.source, choice, tracker
+        )
+        head, rest = lplan.pipeline[0], lplan.pipeline[1:]
+        if isinstance(head, LAggregate):
             columns = aggregate_columns(stmt)
-            root = phys.Aggregate(root, stmt, schema)
+            root = phys.Aggregate(root, stmt, scan.schema)
         else:
-            columns = projected_columns(schema, stmt.projection)
-            root = phys.Project(root, schema, stmt.projection)
-        root = self._finish(root, stmt, columns)
+            assert isinstance(head, LProject)
+            columns = projected_columns(scan.schema, stmt.projection)
+            root = phys.Project(root, scan.schema, stmt.projection)
+        root = self._finish_pipeline(root, rest, columns)
         return PhysicalPlan(
             root=root, columns=columns, access_path=choice.path.value,
             tracker=tracker, statement=stmt, choice=choice,
         )
 
-    def _plan_select_offchain(
-        self, stmt: nodes.Select, table: nodes.TableRef
-    ) -> PhysicalPlan:
+    def _build_offchain(self, lplan: LogicalPlan) -> PhysicalPlan:
+        stmt = lplan.statement
+        assert isinstance(stmt, nodes.Select)
+        scan = lplan.unwrap_source()
+        assert isinstance(scan, LOffScan)
         offchain = self._require_offchain()
-        columns = offchain.columns(table.name)
-        if stmt.has_aggregates or stmt.group_by is not None:
-            raise QueryError(
-                "aggregates over off-chain tables belong in the local RDBMS "
-                "- use OffChainDatabase.execute()"
-            )
+        columns = scan.columns
         tracker = self._store.cost.tracker()
-        root: phys.PhysicalOperator = phys.OffchainScan(offchain, table.name)
-        if stmt.where is not None:
-            schema = pseudo_schema(table.name, columns)
-            where = stmt.where
+        root: phys.PhysicalOperator = phys.OffchainScan(
+            offchain, scan.table.name
+        )
+        residual = lplan.residual()
+        if residual is not None:
+            schema = pseudo_schema(scan.table.name, columns)
+            where = residual
 
             def accept(item: phys.Row) -> bool:
                 return predicate_matches(
-                    pseudo_tx(table.name, columns, item[1]), where, schema
+                    pseudo_tx(scan.table.name, columns, item[1]), where, schema
                 )
 
-            root = phys.Filter(root, accept, predicate_text(stmt.where))
-        if stmt.projection:
-            picks = [columns.index(ref.column) for ref in stmt.projection]
-            out_columns = tuple(ref.column for ref in stmt.projection)
+            root = phys.Filter(root, accept, predicate_text(residual))
+        head, rest = lplan.pipeline[0], lplan.pipeline[1:]
+        assert isinstance(head, LProject)
+        if head.items:
+            picks = [columns.index(ref.column) for ref in head.items]
+            out_columns = tuple(ref.column for ref in head.items)
             root = phys.ProjectIndices(root, picks, out_columns)
         else:
             out_columns = tuple(columns)
-        root = self._finish(root, stmt, out_columns)
+        root = self._finish_pipeline(root, rest, out_columns)
         return PhysicalPlan(
             root=root, columns=out_columns, access_path="offchain",
             tracker=tracker, statement=stmt,
         )
 
-    def _finish(
+    def _finish_pipeline(
         self,
         root: phys.PhysicalOperator,
-        stmt: nodes.Select,
+        pipeline: Sequence[object],
         columns: tuple[str, ...],
     ) -> phys.PhysicalOperator:
-        """Distinct -> Sort -> Limit - the only legal top-of-plan order.
+        """Compile the Distinct -> Sort -> Limit tail of the IR pipeline.
 
         LIMIT is always planned topmost: it reaches the access path purely
         through generator laziness, so a blocking Sort or Aggregate below
         it automatically makes the pushdown a no-op (the illegal cases).
         """
-        if stmt.distinct:
-            root = phys.Distinct(root)
-        if stmt.order_by is not None:
-            key = resolve_order_index(columns, stmt.order_by.column)
-            root = phys.Sort(
-                root, key, str(stmt.order_by.column), stmt.order_by.descending
-            )
-        if stmt.limit is not None:
-            root = phys.Limit(root, stmt.limit)
-            root.est_rows = stmt.limit
+        for node in pipeline:
+            if isinstance(node, LDistinct):
+                root = phys.Distinct(root)
+            elif isinstance(node, LSort):
+                key = resolve_order_index(columns, node.column)
+                root = phys.Sort(
+                    root, key, str(node.column), node.descending
+                )
+            elif isinstance(node, LLimit):
+                root = phys.Limit(root, node.count)
+                root.est_rows = node.count
+            else:
+                raise QueryError(
+                    f"unexpected pipeline node {type(node).__name__}"
+                )
         return root
 
     # -- joins -------------------------------------------------------------
 
-    def _plan_select_join(
-        self, stmt: nodes.Select, method: Optional[AccessPath]
+    def _build_join(
+        self, lplan: LogicalPlan, decision: Optional[JoinDecision]
     ) -> PhysicalPlan:
-        if stmt.join_on is None:
-            raise QueryError("two-table SELECT needs an ON equi-join condition")
-        left_ref, right_ref = stmt.tables
-        left_col, right_col = align_join_columns(stmt, left_ref, right_ref)
-        onchain_count = sum(1 for t in stmt.tables if t.source == "onchain")
-        if onchain_count == 2:
-            return self._plan_join_onchain(
-                stmt, left_ref, right_ref, left_col, right_col, method
-            )
-        if onchain_count == 1:
-            return self._plan_join_onoff(
-                stmt, left_ref, right_ref, left_col, right_col, method
-            )
-        raise QueryError("joining two off-chain tables belongs in the local RDBMS")
-
-    def _split_join_where(
-        self,
-        stmt: nodes.Select,
-        left: TableSchema,
-        right: TableSchema,
-    ) -> tuple[
-        Optional[nodes.Predicate],
-        Optional[nodes.Predicate],
-        Optional[nodes.Predicate],
-    ]:
-        """(left-only, right-only, residual) split of the WHERE conjuncts.
-
-        Ambiguous or cross-side conjuncts stay residual, preserving the
-        runtime "qualify it with a table name" error semantics.
-        """
-        if stmt.where is None:
-            return None, None, None
-        buckets: dict[str, list[nodes.Predicate]] = {
-            "left": [], "right": [], "residual": []
-        }
-        for atom in nodes.conjuncts(stmt.where):
-            side = _predicate_side(atom, left, right)
-            buckets[side if side in ("left", "right") else "residual"].append(atom)
-        return (
-            _and_of(buckets["left"]) if buckets["left"] else None,
-            _and_of(buckets["right"]) if buckets["right"] else None,
-            _and_of(buckets["residual"]) if buckets["residual"] else None,
-        )
-
-    def _plan_join_onchain(
-        self,
-        stmt: nodes.Select,
-        left_ref: nodes.TableRef,
-        right_ref: nodes.TableRef,
-        left_col: str,
-        right_col: str,
-        method: Optional[AccessPath],
-    ) -> PhysicalPlan:
-        left = self._catalog.get(left_ref.name)
-        right = self._catalog.get(right_ref.name)
-        left_pred, right_pred, residual = self._split_join_where(stmt, left, right)
-        pushed = " AND ".join(
-            predicate_text(p) for p in (left_pred, right_pred) if p is not None
-        )
+        stmt = lplan.statement
+        assert isinstance(stmt, nodes.Select)
+        join = lplan.unwrap_source()
+        assert isinstance(join, LJoin)
         tracker = self._store.cost.tracker()
-        left_accept = _tx_accept(left_pred, left) if left_pred is not None else None
-        right_accept = (
-            _tx_accept(right_pred, right) if right_pred is not None else None
+        root, method = build_join_source(
+            self._store, self._indexes, self._offchain, join, decision,
+            tracker,
         )
-        root, method = build_onchain_join_leaf(
-            self._store, self._indexes, left, right, left_col, right_col,
-            stmt.window, method, tracker, left_accept, right_accept, pushed,
-        )
-        if residual is not None:
-            def accept(pair: tuple[Transaction, Transaction]) -> bool:
-                return pair_matches(residual, pair[0], left, pair[1], right)
+        residual = lplan.residual()
+        left_schema = join.left.schema
+        if join.kind == "onchain":
+            right = join.right
+            assert isinstance(right, LScan)
+            right_schema = right.schema
+            if residual is not None:
+                res = residual
 
-            root = phys.Filter(root, accept, predicate_text(residual))
-        columns = tuple(
-            [f"{left.name}.{c}" for c in left.column_names]
-            + [f"{right.name}.{c}" for c in right.column_names]
-        )
-        root, columns = self._join_rows(root, stmt, columns, len(left.column_names))
-        root = self._finish(root, stmt, columns)
-        return PhysicalPlan(
-            root=root, columns=columns, access_path=method.value,
-            tracker=tracker, statement=stmt,
-        )
+                def accept(pair: tuple[Transaction, Transaction]) -> bool:
+                    return pair_matches(
+                        res, pair[0], left_schema, pair[1], right_schema
+                    )
 
-    def _plan_join_onoff(
-        self,
-        stmt: nodes.Select,
-        left_ref: nodes.TableRef,
-        right_ref: nodes.TableRef,
-        left_col: str,
-        right_col: str,
-        method: Optional[AccessPath],
-    ) -> PhysicalPlan:
-        offchain = self._require_offchain()
-        if left_ref.source == "onchain":
-            on_ref, on_col = left_ref, left_col
-            off_ref, off_col = right_ref, right_col
+                root = phys.Filter(root, accept, predicate_text(residual))
+            columns = tuple(
+                [f"{left_schema.name}.{c}" for c in left_schema.column_names]
+                + [f"{right_schema.name}.{c}" for c in right_schema.column_names]
+            )
+            right_is_offchain = False
         else:
-            on_ref, on_col = right_ref, right_col
-            off_ref, off_col = left_ref, left_col
-        schema = self._catalog.get(on_ref.name)
-        off_columns = offchain.columns(off_ref.name)
-        off_schema = pseudo_schema(off_ref.name, off_columns)
-        on_pred, _off_pred, residual = self._split_join_where(
-            stmt, schema, off_schema
-        )
-        if _off_pred is not None:
-            # off-chain-side predicates stay residual (the local RDBMS is
-            # authoritative for them; no on-chain I/O is saved by pushing)
-            residual = (
-                _off_pred if residual is None
-                else nodes.And((_off_pred, residual))
+            off = join.right
+            assert isinstance(off, LOffScan)
+            off_columns = off.columns
+            off_schema = pseudo_schema(off.table.name, off_columns)
+            if residual is not None:
+                res = residual
+
+                def accept(pair: tuple[Transaction, tuple]) -> bool:
+                    return pair_matches(
+                        res, pair[0], left_schema,
+                        pseudo_tx(off.table.name, off_columns, pair[1]),
+                        off_schema,
+                    )
+
+                root = phys.Filter(root, accept, predicate_text(residual))
+            columns = tuple(
+                [f"{left_schema.name}.{c}" for c in left_schema.column_names]
+                + [f"{off.table.name}.{c}" for c in off_columns]
             )
-        pushed = predicate_text(on_pred) if on_pred is not None else ""
-        on_accept = _tx_accept(on_pred, schema) if on_pred is not None else None
-        tracker = self._store.cost.tracker()
-        root, method = build_onoff_join_leaf(
-            self._store, self._indexes, offchain, schema, on_col,
-            off_ref.name, off_col, stmt.window, method, tracker,
-            on_accept, pushed,
-        )
-        if residual is not None:
-            res = residual
-
-            def accept(pair: tuple[Transaction, tuple]) -> bool:
-                return pair_matches(
-                    res, pair[0], schema,
-                    pseudo_tx(off_ref.name, off_columns, pair[1]), off_schema,
-                )
-
-            root = phys.Filter(root, accept, predicate_text(residual))
-        columns = tuple(
-            [f"{schema.name}.{c}" for c in schema.column_names]
-            + [f"{off_ref.name}.{c}" for c in off_columns]
-        )
+            right_is_offchain = True
+        head, rest = lplan.pipeline[0], lplan.pipeline[1:]
+        assert isinstance(head, LProject)
         root, columns = self._join_rows(
-            root, stmt, columns, len(schema.column_names), right_is_offchain=True
+            root, stmt, columns, len(left_schema.column_names),
+            right_is_offchain,
         )
-        root = self._finish(root, stmt, columns)
+        root = self._finish_pipeline(root, rest, columns)
         return PhysicalPlan(
             root=root, columns=columns, access_path=method.value,
             tracker=tracker, statement=stmt,
@@ -851,32 +1057,51 @@ class Planner:
         method: Optional[AccessPath] = None,
         use_operation_index: bool = True,
     ) -> PhysicalPlan:
+        lplan = self.lower(stmt)
+        return self._build_trace(
+            lplan, TraceDecision(method, use_operation_index)
+        )
+
+    def _build_trace(
+        self, lplan: LogicalPlan, decision: Optional[TraceDecision]
+    ) -> PhysicalPlan:
+        trace = lplan.unwrap_source()
+        assert isinstance(trace, LTrace)
         tracker = self._store.cost.tracker()
-        leaf, method = build_trace_leaf(
-            self._store, self._indexes, stmt.operator, stmt.operation,
-            stmt.window, method, use_operation_index, tracker,
+        leaf, method = build_trace_source(
+            self._store, self._indexes, trace, decision, tracker
         )
         root = phys.TraceRows(leaf)
         return PhysicalPlan(
             root=root, columns=phys.TraceRows.COLUMNS,
-            access_path=method.value, tracker=tracker, statement=stmt,
+            access_path=method.value, tracker=tracker,
+            statement=lplan.statement,
         )
 
     # -- GET BLOCK ---------------------------------------------------------
 
     def plan_get_block(self, stmt: nodes.GetBlock) -> PhysicalPlan:
+        return self._build_get_block(self.lower(stmt))
+
+    def _build_get_block(self, lplan: LogicalPlan) -> PhysicalPlan:
+        lookup = lplan.unwrap_source()
+        assert isinstance(lookup, LBlockLookup)
+        stmt = lplan.statement
         index = self._indexes.block_index
-        if stmt.kind is nodes.BlockLookupKind.BY_ID:
-            entry = index.by_bid(int(stmt.value))
-        elif stmt.kind is nodes.BlockLookupKind.BY_TID:
-            entry = index.by_tid(int(stmt.value))
+        if lookup.kind is nodes.BlockLookupKind.BY_ID:
+            entry = index.by_bid(int(lookup.value))  # type: ignore[call-overload]
+        elif lookup.kind is nodes.BlockLookupKind.BY_TID:
+            entry = index.by_tid(int(lookup.value))  # type: ignore[call-overload]
         else:
-            entry = index.by_timestamp(int(stmt.value))
+            entry = index.by_timestamp(int(lookup.value))  # type: ignore[call-overload]
         if entry is None:
-            raise QueryError(f"no block found for {stmt.kind.value}={stmt.value!r}")
+            raise QueryError(
+                f"no block found for {lookup.kind.value}={lookup.value!r}"
+            )
         tracker = self._store.cost.tracker()
         leaf = phys.BlockLookup(
-            self._store, tracker, entry.bid, f"{stmt.kind.value}={stmt.value!r}"
+            self._store, tracker, entry.bid,
+            f"{lookup.kind.value}={lookup.value!r}",
         )
         root = phys.TraceRows(leaf)
         return PhysicalPlan(
@@ -902,13 +1127,18 @@ class Planner:
 # indexes and scoped tracker) under a single ShardMerge.  The routing
 # decision - which shards, and whether to fan out at all - belongs to
 # the ShardRouter (repro.shard.routing); these functions only assemble
-# the plan for the shards they are handed.
+# the plan for the shards they are handed.  Candidate enumeration over
+# the fan-out (pruned vs unpruned shard sets, uniform vs per-shard-best
+# leaves, merge-pushdown vs global sort) lives in
+# :mod:`repro.query.optimizer.sharded`.
 
 
 def plan_sharded_select(
     shard_planners: Sequence[tuple[int, Planner]],
     stmt: nodes.Select,
     method: Optional[AccessPath] = None,
+    *,
+    ordered_strategy: str = "pushdown",
 ) -> PhysicalPlan:
     """Fan a single-table SELECT out over shards and merge the streams.
 
@@ -918,10 +1148,20 @@ def plan_sharded_select(
     each shard below the merge (the global top-k is a subset of the
     per-shard top-k's) unless DISTINCT intervenes.  Aggregates pull the
     concatenated transaction streams through one blocking Aggregate.
+
+    ``ordered_strategy="global"`` instead concatenates the unsorted
+    per-shard streams and sorts once above the merge - the alternative
+    the optimizer enumerates against the pushdown (both produce
+    byte-identical output: the merge breaks ties on shard position,
+    exactly matching a stable sort over the shard-ordered concat).
     """
     if len(stmt.tables) != 1 or stmt.tables[0].source != "onchain":
         raise QueryError(
             "sharded fan-out supports single on-chain tables"
+        )
+    if ordered_strategy not in ("pushdown", "global"):
+        raise QueryError(
+            f"unknown ordered_strategy {ordered_strategy!r}"
         )
     table = stmt.tables[0]
     shard_ids = [sid for sid, _planner in shard_planners]
@@ -930,7 +1170,7 @@ def plan_sharded_select(
     choices: list[PathChoice] = []
     schema: Optional[TableSchema] = None
     for _sid, planner in shard_planners:
-        tracker = planner._store.cost.tracker()  # noqa: SLF001 - same module
+        tracker = planner.store.cost.tracker()
         trackers.append(tracker)
         root, schema, choice = planner.select_input(stmt, table, method, tracker)
         inputs.append(root)
@@ -956,7 +1196,7 @@ def plan_sharded_select(
         subplans: list[phys.PhysicalOperator] = [
             phys.Project(part, schema, stmt.projection) for part in inputs
         ]
-        if stmt.order_by is not None:
+        if stmt.order_by is not None and ordered_strategy == "pushdown":
             key = resolve_order_index(columns, stmt.order_by.column)
             column = str(stmt.order_by.column)
             descending = stmt.order_by.descending
@@ -969,10 +1209,18 @@ def plan_sharded_select(
                 subplans, shard_ids,
                 key_index=key, column=column, descending=descending,
             )
+            if stmt.distinct:
+                root = phys.Distinct(root)
         else:
             root = phys.ShardMerge(subplans, shard_ids)
-        if stmt.distinct:
-            root = phys.Distinct(root)
+            if stmt.distinct:
+                root = phys.Distinct(root)
+            if stmt.order_by is not None:
+                key = resolve_order_index(columns, stmt.order_by.column)
+                root = phys.Sort(
+                    root, key, str(stmt.order_by.column),
+                    stmt.order_by.descending,
+                )
         if stmt.limit is not None:
             root = phys.Limit(root, stmt.limit)
             root.est_rows = stmt.limit
@@ -993,10 +1241,10 @@ def plan_sharded_trace(
     trackers: list[CostTracker] = []
     leaves: list[phys.PhysicalOperator] = []
     for _sid, planner in shard_planners:
-        tracker = planner._store.cost.tracker()  # noqa: SLF001 - same module
+        tracker = planner.store.cost.tracker()
         trackers.append(tracker)
         leaf, _used = build_trace_leaf(
-            planner._store, planner._indexes,  # noqa: SLF001 - same module
+            planner.store, planner.indexes,
             stmt.operator, stmt.operation, stmt.window, method,
             tracker=tracker,
         )

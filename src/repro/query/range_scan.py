@@ -9,9 +9,10 @@ All paths apply the full predicate as a residual filter, so they return
 identical rows; only the I/O profile differs.
 
 This module is a functional facade kept for benchmarks and direct callers:
-since the streaming-executor refactor the actual work happens in the
-physical operators (:mod:`repro.query.physical`), and ``limit`` stops the
-pipeline by simply not pulling further rows.
+it binds its arguments into the logical IR (:func:`repro.query.logical.scan_node`)
+exactly as SQL statements are lowered, then compiles the leaf through the
+same builder the optimizer uses; ``limit`` stops the pipeline by simply
+not pulling further rows.
 """
 
 from __future__ import annotations
@@ -21,11 +22,10 @@ from typing import Optional
 from ..index.manager import IndexManager
 from ..model.schema import TableSchema
 from ..model.transaction import Transaction
-from ..sqlparser.nodes import Predicate, TimeWindow, predicate_text
+from ..sqlparser.nodes import Predicate, TimeWindow
 from ..storage.blockstore import BlockStore
-from . import physical as phys
-from .operators import extract_constraints, predicate_matches
-from .plan import AccessPath, PathChoice, build_select_leaf, choose_access_path
+from .logical import scan_node
+from .plan import AccessPath, PathChoice, build_scan_source, choose_access_path
 
 
 def select_transactions(
@@ -38,17 +38,11 @@ def select_transactions(
     limit: Optional[int] = None,
 ) -> tuple[list[Transaction], PathChoice]:
     """Matching transactions of one table, plus the plan actually used."""
-    constraints = extract_constraints(predicate)
+    scan = scan_node(schema, predicate, window)
     choice = choose_access_path(
-        store, indexes, schema.name, constraints, forced=method
+        store, indexes, schema.name, dict(scan.constraints), forced=method
     )
-    root = build_select_leaf(store, indexes, schema, choice, window)
-    if predicate is not None:
-        root = phys.Filter(
-            root,
-            lambda tx: predicate_matches(tx, predicate, schema),
-            predicate_text(predicate),
-        )
+    root = build_scan_source(store, indexes, scan, choice)
     results: list[Transaction] = []
     for tx in root.execute():
         results.append(tx)

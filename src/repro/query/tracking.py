@@ -13,9 +13,10 @@ window.  Three execution strategies reproduce the paper's comparisons:
   intersect second-level postings per block and read only result tuples.
 
 This module is a functional facade kept for benchmarks and direct
-callers; the strategies themselves are the trace leaf operators in
-:mod:`repro.query.physical`, built by
-:func:`repro.query.plan.build_trace_leaf`.
+callers: it binds its arguments into the logical IR (an
+:class:`repro.query.logical.LTrace`) and compiles the leaf through the
+same builder the optimizer uses
+(:func:`repro.query.plan.build_trace_source`).
 """
 
 from __future__ import annotations
@@ -26,7 +27,8 @@ from ..index.manager import IndexManager
 from ..model.transaction import Transaction
 from ..sqlparser.nodes import TimeWindow
 from ..storage.blockstore import BlockStore
-from .plan import AccessPath, build_trace_leaf
+from .logical import LTrace
+from .plan import AccessPath, TraceDecision, build_trace_source
 
 
 def trace_transactions(
@@ -44,8 +46,8 @@ def trace_transactions(
     variants of Fig 10: only the SenID index prunes, the Tname condition
     becomes a residual filter.
     """
-    leaf, _method = build_trace_leaf(
-        store, indexes, operator, operation, window, method,
-        use_operation_index,
+    trace = LTrace(operator=operator, operation=operation, window=window)
+    leaf, _method = build_trace_source(
+        store, indexes, trace, TraceDecision(method, use_operation_index)
     )
     return list(leaf.execute())

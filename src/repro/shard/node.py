@@ -45,7 +45,8 @@ from ..node.fullnode import FullNode, _tables_of
 from ..offchain.adapter import OffChainDatabase
 from ..query.engine import MethodArg, QueryEngine, _resolve_method
 from ..query.operators import extract_constraints
-from ..query.plan import plan_sharded_select, plan_sharded_trace
+from ..query.optimizer import plan_sharded_select, plan_sharded_trace
+from ..query.plan import Planner
 from ..query.result import QueryResult
 from ..sqlparser import nodes
 from ..sqlparser.parser import bind, parse
@@ -316,6 +317,14 @@ class ShardedNode:
         }
         return adopted
 
+    def refresh_statistics(self) -> dict[str, int]:
+        """Rebuild every shard's layered-index histograms (CLI \\analyze)."""
+        refreshed: dict[str, int] = {}
+        for sid in sorted(self.shards):
+            for column, samples in self.shards[sid].refresh_statistics().items():
+                refreshed[column] = refreshed.get(column, 0) + samples
+        return refreshed
+
     def verify_local_chain(self, full: bool = False) -> int:
         """Verify every shard's chain; returns total blocks verified."""
         return sum(
@@ -408,6 +417,7 @@ class ShardedNode:
             plan = plan_sharded_select(
                 [(sid, self.shards[sid].engine.planner) for sid in sids],
                 statement, _resolve_method(method),
+                unpruned=self._unpruned_planners(statement, sids),
             )
             result = QueryResult(
                 columns=plan.columns, access_path=plan.access_path,
@@ -454,7 +464,10 @@ class ShardedNode:
             return self.shards[sid].query(stmt, method=method)
         planners = [(sid, self.shards[sid].engine.planner) for sid in sids]
         if isinstance(inner, nodes.Select):
-            plan = plan_sharded_select(planners, inner, _resolve_method(method))
+            plan = plan_sharded_select(
+                planners, inner, _resolve_method(method),
+                unpruned=self._unpruned_planners(inner, sids),
+            )
         else:
             plan = plan_sharded_trace(planners, inner, _resolve_method(method))
         if stmt.analyze:
@@ -467,6 +480,19 @@ class ShardedNode:
             access_path=plan.access_path,
             plan=plan,
         )
+
+    def _unpruned_planners(
+        self, stmt: nodes.Select, pruned: tuple[int, ...]
+    ) -> Optional[list[tuple[int, "Planner"]]]:
+        """The full shard set for the statement's table, when partition
+        pruning narrowed it - the optimizer enumerates skipping the
+        pruning as a costed alternative."""
+        if len(stmt.tables) != 1 or stmt.tables[0].source != "onchain":
+            return None
+        all_sids = self.router.shards_for_table(stmt.tables[0].name)
+        if set(all_sids) == set(pruned):
+            return None
+        return [(sid, self.shards[sid].engine.planner) for sid in all_sids]
 
     def _select_shards(
         self, stmt: nodes.Select

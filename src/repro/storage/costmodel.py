@@ -19,12 +19,19 @@ can report modelled latency alongside wall-clock time.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 #: Default timings, loosely calibrated to a 7200 rpm disk:
 #: 4 ms average seek, 0.1 ms to transfer one 4 KB page.
 DEFAULT_SEEK_MS = 4.0
 DEFAULT_TRANSFER_MS = 0.1
 DEFAULT_PAGE_SIZE = 4 * 1024
+#: CPU time charged per tuple handled by an in-memory operator (hash
+#: build/probe, merge step, sort comparison).  Three orders of magnitude
+#: below a seek, so CPU terms only break ties between plans whose I/O
+#: profiles are close - exactly the paper's framing, where disk I/O
+#: dominates (section IV-B).
+DEFAULT_CPU_TUPLE_MS = 0.0005
 
 
 @dataclasses.dataclass
@@ -34,6 +41,7 @@ class CostModel:
     seek_ms: float = DEFAULT_SEEK_MS
     transfer_ms: float = DEFAULT_TRANSFER_MS
     page_size: int = DEFAULT_PAGE_SIZE
+    cpu_tuple_ms: float = DEFAULT_CPU_TUPLE_MS
     seeks: int = 0
     page_transfers: int = 0
     bytes_read: int = 0
@@ -90,6 +98,37 @@ class CostModel:
     def estimate_layered(self, p_tuples: int) -> float:
         """Eq. (3): layered-index point-read cost in ms."""
         return p_tuples * (self.seek_ms + self.transfer_ms)
+
+    # -- optimizer extensions (join / sort formulas over eqs 1-3) ---------
+
+    def estimate_sort(self, rows: int) -> float:
+        """In-memory sort: n log2 n comparisons priced per tuple."""
+        if rows <= 1:
+            return 0.0
+        return rows * math.log2(rows) * self.cpu_tuple_ms
+
+    def estimate_hash_join(
+        self,
+        k_blocks: int,
+        block_size: int,
+        build_rows: int,
+        probe_rows: int,
+    ) -> float:
+        """One-pass hash join: eq. (2) block reads plus CPU terms.
+
+        Both sides come out of the same k candidate blocks (one
+        sequential pass); building the hash table costs two tuple
+        touches per build row, probing one per probe row - so the
+        smaller side is the cheaper build input.
+        """
+        io = self.estimate_bitmap(k_blocks, block_size)
+        return io + (2 * build_rows + probe_rows) * self.cpu_tuple_ms
+
+    def estimate_merge_join(self, left_tuples: int, right_tuples: int) -> float:
+        """Algorithm 2/3 sort-merge: eq. (3) point reads on each side's
+        estimated joining tuples, plus one merge step per tuple."""
+        tuples = left_tuples + right_tuples
+        return tuples * (self.seek_ms + self.transfer_ms + self.cpu_tuple_ms)
 
     def tracker(self) -> "CostTracker":
         """A fresh scoped tracker priced with this model's timings."""

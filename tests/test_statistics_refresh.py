@@ -1,0 +1,123 @@
+"""Statistics refresh (``\\analyze``): re-sampled histograms.
+
+A layered index's equal-depth histogram is built once, at index creation.
+Writes that shift the column's distribution leave the optimizer costing
+plans against the old shape until ``refresh_statistics`` re-samples the
+chain (newest blocks first).  These tests pin the staleness-then-refresh
+behaviour, result invariance across a refresh, and the node/CLI surfaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import Shell, build_node
+from repro.common.config import SebdbConfig
+from repro.common.errors import IndexError_
+from repro.index.histogram import EqualDepthHistogram
+from repro.index.layered import LayeredIndex
+from repro.node.fullnode import FullNode
+from repro.query.operators import extract_constraints
+from repro.query.plan import estimate_matching_tuples
+from repro.shard import ShardedNode
+from repro.sqlparser import parse
+
+
+def fresh_node() -> FullNode:
+    return FullNode("stats-test", config=SebdbConfig.in_memory())
+
+
+def estimate(node: FullNode, table: str, column: str, sql_where: str) -> int:
+    constraint = extract_constraints(
+        parse(f"SELECT * FROM {table} WHERE {sql_where}").where
+    )[column]
+    index = node.indexes.layered(column, table)
+    tuples = node.indexes.table_index.tuple_count(table)
+    return estimate_matching_tuples(index, constraint, tuples)
+
+
+class TestStalenessThenRefresh:
+    def test_refresh_improves_stale_estimates(self):
+        node = fresh_node()
+        node.execute("CREATE TABLE m (k int, v string)")
+        for i in range(100):
+            node.insert("m", (i, "old"))
+        node.create_index("k", table="m")
+        # the distribution shifts: a second regime lands at 1000+
+        for i in range(100):
+            node.insert("m", (1000 + i, "new"))
+        true_matches = 100
+        stale_err = abs(
+            estimate(node, "m", "k", "k BETWEEN 1000 AND 1099")
+            - true_matches
+        )
+        refreshed = node.refresh_statistics()
+        assert refreshed["m.k"] == 200
+        fresh_err = abs(
+            estimate(node, "m", "k", "k BETWEEN 1000 AND 1099")
+            - true_matches
+        )
+        assert fresh_err < stale_err
+
+    def test_refresh_preserves_query_results(self):
+        node = fresh_node()
+        node.execute("CREATE TABLE m (k int, v string)")
+        for i in range(60):
+            node.insert("m", (i if i % 2 else 1000 + i, f"v{i}"))
+        node.create_index("k", table="m")
+        queries = [
+            "SELECT * FROM m WHERE k BETWEEN 10 AND 40",
+            "SELECT * FROM m WHERE k > 1000",
+            "SELECT * FROM m WHERE k = 1030",
+        ]
+        before = {
+            (sql, method): sorted(map(repr, node.query(sql, method=method).rows))
+            for sql in queries
+            for method in ("scan", "bitmap", "layered")
+        }
+        node.refresh_statistics()
+        for (sql, method), rows in before.items():
+            after = sorted(map(repr, node.query(sql, method=method).rows))
+            assert after == rows, (sql, method)
+
+    def test_refresh_skips_discrete_indexes(self):
+        node = fresh_node()
+        node.execute("CREATE TABLE m (k int, v string)")
+        node.insert("m", (1, "x"))
+        node.create_index("k", table="m")
+        node.create_index("senid")  # discrete: no histogram to rebuild
+        refreshed = node.refresh_statistics()
+        assert set(refreshed) == {"m.k"}
+
+    def test_refresh_histogram_rejects_discrete_index(self):
+        index = LayeredIndex("tag", lambda tx: tx.tname, continuous=False)
+        with pytest.raises(IndexError_):
+            index.refresh_histogram(EqualDepthHistogram.from_sample([1, 2], 2))
+
+
+class TestNodeSurfaces:
+    def test_sharded_refresh_sums_per_shard_samples(self):
+        config = SebdbConfig.in_memory(
+            num_shards=3, shard_placement={"m": (100, 200)}
+        )
+        node = ShardedNode("stats-shard", config=config)
+        node.execute("CREATE TABLE m (k int, v string)")
+        for i in range(0, 300, 5):
+            node.insert("m", (i, "x"))
+        node.create_index("k", table="m")
+        refreshed = node.refresh_statistics()
+        assert refreshed["m.k"] == 60  # every shard's sample counted
+        node.close()
+
+    def test_cli_analyze_reports_refreshed_columns(self):
+        node = build_node(None)
+        shell = Shell(node)
+        assert shell.run_line("\\analyze") == \
+            "(no continuous layered indexes to analyze)"
+        node.execute("CREATE TABLE m (k int)")
+        for i in range(5):
+            node.insert("m", (i,))
+        node.create_index("k", table="m")
+        output = shell.run_line("\\analyze")
+        assert output == "m.k: histogram rebuilt from 5 value(s)"
+        assert "\\analyze" in shell.run_line("\\help")

@@ -14,6 +14,9 @@ LAYER_BANDS: tuple[frozenset, ...] = (
     frozenset({"common"}),
     frozenset({"model", "crypto", "sqlparser"}),
     frozenset({"storage", "index", "mht"}),
+    # "query" includes the query/optimizer subpackage; inside the band
+    # the import order is logical -> plan -> optimizer -> engine/facades
+    # (plan never imports optimizer - the module cycle check enforces it)
     frozenset({"query", "offchain", "ledger"}),
     frozenset({"consensus", "network"}),
     frozenset({"node"}),
@@ -119,7 +122,10 @@ ERRORS_MODULE: str = "common/errors.py"
 
 # -- query boundary ----------------------------------------------------------
 
-QUERY_SCOPE: tuple = ("query",)
+#: "query" is prefix-matched, so it already covers query/optimizer;
+#: the explicit entry keeps the candidate search inside the boundary
+#: (and the determinism scope) even if the subpackage ever moves out
+QUERY_SCOPE: tuple = ("query", "query/optimizer")
 
 #: methods that perform storage I/O and must be tracker-accounted
 IO_METHODS: frozenset = frozenset({"read_block", "read_transaction", "iter_blocks"})
